@@ -1,0 +1,105 @@
+// Ablation: the discretization parameter L (§5, "Choice of L").
+//
+// The paper observes that L must be at least n, ideally 100-1000× larger,
+// because a unit vector's entries average 1/n in square and anything below
+// 1/L rounds to zero; L costs no sketch space and only log(L) sketching
+// time. This bench sweeps L from n/10 to 1000·n and reports the mean scaled
+// error, which should be poor for L < n and flat beyond ~10·n.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/rounding.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "data/synthetic.h"
+#include "expt/ascii.h"
+#include "expt/error.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+// Flips every entry positive: with full support overlap this makes the true
+// inner product a substantial fraction of ||a||*||b||, so biases introduced
+// by discretization are visible against it (signed values cancel to a
+// near-zero truth that even a degenerate sketch estimates well).
+SparseVector AbsValues(const SparseVector& v) {
+  std::vector<Entry> entries = v.entries();
+  for (Entry& e : entries) e.value = std::fabs(e.value);
+  return SparseVector::MakeOrDie(v.dimension(), std::move(entries));
+}
+
+int Run(size_t scale) {
+  // Dense squared mass + full overlap: every entry hovers near the 1/L
+  // rounding floor, so discretization error is the dominant effect and the
+  // L-dependence is visible through the sampling noise.
+  const uint64_t n = 4000;
+  SyntheticPairOptions gen;
+  gen.dimension = n;
+  gen.nnz = 2000;
+  gen.overlap = 1.0;
+  gen.outlier_fraction = 0.0;
+  const size_t kPairs = 2 * scale;
+  const int kSeeds = static_cast<int>(12 * scale);
+  const size_t m = 256;
+
+  std::vector<std::vector<std::string>> rows;
+  for (double factor : {0.1, 0.5, 1.0, 4.0, 16.0, 100.0, 1000.0}) {
+    const uint64_t L = static_cast<uint64_t>(factor * static_cast<double>(n));
+    double err_sum = 0.0;
+    double bias_sum = 0.0;  // deterministic discretization bias, no sampling
+    size_t cells = 0;
+    for (size_t p = 0; p < kPairs; ++p) {
+      gen.seed = 555 + p;
+      auto pair = GenerateSyntheticPair(gen).value();
+      pair.a = AbsValues(pair.a);
+      pair.b = AbsValues(pair.b);
+      const double truth = Dot(pair.a, pair.b);
+      const double np = pair.a.Norm() * pair.b.Norm();
+      // What the sketch estimates in expectation: <a~, b~>*||a||*||b|| for
+      // the *rounded* unit vectors. Its gap from <a,b> is pure rounding.
+      const auto ra = Round(pair.a, L).value().ToSparseVector();
+      const auto rb = Round(pair.b, L).value().ToSparseVector();
+      bias_sum += ScaledError(Dot(ra, rb) * np, truth, np);
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        WmhOptions o;
+        o.num_samples = m;
+        o.seed = seed;
+        o.L = L;
+        const double est =
+            EstimateWmhInnerProduct(SketchWmh(pair.a, o).value(),
+                                    SketchWmh(pair.b, o).value())
+                .value();
+        err_sum += ScaledError(est, truth, np);
+        ++cells;
+      }
+    }
+    rows.push_back({FormatG(factor, 4), FormatG(static_cast<double>(L), 6),
+                    FormatG(bias_sum / static_cast<double>(kPairs), 4),
+                    FormatG(err_sum / static_cast<double>(cells), 4)});
+  }
+
+  std::printf("WMH error vs L (n = %llu, nnz = 2000, full overlap, m = %zu)\n"
+              "'rounding bias' = scaled |<a~,b~>*||a||*||b|| - <a,b>|: the\n"
+              "deterministic error floor discretization alone imposes.\n\n",
+              static_cast<unsigned long long>(n), m);
+  PrintAlignedTable(std::cout,
+                    {"L/n", "L", "rounding bias", "mean sketch error"}, rows);
+  std::printf("\nexpected: rounding bias large for L < n (entries round to\n"
+              "zero) and vanishing for L >= ~10n, after which the sketch\n"
+              "error flattens at its sampling floor — §5 'Choice of L'.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipsketch
+
+int main(int argc, char** argv) {
+  const size_t scale = ipsketch::bench::ScaleFromArgs(argc, argv);
+  ipsketch::bench::Banner("Ablation: discretization parameter L",
+                          "WMH error as L sweeps from n/10 to 1000n", scale);
+  return ipsketch::Run(scale);
+}

@@ -1,0 +1,166 @@
+// Ablation: the Algorithm-4 rounding rule.
+//
+// The paper's Round is deliberately non-standard (footnote 4): every entry
+// rounds *down* except the largest-magnitude entry, which absorbs the whole
+// deficit so the result is exactly unit norm. This bench compares, at small
+// L where rounding matters:
+//   paper      — Algorithm 4 (Round in core/rounding.cc);
+//   floor      — round everything down, renormalizing only the sampling
+//                weights (the result is sub-unit: estimator biased);
+//   nearest    — round each squared entry to the nearest multiple of 1/L
+//                (norm off in either direction).
+// The variants are built by constructing DiscretizedVector objects directly
+// and driving the same active-index engine and estimator.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/active_index.h"
+#include "core/rounding.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "data/synthetic.h"
+#include "expt/ascii.h"
+#include "expt/error.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+// Flips every entry positive: with full support overlap this makes the true
+// inner product a substantial fraction of ||a||*||b||, so biases introduced
+// by discretization are visible against it (signed values cancel to a
+// near-zero truth that even a degenerate sketch estimates well).
+SparseVector AbsValues(const SparseVector& v) {
+  std::vector<Entry> entries = v.entries();
+  for (Entry& e : entries) e.value = std::fabs(e.value);
+  return SparseVector::MakeOrDie(v.dimension(), std::move(entries));
+}
+
+enum class RoundingRule { kPaper, kFloor, kNearest };
+
+// Builds a discretized vector under the requested rule. For kPaper this
+// defers to the library; the others construct the repetition counts by hand.
+DiscretizedVector Discretize(const SparseVector& a, uint64_t L,
+                             RoundingRule rule) {
+  if (rule == RoundingRule::kPaper) return Round(a, L).value();
+  const double norm = a.Norm();
+  DiscretizedVector dv;
+  dv.dimension = a.dimension();
+  dv.L = L;
+  dv.original_norm = norm;
+  const double Ld = static_cast<double>(L);
+  for (const Entry& e : a.entries()) {
+    const double z = e.value / norm;
+    const double scaled = z * z * Ld;
+    const uint64_t reps =
+        rule == RoundingRule::kFloor
+            ? static_cast<uint64_t>(scaled)
+            : static_cast<uint64_t>(std::llround(scaled));
+    if (reps == 0) continue;
+    dv.entries.push_back(
+        {e.index, reps,
+         std::copysign(std::sqrt(static_cast<double>(reps) / Ld), z)});
+  }
+  return dv;
+}
+
+WmhSketch SketchWithRule(const SparseVector& a, uint64_t L, size_t m,
+                         uint64_t seed, RoundingRule rule) {
+  const DiscretizedVector dv = Discretize(a, L, rule);
+  WmhSketch sketch;
+  sketch.seed = seed;
+  sketch.L = L;
+  sketch.dimension = a.dimension();
+  sketch.norm = dv.original_norm;
+  sketch.hashes.assign(m, 1.0);
+  sketch.values.assign(m, 0.0);
+  if (!dv.entries.empty()) {
+    SketchWithActiveIndex(dv, seed, m, &sketch.hashes, &sketch.values);
+  }
+  return sketch;
+}
+
+int Run(size_t scale) {
+  // Full overlap + moderate value variation: matches are plentiful, so the
+  // estimator's accuracy directly reflects the quality of the discretized
+  // weights — the regime where the rounding rule matters.
+  SyntheticPairOptions gen;
+  gen.dimension = 4000;
+  gen.nnz = 2000;
+  gen.overlap = 1.0;
+  gen.outlier_fraction = 0.0;
+  const size_t m = 256;
+  const int kSeeds = static_cast<int>(8 * scale);
+  const size_t kPairs = 2 * scale;
+
+  std::vector<std::vector<std::string>> rows;
+  for (double lfactor : {0.25, 0.5, 1.0, 2.0, 8.0, 64.0}) {
+    const uint64_t L =
+        static_cast<uint64_t>(lfactor * static_cast<double>(gen.dimension));
+    double err[3] = {0.0, 0.0, 0.0};
+    double mass[3] = {0.0, 0.0, 0.0};  // ||z~||^2: 1 iff unit norm preserved
+    size_t cells = 0;
+    for (size_t p = 0; p < kPairs; ++p) {
+      gen.seed = 777 + p;
+      auto pair = GenerateSyntheticPair(gen).value();
+      pair.a = AbsValues(pair.a);
+      pair.b = AbsValues(pair.b);
+      const double truth = Dot(pair.a, pair.b);
+      const double np = pair.a.Norm() * pair.b.Norm();
+      {
+        int r = 0;
+        for (RoundingRule rule : {RoundingRule::kPaper, RoundingRule::kFloor,
+                                  RoundingRule::kNearest}) {
+          const auto dv = Discretize(pair.a, L, rule);
+          mass[r++] += dv.ToSparseVector().SquaredNorm();
+        }
+      }
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        int r = 0;
+        for (RoundingRule rule : {RoundingRule::kPaper, RoundingRule::kFloor,
+                                  RoundingRule::kNearest}) {
+          const auto sa = SketchWithRule(pair.a, L, m, seed, rule);
+          const auto sb = SketchWithRule(pair.b, L, m, seed, rule);
+          const double est = EstimateWmhInnerProduct(sa, sb).value();
+          err[r++] += ScaledError(est, truth, np);
+        }
+        ++cells;
+      }
+    }
+    rows.push_back({FormatG(lfactor, 4),
+                    FormatG(err[0] / static_cast<double>(cells), 4),
+                    FormatG(err[1] / static_cast<double>(cells), 4),
+                    FormatG(err[2] / static_cast<double>(cells), 4),
+                    FormatG(mass[1] / static_cast<double>(kPairs), 4)});
+  }
+
+  std::printf("mean scaled error by rounding rule (m = %zu, full overlap)\n\n",
+              m);
+  PrintAlignedTable(std::cout,
+                    {"L/n", "paper (Alg.4)", "floor", "nearest",
+                     "floor ||z~||^2"},
+                    rows);
+  std::printf(
+      "\nreading the table: below the paper's valid regime (L < n) every\n"
+      "rule is biased — floor/paper drop most small entries (mass column),\n"
+      "while nearest keeps twice as many and wins on *average* error; the\n"
+      "paper's rule exists for its worst-case guarantee (no 1/L additive\n"
+      "term, exact unit norm), not average-case gains. At the recommended\n"
+      "L >= ~8n all three rules coincide, which is the paper's point: pick\n"
+      "L large and rounding becomes free.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipsketch
+
+int main(int argc, char** argv) {
+  const size_t scale = ipsketch::bench::ScaleFromArgs(argc, argv);
+  ipsketch::bench::Banner("Ablation: Algorithm-4 rounding rule",
+                          "Paper's round-down-+-bump-max vs floor vs nearest",
+                          scale);
+  return ipsketch::Run(scale);
+}

@@ -1,0 +1,83 @@
+// Ablation: the weighted-union-size estimator in Algorithm 5.
+//
+// Line 2 of Algorithm 5 estimates M = Σ max(ã², b̃²) with a Flajolet–Martin
+// estimator over the minimum hashes. Because the discretized vectors are
+// unit-norm, M also has the closed form 2/(1 + J̄), with the weighted
+// Jaccard J̄ estimable from the match rate (this is how the ICWS estimator
+// works). This bench compares the two plug-ins inside the same WMH
+// estimator across overlap regimes.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "data/synthetic.h"
+#include "expt/ascii.h"
+#include "expt/error.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+int Run(size_t scale) {
+  const size_t m = 256;
+  const int kSeeds = static_cast<int>(10 * scale);
+  const size_t kPairs = 2 * scale;
+
+  std::vector<std::vector<std::string>> rows;
+  for (double overlap : {0.01, 0.1, 0.5, 1.0}) {
+    double err_fm = 0.0, err_jc = 0.0;
+    size_t cells = 0;
+    for (size_t p = 0; p < kPairs; ++p) {
+      SyntheticPairOptions gen;
+      gen.overlap = overlap;
+      gen.seed = 31000 + p;
+      const auto pair = GenerateSyntheticPair(gen).value();
+      const double truth = Dot(pair.a, pair.b);
+      const double np = pair.a.Norm() * pair.b.Norm();
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        WmhOptions o;
+        o.num_samples = m;
+        o.seed = seed;
+        const auto sa = SketchWmh(pair.a, o).value();
+        const auto sb = SketchWmh(pair.b, o).value();
+        WmhEstimateOptions fm;  // default: Flajolet–Martin
+        WmhEstimateOptions jc;
+        jc.union_estimator = UnionEstimator::kJaccardClosedForm;
+        err_fm += ScaledError(EstimateWmhInnerProduct(sa, sb, fm).value(),
+                              truth, np);
+        err_jc += ScaledError(EstimateWmhInnerProduct(sa, sb, jc).value(),
+                              truth, np);
+        ++cells;
+      }
+    }
+    rows.push_back({FormatG(overlap, 3),
+                    FormatG(err_fm / static_cast<double>(cells), 4),
+                    FormatG(err_jc / static_cast<double>(cells), 4)});
+  }
+
+  std::printf("WMH mean scaled error by union-size estimator (m = %zu)\n\n",
+              m);
+  PrintAlignedTable(std::cout,
+                    {"overlap", "Flajolet-Martin (Alg.5)",
+                     "Jaccard closed form"},
+                    rows);
+  std::printf(
+      "\nexpected: nearly identical at low overlap (few matches -> J-hat\n"
+      "barely moves either estimator); the FM estimator is the one the\n"
+      "paper analyzes and stays calibrated at all overlaps.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipsketch
+
+int main(int argc, char** argv) {
+  const size_t scale = ipsketch::bench::ScaleFromArgs(argc, argv);
+  ipsketch::bench::Banner("Ablation: weighted-union estimator",
+                          "Algorithm 5's FM estimator vs the closed form",
+                          scale);
+  return ipsketch::Run(scale);
+}

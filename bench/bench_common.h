@@ -1,0 +1,35 @@
+// Shared helpers for the plain (non-google-benchmark) bench binaries.
+
+#ifndef IPSKETCH_BENCH_BENCH_COMMON_H_
+#define IPSKETCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ipsketch {
+namespace bench {
+
+/// Workload multiplier: `argv[1]` if present (≥ 1), else 1. All benches
+/// default to a configuration that finishes in tens of seconds; pass 2-10
+/// to approach the paper's full workload sizes.
+inline size_t ScaleFromArgs(int argc, char** argv) {
+  if (argc > 1) {
+    const long v = std::strtol(argv[1], nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  return 1;
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const char* experiment_id, const char* description,
+                   size_t scale) {
+  std::printf("=== %s ===\n%s\n(workload scale %zux; pass an integer arg to "
+              "scale up)\n\n",
+              experiment_id, description, scale);
+}
+
+}  // namespace bench
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,100 @@
+// Figure 5 reproduction: winning tables on the World-Bank-style corpus.
+//
+// Paper setup: 5000 column pairs from 56 datasets, unit-normalized, sketch
+// storage 400 words; cells report mean(err_WMH − err_other), bucketed by
+// overlap ratio (columns) and kurtosis (rows). Real World Bank data is not
+// available offline; data/worldbank.cc generates a synthetic corpus with the
+// same overlap/kurtosis spread (see DESIGN.md substitutions).
+//
+// Expected shape (paper §5.2): WMH beats JL except at overlap > 0.75 (where
+// JL wins slightly); WMH beats MH most at high kurtosis.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "data/worldbank.h"
+#include "expt/ascii.h"
+#include "expt/harness.h"
+
+namespace ipsketch {
+namespace {
+
+int Run(size_t scale) {
+  WorldBankOptions wb;  // 56 datasets, as in the paper
+  wb.seed = 424242;
+  auto corpus = GenerateWorldBankCorpus(wb);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t num_pairs = 250 * scale;  // paper: 5000
+  auto samples =
+      SampleColumnPairs(corpus.value(), wb.key_universe, num_pairs, 7);
+  if (!samples.ok()) {
+    std::fprintf(stderr, "pair sampling failed: %s\n",
+                 samples.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<EvalPair> pairs;
+  for (const auto& s : samples.value()) pairs.push_back({s.a, s.b});
+
+  auto methods = MakeStandardEvaluators();
+  const double storage_words = 400;  // the paper's fixed size
+  const size_t trials = 2 * scale;
+  auto obs_result = ComputePairErrors(methods, pairs, storage_words, trials, 99);
+  if (!obs_result.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 obs_result.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<PairErrors> obs = std::move(obs_result).value();
+  // Install the corpus covariates (overlap of supports, column kurtosis).
+  for (size_t i = 0; i < obs.size(); ++i) {
+    obs[i].overlap = samples.value()[i].overlap;
+    obs[i].kurtosis = samples.value()[i].kurtosis;
+  }
+
+  const std::vector<double> overlap_edges = {0.25, 0.5, 0.75};
+  const std::vector<double> kurtosis_edges = {3.0, 9.0, 50.0};
+
+  std::printf("%zu column pairs, storage %.0f words, %zu trials/pair\n\n",
+              pairs.size(), storage_words, trials);
+
+  std::printf("--- Figure 5(a): WMH vs JL ---\n");
+  const auto vs_jl = BuildWinningTable(obs, /*target=*/4, /*baseline=*/0,
+                                       overlap_edges, kurtosis_edges);
+  PrintWinningTable(std::cout, vs_jl, "WMH", "JL");
+
+  std::printf("\n--- Figure 5(b): WMH vs MH ---\n");
+  const auto vs_mh = BuildWinningTable(obs, /*target=*/4, /*baseline=*/2,
+                                       overlap_edges, kurtosis_edges);
+  PrintWinningTable(std::cout, vs_mh, "WMH", "MH");
+
+  // Corpus marginals, for comparison with §1.2's reported statistics
+  // (42% of pairs with Jaccard <= 0.1, 35% <= 0.05).
+  size_t le10 = 0, le05 = 0;
+  for (const auto& o : obs) {
+    le10 += (o.overlap <= 0.1);
+    le05 += (o.overlap <= 0.05);
+  }
+  std::printf("\ncorpus overlap marginals: %.0f%% of pairs <= 0.1, "
+              "%.0f%% <= 0.05 (paper: 42%%, 35%%)\n",
+              100.0 * le10 / obs.size(), 100.0 * le05 / obs.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipsketch
+
+int main(int argc, char** argv) {
+  const size_t scale = ipsketch::bench::ScaleFromArgs(argc, argv);
+  ipsketch::bench::Banner(
+      "Figure 5 (World Bank corpus, synthetic stand-in)",
+      "Winning tables: mean(err_WMH - err_baseline) by overlap x kurtosis",
+      scale);
+  return ipsketch::Run(scale);
+}

@@ -1,0 +1,147 @@
+// Throughput benchmarks (google-benchmark) for §5's "Efficient Weighted
+// Hashing": the active-index engine's O(nnz·m·log L) vs the expanded
+// reference's O(m·L), ICWS's O(nnz·m), and the baseline sketches.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/icws.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/jl_sketch.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector MakeVector(uint64_t dim, size_t nnz, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  entries.reserve(nnz);
+  for (size_t i = 0; i < nnz; ++i) {
+    double v = rng.NextGaussian();
+    if (v == 0.0) v = 1.0;
+    if (rng.NextUnit() < 0.1) v *= 25.0;
+    entries.push_back({i * (dim / nnz), v});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+// --- Weighted MinHash engines ---------------------------------------------
+
+void BM_WmhActiveIndex(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  const uint64_t L = static_cast<uint64_t>(state.range(1));
+  const auto v = MakeVector(1 << 20, nnz, 1);
+  WmhOptions o;
+  o.num_samples = 64;
+  o.L = L;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SketchWmh(v, o).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * nnz *
+                          o.num_samples);
+}
+// L sweeps far past what the reference engine can touch: runtime should
+// grow only logarithmically along the L axis.
+BENCHMARK(BM_WmhActiveIndex)
+    ->Args({256, 1 << 12})
+    ->Args({256, 1 << 18})
+    ->Args({256, 1 << 24})
+    ->Args({256, 1ll << 32})
+    ->Args({1024, 1 << 18})
+    ->Args({4096, 1 << 18});
+
+void BM_WmhExpandedReference(benchmark::State& state) {
+  const uint64_t L = static_cast<uint64_t>(state.range(0));
+  const auto v = MakeVector(1 << 20, 256, 1);
+  WmhOptions o;
+  o.num_samples = 64;
+  o.L = L;
+  o.engine = WmhEngine::kExpandedReference;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SketchWmh(v, o).value());
+  }
+  // O(m·L): each sample hashes every occupied slot (exactly L of them).
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          o.num_samples * static_cast<int64_t>(L));
+}
+BENCHMARK(BM_WmhExpandedReference)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_Icws(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  const auto v = MakeVector(1 << 20, nnz, 1);
+  IcwsOptions o;
+  o.num_samples = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SketchIcws(v, o).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * nnz *
+                          o.num_samples);
+}
+BENCHMARK(BM_Icws)->Arg(256)->Arg(1024)->Arg(4096);
+
+// --- Baselines -------------------------------------------------------------
+
+void BM_MinHash(benchmark::State& state) {
+  const auto v = MakeVector(1 << 20, static_cast<size_t>(state.range(0)), 1);
+  MhOptions o;
+  o.num_samples = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SketchMh(v, o).value());
+  }
+}
+BENCHMARK(BM_MinHash)->Arg(256)->Arg(4096);
+
+void BM_Kmv(benchmark::State& state) {
+  const auto v = MakeVector(1 << 20, static_cast<size_t>(state.range(0)), 1);
+  KmvOptions o;
+  o.k = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SketchKmv(v, o).value());
+  }
+}
+BENCHMARK(BM_Kmv)->Arg(256)->Arg(4096);
+
+void BM_Jl(benchmark::State& state) {
+  const auto v = MakeVector(1 << 20, static_cast<size_t>(state.range(0)), 1);
+  JlOptions o;
+  o.num_rows = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SketchJl(v, o).value());
+  }
+}
+BENCHMARK(BM_Jl)->Arg(256)->Arg(4096);
+
+void BM_CountSketch(benchmark::State& state) {
+  const auto v = MakeVector(1 << 20, static_cast<size_t>(state.range(0)), 1);
+  CountSketchOptions o;
+  o.total_counters = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SketchCount(v, o).value());
+  }
+}
+BENCHMARK(BM_CountSketch)->Arg(256)->Arg(4096);
+
+// --- Estimation ------------------------------------------------------------
+
+void BM_WmhEstimate(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto a = MakeVector(1 << 20, 1024, 1);
+  const auto b = MakeVector(1 << 20, 1024, 2);
+  WmhOptions o;
+  o.num_samples = m;
+  const auto sa = SketchWmh(a, o).value();
+  const auto sb = SketchWmh(b, o).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateWmhInnerProduct(sa, sb).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * m);
+}
+BENCHMARK(BM_WmhEstimate)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,138 @@
+// Dataset search (§1.2 of the paper): given a query table, find joinable and
+// correlated tables in a catalog using only precomputed sketches — no joins
+// are ever materialized.
+//
+// Recreates the paper's motivating scenario: an analyst holds a table of
+// daily NYC taxi ridership for 2022 and searches a data lake for tables
+// that (a) join on date and (b) explain ridership fluctuations. A weather
+// table (rain suppresses ridership) is hidden among unrelated tables.
+//
+//   build/examples/example_dataset_search
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "table/join.h"
+#include "table/sketch_index.h"
+
+using namespace ipsketch;
+
+namespace {
+
+constexpr uint64_t kDay0 = 20220101;
+
+// Builds the analyst's query and the catalog tables over date-keyed rows.
+struct Scenario {
+  KeyedColumn taxi;
+  std::vector<Table> catalog;
+};
+
+Scenario BuildScenario() {
+  Xoshiro256StarStar rng(2022);
+  std::vector<uint64_t> days_2022;
+  std::vector<double> rain, temperature, rides;
+  for (uint64_t d = 0; d < 365; ++d) {
+    days_2022.push_back(kDay0 + d);
+    const double r = std::max(0.0, rng.NextGaussian() + 0.4);  // precipitation
+    const double t = 15.0 + 10.0 * std::sin(d / 58.0) + rng.NextGaussian();
+    rain.push_back(r);
+    temperature.push_back(t);
+    // Ridership: baseline minus a strong rain effect plus noise.
+    rides.push_back(120000.0 - 25000.0 * r + 800.0 * t +
+                    4000.0 * rng.NextGaussian());
+  }
+
+  // Weather table covers 1960..2022 (the paper's point: low key overlap
+  // with the query, which only spans 2022 — Jaccard ≈ 1/63).
+  std::vector<uint64_t> weather_days;
+  std::vector<double> weather_rain, weather_temp;
+  for (uint64_t year = 0; year < 63; ++year) {
+    for (uint64_t d = 0; d < 365; ++d) {
+      weather_days.push_back(19600101 + year * 10000 + d);
+      if (year == 62) {  // 2022: reuse the values driving ridership
+        weather_rain.push_back(rain[d]);
+        weather_temp.push_back(temperature[d]);
+      } else {
+        weather_rain.push_back(std::max(0.0, rng.NextGaussian() + 0.4));
+        weather_temp.push_back(15.0 + 10.0 * std::sin(d / 58.0) +
+                               rng.NextGaussian());
+      }
+    }
+  }
+
+  // Distractor tables: one over the same dates but uncorrelated values, one
+  // over a disjoint key domain entirely.
+  std::vector<double> lottery;
+  for (size_t i = 0; i < days_2022.size(); ++i) {
+    lottery.push_back(rng.NextUnit() * 1000.0);
+  }
+  std::vector<uint64_t> product_ids;
+  std::vector<double> prices;
+  for (uint64_t p = 0; p < 2000; ++p) {
+    product_ids.push_back(90000000 + p);
+    prices.push_back(5.0 + 95.0 * rng.NextUnit());
+  }
+
+  Scenario s{
+      KeyedColumn::MakeOrDie("taxi_rides_2022", days_2022, rides),
+      {},
+  };
+  s.catalog.push_back(Table::MakeOrDie("weather_1960_2022", weather_days,
+                                       {"precipitation", "temperature"},
+                                       {weather_rain, weather_temp}));
+  s.catalog.push_back(Table::MakeOrDie("lottery_numbers", days_2022,
+                                       {"jackpot"}, {lottery}));
+  s.catalog.push_back(Table::MakeOrDie("product_prices", product_ids,
+                                       {"price"}, {prices}));
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const Scenario s = BuildScenario();
+
+  // Precompute sketches for every column in the catalog (in a real system
+  // this happens offline, once, for the whole data lake).
+  ColumnSketchOptions options;
+  options.num_samples = 512;
+  options.seed = 1234;
+  options.key_domain = 100000000;  // covers the yyyymmdd + product domains
+  SketchIndex index(options);
+  for (const Table& t : s.catalog) {
+    if (Status st = index.AddTable(t); !st.ok()) {
+      std::fprintf(stderr, "indexing failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("catalog: %zu sketched columns from %zu tables\n\n",
+              index.size(), s.catalog.size());
+
+  // Search by estimated |post-join correlation| with the taxi column.
+  const auto hits = index.Search(s.taxi, RankBy::kAbsCorrelation, 4).value();
+  // (ranking uses the standardized-correlation estimate — the plug-in
+  // moments variant is hopeless for columns like ride counts whose mean
+  // dwarfs their spread; see table/join_estimates.h)
+  std::printf("query: %s — top matches by |estimated correlation|:\n",
+              s.taxi.name().c_str());
+  std::printf("  %-32s %12s %12s %12s\n", "column", "est.size", "est.mean",
+              "est.corr");
+  for (const auto& hit : hits) {
+    std::printf("  %-32s %12.1f %12.1f %12.3f\n", hit.column_name.c_str(),
+                hit.stats.size, hit.stats.mean_b,
+                hit.stats.standardized_correlation);
+  }
+
+  // Verify the winner against an exact join (which the search never ran).
+  const auto weather_col =
+      s.catalog[0].Column("precipitation").value();
+  const auto exact = ComputeJoinStats(s.taxi, weather_col).value();
+  std::printf(
+      "\nexact join with weather.precipitation (for reference only):\n"
+      "  size %zu, mean precip %.2f, correlation %.3f\n",
+      exact.size, exact.mean_b, exact.correlation);
+  std::printf("\nthe estimated ranking surfaced the weather table without\n"
+              "materializing a single join.\n");
+  return 0;
+}

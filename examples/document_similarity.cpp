@@ -1,0 +1,92 @@
+// Document similarity estimation (§5.2 of the paper): estimate pairwise
+// TF-IDF cosine similarities of a document corpus from small sketches, and
+// retrieve the most similar document pairs.
+//
+//   build/examples/example_document_similarity
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "data/newsgroups.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "vector/vector_ops.h"
+
+using namespace ipsketch;
+
+int main() {
+  // 1. A corpus of documents (synthetic 20-Newsgroups stand-in: Zipf
+  //    vocabulary, 20 topics, log-normal lengths).
+  NewsgroupsOptions ng;
+  ng.num_documents = 120;
+  ng.seed = 99;
+  const auto corpus = GenerateNewsgroupsCorpus(ng).value();
+
+  // 2. Unigram+bigram TF-IDF vectors, L2-normalized so that inner product
+  //    equals cosine similarity.
+  FeatureOptions features;
+  std::vector<std::vector<uint64_t>> docs;
+  for (const auto& d : corpus) docs.push_back(IdFeatures(d.token_ids, features));
+  TfidfVectorizer vectorizer;
+  const auto vectors = vectorizer.FitTransform(docs).value();
+  std::printf("corpus: %zu documents, %zu distinct features\n",
+              corpus.size(), vectorizer.vocabulary_size());
+
+  // 3. Sketch every document once (256 samples ≈ 385 words ≈ 3 KB each —
+  //    each original vector has thousands of non-zeros).
+  WmhOptions options;
+  options.num_samples = 256;
+  options.seed = 4711;
+  std::vector<WmhSketch> sketches;
+  double avg_nnz = 0.0;
+  for (const auto& v : vectors) {
+    sketches.push_back(SketchWmh(v, options).value());
+    avg_nnz += static_cast<double>(v.nnz());
+  }
+  std::printf("sketched every document: %.0f avg non-zeros -> %.0f words\n\n",
+              avg_nnz / vectors.size(), sketches[0].StorageWords());
+
+  // 4. Estimate all pairwise cosines from sketches and rank.
+  struct Pair {
+    size_t i, j;
+    double estimated;
+    double exact;
+  };
+  std::vector<Pair> pairs;
+  double total_abs_error = 0.0;
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    for (size_t j = i + 1; j < sketches.size(); ++j) {
+      const double est =
+          EstimateWmhInnerProduct(sketches[i], sketches[j]).value();
+      const double exact = Dot(vectors[i], vectors[j]);
+      pairs.push_back({i, j, est, exact});
+      total_abs_error += std::abs(est - exact);
+    }
+  }
+  std::printf("estimated %zu pairwise cosines, mean |error| = %.4f\n\n",
+              pairs.size(), total_abs_error / pairs.size());
+
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+    return x.estimated > y.estimated;
+  });
+  std::printf("top 10 most similar pairs (by sketch estimate):\n");
+  std::printf("  %-12s %-8s %-8s %10s %10s %s\n", "pair", "topic_i",
+              "topic_j", "est.cos", "exact.cos", "topics match?");
+  size_t topic_matches = 0;
+  for (size_t k = 0; k < 10 && k < pairs.size(); ++k) {
+    const Pair& p = pairs[k];
+    const bool same = corpus[p.i].topic == corpus[p.j].topic;
+    topic_matches += same;
+    std::printf("  (%3zu, %3zu)  %-8zu %-8zu %10.4f %10.4f %s\n", p.i, p.j,
+                corpus[p.i].topic, corpus[p.j].topic, p.estimated, p.exact,
+                same ? "yes" : "no");
+  }
+  std::printf("\n%zu/10 of the retrieved pairs share a topic — the sketches\n"
+              "preserve the corpus's similarity structure at a fraction of\n"
+              "the storage.\n",
+              topic_matches);
+  return 0;
+}

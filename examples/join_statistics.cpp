@@ -1,0 +1,60 @@
+// Join statistics from sketches: the worked example of Figures 2-3 of the
+// paper, end to end. Two tables are reduced to vectors, the vectors to
+// sketches, and SIZE/SUM/MEAN of the (never materialized) join are estimated
+// from the sketches — alongside the exact values for comparison.
+//
+//   build/examples/example_join_statistics
+
+#include <cstdio>
+
+#include "table/join.h"
+#include "table/join_estimates.h"
+#include "vector/vector_ops.h"
+
+using namespace ipsketch;
+
+int main() {
+  // The exact T_A and T_B of Figure 2.
+  const auto table_a = KeyedColumn::MakeOrDie(
+      "V_A", {1, 3, 4, 5, 6, 7, 8, 9, 11},
+      {6.0, 2.0, 6.0, 1.0, 4.0, 2.0, 2.0, 8.0, 3.0});
+  const auto table_b = KeyedColumn::MakeOrDie(
+      "V_B", {2, 4, 5, 8, 10, 11, 12, 15, 16},
+      {1.0, 5.0, 1.0, 2.0, 4.0, 2.5, 6.0, 6.0, 3.7});
+
+  const auto exact = ComputeJoinStats(table_a, table_b).value();
+  std::printf("Figure 2 ground truth (exact one-to-one join):\n");
+  std::printf("  SIZE = %zu   SUM(V_A) = %.1f   SUM(V_B) = %.1f   "
+              "MEAN(V_A) = %.1f\n\n",
+              exact.size, exact.sum_a, exact.sum_b, exact.mean_a);
+
+  // Sketch each column's three encodings (x_1[K], x_V, x_V²). The tiny
+  // Figure-2 tables need only a tiny key domain; production catalogs use
+  // 2^32 or 2^64 — the sketch size would not change.
+  ColumnSketchOptions options;
+  options.num_samples = 512;
+  options.seed = 31;
+  options.key_domain = 32;
+  const auto sketch_a = SketchColumn(table_a, options).value();
+  const auto sketch_b = SketchColumn(table_b, options).value();
+
+  const auto est = EstimateJoinStats(sketch_a, sketch_b).value();
+  std::printf("sketch-based estimates (m = %zu samples per encoding):\n",
+              options.num_samples);
+  std::printf("  SIZE ~= %.2f   SUM(V_A) ~= %.2f   SUM(V_B) ~= %.2f   "
+              "MEAN(V_A) ~= %.2f\n",
+              est.size, est.sum_a, est.sum_b, est.mean_a);
+  std::printf("  post-join <V_A, V_B> ~= %.2f   (exact %.1f)\n\n",
+              est.inner_product, exact.inner_product);
+
+  std::printf("reductions used (Figure 3):\n");
+  std::printf("  SIZE        = <x_1[K_A], x_1[K_B]>\n");
+  std::printf("  SUM(V_A)    = <x_V_A,    x_1[K_B]>\n");
+  std::printf("  MEAN(V_A)   = SUM / SIZE\n");
+  std::printf("  <V_A, V_B>  = <x_V_A,    x_V_B>\n");
+  std::printf("\nnote: tiny tables are the hardest case for sketches (every\n"
+              "sample matters); accuracy here is limited by m, while on\n"
+              "thousand-row tables the same m gives percent-level errors —\n"
+              "see tests/join_estimates_test.cc.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: sketch two sparse vectors independently, then estimate their
+// inner product from the sketches alone — the core workflow of the paper.
+//
+//   build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "data/synthetic.h"
+#include "sketch/estimator_registry.h"
+#include "vector/vector_ops.h"
+
+using namespace ipsketch;
+
+int main() {
+  // 1. Two sparse vectors over a large domain. In a real system these
+  //    would live on different machines or be columns of different tables;
+  //    here we generate the paper's §5.1 synthetic workload.
+  SyntheticPairOptions gen;
+  gen.dimension = 10000;  // logical dimension n (can be 2^32, 2^64, ...)
+  gen.nnz = 2000;         // non-zeros per vector
+  gen.overlap = 0.05;     // only 5% of the non-zeros are shared
+  gen.seed = 7;
+  const VectorPair pair = GenerateSyntheticPair(gen).value();
+
+  std::printf("a: %zu non-zeros, ||a|| = %.2f\n", pair.a.nnz(), pair.a.Norm());
+  std::printf("b: %zu non-zeros, ||b|| = %.2f\n", pair.b.nnz(), pair.b.Norm());
+  const double truth = Dot(pair.a, pair.b);
+  std::printf("exact <a,b> = %.4f\n\n", truth);
+
+  // 2. Sketch each vector INDEPENDENTLY. Only (num_samples, seed, L) must
+  //    match; the vectors never meet until estimation time.
+  WmhOptions options;
+  options.num_samples = 256;  // m: error decays as 1/sqrt(m)
+  options.seed = 42;          // sketches are comparable iff seeds match
+  const WmhSketch sketch_a = SketchWmh(pair.a, options).value();
+  const WmhSketch sketch_b = SketchWmh(pair.b, options).value();
+  std::printf("each sketch: m = %zu samples, %.1f x 64-bit words\n",
+              sketch_a.num_samples(), sketch_a.StorageWords());
+
+  // 3. Estimate the inner product from the sketches (Algorithm 5).
+  const double estimate = EstimateWmhInnerProduct(sketch_a, sketch_b).value();
+  std::printf("WMH estimate  = %.4f\n", estimate);
+  std::printf("scaled error  = %.5f  (error / ||a||/||b|| scale)\n\n",
+              std::abs(estimate - truth) / (pair.a.Norm() * pair.b.Norm()));
+
+  // 4. Why Weighted MinHash? Compare every method at the same 400-word
+  //    storage budget. With 5% overlap, Theorem 2's error scale is far
+  //    smaller than Fact 1's, and the sampling methods win.
+  std::printf("all methods at a 400-word budget (scaled error, 5 trials):\n");
+  std::printf("  theoretical scales: Fact-1 = 1.0, Theorem-2 = %.3f\n",
+              Theorem2Bound(pair.a, pair.b) / Fact1Bound(pair.a, pair.b));
+  for (auto& method : MakeExtendedEvaluators()) {
+    double err = 0.0;
+    for (uint64_t trial = 0; trial < 5; ++trial) {
+      method->Prepare(pair.a, pair.b, 400, 100 + trial);
+      err += std::abs(method->Estimate(400).value() - truth) /
+             (pair.a.Norm() * pair.b.Norm());
+    }
+    std::printf("  %-5s mean scaled error = %.5f\n", method->name().c_str(),
+                err / 5.0);
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "common/hash.h"
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ipsketch {
+
+uint64_t ModMersenne31(uint64_t x) {
+  // Valid for x < 2^62: two folds bring the value below 2p, then one
+  // conditional subtraction.
+  x = (x & kMersenne31) + (x >> 31);
+  x = (x & kMersenne31) + (x >> 31);
+  if (x >= kMersenne31) x -= kMersenne31;
+  return x;
+}
+
+uint64_t ModMersenne61(unsigned __int128 x) {
+  // Valid for x < 2^122 (any product of two 61-bit values).
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  // lo < 2^61 and hi < 2^61, so lo + hi < 2^62; a second fold is needed only
+  // when the sum itself overflowed 61 bits.
+  r = (r & kMersenne61) + (r >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+CarterWegman31::CarterWegman31(uint64_t seed, uint64_t stream) {
+  SplitMix64 sm(MixCombine(seed, stream));
+  a_ = 1 + sm.Next() % (kMersenne31 - 1);
+  b_ = sm.Next() % kMersenne31;
+}
+
+uint32_t CarterWegman31::Hash(uint64_t x) const {
+  const uint64_t xr = ModMersenne31(x);
+  return static_cast<uint32_t>(ModMersenne31(a_ * xr + b_));
+}
+
+CarterWegman61::CarterWegman61(uint64_t seed, uint64_t stream) {
+  SplitMix64 sm(MixCombine(seed, stream));
+  a_ = 1 + sm.Next() % (kMersenne61 - 1);
+  b_ = sm.Next() % kMersenne61;
+}
+
+uint64_t CarterWegman61::Hash(uint64_t x) const {
+  const uint64_t xr = x >= kMersenne61 ? x % kMersenne61 : x;
+  unsigned __int128 prod = static_cast<unsigned __int128>(a_) * xr + b_;
+  return ModMersenne61(prod);
+}
+
+SignHash::SignHash(uint64_t seed, uint64_t stream) {
+  SplitMix64 sm(MixCombine(seed, stream));
+  for (auto& c : c_) c = sm.Next() % kMersenne61;
+  if (c_[3] == 0) c_[3] = 1;  // keep the polynomial degree-3
+}
+
+double SignHash::Sign(uint64_t x) const {
+  const uint64_t xr = x >= kMersenne61 ? x % kMersenne61 : x;
+  // Horner evaluation of c3·x^3 + c2·x^2 + c1·x + c0 mod p.
+  unsigned __int128 acc = c_[3];
+  for (int i = 2; i >= 0; --i) {
+    acc = static_cast<unsigned __int128>(ModMersenne61(acc)) * xr + c_[i];
+  }
+  const uint64_t v = ModMersenne61(acc);
+  // The low bit of a further mix supplies the sign; mixing avoids parity
+  // artifacts of the polynomial itself.
+  return (Mix64(v) & 1) ? 1.0 : -1.0;
+}
+
+IndexHasher::IndexHasher(HashKind kind, uint64_t seed, uint64_t stream)
+    : kind_(kind), mix_key_(MixCombine(seed, stream)) {
+  switch (kind_) {
+    case HashKind::kMixed64:
+      break;
+    case HashKind::kCarterWegman61: {
+      SplitMix64 sm(mix_key_);
+      a_ = 1 + sm.Next() % (kMersenne61 - 1);
+      b_ = sm.Next() % kMersenne61;
+      break;
+    }
+    case HashKind::kCarterWegman31: {
+      SplitMix64 sm(mix_key_);
+      a_ = 1 + sm.Next() % (kMersenne31 - 1);
+      b_ = sm.Next() % kMersenne31;
+      break;
+    }
+  }
+}
+
+double IndexHasher::HashUnit(uint64_t x) const {
+  switch (kind_) {
+    case HashKind::kMixed64:
+      return UnitFromU64(Mix64(mix_key_ ^ x));
+    case HashKind::kCarterWegman61: {
+      const uint64_t xr = x >= kMersenne61 ? x % kMersenne61 : x;
+      const unsigned __int128 prod =
+          static_cast<unsigned __int128>(a_) * xr + b_;
+      return static_cast<double>(ModMersenne61(prod)) /
+             static_cast<double>(kMersenne61);
+    }
+    case HashKind::kCarterWegman31: {
+      const uint64_t xr = ModMersenne31(x);
+      return static_cast<double>(ModMersenne31(a_ * xr + b_)) /
+             static_cast<double>(kMersenne31);
+    }
+  }
+  IPS_CHECK(false);
+  return 0.0;
+}
+
+BucketHash::BucketHash(uint64_t seed, uint64_t stream, uint32_t num_buckets)
+    : cw_(seed, stream), num_buckets_(num_buckets) {
+  IPS_CHECK(num_buckets > 0);
+}
+
+uint32_t BucketHash::Bucket(uint64_t x) const {
+  // Multiply-shift style range reduction of the 61-bit hash avoids the
+  // slight modulo bias of `hash % num_buckets`.
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(cw_.Hash(x)) * num_buckets_;
+  return static_cast<uint32_t>(wide >> 61);
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through the primitives in this file so
+// that sketches are reproducible from a single 64-bit seed, and so that two
+// machines sketching different vectors with the same seed produce
+// *coordinated* randomness (the property MinHash-style sketches rely on).
+//
+// Three layers are provided:
+//   * Mix64 / MixCombine: stateless 64-bit finalizers used to derive
+//     independent stream keys from (seed, sample, block, ...) tuples.
+//   * SplitMix64: a tiny sequential generator, used for seeding.
+//   * Xoshiro256StarStar: the main counter-advanced generator used by data
+//     generators and by the active-index sketching engine.
+
+#ifndef IPSKETCH_COMMON_RNG_H_
+#define IPSKETCH_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace ipsketch {
+
+/// Stateless 64-bit mixing finalizer (SplitMix64 finalizer). Bijective, with
+/// strong avalanche behaviour: flipping any input bit flips ~half the output
+/// bits. Used to key independent random streams from structured tuples.
+uint64_t Mix64(uint64_t x);
+
+/// Derives a stream key from two components, e.g. (seed, sample index).
+uint64_t MixCombine(uint64_t a, uint64_t b);
+
+/// Derives a stream key from three components, e.g. (seed, sample, block).
+uint64_t MixCombine(uint64_t a, uint64_t b, uint64_t c);
+
+/// Maps a 64-bit word to a double in [0, 1) using the top 53 bits.
+double UnitFromU64(uint64_t x);
+
+/// Maps a 64-bit word to a double in (0, 1]; never returns exactly 0.
+/// Useful when the value feeds a logarithm.
+double PositiveUnitFromU64(uint64_t x);
+
+/// Minimal sequential generator used for seeding larger-state generators.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit output and advances the state.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can drive
+/// <random> distributions.
+class Xoshiro256StarStar {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit state words from `seed` via SplitMix64.
+  explicit Xoshiro256StarStar(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Returns the next 64-bit output.
+  uint64_t operator()();
+
+  /// Returns a double uniform in [0, 1).
+  double NextUnit() { return UnitFromU64((*this)()); }
+
+  /// Returns a double uniform in (0, 1].
+  double NextPositiveUnit() { return PositiveUnitFromU64((*this)()); }
+
+  /// Returns an integer uniform in [0, bound) without modulo bias.
+  /// `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a standard normal variate (Box–Muller, one value per call).
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples G ~ Geometric(p): the number of i.i.d. Bernoulli(p) trials up to
+/// and including the first success, so G >= 1 and E[G] = 1/p.
+///
+/// `u` must lie in (0, 1]; `p` must lie in (0, 1]. Implemented by inversion,
+/// G = ceil(log(u) / log(1 - p)), which costs O(1) regardless of p — this is
+/// the "skip ahead" primitive behind the active-index weighted MinHash
+/// sketcher (Gollapudi & Panigrahy 2006).
+uint64_t GeometricFromUnit(double u, double p);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_COMMON_RNG_H_

@@ -1,0 +1,71 @@
+// Scalar statistics used by the data generators, the Figure-5 kurtosis
+// bucketing, and the experiment harness.
+
+#ifndef IPSKETCH_COMMON_STATS_H_
+#define IPSKETCH_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipsketch {
+
+/// Single-pass accumulator of the first four central moments (Welford /
+/// Pébay update). Numerically stable; supports kurtosis, the outlier
+/// indicator the paper buckets Figure 5 by.
+class RunningMoments {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added.
+  size_t count() const { return n_; }
+  /// Sample mean (0 if empty).
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance M2/n (0 if fewer than 1 observation).
+  double Variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Sample variance M2/(n−1) (0 if fewer than 2 observations).
+  double SampleVariance() const;
+  /// Population standard deviation.
+  double StdDev() const;
+  /// Skewness sqrt(n)·M3 / M2^{3/2} (0 for degenerate inputs).
+  double Skewness() const;
+  /// Raw kurtosis n·M4 / M2² (3 for a normal distribution in the limit).
+  /// Returns 0 for degenerate inputs (fewer than 2 points or zero variance).
+  double Kurtosis() const;
+  /// Excess kurtosis = Kurtosis() − 3.
+  double ExcessKurtosis() const { return Kurtosis() - 3.0; }
+
+  /// Merges another accumulator into this one (parallel Pébay merge).
+  void Merge(const RunningMoments& other);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+};
+
+/// Arithmetic mean of `xs` (0 for empty input).
+double Mean(const std::vector<double>& xs);
+
+/// Population variance of `xs` (0 for empty input).
+double Variance(const std::vector<double>& xs);
+
+/// Raw kurtosis of `xs`; see RunningMoments::Kurtosis.
+double Kurtosis(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile of `xs` for q in [0, 1].
+/// `xs` need not be sorted; empty input returns 0.
+double Quantile(std::vector<double> xs, double q);
+
+/// Median; shorthand for Quantile(xs, 0.5).
+double Median(std::vector<double> xs);
+
+/// Median of a pre-sorted, non-empty span (no copy).
+double MedianSorted(const std::vector<double>& sorted_xs);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_COMMON_STATS_H_

@@ -1,0 +1,154 @@
+// Lightweight Status / Result error-handling primitives.
+//
+// The library reports recoverable errors (invalid configuration, malformed
+// input) through `Status` and `Result<T>` return values rather than
+// exceptions, following the convention of database engines such as RocksDB.
+// Programmer errors (broken invariants) abort through IPS_CHECK.
+
+#ifndef IPSKETCH_COMMON_STATUS_H_
+#define IPSKETCH_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ipsketch {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kOutOfRange = 3,
+  kNotFound = 4,
+  kInternal = 5,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a human-readable message.
+///
+/// `Status` is cheap to copy and move. The default-constructed value is OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory for the OK status.
+  static Status Ok() { return Status(); }
+  /// The caller passed an argument outside the documented domain.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// The object is not in a state where the operation is allowed.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// An index or parameter fell outside a valid range.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// A looked-up entity does not exist.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// An internal invariant failed in a recoverable context.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status category.
+  StatusCode code() const { return code_; }
+  /// The human-readable detail message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders as "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or an error `Status`.
+///
+/// Accessing `value()` on an error result aborts; check `ok()` first or use
+/// the IPS_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status (OK if a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; aborts if `!ok()`.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  /// Moves the contained value out; aborts if `!ok()`.
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all build modes:
+/// sketch correctness depends on invariants that must not be compiled out.
+#define IPS_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::ipsketch::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                           \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define IPS_RETURN_IF_ERROR(expr)        \
+  do {                                   \
+    ::ipsketch::Status ips_status_ = (expr); \
+    if (!ips_status_.ok()) return ips_status_; \
+  } while (0)
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_COMMON_STATUS_H_

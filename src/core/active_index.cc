@@ -1,0 +1,59 @@
+#include "core/active_index.h"
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ipsketch {
+namespace {
+
+// Walks the record (prefix-minimum) stream of one (sample, block) pair and
+// returns the block minimum for `reps` occupied slots. SplitMix64 is used as
+// the stream generator: construction is free and each draw is a handful of
+// arithmetic ops, which matters because this loop runs nnz·m times per
+// sketch.
+inline double BlockMin(uint64_t stream_key, uint64_t reps) {
+  SplitMix64 rng(stream_key);
+  // Slot 1 always exists (reps >= 1) and is always a record.
+  double v = PositiveUnitFromU64(rng.Next());
+  uint64_t pos = 1;
+  for (;;) {
+    // Next record position: pos + G, G ~ Geometric(v). Stop as soon as it
+    // falls beyond the occupied prefix.
+    const uint64_t g = GeometricFromUnit(PositiveUnitFromU64(rng.Next()), v);
+    if (g > reps - pos) break;  // pos + g > reps, no overflow possible
+    pos += g;
+    // Record value: uniform on (0, v).
+    v *= PositiveUnitFromU64(rng.Next());
+  }
+  return v;
+}
+
+}  // namespace
+
+double ActiveIndexBlockMin(uint64_t seed, size_t sample, uint64_t block_index,
+                           uint64_t reps) {
+  IPS_CHECK(reps > 0);
+  return BlockMin(MixCombine(seed, sample, block_index), reps);
+}
+
+void SketchWithActiveIndex(const DiscretizedVector& dv, uint64_t seed,
+                           size_t num_samples, std::vector<double>* hashes,
+                           std::vector<double>* values) {
+  IPS_CHECK(hashes->size() == num_samples && values->size() == num_samples);
+  for (size_t s = 0; s < num_samples; ++s) {
+    const uint64_t sample_key = MixCombine(seed, s);
+    double best_hash = 1.0;
+    double best_value = 0.0;
+    for (const DiscretizedEntry& e : dv.entries) {
+      const double bm = BlockMin(Mix64(sample_key ^ e.index), e.reps);
+      if (bm < best_hash) {
+        best_hash = bm;
+        best_value = e.value;
+      }
+    }
+    (*hashes)[s] = best_hash;
+    (*values)[s] = best_value;
+  }
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,58 @@
+#include "core/expanded_reference.h"
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace ipsketch {
+namespace {
+
+// Expanded-domain index of slot `slot` within block `block`. Blocks are laid
+// out consecutively: block i covers [i·L, (i+1)·L). The product can exceed
+// 64 bits for extreme (dimension, L) pairs; reduce modulo the 61-bit Mersenne
+// prime first, which is harmless because the slot index is itself only ever
+// consumed by a CarterWegman61 hash over that field.
+uint64_t ExpandedIndex(uint64_t block, uint64_t slot, uint64_t L) {
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(block) * L + slot;
+  return static_cast<uint64_t>(wide % kMersenne61);
+}
+
+}  // namespace
+
+double ReferenceSlotHash(uint64_t seed, size_t sample, uint64_t block_index,
+                         uint64_t slot_in_block, uint64_t L) {
+  // A full-avalanche mixed hash plays the role of the uniformly random hash
+  // function the analysis assumes. A 2-wise linear hash must NOT be used
+  // here: expanded slots are contiguous integers, and the minimum of a
+  // linear hash over an arithmetic progression is visibly non-uniform,
+  // biasing the Flajolet-Martin union estimate.
+  const IndexHasher h(HashKind::kMixed64, seed, sample);
+  return h.HashUnit(ExpandedIndex(block_index, slot_in_block, L));
+}
+
+void SketchWithExpandedReference(const DiscretizedVector& dv, uint64_t seed,
+                                 size_t num_samples,
+                                 std::vector<double>* hashes,
+                                 std::vector<double>* values) {
+  IPS_CHECK(hashes->size() == num_samples && values->size() == num_samples);
+  for (size_t s = 0; s < num_samples; ++s) {
+    const IndexHasher h(HashKind::kMixed64, seed, s);
+    double best_hash = 1.0;
+    double best_value = 0.0;
+    for (const DiscretizedEntry& e : dv.entries) {
+      // The first t[i] slots of block `e.index` are occupied (Algorithm 3
+      // line 3); hash each of them.
+      for (uint64_t slot = 0; slot < e.reps; ++slot) {
+        const double hv = h.HashUnit(ExpandedIndex(e.index, slot, dv.L));
+        if (hv < best_hash) {
+          best_hash = hv;
+          best_value = e.value;
+        }
+      }
+    }
+    (*hashes)[s] = best_hash;
+    (*values)[s] = best_value;
+  }
+}
+
+}  // namespace ipsketch

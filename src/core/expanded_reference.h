@@ -1,0 +1,39 @@
+// Reference (oracle) Weighted MinHash engine.
+//
+// Implements Algorithm 3 literally: for each of the m samples it applies a
+// Carter–Wegman hash over the expanded domain {0, ..., n·L − 1} to every
+// occupied slot of the expanded vector ā and records the argmin. Cost is
+// O(m · L) hash evaluations per vector (the occupied slots of a discretized
+// unit vector always total exactly L), so this engine is only practical for
+// small L. It exists to pin down the exact sketch semantics that the fast
+// active-index engine must reproduce distributionally, and to power the
+// Fact 5 / Lemma 1 statistical tests.
+
+#ifndef IPSKETCH_CORE_EXPANDED_REFERENCE_H_
+#define IPSKETCH_CORE_EXPANDED_REFERENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rounding.h"
+
+namespace ipsketch {
+
+/// Fills hashes/values (each pre-sized to num_samples) with the MinHash of
+/// the expanded vector described by `dv`, using hash functions keyed by
+/// (seed, sample).
+void SketchWithExpandedReference(const DiscretizedVector& dv, uint64_t seed,
+                                 size_t num_samples,
+                                 std::vector<double>* hashes,
+                                 std::vector<double>* values);
+
+/// The hash value the reference engine assigns to slot `slot_in_block` of
+/// block `block_index` under sample `sample`. Exposed so tests can verify
+/// the argmin slot-by-slot.
+double ReferenceSlotHash(uint64_t seed, size_t sample, uint64_t block_index,
+                         uint64_t slot_in_block, uint64_t L);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_CORE_EXPANDED_REFERENCE_H_

@@ -1,0 +1,124 @@
+#include "core/icws.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace ipsketch {
+namespace {
+
+// Domain-separation tag for ICWS per-(sample, index) streams.
+constexpr uint64_t kIcwsTag = 0xA5C1E771C0DE1234ull;
+
+}  // namespace
+
+Status IcwsOptions::Validate() const {
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  return Status::Ok();
+}
+
+Result<IcwsSketch> SketchIcws(const SparseVector& a,
+                              const IcwsOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+
+  IcwsSketch sketch;
+  sketch.seed = options.seed;
+  sketch.dimension = a.dimension();
+  if (a.empty()) {
+    sketch.norm = 0.0;
+    sketch.fingerprints.assign(options.num_samples, 0);
+    sketch.values.assign(options.num_samples, 0.0);
+    return sketch;
+  }
+
+  const double norm = a.Norm();
+  sketch.norm = norm;
+  sketch.fingerprints.resize(options.num_samples);
+  sketch.values.resize(options.num_samples);
+
+  for (size_t s = 0; s < options.num_samples; ++s) {
+    const uint64_t sample_key = MixCombine(options.seed, kIcwsTag, s);
+    double best_a = std::numeric_limits<double>::infinity();
+    uint64_t best_fp = 0;
+    double best_value = 0.0;
+    for (const Entry& e : a.entries()) {
+      const double z = e.value / norm;
+      const double weight = z * z;  // S_j in (0, 1]
+      // Ioffe's ICWS draws, keyed consistently by (seed, sample, index):
+      //   r, c ~ Gamma(2, 1),  β ~ U[0, 1)
+      //   t  = ⌊ln(S)/r + β⌋          (the consistent "level")
+      //   y  = exp(r·(t − β))         (a consistent weight ≤ S)
+      //   a* = c / (y·exp(r))         (the minimized key)
+      SplitMix64 rng(Mix64(sample_key ^ e.index));
+      const double r = -std::log(PositiveUnitFromU64(rng.Next())) -
+                       std::log(PositiveUnitFromU64(rng.Next()));
+      const double c = -std::log(PositiveUnitFromU64(rng.Next())) -
+                       std::log(PositiveUnitFromU64(rng.Next()));
+      const double beta = UnitFromU64(rng.Next());
+      const double t = std::floor(std::log(weight) / r + beta);
+      const double y = std::exp(r * (t - beta));
+      const double a_key = c / (y * std::exp(r));
+      if (a_key < best_a) {
+        best_a = a_key;
+        // Fingerprint the (index, level) pair. CWS guarantees two vectors
+        // sample consistently iff they agree on both.
+        best_fp = MixCombine(e.index, static_cast<uint64_t>(
+                                          static_cast<int64_t>(t)));
+        best_value = z;
+      }
+    }
+    sketch.fingerprints[s] = best_fp;
+    sketch.values[s] = best_value;
+  }
+  return sketch;
+}
+
+Result<double> EstimateIcwsInnerProduct(const IcwsSketch& a,
+                                        const IcwsSketch& b) {
+  if (a.num_samples() != b.num_samples()) {
+    return Status::InvalidArgument("sketch sample counts differ");
+  }
+  if (a.num_samples() == 0) {
+    return Status::InvalidArgument("sketches are empty");
+  }
+  if (a.seed != b.seed) {
+    return Status::InvalidArgument("sketch seeds differ");
+  }
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+  if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
+
+  const size_t m = a.num_samples();
+  double weighted_match_sum = 0.0;
+  size_t match_count = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (a.fingerprints[i] == b.fingerprints[i]) {
+      const double va = a.values[i];
+      const double vb = b.values[i];
+      const double q = std::min(va * va, vb * vb);
+      if (q > 0.0) {
+        weighted_match_sum += va * vb / q;
+        ++match_count;
+      }
+    }
+  }
+  const double md = static_cast<double>(m);
+  // Weighted union size via the unit-norm closed form M = 2/(1 + J̄).
+  const double j_hat = static_cast<double>(match_count) / md;
+  const double m_hat = 2.0 / (1.0 + j_hat);
+  return a.norm * b.norm * (m_hat / md) * weighted_match_sum;
+}
+
+IcwsSketch TruncatedIcws(const IcwsSketch& sketch, size_t m) {
+  IPS_CHECK(m > 0 && m <= sketch.num_samples());
+  IcwsSketch out = sketch;
+  out.fingerprints.resize(m);
+  out.values.resize(m);
+  return out;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,84 @@
+// Ioffe's Improved Consistent Weighted Sampling (ICWS, ICDM 2010) adapted to
+// inner product estimation.
+//
+// The paper notes (§5, "Efficient Weighted Hashing") that Consistent
+// Weighted Sampling schemes are essentially equivalent to the expanded
+// Weighted MinHash but computationally cheaper, and leaves their adaptation
+// to inner product sketching as future work. This module implements that
+// adaptation:
+//
+//   * Sketching costs O(nnz · m) with no discretization parameter at all —
+//     ICWS samples index j with probability exactly proportional to the
+//     continuous weight S_j = (a[j]/‖a‖)², and two sketches collide on a
+//     sample with probability equal to the *weighted Jaccard similarity* of
+//     the squared normalized vectors (the same collision law as Fact 5).
+//   * The estimator mirrors Algorithm 5, but estimates the weighted union
+//     size M = Σ max(ã², b̃²) through the closed form M = 2/(1 + J̄) (valid
+//     because both weight vectors sum to 1) with J̄ estimated by the match
+//     rate.
+//
+// Matches are detected by comparing a 64-bit fingerprint of the sampled
+// (index, "consistent level" t_j) pair, which CWS guarantees is equal for
+// both vectors precisely when they sample consistently.
+
+#ifndef IPSKETCH_CORE_ICWS_H_
+#define IPSKETCH_CORE_ICWS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Configuration for `SketchIcws`.
+struct IcwsOptions {
+  /// Number of samples m.
+  size_t num_samples = 128;
+  /// Random seed; sketches are comparable only with equal seeds.
+  uint64_t seed = 0;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// An ICWS inner product sketch: m (fingerprint, value) samples plus ‖a‖.
+struct IcwsSketch {
+  /// Fingerprint of the sampled (index, level) pair per sample; 0 for the
+  /// empty sketch.
+  std::vector<uint64_t> fingerprints;
+  /// Normalized entry ã[j] = a[j]/‖a‖ at the sampled index, per sample.
+  std::vector<double> values;
+  /// Euclidean norm of the original vector.
+  double norm = 0.0;
+  uint64_t seed = 0;
+  uint64_t dimension = 0;
+
+  /// Number of samples m.
+  size_t num_samples() const { return fingerprints.size(); }
+
+  /// Storage in 64-bit words: one double + one 64-bit fingerprint per
+  /// sample, + the norm. (A production system could store 32-bit
+  /// fingerprints; we charge the same 1.5 words/sample as WMH so the
+  /// methods are compared at equal budget.)
+  double StorageWords() const {
+    return 1.5 * static_cast<double>(num_samples()) + 1.0;
+  }
+};
+
+/// Computes the ICWS sketch of `a`. The zero vector yields an empty sketch
+/// (norm 0) that estimates 0 against anything.
+Result<IcwsSketch> SketchIcws(const SparseVector& a, const IcwsOptions& options);
+
+/// Estimates ⟨a, b⟩ from two ICWS sketches; see the module comment.
+Result<double> EstimateIcwsInnerProduct(const IcwsSketch& a,
+                                        const IcwsSketch& b);
+
+/// Prefix truncation (first m samples), as with the other sampling sketches.
+IcwsSketch TruncatedIcws(const IcwsSketch& sketch, size_t m);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_CORE_ICWS_H_

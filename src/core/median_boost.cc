@@ -1,0 +1,82 @@
+#include "core/median_boost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ipsketch {
+namespace {
+
+// Domain-separation tag so repetition sub-seeds never collide with the
+// sample-stream keys derived inside a single sketch.
+constexpr uint64_t kRepetitionTag = 0x9D5AB3E1C0FFEE01ull;
+
+uint64_t RepetitionSeed(uint64_t master_seed, size_t rep) {
+  return MixCombine(master_seed, kRepetitionTag, rep);
+}
+
+}  // namespace
+
+Status MedianWmhOptions::Validate() const {
+  if (repetitions == 0) {
+    return Status::InvalidArgument("repetitions must be positive");
+  }
+  return base.Validate();
+}
+
+size_t MedianWmhOptions::RepetitionsForDelta(double delta) {
+  IPS_CHECK(delta > 0.0 && delta < 1.0);
+  // Each repetition fails with probability ≤ 1/3; the median fails only if
+  // ≥ t/2 repetitions fail. By Chernoff, t ≥ ln(1/δ) / D(1/2 ‖ 1/3) ≈
+  // 19.2·log10(1/δ) suffices; D(1/2‖1/3) = ln(3/2)/2 + ln(3/4)/2.
+  const double divergence = 0.5 * std::log(1.5) + 0.5 * std::log(0.75);
+  const double t = std::ceil(std::log(1.0 / delta) / divergence);
+  size_t reps = static_cast<size_t>(std::max(1.0, t));
+  if (reps % 2 == 0) ++reps;
+  return reps;
+}
+
+double MedianWmhSketch::StorageWords() const {
+  double total = 0.0;
+  for (const auto& rep : repetitions) total += rep.StorageWords();
+  return total;
+}
+
+Result<MedianWmhSketch> SketchMedianWmh(const SparseVector& a,
+                                        const MedianWmhOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  MedianWmhSketch out;
+  out.repetitions.reserve(options.repetitions);
+  for (size_t r = 0; r < options.repetitions; ++r) {
+    WmhOptions rep_options = options.base;
+    rep_options.seed = RepetitionSeed(options.base.seed, r);
+    auto sketch = SketchWmh(a, rep_options);
+    IPS_RETURN_IF_ERROR(sketch.status());
+    out.repetitions.push_back(std::move(sketch).value());
+  }
+  return out;
+}
+
+Result<double> EstimateMedianWmhInnerProduct(const MedianWmhSketch& a,
+                                             const MedianWmhSketch& b,
+                                             const WmhEstimateOptions& options) {
+  if (a.repetitions.size() != b.repetitions.size()) {
+    return Status::InvalidArgument("repetition counts differ");
+  }
+  if (a.repetitions.empty()) {
+    return Status::InvalidArgument("empty boosted sketch");
+  }
+  std::vector<double> estimates;
+  estimates.reserve(a.repetitions.size());
+  for (size_t r = 0; r < a.repetitions.size(); ++r) {
+    auto est =
+        EstimateWmhInnerProduct(a.repetitions[r], b.repetitions[r], options);
+    IPS_RETURN_IF_ERROR(est.status());
+    estimates.push_back(est.value());
+  }
+  return Median(std::move(estimates));
+}
+
+}  // namespace ipsketch

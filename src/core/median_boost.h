@@ -1,0 +1,58 @@
+// Median-of-estimates boosting (Theorem 2's 1 − δ guarantee).
+//
+// A single WMH sketch pair achieves the ε·max(‖a_I‖‖b‖, ‖a‖‖b_I‖) error
+// bound with constant probability 2/3. Concatenating t = O(log(1/δ))
+// independently seeded sketches and returning the median of the t estimates
+// boosts the success probability to 1 − δ via a Chernoff bound (the
+// standard "median trick", see the proof of Theorem 2).
+
+#ifndef IPSKETCH_CORE_MEDIAN_BOOST_H_
+#define IPSKETCH_CORE_MEDIAN_BOOST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+
+namespace ipsketch {
+
+/// Configuration for the boosted sketch.
+struct MedianWmhOptions {
+  /// Number of independent sketch repetitions t. Odd values make the median
+  /// unambiguous. t = O(log(1/δ)) gives failure probability δ.
+  size_t repetitions = 9;
+  /// Per-repetition sketch configuration. The seed acts as a master seed;
+  /// repetition r uses a sub-seed derived from (seed, r).
+  WmhOptions base;
+
+  /// Validates field ranges.
+  Status Validate() const;
+
+  /// Number of repetitions sufficient for failure probability `delta` under
+  /// the per-repetition failure rate 1/3 (Chernoff bound with exponent
+  /// D(1/2 ‖ 1/3)); always odd.
+  static size_t RepetitionsForDelta(double delta);
+};
+
+/// Concatenation of t independently seeded WMH sketches.
+struct MedianWmhSketch {
+  std::vector<WmhSketch> repetitions;
+
+  /// Total storage in 64-bit words (sum over repetitions).
+  double StorageWords() const;
+};
+
+/// Sketches `a` with t independent repetitions.
+Result<MedianWmhSketch> SketchMedianWmh(const SparseVector& a,
+                                        const MedianWmhOptions& options);
+
+/// Median of the per-repetition Algorithm-5 estimates.
+Result<double> EstimateMedianWmhInnerProduct(
+    const MedianWmhSketch& a, const MedianWmhSketch& b,
+    const WmhEstimateOptions& options = WmhEstimateOptions());
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_CORE_MEDIAN_BOOST_H_

@@ -1,0 +1,170 @@
+#include "core/rounding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipsketch {
+
+uint64_t DiscretizedVector::TotalReps() const {
+  uint64_t total = 0;
+  for (const auto& e : entries) total += e.reps;
+  return total;
+}
+
+SparseVector DiscretizedVector::ToSparseVector() const {
+  std::vector<Entry> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back({e.index, e.value});
+  return SparseVector::MakeOrDie(dimension, std::move(out));
+}
+
+double DiscretizedVector::SquaredValueAt(uint64_t index) const {
+  auto it = std::lower_bound(entries.begin(), entries.end(), index,
+                             [](const DiscretizedEntry& e, uint64_t idx) {
+                               return e.index < idx;
+                             });
+  if (it != entries.end() && it->index == index) {
+    return static_cast<double>(it->reps) / static_cast<double>(L);
+  }
+  return 0.0;
+}
+
+Result<DiscretizedVector> Round(const SparseVector& a, uint64_t L) {
+  if (L == 0) return Status::InvalidArgument("L must be positive");
+  const double norm = a.Norm();
+  if (norm == 0.0) {
+    return Status::FailedPrecondition("cannot round the zero vector");
+  }
+
+  const double Ld = static_cast<double>(L);
+  DiscretizedVector out;
+  out.dimension = a.dimension();
+  out.L = L;
+  out.original_norm = norm;
+  out.entries.reserve(a.nnz());
+
+  // Line 1 of Algorithm 4: round every squared entry down to a multiple of
+  // 1/L, tracked as integer repetition counts t[i] = ⌊z[i]²·L⌋.
+  uint64_t total = 0;
+  size_t max_pos = 0;  // position (in out.entries) of the max-|z| coordinate
+  double max_abs = -1.0;
+  for (const Entry& e : a.entries()) {
+    const double z = e.value / norm;
+    double scaled = z * z * Ld;
+    // Guard against floating error pushing an exact multiple above itself
+    // (e.g. z² = 1/4, L = 8 should give exactly 2 reps, not 1).
+    uint64_t reps = static_cast<uint64_t>(scaled);
+    if (static_cast<double>(reps + 1) <= scaled) ++reps;
+    // Entries may round to zero reps; they are dropped from the discretized
+    // support (they would occupy zero expanded slots).
+    const double abs_z = std::fabs(z);
+    if (abs_z > max_abs) {
+      max_abs = abs_z;
+      max_pos = out.entries.size();  // may point one past end; fixed below
+    }
+    if (reps > 0) {
+      out.entries.push_back(
+          {e.index, reps,
+           std::copysign(std::sqrt(static_cast<double>(reps) / Ld), z)});
+      total += reps;
+    } else if (abs_z == max_abs && max_pos == out.entries.size()) {
+      // The max-magnitude coordinate rounded to zero reps (possible only when
+      // L < n); it must still exist so the deficit bump below can land on it.
+      out.entries.push_back({e.index, 0, 0.0});
+    }
+  }
+
+  // Floating error can push z[i]²·L a hair above an exact integer, making the
+  // floor one too large; walk any surplus back off the max entry so that
+  // Σ t[i] == L holds exactly.
+  if (total > L) {
+    const uint64_t surplus = total - L;
+    IPS_CHECK(max_pos < out.entries.size());
+    DiscretizedEntry& m = out.entries[max_pos];
+    IPS_CHECK(m.reps >= surplus);
+    m.reps -= surplus;
+    const double sign = a.Get(m.index) < 0.0 ? -1.0 : 1.0;
+    m.value =
+        m.reps == 0
+            ? 0.0
+            : sign * std::sqrt(static_cast<double>(m.reps) / Ld);
+    total = L;
+  }
+
+  // Lines 2–3: add the unit-norm deficit δ = 1 − ‖z̃‖² to the largest entry.
+  // In integer space: L − Σ t[i] extra reps. Rounding down means the deficit
+  // is never negative.
+  const uint64_t deficit = L - total;
+  if (deficit > 0) {
+    IPS_CHECK(max_pos < out.entries.size());
+    DiscretizedEntry& m = out.entries[max_pos];
+    m.reps += deficit;
+    const double sign = a.Get(m.index) < 0.0 ? -1.0 : 1.0;
+    m.value = sign * std::sqrt(static_cast<double>(m.reps) / Ld);
+  }
+  // Drop any zero-rep placeholder that did not receive the deficit.
+  std::erase_if(out.entries,
+                [](const DiscretizedEntry& e) { return e.reps == 0; });
+  IPS_CHECK(out.TotalReps() == L);
+  return out;
+}
+
+uint64_t DefaultL(uint64_t dimension) {
+  constexpr uint64_t kMin = 1024;
+  constexpr uint64_t kMax = uint64_t{1} << 40;
+  const uint64_t n = std::min(dimension, uint64_t{1} << 32);
+  const uint64_t scaled = std::max<uint64_t>(n, 4) * 256;
+  return std::clamp(scaled, kMin, kMax);
+}
+
+namespace {
+
+// Merges two discretized vectors, calling fn(reps_a, reps_b) per union index.
+template <typename Fn>
+Status MergeReps(const DiscretizedVector& a, const DiscretizedVector& b,
+                 Fn fn) {
+  if (a.L != b.L) {
+    return Status::InvalidArgument("discretization parameter L mismatch");
+  }
+  size_t i = 0, j = 0;
+  while (i < a.entries.size() || j < b.entries.size()) {
+    if (j == b.entries.size() ||
+        (i < a.entries.size() && a.entries[i].index < b.entries[j].index)) {
+      fn(a.entries[i].reps, uint64_t{0});
+      ++i;
+    } else if (i == a.entries.size() ||
+               b.entries[j].index < a.entries[i].index) {
+      fn(uint64_t{0}, b.entries[j].reps);
+      ++j;
+    } else {
+      fn(a.entries[i].reps, b.entries[j].reps);
+      ++i;
+      ++j;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<double> WeightedJaccard(const DiscretizedVector& a,
+                               const DiscretizedVector& b) {
+  uint64_t min_sum = 0, max_sum = 0;
+  IPS_RETURN_IF_ERROR(MergeReps(a, b, [&](uint64_t ra, uint64_t rb) {
+    min_sum += std::min(ra, rb);
+    max_sum += std::max(ra, rb);
+  }));
+  if (max_sum == 0) return 0.0;
+  return static_cast<double>(min_sum) / static_cast<double>(max_sum);
+}
+
+Result<double> WeightedUnionSize(const DiscretizedVector& a,
+                                 const DiscretizedVector& b) {
+  uint64_t max_sum = 0;
+  IPS_RETURN_IF_ERROR(MergeReps(a, b, [&](uint64_t ra, uint64_t rb) {
+    max_sum += std::max(ra, rb);
+  }));
+  return static_cast<double>(max_sum) / static_cast<double>(a.L);
+}
+
+}  // namespace ipsketch

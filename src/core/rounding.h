@@ -1,0 +1,78 @@
+// Algorithm 4: vector rounding for Weighted MinHash.
+//
+// Round(a/‖a‖, L) produces a unit vector whose squared entries are integer
+// multiples of 1/L. The paper's scheme rounds every squared entry *down* to
+// ⌊z[i]²·L⌋/L and then adds the total deficit to the largest-magnitude entry
+// so the result is exactly unit norm. This non-standard "bump the max" rule
+// is what lets Theorem 2 avoid additive error that scales with 1/L
+// (Lemma 3 in the paper).
+//
+// We work directly in integer repetition counts t[i] = round(z̃[i]²·L):
+// Σ t[i] == L holds exactly, so the expanded vector ā of Algorithm 3 has
+// exactly t[i] non-zero slots in block i and Σ blocks = L slots total.
+
+#ifndef IPSKETCH_CORE_ROUNDING_H_
+#define IPSKETCH_CORE_ROUNDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// One non-zero coordinate of a discretized unit vector.
+struct DiscretizedEntry {
+  uint64_t index = 0;  ///< coordinate in the original vector
+  uint64_t reps = 0;   ///< t[i]: number of expanded slots; t[i]/L = z̃[i]²
+  double value = 0.0;  ///< z̃[i] = sign(z[i])·√(t[i]/L)
+};
+
+/// A unit vector with squared entries that are integer multiples of 1/L,
+/// produced by `Round`. Also remembers the original Euclidean norm so the
+/// final estimator can rescale (Algorithm 5 line 4).
+struct DiscretizedVector {
+  uint64_t dimension = 0;       ///< n of the original vector
+  uint64_t L = 0;               ///< discretization parameter
+  double original_norm = 0.0;   ///< ‖a‖ of the vector that was rounded
+  std::vector<DiscretizedEntry> entries;  ///< sorted by index, reps > 0
+
+  /// Σ t[i]; equals L for any vector produced by `Round`.
+  uint64_t TotalReps() const;
+
+  /// The discretized unit vector z̃ as a SparseVector (for analysis/tests).
+  SparseVector ToSparseVector() const;
+
+  /// Squared value t/L of the entry at `index`, 0 if absent.
+  double SquaredValueAt(uint64_t index) const;
+};
+
+/// Rounds a to a discretized unit vector per Algorithm 4.
+///
+/// Fails with InvalidArgument if `L == 0` and FailedPrecondition if `a` is
+/// the zero vector (its direction is undefined; callers represent zero
+/// vectors as empty sketches instead). The paper requires L ≥ n for accuracy
+/// (entries of a unit vector average 1/n in square); this function does not
+/// enforce that — callers choose L, see `DefaultL`.
+Result<DiscretizedVector> Round(const SparseVector& a, uint64_t L);
+
+/// A practical default for L: max(1024, 256·min(n, 2^32)), clamped to 2^40.
+/// The paper's analysis wants L = Θ(n⁶/ε²) but notes the bound is loose and
+/// that L ≳ 100·n suffices empirically (§5, "Choice of L"); L has no effect
+/// on sketch size and only a log(L) effect on sketching time.
+uint64_t DefaultL(uint64_t dimension);
+
+/// Exact weighted Jaccard similarity J̄ = Σ min(ã[i]², b̃[i]²) / Σ max(...)
+/// between two discretized vectors (Fact 5). Computed in exact integer
+/// arithmetic on repetition counts. Requires equal L.
+Result<double> WeightedJaccard(const DiscretizedVector& a,
+                               const DiscretizedVector& b);
+
+/// Exact weighted union size M = Σ max(ã[i]², b̃[i]²) (the quantity Algorithm
+/// 5 estimates as M̃). Requires equal L.
+Result<double> WeightedUnionSize(const DiscretizedVector& a,
+                                 const DiscretizedVector& b);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_CORE_ROUNDING_H_

@@ -1,0 +1,66 @@
+#include "core/similarity_search.h"
+
+#include <algorithm>
+
+namespace ipsketch {
+namespace {
+
+void SortAndTruncateHits(std::vector<SimilarityHit>* hits, size_t top_k) {
+  std::stable_sort(hits->begin(), hits->end(),
+                   [](const SimilarityHit& x, const SimilarityHit& y) {
+                     return x.estimate > y.estimate;
+                   });
+  if (hits->size() > top_k) hits->resize(top_k);
+}
+
+}  // namespace
+
+Result<std::vector<SimilarityHit>> TopKByInnerProduct(
+    const WmhSketch& query, const std::vector<WmhSketch>& candidates,
+    size_t top_k, const WmhEstimateOptions& options) {
+  std::vector<SimilarityHit> hits;
+  hits.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    auto est = EstimateWmhInnerProduct(query, candidates[i], options);
+    IPS_RETURN_IF_ERROR(est.status());
+    hits.push_back({i, est.value()});
+  }
+  SortAndTruncateHits(&hits, top_k);
+  return hits;
+}
+
+Result<std::vector<SimilarityHit>> TopKByCosine(
+    const WmhSketch& query, const std::vector<WmhSketch>& candidates,
+    size_t top_k, const WmhEstimateOptions& options) {
+  std::vector<SimilarityHit> hits;
+  hits.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    auto est = EstimateWmhInnerProduct(query, candidates[i], options);
+    IPS_RETURN_IF_ERROR(est.status());
+    const double denom = query.norm * candidates[i].norm;
+    hits.push_back({i, denom > 0.0 ? est.value() / denom : 0.0});
+  }
+  SortAndTruncateHits(&hits, top_k);
+  return hits;
+}
+
+Result<std::vector<SimilarityPair>> AllPairsTopK(
+    const std::vector<WmhSketch>& sketches, size_t top_k,
+    const WmhEstimateOptions& options) {
+  std::vector<SimilarityPair> pairs;
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    for (size_t j = i + 1; j < sketches.size(); ++j) {
+      auto est = EstimateWmhInnerProduct(sketches[i], sketches[j], options);
+      IPS_RETURN_IF_ERROR(est.status());
+      pairs.push_back({i, j, est.value()});
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const SimilarityPair& x, const SimilarityPair& y) {
+                     return x.estimate > y.estimate;
+                   });
+  if (pairs.size() > top_k) pairs.resize(top_k);
+  return pairs;
+}
+
+}  // namespace ipsketch

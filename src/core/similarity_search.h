@@ -1,0 +1,56 @@
+// Sketch-based similarity retrieval: given a collection of pre-computed WMH
+// sketches, find the vectors (or vector pairs) with the largest estimated
+// inner products — the dataset-search / document-retrieval access pattern
+// (§1.2, §5.2) packaged as a library utility.
+
+#ifndef IPSKETCH_CORE_SIMILARITY_SEARCH_H_
+#define IPSKETCH_CORE_SIMILARITY_SEARCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+
+namespace ipsketch {
+
+/// One retrieval hit.
+struct SimilarityHit {
+  size_t index = 0;       ///< position in the candidate collection
+  double estimate = 0.0;  ///< estimated ⟨query, candidate⟩
+};
+
+/// One all-pairs hit.
+struct SimilarityPair {
+  size_t first = 0;
+  size_t second = 0;
+  double estimate = 0.0;
+};
+
+/// Ranks all candidates against `query` by estimated inner product and
+/// returns the `top_k` largest. All sketches must share (m, seed, L,
+/// dimension). O(|candidates| · m).
+Result<std::vector<SimilarityHit>> TopKByInnerProduct(
+    const WmhSketch& query, const std::vector<WmhSketch>& candidates,
+    size_t top_k,
+    const WmhEstimateOptions& options = WmhEstimateOptions());
+
+/// Ranks all candidates by estimated *cosine* similarity — identical to
+/// TopKByInnerProduct on unit-norm inputs, but divides each estimate by
+/// ‖query‖·‖candidate‖ so mixed-norm collections rank sensibly.
+Result<std::vector<SimilarityHit>> TopKByCosine(
+    const WmhSketch& query, const std::vector<WmhSketch>& candidates,
+    size_t top_k,
+    const WmhEstimateOptions& options = WmhEstimateOptions());
+
+/// All-pairs top-k: the `top_k` pairs (i < j) with the largest estimated
+/// inner products. O(n²·m) — intended for corpus-scale n up to a few
+/// thousand, as in the paper's document-similarity experiment.
+Result<std::vector<SimilarityPair>> AllPairsTopK(
+    const std::vector<WmhSketch>& sketches, size_t top_k,
+    const WmhEstimateOptions& options = WmhEstimateOptions());
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_CORE_SIMILARITY_SEARCH_H_

@@ -1,0 +1,113 @@
+#include "core/wmh_estimator.h"
+
+#include <algorithm>
+
+namespace ipsketch {
+namespace {
+
+Status CheckCompatible(const WmhSketch& a, const WmhSketch& b) {
+  if (a.num_samples() != b.num_samples()) {
+    return Status::InvalidArgument("sketch sample counts differ");
+  }
+  if (a.num_samples() == 0) {
+    return Status::InvalidArgument("sketches are empty");
+  }
+  if (a.seed != b.seed) {
+    return Status::InvalidArgument("sketch seeds differ");
+  }
+  if (a.L != b.L) {
+    return Status::InvalidArgument("sketch discretization parameters differ");
+  }
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<double> EstimateWmhInnerProduct(const WmhSketch& a, const WmhSketch& b,
+                                       const WmhEstimateOptions& options) {
+  IPS_RETURN_IF_ERROR(CheckCompatible(a, b));
+  if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
+
+  const size_t m = a.num_samples();
+  const double md = static_cast<double>(m);
+
+  // Line 3 summation and, simultaneously, the ingredients of both union
+  // estimators.
+  double min_hash_sum = 0.0;
+  double weighted_match_sum = 0.0;
+  size_t match_count = 0;
+  for (size_t i = 0; i < m; ++i) {
+    min_hash_sum += std::min(a.hashes[i], b.hashes[i]);
+    if (a.hashes[i] == b.hashes[i]) {
+      const double va = a.values[i];
+      const double vb = b.values[i];
+      const double q = std::min(va * va, vb * vb);
+      if (q > 0.0) {
+        weighted_match_sum += va * vb / q;
+        ++match_count;
+      }
+    }
+  }
+
+  const double Ld = static_cast<double>(a.L);
+  double m_tilde = 0.0;
+  switch (options.union_estimator) {
+    case UnionEstimator::kFlajoletMartin: {
+      // Line 2. min_hash_sum is positive with probability 1 (hashes are
+      // continuous); guard the degenerate case anyway.
+      if (min_hash_sum <= 0.0) {
+        return Status::Internal("degenerate minimum-hash sum");
+      }
+      m_tilde = (md / min_hash_sum - 1.0) / Ld;
+      break;
+    }
+    case UnionEstimator::kJaccardClosedForm: {
+      // For unit vectors ‖ã‖² = ‖b̃‖² = 1: M = 2 − Σ min(ã², b̃²) and
+      // J̄ = Σ min / M, hence M = 2 / (1 + J̄).
+      const double j_hat = static_cast<double>(match_count) / md;
+      m_tilde = 2.0 / (1.0 + j_hat);
+      break;
+    }
+  }
+
+  const double inner_unit = (m_tilde / md) * weighted_match_sum;
+  return a.norm * b.norm * inner_unit;
+}
+
+Result<double> EstimateWeightedJaccard(const WmhSketch& a,
+                                       const WmhSketch& b) {
+  IPS_RETURN_IF_ERROR(CheckCompatible(a, b));
+  if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
+  size_t matches = 0;
+  for (size_t i = 0; i < a.num_samples(); ++i) {
+    matches += (a.hashes[i] == b.hashes[i]);
+  }
+  return static_cast<double>(matches) /
+         static_cast<double>(a.num_samples());
+}
+
+Result<double> EstimateWeightedUnion(const WmhSketch& a, const WmhSketch& b) {
+  IPS_RETURN_IF_ERROR(CheckCompatible(a, b));
+  double min_hash_sum = 0.0;
+  for (size_t i = 0; i < a.num_samples(); ++i) {
+    min_hash_sum += std::min(a.hashes[i], b.hashes[i]);
+  }
+  if (min_hash_sum <= 0.0) {
+    return Status::Internal("degenerate minimum-hash sum");
+  }
+  const double md = static_cast<double>(a.num_samples());
+  return (md / min_hash_sum - 1.0) / static_cast<double>(a.L);
+}
+
+WmhSketch TruncatedWmh(const WmhSketch& sketch, size_t m) {
+  IPS_CHECK(m > 0 && m <= sketch.num_samples());
+  WmhSketch out = sketch;
+  out.hashes.resize(m);
+  out.values.resize(m);
+  return out;
+}
+
+}  // namespace ipsketch

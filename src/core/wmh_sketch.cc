@@ -1,0 +1,60 @@
+#include "core/wmh_sketch.h"
+
+#include "core/active_index.h"
+#include "core/expanded_reference.h"
+#include "core/rounding.h"
+
+namespace ipsketch {
+
+Status WmhOptions::Validate() const {
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  if (engine != WmhEngine::kActiveIndex &&
+      engine != WmhEngine::kExpandedReference) {
+    return Status::InvalidArgument("unknown engine");
+  }
+  return Status::Ok();
+}
+
+Result<WmhSketch> SketchWmh(const SparseVector& a, const WmhOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  const uint64_t L = options.L != 0 ? options.L : DefaultL(a.dimension());
+
+  WmhSketch sketch;
+  sketch.seed = options.seed;
+  sketch.L = L;
+  sketch.dimension = a.dimension();
+
+  if (a.empty()) {
+    // The zero vector has no direction to sketch. Represent it with the
+    // hash supremum so min(h_a, h_b) degenerates to h_b in the union
+    // estimator, and matches (which would multiply by norm = 0 anyway)
+    // cannot occur.
+    sketch.norm = 0.0;
+    sketch.hashes.assign(options.num_samples, 1.0);
+    sketch.values.assign(options.num_samples, 0.0);
+    return sketch;
+  }
+
+  auto rounded = Round(a, L);
+  IPS_RETURN_IF_ERROR(rounded.status());
+  const DiscretizedVector& dv = rounded.value();
+  sketch.norm = dv.original_norm;
+  sketch.hashes.resize(options.num_samples);
+  sketch.values.resize(options.num_samples);
+
+  switch (options.engine) {
+    case WmhEngine::kActiveIndex:
+      SketchWithActiveIndex(dv, options.seed, options.num_samples,
+                            &sketch.hashes, &sketch.values);
+      break;
+    case WmhEngine::kExpandedReference:
+      SketchWithExpandedReference(dv, options.seed, options.num_samples,
+                                  &sketch.hashes, &sketch.values);
+      break;
+  }
+  return sketch;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,89 @@
+// Algorithm 3: the Weighted MinHash inner product sketch.
+//
+// A WMH sketch of a vector a consists of m (hash, value) sample pairs plus
+// the scalar ‖a‖. Conceptually, the vector is normalized, discretized
+// (Algorithm 4), expanded into a length n·L binary-occupancy vector ā whose
+// block i holds t[i] = ã[i]²·L occupied slots, and an unweighted MinHash of
+// ā is taken with m independent hash functions. Two engines implement these
+// semantics:
+//
+//   * kExpandedReference — literally hashes every occupied slot of ā with a
+//     Carter–Wegman hash over the n·L domain. O(m·L) per vector: the test
+//     oracle, only usable for small L.
+//   * kActiveIndex — generates, per (sample, block), only the O(log L)
+//     "active indices" (prefix minima) of the block's hash sequence using
+//     geometric jumps (Gollapudi & Panigrahy 2006; §5 of the paper).
+//     O(nnz·m·log L) per vector: the production engine.
+//
+// Both engines are deterministic in (seed, sample, block), so independently
+// computed sketches of different vectors are coordinated — the property the
+// estimator's match test relies on.
+
+#ifndef IPSKETCH_CORE_WMH_SKETCH_H_
+#define IPSKETCH_CORE_WMH_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Which sketching engine realizes the Algorithm-3 semantics.
+enum class WmhEngine {
+  kActiveIndex = 0,         ///< fast production engine, O(nnz·m·log L)
+  kExpandedReference = 1,   ///< slot-by-slot oracle, O(m·L); tests only
+};
+
+/// Configuration for `SketchWmh`.
+struct WmhOptions {
+  /// Number of samples m. Error decays as O(1/√m) (Theorem 2).
+  size_t num_samples = 128;
+  /// Random seed. Sketches are only comparable if built with equal seeds.
+  uint64_t seed = 0;
+  /// Discretization parameter L (Algorithm 4). 0 selects DefaultL(n).
+  /// Larger L costs only log(L) sketching time and no sketch space.
+  uint64_t L = 0;
+  /// Engine choice; see WmhEngine.
+  WmhEngine engine = WmhEngine::kActiveIndex;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// The sketch W_a = {W_hash, W_val, ‖a‖} produced by Algorithm 3.
+struct WmhSketch {
+  /// Minimum hash value per sample, in [0, 1]. Empty-vector sketches store
+  /// 1.0 (the supremum) in every slot so union estimates stay calibrated.
+  std::vector<double> hashes;
+  /// Discretized-unit-vector entry ã[j] at the argmin slot, per sample.
+  std::vector<double> values;
+  /// Euclidean norm of the original (pre-normalization) vector.
+  double norm = 0.0;
+  /// Parameters the sketch was built with; estimation requires equality.
+  uint64_t seed = 0;
+  uint64_t L = 0;
+  uint64_t dimension = 0;
+
+  /// Number of samples m.
+  size_t num_samples() const { return hashes.size(); }
+
+  /// Storage footprint in 64-bit words under the paper's accounting model
+  /// (§5): one 64-bit double + one 32-bit hash per sample, + the norm.
+  double StorageWords() const {
+    return 1.5 * static_cast<double>(num_samples()) + 1.0;
+  }
+};
+
+/// Computes the Weighted MinHash sketch of `a` (Algorithm 3).
+///
+/// The zero vector yields a valid "empty" sketch (norm 0, all hashes 1.0):
+/// it estimates inner products as 0 against anything. Fails only on invalid
+/// options.
+Result<WmhSketch> SketchWmh(const SparseVector& a, const WmhOptions& options);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_CORE_WMH_SKETCH_H_

@@ -1,0 +1,91 @@
+#include "data/newsgroups.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ipsketch {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  IPS_CHECK(n > 0 && s > 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -s);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+size_t ZipfSampler::Sample(double unit) const {
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), unit);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+Status NewsgroupsOptions::Validate() const {
+  if (num_documents == 0 || vocab_size == 0 || num_topics == 0) {
+    return Status::InvalidArgument("corpus dimensions must be positive");
+  }
+  if (zipf_exponent <= 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be positive");
+  }
+  if (topic_mix < 0.0 || topic_mix > 1.0) {
+    return Status::InvalidArgument("topic_mix must be in [0, 1]");
+  }
+  if (min_length == 0 || min_length > max_length) {
+    return Status::InvalidArgument("invalid length range");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<SyntheticDocument>> GenerateNewsgroupsCorpus(
+    const NewsgroupsOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  Xoshiro256StarStar rng(MixCombine(options.seed, 0x4E3A56E25ull));
+
+  const ZipfSampler zipf(options.vocab_size, options.zipf_exponent);
+
+  // Each topic is a pseudo-random permutation of the vocabulary: the topic's
+  // word at Zipf rank r is Mix64-derived, so every topic has its own head of
+  // frequent words while sharing the global tail through the background
+  // distribution. Token ids are Mix64(word index) so they behave like hashed
+  // tokens (see text/tokenizer.h).
+  auto topic_word = [&](size_t topic, size_t rank) -> uint64_t {
+    const uint64_t word =
+        MixCombine(options.seed, topic + 1, rank) % options.vocab_size;
+    return Mix64(word);
+  };
+  auto background_word = [&](size_t rank) -> uint64_t {
+    return Mix64(static_cast<uint64_t>(rank));
+  };
+
+  std::vector<SyntheticDocument> corpus;
+  corpus.reserve(options.num_documents);
+  for (size_t d = 0; d < options.num_documents; ++d) {
+    SyntheticDocument doc;
+    doc.topic = rng.NextBounded(options.num_topics);
+
+    const double log_len = options.length_log_mean +
+                           options.length_log_sigma * rng.NextGaussian();
+    const size_t length = std::clamp(
+        static_cast<size_t>(std::llround(std::exp(log_len))),
+        options.min_length, options.max_length);
+
+    doc.token_ids.reserve(length);
+    for (size_t w = 0; w < length; ++w) {
+      const size_t rank = zipf.Sample(rng.NextUnit());
+      if (rng.NextUnit() < options.topic_mix) {
+        doc.token_ids.push_back(topic_word(doc.topic, rank));
+      } else {
+        doc.token_ids.push_back(background_word(rank));
+      }
+    }
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace ipsketch

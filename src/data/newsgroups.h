@@ -1,0 +1,73 @@
+// Synthetic stand-in for the 20 Newsgroups corpus used in the §5.2 document
+// similarity experiment (the real dataset is not available offline).
+//
+// The generator reproduces the statistical properties that drive Figure 6:
+//   * Zipf-distributed vocabulary → sparse TF-IDF vectors whose entries span
+//     orders of magnitude (common terms have huge TF, rare terms tiny IDF);
+//   * topic structure → document pairs with small but nonzero overlap
+//     (same-topic pairs share topical vocabulary, cross-topic pairs share
+//     only the global head of the Zipf distribution);
+//   * log-normal document lengths with a heavy right tail → a subpopulation
+//     of long (> 700-word) documents where term-frequency outliers make the
+//     vectors far from binary, which is what separates WMH from unweighted
+//     MH in Figure 6(b).
+
+#ifndef IPSKETCH_DATA_NEWSGROUPS_H_
+#define IPSKETCH_DATA_NEWSGROUPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipsketch {
+
+/// Configuration for `GenerateNewsgroupsCorpus`. Defaults mirror the paper's
+/// setup (700 documents, 20 topics).
+struct NewsgroupsOptions {
+  size_t num_documents = 700;
+  size_t vocab_size = 20000;
+  size_t num_topics = 20;
+  double zipf_exponent = 1.05;   ///< word-frequency power law
+  double topic_mix = 0.55;       ///< fraction of words drawn from the topic
+  double length_log_mean = 5.3;  ///< log-normal length: exp(5.3) ≈ 200 words
+  double length_log_sigma = 0.9;
+  size_t min_length = 40;
+  size_t max_length = 5000;
+  uint64_t seed = 0;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// One generated document: token ids in order (feed through IdFeatures +
+/// TfidfVectorizer to get vectors).
+struct SyntheticDocument {
+  std::vector<uint64_t> token_ids;
+  size_t topic = 0;
+
+  /// Word count.
+  size_t length() const { return token_ids.size(); }
+};
+
+/// Generates the corpus; deterministic in the seed.
+Result<std::vector<SyntheticDocument>> GenerateNewsgroupsCorpus(
+    const NewsgroupsOptions& options);
+
+/// A Zipf(s) sampler over ranks {0, ..., n−1}: P(r) ∝ (r+1)^−s.
+/// Precomputes the CDF once; sampling is O(log n).
+class ZipfSampler {
+ public:
+  /// Builds the CDF for `n` ranks with exponent `s` > 0.
+  ZipfSampler(size_t n, double s);
+
+  /// Samples a rank given a uniform variate in [0, 1).
+  size_t Sample(double unit) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_DATA_NEWSGROUPS_H_

@@ -1,0 +1,60 @@
+// The paper's §5.1 synthetic workload: pairs of sparse vectors with a
+// controlled overlap ratio and heavy outliers.
+//
+//   "We generate length-10000 vectors a and b, each with 2000 non-zero
+//    entries. The ratio of non-zero entries that overlap ... is adjusted
+//    ... The non-zero entries are normal random variables with values
+//    between −1 and 1, except 10% of entries are chosen randomly as
+//    outliers and set to random values between 20 and 30."
+
+#ifndef IPSKETCH_DATA_SYNTHETIC_H_
+#define IPSKETCH_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Configuration for `GenerateSyntheticPair`. Defaults reproduce §5.1.
+struct SyntheticPairOptions {
+  uint64_t dimension = 10000;     ///< vector length n
+  size_t nnz = 2000;              ///< non-zeros per vector
+  double overlap = 0.1;           ///< fraction of non-zeros shared by a and b
+  double outlier_fraction = 0.1;  ///< fraction of non-zeros that are outliers
+  double outlier_min = 20.0;      ///< outlier magnitude lower bound
+  double outlier_max = 30.0;      ///< outlier magnitude upper bound
+  uint64_t seed = 0;
+
+  /// Validates field ranges (needs 2·nnz − overlap·nnz ≤ dimension).
+  Status Validate() const;
+};
+
+/// A generated pair.
+struct VectorPair {
+  SparseVector a;
+  SparseVector b;
+};
+
+/// Generates one pair per the options; deterministic in the seed.
+Result<VectorPair> GenerateSyntheticPair(const SyntheticPairOptions& options);
+
+/// Generates `count` independent pairs (seeds derived from options.seed).
+Result<std::vector<VectorPair>> GenerateSyntheticPairs(
+    const SyntheticPairOptions& options, size_t count);
+
+/// Samples `count` distinct indices uniformly from [0, universe) — partial
+/// Fisher–Yates for dense universes, hash-set rejection for sparse ones.
+/// Exposed for reuse by the other generators and tests.
+std::vector<uint64_t> SampleDistinctIndices(uint64_t universe, size_t count,
+                                            uint64_t seed);
+
+/// A standard normal variate conditioned on |x| ≤ 1 (rejection sampling),
+/// the paper's "normal random variables with values between −1 and 1".
+double TruncatedUnitNormal(class Xoshiro256StarStar& rng);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_DATA_SYNTHETIC_H_

@@ -1,0 +1,216 @@
+#include "data/worldbank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "table/vectorize.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+// Distribution shapes rotated across columns, ordered roughly by kurtosis.
+enum class ValueShape {
+  kUniform = 0,      // kurtosis 1.8
+  kGaussian = 1,     // kurtosis 3
+  kExponential = 2,  // kurtosis 9
+  kLogNormal = 3,    // kurtosis ≫ 3, scale-dependent
+  kStudentT5 = 4,    // kurtosis 9 with occasional extremes
+  kSpiky = 5,        // near-constant with rare huge spikes: extreme kurtosis
+};
+
+constexpr int kNumShapes = 6;
+
+double SampleShape(ValueShape shape, Xoshiro256StarStar& rng) {
+  switch (shape) {
+    case ValueShape::kUniform:
+      return rng.NextUnit() * 10.0;
+    case ValueShape::kGaussian:
+      return 5.0 + rng.NextGaussian();
+    case ValueShape::kExponential:
+      return -std::log(rng.NextPositiveUnit()) * 3.0;
+    case ValueShape::kLogNormal:
+      return std::exp(1.0 + 1.2 * rng.NextGaussian());
+    case ValueShape::kStudentT5: {
+      // Student-t via normal / sqrt(chi²/ν), ν = 5.
+      double chi2 = 0.0;
+      for (int i = 0; i < 5; ++i) {
+        const double g = rng.NextGaussian();
+        chi2 += g * g;
+      }
+      return rng.NextGaussian() / std::sqrt(chi2 / 5.0);
+    }
+    case ValueShape::kSpiky:
+      // 2% of rows carry values ~500× larger than the bulk.
+      return rng.NextUnit() < 0.02 ? 500.0 + 100.0 * rng.NextGaussian()
+                                   : 1.0 + 0.1 * rng.NextUnit();
+  }
+  IPS_CHECK(false);
+  return 0.0;
+}
+
+const char* ShapeName(ValueShape shape) {
+  switch (shape) {
+    case ValueShape::kUniform:
+      return "uniform";
+    case ValueShape::kGaussian:
+      return "gaussian";
+    case ValueShape::kExponential:
+      return "exponential";
+    case ValueShape::kLogNormal:
+      return "lognormal";
+    case ValueShape::kStudentT5:
+      return "student_t5";
+    case ValueShape::kSpiky:
+      return "spiky";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Status WorldBankOptions::Validate() const {
+  if (num_datasets == 0 || columns_per_dataset == 0) {
+    return Status::InvalidArgument("corpus dimensions must be positive");
+  }
+  if (min_rows == 0 || min_rows > max_rows) {
+    return Status::InvalidArgument("invalid row-count range");
+  }
+  if (static_cast<uint64_t>(max_rows) > key_universe) {
+    return Status::InvalidArgument("max_rows exceeds key universe");
+  }
+  if (family_fraction < 0.0 || family_fraction > 1.0) {
+    return Status::InvalidArgument("family_fraction must be in [0, 1]");
+  }
+  if (num_families == 0) {
+    return Status::InvalidArgument("num_families must be positive");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Table>> GenerateWorldBankCorpus(
+    const WorldBankOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  Xoshiro256StarStar rng(MixCombine(options.seed, 0x30B1DB4Bull));
+
+  // Family anchors in the circular key universe: a shared offset and a
+  // shared nominal size, so same-family datasets overlap strongly (these
+  // populate Figure 5's high-overlap columns, like the paper's corpus where
+  // most datasets share the country-period key backbone).
+  std::vector<uint64_t> anchor_offset(options.num_families);
+  std::vector<size_t> anchor_rows(options.num_families);
+  for (size_t f = 0; f < options.num_families; ++f) {
+    anchor_offset[f] = rng.NextBounded(options.key_universe);
+    anchor_rows[f] =
+        options.min_rows +
+        static_cast<size_t>(rng.NextBounded(options.max_rows -
+                                            options.min_rows + 1));
+  }
+
+  std::vector<Table> corpus;
+  corpus.reserve(options.num_datasets);
+  for (size_t d = 0; d < options.num_datasets; ++d) {
+    size_t rows =
+        options.min_rows +
+        static_cast<size_t>(rng.NextBounded(options.max_rows -
+                                            options.min_rows + 1));
+    // Key window: family members jitter around a shared anchor (high mutual
+    // overlap); the rest land anywhere (mostly low overlap).
+    uint64_t offset;
+    if (rng.NextUnit() < options.family_fraction) {
+      const size_t f = rng.NextBounded(options.num_families);
+      // Size near the family's nominal size (x0.8 .. x1.25).
+      const double size_factor = 0.8 + 0.45 * rng.NextUnit();
+      rows = std::clamp<size_t>(
+          static_cast<size_t>(static_cast<double>(anchor_rows[f]) *
+                              size_factor),
+          options.min_rows, options.max_rows);
+      const uint64_t jitter = rng.NextBounded(std::max<uint64_t>(rows / 4, 1));
+      offset = (anchor_offset[f] + jitter) % options.key_universe;
+    } else {
+      offset = rng.NextBounded(options.key_universe);
+    }
+    // Contiguous circular window, thinned: each key kept with probability
+    // density ∈ [0.6, 1), so windows of equal extent still differ.
+    const double density = 0.6 + 0.4 * rng.NextUnit();
+    const uint64_t extent = std::min<uint64_t>(
+        options.key_universe,
+        static_cast<uint64_t>(std::ceil(static_cast<double>(rows) / density)));
+    std::vector<uint64_t> keys;
+    keys.reserve(rows);
+    for (uint64_t step = 0; step < extent && keys.size() < rows; ++step) {
+      if (rng.NextUnit() < density) {
+        keys.push_back((offset + step) % options.key_universe);
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    std::vector<std::string> column_names;
+    std::vector<std::vector<double>> column_values;
+    for (size_t c = 0; c < options.columns_per_dataset; ++c) {
+      const ValueShape shape =
+          static_cast<ValueShape>(rng.NextBounded(kNumShapes));
+      std::vector<double> values(keys.size());
+      for (auto& v : values) v = SampleShape(shape, rng);
+      column_names.push_back("col" + std::to_string(c) + "_" +
+                             ShapeName(shape));
+      column_values.push_back(std::move(values));
+    }
+    auto table = Table::Make("dataset" + std::to_string(d), std::move(keys),
+                             std::move(column_names), std::move(column_values));
+    IPS_RETURN_IF_ERROR(table.status());
+    corpus.push_back(std::move(table).value());
+  }
+  return corpus;
+}
+
+Result<std::vector<ColumnPairSample>> SampleColumnPairs(
+    const std::vector<Table>& corpus, uint64_t key_universe, size_t count,
+    uint64_t seed) {
+  if (corpus.size() < 2) {
+    return Status::InvalidArgument("corpus needs at least two tables");
+  }
+  Xoshiro256StarStar rng(MixCombine(seed, 0xC01BA125ull));
+  std::vector<ColumnPairSample> out;
+  out.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 20 + 1000;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const size_t da = rng.NextBounded(corpus.size());
+    size_t db = rng.NextBounded(corpus.size());
+    if (da == db) continue;
+    const Table& ta = corpus[da];
+    const Table& tb = corpus[db];
+    auto ca = ta.ColumnAt(rng.NextBounded(ta.num_columns()));
+    IPS_RETURN_IF_ERROR(ca.status());
+    auto cb = tb.ColumnAt(rng.NextBounded(tb.num_columns()));
+    IPS_RETURN_IF_ERROR(cb.status());
+
+    auto va = ValueVector(ca.value(), key_universe);
+    IPS_RETURN_IF_ERROR(va.status());
+    auto vb = ValueVector(cb.value(), key_universe);
+    IPS_RETURN_IF_ERROR(vb.status());
+    if (va.value().empty() || vb.value().empty()) continue;
+
+    ColumnPairSample sample;
+    // The paper normalizes columns to unit norm "so that all inner products
+    // have magnitude less than 1".
+    sample.a = va.value().Scaled(1.0 / va.value().Norm());
+    sample.b = vb.value().Scaled(1.0 / vb.value().Norm());
+    sample.overlap = OverlapRatio(sample.a, sample.b);
+    sample.kurtosis =
+        std::max(Kurtosis(ca.value().values()), Kurtosis(cb.value().values()));
+    out.push_back(std::move(sample));
+  }
+  if (out.size() < count) {
+    return Status::Internal("could not sample enough non-empty column pairs");
+  }
+  return out;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,138 @@
+#include "expt/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace ipsketch {
+
+std::string FormatG(double value, int digits) {
+  std::ostringstream os;
+  os << std::setprecision(digits) << std::defaultfloat << value;
+  return os.str();
+}
+
+void PrintAlignedTable(std::ostream& os,
+                       const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "  " << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    os << "\n";
+  };
+  print_row(headers);
+  std::vector<std::string> rule;
+  for (size_t w : widths) rule.push_back(std::string(w, '-'));
+  print_row(rule);
+  for (const auto& row : rows) print_row(row);
+}
+
+void PrintSweepTable(std::ostream& os, const SweepResult& result) {
+  std::vector<std::string> headers = {"storage"};
+  for (const auto& name : result.method_names) headers.push_back(name);
+  std::vector<std::vector<std::string>> rows;
+  for (size_t si = 0; si < result.storage_words.size(); ++si) {
+    std::vector<std::string> row = {FormatG(result.storage_words[si], 6)};
+    for (size_t mi = 0; mi < result.method_names.size(); ++mi) {
+      row.push_back(FormatG(result.mean_errors[mi][si], 4));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintAlignedTable(os, headers, rows);
+}
+
+void PrintSweepChart(std::ostream& os, const SweepResult& result,
+                     size_t width, size_t height) {
+  IPS_CHECK(width >= 16 && height >= 4);
+  double y_max = 0.0;
+  for (const auto& series : result.mean_errors) {
+    for (double v : series) y_max = std::max(y_max, v);
+  }
+  if (y_max <= 0.0) y_max = 1.0;
+  const double x_min = result.storage_words.front();
+  const double x_max = result.storage_words.back();
+  const double x_span = std::max(x_max - x_min, 1e-12);
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (size_t mi = 0; mi < result.mean_errors.size(); ++mi) {
+    const char mark = result.method_names[mi].empty()
+                          ? '?'
+                          : result.method_names[mi][0];
+    for (size_t si = 0; si < result.storage_words.size(); ++si) {
+      const double x = (result.storage_words[si] - x_min) / x_span;
+      const double y = result.mean_errors[mi][si] / y_max;
+      const size_t col = std::min(
+          width - 1, static_cast<size_t>(std::llround(x * (width - 1))));
+      const size_t row_from_top = std::min(
+          height - 1,
+          static_cast<size_t>(std::llround((1.0 - y) * (height - 1))));
+      char& cell = canvas[row_from_top][col];
+      cell = (cell == ' ' || cell == mark) ? mark : '+';
+    }
+  }
+
+  os << "  error (max " << FormatG(y_max, 3) << ")\n";
+  for (const auto& line : canvas) os << "  |" << line << "\n";
+  os << "  +" << std::string(width, '-') << "\n";
+  os << "   storage: " << FormatG(x_min, 6) << " ... " << FormatG(x_max, 6)
+     << " (64-bit words)\n";
+  os << "   series:";
+  for (const auto& name : result.method_names) {
+    os << " " << name[0] << "=" << name;
+  }
+  os << "  ('+' = overlap)\n";
+}
+
+void PrintWinningTable(std::ostream& os, const WinningTable& table,
+                       const std::string& target_name,
+                       const std::string& baseline_name) {
+  os << "  mean(err_" << target_name << " - err_" << baseline_name
+     << ") by kurtosis (rows) x overlap (cols); negative* = " << target_name
+     << " wins\n";
+  auto bucket_label = [](const std::vector<double>& edges, size_t i) {
+    std::ostringstream lbl;
+    if (i == 0) {
+      lbl << "<=" << FormatG(edges[0], 3);
+    } else if (i < edges.size()) {
+      lbl << FormatG(edges[i - 1], 3) << "-" << FormatG(edges[i], 3);
+    } else {
+      lbl << ">" << FormatG(edges.back(), 3);
+    }
+    return lbl.str();
+  };
+  std::vector<std::string> headers = {"kurtosis \\ overlap"};
+  for (size_t c = 0; c <= table.overlap_edges.size(); ++c) {
+    headers.push_back(bucket_label(table.overlap_edges, c));
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (size_t r = 0; r <= table.kurtosis_edges.size(); ++r) {
+    std::vector<std::string> row = {bucket_label(table.kurtosis_edges, r)};
+    for (size_t c = 0; c <= table.overlap_edges.size(); ++c) {
+      if (table.count[r][c] == 0) {
+        row.push_back("-");
+      } else {
+        std::string cell = FormatG(table.diff[r][c], 3);
+        if (table.diff[r][c] < 0.0) cell += "*";
+        cell += " (n=" + std::to_string(table.count[r][c]) + ")";
+        row.push_back(std::move(cell));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintAlignedTable(os, headers, rows);
+}
+
+}  // namespace ipsketch

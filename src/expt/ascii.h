@@ -1,0 +1,41 @@
+// Plain-text rendering of experiment outputs: aligned tables and simple
+// line charts, so every bench binary reproduces its paper figure directly
+// in the terminal.
+
+#ifndef IPSKETCH_EXPT_ASCII_H_
+#define IPSKETCH_EXPT_ASCII_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "expt/harness.h"
+
+namespace ipsketch {
+
+/// Prints an aligned table: `headers` then `rows` (all cells pre-formatted).
+void PrintAlignedTable(std::ostream& os,
+                       const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows);
+
+/// Prints a storage-sweep result as a table: one row per storage budget,
+/// one column per method.
+void PrintSweepTable(std::ostream& os, const SweepResult& result);
+
+/// Renders a storage-sweep result as an ASCII line chart (one letter per
+/// method series), y = mean scaled error, x = storage budget.
+void PrintSweepChart(std::ostream& os, const SweepResult& result,
+                     size_t width = 72, size_t height = 20);
+
+/// Prints a Figure-5-style winning table with bucket labels; negative cells
+/// (target wins) are marked with '*'.
+void PrintWinningTable(std::ostream& os, const WinningTable& table,
+                       const std::string& target_name,
+                       const std::string& baseline_name);
+
+/// Formats a double with `digits` significant digits.
+std::string FormatG(double value, int digits = 4);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_EXPT_ASCII_H_

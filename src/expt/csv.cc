@@ -1,0 +1,56 @@
+#include "expt/csv.h"
+
+#include <fstream>
+
+#include "expt/ascii.h"
+
+namespace ipsketch {
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void WriteRow(std::ofstream& os, const std::vector<std::string>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) os << ",";
+    os << EscapeCell(row[i]);
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream os(path);
+  if (!os) return Status::Internal("cannot open " + path + " for writing");
+  WriteRow(os, header);
+  for (const auto& row : rows) WriteRow(os, row);
+  if (!os) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+Status WriteSweepCsv(const std::string& path, const SweepResult& result) {
+  std::vector<std::string> header = {"storage_words"};
+  for (const auto& name : result.method_names) header.push_back(name);
+  std::vector<std::vector<std::string>> rows;
+  for (size_t si = 0; si < result.storage_words.size(); ++si) {
+    std::vector<std::string> row = {FormatG(result.storage_words[si], 10)};
+    for (size_t mi = 0; mi < result.method_names.size(); ++mi) {
+      row.push_back(FormatG(result.mean_errors[mi][si], 10));
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(path, header, rows);
+}
+
+}  // namespace ipsketch

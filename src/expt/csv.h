@@ -1,0 +1,25 @@
+// CSV output so figure data can be re-plotted outside the terminal.
+
+#ifndef IPSKETCH_EXPT_CSV_H_
+#define IPSKETCH_EXPT_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expt/harness.h"
+
+namespace ipsketch {
+
+/// Writes rows of pre-formatted cells as CSV (naive quoting: cells
+/// containing commas or quotes are double-quoted).
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Writes a storage sweep as CSV: storage, then one column per method.
+Status WriteSweepCsv(const std::string& path, const SweepResult& result);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_EXPT_CSV_H_

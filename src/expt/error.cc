@@ -1,0 +1,20 @@
+#include "expt/error.h"
+
+#include <cmath>
+
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+
+double ScaledError(double estimate, double truth, double norm_product) {
+  const double err = std::fabs(estimate - truth);
+  if (norm_product <= 0.0) return err;
+  return err / norm_product;
+}
+
+double ScaledError(double estimate, const SparseVector& a,
+                   const SparseVector& b) {
+  return ScaledError(estimate, Dot(a, b), a.Norm() * b.Norm());
+}
+
+}  // namespace ipsketch

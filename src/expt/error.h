@@ -1,0 +1,22 @@
+// The paper's error metric (§5, "Estimation Error"): absolute error scaled
+// by ‖a‖·‖b‖, the Fact-1 error scale, so values are comparable across
+// datasets and roughly within [0, 1].
+
+#ifndef IPSKETCH_EXPT_ERROR_H_
+#define IPSKETCH_EXPT_ERROR_H_
+
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// |estimate − truth| / norm_product. Returns |estimate − truth| unscaled if
+/// norm_product is 0 (both vectors zero).
+double ScaledError(double estimate, double truth, double norm_product);
+
+/// Convenience overload computing truth = ⟨a,b⟩ and the norms.
+double ScaledError(double estimate, const SparseVector& a,
+                   const SparseVector& b);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_EXPT_ERROR_H_

@@ -1,0 +1,68 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/stats.h"
+
+namespace ipsketch {
+
+Status CountSketchOptions::Validate() const {
+  if (repetitions == 0) {
+    return Status::InvalidArgument("repetitions must be positive");
+  }
+  if (total_counters / repetitions == 0) {
+    return Status::InvalidArgument(
+        "total_counters must be at least repetitions");
+  }
+  return Status::Ok();
+}
+
+Result<CountSketch> SketchCount(const SparseVector& a,
+                                const CountSketchOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  const size_t width = options.total_counters / options.repetitions;
+
+  CountSketch sketch;
+  sketch.seed = options.seed;
+  sketch.dimension = a.dimension();
+  sketch.tables.assign(options.repetitions, std::vector<double>(width, 0.0));
+
+  for (size_t r = 0; r < options.repetitions; ++r) {
+    // Domain-separated streams: buckets use stream 2r, signs use 2r+1.
+    const BucketHash bucket(options.seed, 2 * r,
+                            static_cast<uint32_t>(width));
+    const SignHash sign(options.seed, 2 * r + 1);
+    auto& table = sketch.tables[r];
+    for (const Entry& e : a.entries()) {
+      table[bucket.Bucket(e.index)] += sign.Sign(e.index) * e.value;
+    }
+  }
+  return sketch;
+}
+
+Result<double> EstimateCountSketchInnerProduct(const CountSketch& a,
+                                               const CountSketch& b) {
+  if (a.tables.size() != b.tables.size() || a.width() != b.width()) {
+    return Status::InvalidArgument("sketch shapes differ");
+  }
+  if (a.tables.empty() || a.width() == 0) {
+    return Status::InvalidArgument("sketches are empty");
+  }
+  if (a.seed != b.seed) return Status::InvalidArgument("sketch seeds differ");
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+  std::vector<double> estimates;
+  estimates.reserve(a.tables.size());
+  for (size_t r = 0; r < a.tables.size(); ++r) {
+    double dot = 0.0;
+    for (size_t j = 0; j < a.tables[r].size(); ++j) {
+      dot += a.tables[r][j] * b.tables[r][j];
+    }
+    estimates.push_back(dot);
+  }
+  return Median(std::move(estimates));
+}
+
+}  // namespace ipsketch

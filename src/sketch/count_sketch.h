@@ -1,0 +1,61 @@
+// CountSketch (Charikar, Chen & Farach-Colton 2002) for inner product
+// estimation, in the configuration the paper benchmarks (§5): the total
+// counter budget is split into 5 repetitions and the median of the 5
+// per-repetition estimates is returned, following Larsen et al. (2021).
+//
+// Each repetition r hashes coordinate i to bucket h_r(i) with sign s_r(i):
+// C_r[h_r(i)] += s_r(i)·a[i]. The per-repetition inner product estimate is
+// ⟨C_r(a), C_r(b)⟩, which is unbiased; the median cuts the error tail.
+
+#ifndef IPSKETCH_SKETCH_COUNT_SKETCH_H_
+#define IPSKETCH_SKETCH_COUNT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Configuration for `SketchCount`.
+struct CountSketchOptions {
+  /// Total number of counters across all repetitions (= storage in words).
+  size_t total_counters = 128;
+  /// Number of repetitions whose estimates are median-combined. The paper
+  /// follows Larsen et al. and uses 5.
+  size_t repetitions = 5;
+  /// Random seed; sketches are comparable only with equal seeds.
+  uint64_t seed = 0;
+
+  /// Validates field ranges (width per repetition must be ≥ 1).
+  Status Validate() const;
+};
+
+/// A CountSketch: `repetitions` counter arrays of equal width.
+struct CountSketch {
+  std::vector<std::vector<double>> tables;  ///< [repetition][bucket]
+  uint64_t seed = 0;
+  uint64_t dimension = 0;
+
+  /// Counters per repetition.
+  size_t width() const { return tables.empty() ? 0 : tables[0].size(); }
+
+  /// Storage in 64-bit words: one double per counter.
+  double StorageWords() const {
+    return static_cast<double>(tables.size() * width());
+  }
+};
+
+/// Computes the CountSketch of `a`.
+Result<CountSketch> SketchCount(const SparseVector& a,
+                                const CountSketchOptions& options);
+
+/// Median over repetitions of ⟨C_r(a), C_r(b)⟩.
+Result<double> EstimateCountSketchInnerProduct(const CountSketch& a,
+                                               const CountSketch& b);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SKETCH_COUNT_SKETCH_H_

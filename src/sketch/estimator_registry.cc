@@ -1,0 +1,263 @@
+#include "sketch/estimator_registry.h"
+
+#include <utility>
+
+#include "core/icws.h"
+#include "core/wmh_estimator.h"
+#include "sketch/count_sketch.h"
+#include "sketch/jl_sketch.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+#include "sketch/storage.h"
+
+namespace ipsketch {
+namespace {
+
+class JlEvaluator final : public MethodEvaluator {
+ public:
+  const std::string& name() const override { return name_; }
+
+  Status Prepare(const SparseVector& a, const SparseVector& b,
+                 double max_storage_words, uint64_t seed) override {
+    JlOptions options;
+    options.num_rows = SamplesForStorageWords(max_storage_words,
+                                              SketchFamily::kLinear);
+    options.seed = seed;
+    auto sa = SketchJl(a, options);
+    IPS_RETURN_IF_ERROR(sa.status());
+    auto sb = SketchJl(b, options);
+    IPS_RETURN_IF_ERROR(sb.status());
+    a_ = std::move(sa).value();
+    b_ = std::move(sb).value();
+    return Status::Ok();
+  }
+
+  Result<double> Estimate(double storage_words) override {
+    const size_t m = SamplesForStorageWords(storage_words,
+                                            SketchFamily::kLinear);
+    if (m == 0 || m > a_.num_rows()) {
+      return Status::OutOfRange("storage budget outside prepared range");
+    }
+    return EstimateJlInnerProduct(TruncatedJl(a_, m), TruncatedJl(b_, m));
+  }
+
+ private:
+  std::string name_ = "JL";
+  JlSketch a_, b_;
+};
+
+class CountSketchEvaluator final : public MethodEvaluator {
+ public:
+  const std::string& name() const override { return name_; }
+
+  Status Prepare(const SparseVector& a, const SparseVector& b,
+                 double max_storage_words, uint64_t seed) override {
+    // CountSketch bucket layouts change with the width, so the vectors are
+    // kept and re-bucketed per budget (one cheap pass over non-zeros each).
+    a_ = a;
+    b_ = b;
+    seed_ = seed;
+    max_words_ = max_storage_words;
+    return Status::Ok();
+  }
+
+  Result<double> Estimate(double storage_words) override {
+    if (storage_words > max_words_) {
+      return Status::OutOfRange("storage budget outside prepared range");
+    }
+    CountSketchOptions options;
+    options.total_counters =
+        SamplesForStorageWords(storage_words, SketchFamily::kLinear);
+    options.seed = seed_;
+    auto sa = SketchCount(a_, options);
+    IPS_RETURN_IF_ERROR(sa.status());
+    auto sb = SketchCount(b_, options);
+    IPS_RETURN_IF_ERROR(sb.status());
+    return EstimateCountSketchInnerProduct(sa.value(), sb.value());
+  }
+
+ private:
+  std::string name_ = "CS";
+  SparseVector a_, b_;
+  uint64_t seed_ = 0;
+  double max_words_ = 0.0;
+};
+
+class MhEvaluator final : public MethodEvaluator {
+ public:
+  const std::string& name() const override { return name_; }
+
+  Status Prepare(const SparseVector& a, const SparseVector& b,
+                 double max_storage_words, uint64_t seed) override {
+    MhOptions options;
+    options.num_samples =
+        SamplesForStorageWords(max_storage_words, SketchFamily::kSampling);
+    options.seed = seed;
+    auto sa = SketchMh(a, options);
+    IPS_RETURN_IF_ERROR(sa.status());
+    auto sb = SketchMh(b, options);
+    IPS_RETURN_IF_ERROR(sb.status());
+    a_ = std::move(sa).value();
+    b_ = std::move(sb).value();
+    return Status::Ok();
+  }
+
+  Result<double> Estimate(double storage_words) override {
+    const size_t m =
+        SamplesForStorageWords(storage_words, SketchFamily::kSampling);
+    if (m == 0 || m > a_.num_samples()) {
+      return Status::OutOfRange("storage budget outside prepared range");
+    }
+    return EstimateMhInnerProduct(TruncatedMh(a_, m), TruncatedMh(b_, m));
+  }
+
+ private:
+  std::string name_ = "MH";
+  MhSketch a_, b_;
+};
+
+class KmvEvaluator final : public MethodEvaluator {
+ public:
+  const std::string& name() const override { return name_; }
+
+  Status Prepare(const SparseVector& a, const SparseVector& b,
+                 double max_storage_words, uint64_t seed) override {
+    KmvOptions options;
+    options.k =
+        SamplesForStorageWords(max_storage_words, SketchFamily::kSampling);
+    options.seed = seed;
+    auto sa = SketchKmv(a, options);
+    IPS_RETURN_IF_ERROR(sa.status());
+    auto sb = SketchKmv(b, options);
+    IPS_RETURN_IF_ERROR(sb.status());
+    a_ = std::move(sa).value();
+    b_ = std::move(sb).value();
+    return Status::Ok();
+  }
+
+  Result<double> Estimate(double storage_words) override {
+    const size_t k =
+        SamplesForStorageWords(storage_words, SketchFamily::kSampling);
+    if (k == 0 || k > a_.k) {
+      return Status::OutOfRange("storage budget outside prepared range");
+    }
+    return EstimateKmvInnerProduct(TruncatedKmv(a_, k), TruncatedKmv(b_, k));
+  }
+
+ private:
+  std::string name_ = "KMV";
+  KmvSketch a_, b_;
+};
+
+class WmhEvaluator final : public MethodEvaluator {
+ public:
+  WmhEvaluator(WmhEngine engine, uint64_t L) : engine_(engine), L_(L) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Prepare(const SparseVector& a, const SparseVector& b,
+                 double max_storage_words, uint64_t seed) override {
+    WmhOptions options;
+    options.num_samples = SamplesForStorageWords(
+        max_storage_words, SketchFamily::kSamplingWithNorm);
+    options.seed = seed;
+    options.L = L_;
+    options.engine = engine_;
+    auto sa = SketchWmh(a, options);
+    IPS_RETURN_IF_ERROR(sa.status());
+    auto sb = SketchWmh(b, options);
+    IPS_RETURN_IF_ERROR(sb.status());
+    a_ = std::move(sa).value();
+    b_ = std::move(sb).value();
+    return Status::Ok();
+  }
+
+  Result<double> Estimate(double storage_words) override {
+    const size_t m = SamplesForStorageWords(storage_words,
+                                            SketchFamily::kSamplingWithNorm);
+    if (m == 0 || m > a_.num_samples()) {
+      return Status::OutOfRange("storage budget outside prepared range");
+    }
+    return EstimateWmhInnerProduct(TruncatedWmh(a_, m), TruncatedWmh(b_, m));
+  }
+
+ private:
+  std::string name_ = "WMH";
+  WmhEngine engine_;
+  uint64_t L_;
+  WmhSketch a_, b_;
+};
+
+class IcwsEvaluator final : public MethodEvaluator {
+ public:
+  const std::string& name() const override { return name_; }
+
+  Status Prepare(const SparseVector& a, const SparseVector& b,
+                 double max_storage_words, uint64_t seed) override {
+    IcwsOptions options;
+    options.num_samples = SamplesForStorageWords(
+        max_storage_words, SketchFamily::kSamplingWithNorm);
+    options.seed = seed;
+    auto sa = SketchIcws(a, options);
+    IPS_RETURN_IF_ERROR(sa.status());
+    auto sb = SketchIcws(b, options);
+    IPS_RETURN_IF_ERROR(sb.status());
+    a_ = std::move(sa).value();
+    b_ = std::move(sb).value();
+    return Status::Ok();
+  }
+
+  Result<double> Estimate(double storage_words) override {
+    const size_t m = SamplesForStorageWords(storage_words,
+                                            SketchFamily::kSamplingWithNorm);
+    if (m == 0 || m > a_.num_samples()) {
+      return Status::OutOfRange("storage budget outside prepared range");
+    }
+    return EstimateIcwsInnerProduct(TruncatedIcws(a_, m),
+                                    TruncatedIcws(b_, m));
+  }
+
+ private:
+  std::string name_ = "ICWS";
+  IcwsSketch a_, b_;
+};
+
+}  // namespace
+
+std::unique_ptr<MethodEvaluator> MakeJlEvaluator() {
+  return std::make_unique<JlEvaluator>();
+}
+std::unique_ptr<MethodEvaluator> MakeCountSketchEvaluator() {
+  return std::make_unique<CountSketchEvaluator>();
+}
+std::unique_ptr<MethodEvaluator> MakeMhEvaluator() {
+  return std::make_unique<MhEvaluator>();
+}
+std::unique_ptr<MethodEvaluator> MakeKmvEvaluator() {
+  return std::make_unique<KmvEvaluator>();
+}
+std::unique_ptr<MethodEvaluator> MakeWmhEvaluator(WmhEngine engine,
+                                                  uint64_t L) {
+  return std::make_unique<WmhEvaluator>(engine, L);
+}
+std::unique_ptr<MethodEvaluator> MakeIcwsEvaluator() {
+  return std::make_unique<IcwsEvaluator>();
+}
+
+std::vector<std::unique_ptr<MethodEvaluator>> MakeStandardEvaluators() {
+  std::vector<std::unique_ptr<MethodEvaluator>> out;
+  out.push_back(MakeJlEvaluator());
+  out.push_back(MakeCountSketchEvaluator());
+  out.push_back(MakeMhEvaluator());
+  out.push_back(MakeKmvEvaluator());
+  out.push_back(MakeWmhEvaluator());
+  return out;
+}
+
+std::vector<std::unique_ptr<MethodEvaluator>> MakeExtendedEvaluators() {
+  auto out = MakeStandardEvaluators();
+  out.push_back(MakeIcwsEvaluator());
+  return out;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,58 @@
+// Uniform evaluation interface over all sketching methods, used by the
+// benchmark harness and the examples.
+//
+// A `MethodEvaluator` is prepared once per vector pair at the *largest*
+// storage budget under study and can then produce estimates at any smaller
+// budget. For sampling sketches and JL, a smaller budget is a prefix of the
+// large sketch, so an entire storage sweep costs one sketching pass;
+// CountSketch re-buckets per budget (cheap — one pass over non-zeros).
+
+#ifndef IPSKETCH_SKETCH_ESTIMATOR_REGISTRY_H_
+#define IPSKETCH_SKETCH_ESTIMATOR_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/wmh_sketch.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// One sketching method under the common harness interface.
+class MethodEvaluator {
+ public:
+  virtual ~MethodEvaluator() = default;
+
+  /// Short display name: "JL", "CS", "MH", "KMV", "WMH", "ICWS".
+  virtual const std::string& name() const = 0;
+
+  /// Sketches the pair at `max_storage_words`; must be called before
+  /// `Estimate`. May be called repeatedly with new pairs/seeds.
+  virtual Status Prepare(const SparseVector& a, const SparseVector& b,
+                         double max_storage_words, uint64_t seed) = 0;
+
+  /// Estimates ⟨a, b⟩ at a budget of `storage_words` ≤ the prepared budget.
+  virtual Result<double> Estimate(double storage_words) = 0;
+};
+
+/// Factories for individual methods.
+std::unique_ptr<MethodEvaluator> MakeJlEvaluator();
+std::unique_ptr<MethodEvaluator> MakeCountSketchEvaluator();
+std::unique_ptr<MethodEvaluator> MakeMhEvaluator();
+std::unique_ptr<MethodEvaluator> MakeKmvEvaluator();
+std::unique_ptr<MethodEvaluator> MakeWmhEvaluator(
+    WmhEngine engine = WmhEngine::kActiveIndex, uint64_t L = 0);
+std::unique_ptr<MethodEvaluator> MakeIcwsEvaluator();
+
+/// The paper's §5 baseline set, in its plotting order:
+/// JL, CS, MH, KMV, WMH.
+std::vector<std::unique_ptr<MethodEvaluator>> MakeStandardEvaluators();
+
+/// The standard set plus the ICWS extension.
+std::vector<std::unique_ptr<MethodEvaluator>> MakeExtendedEvaluators();
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SKETCH_ESTIMATOR_REGISTRY_H_

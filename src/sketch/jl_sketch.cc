@@ -1,0 +1,52 @@
+#include "sketch/jl_sketch.h"
+
+#include "common/hash.h"
+
+namespace ipsketch {
+
+Status JlOptions::Validate() const {
+  if (num_rows == 0) return Status::InvalidArgument("num_rows must be positive");
+  return Status::Ok();
+}
+
+Result<JlSketch> SketchJl(const SparseVector& a, const JlOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  JlSketch sketch;
+  sketch.seed = options.seed;
+  sketch.dimension = a.dimension();
+  sketch.projection.assign(options.num_rows, 0.0);
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    const SignHash sign(options.seed, r);
+    double acc = 0.0;
+    for (const Entry& e : a.entries()) {
+      acc += sign.Sign(e.index) * e.value;
+    }
+    sketch.projection[r] = acc;
+  }
+  return sketch;
+}
+
+Result<double> EstimateJlInnerProduct(const JlSketch& a, const JlSketch& b) {
+  if (a.num_rows() != b.num_rows()) {
+    return Status::InvalidArgument("sketch row counts differ");
+  }
+  if (a.num_rows() == 0) return Status::InvalidArgument("sketches are empty");
+  if (a.seed != b.seed) return Status::InvalidArgument("sketch seeds differ");
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+  double dot = 0.0;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    dot += a.projection[r] * b.projection[r];
+  }
+  return dot / static_cast<double>(a.num_rows());
+}
+
+JlSketch TruncatedJl(const JlSketch& sketch, size_t m) {
+  IPS_CHECK(m > 0 && m <= sketch.num_rows());
+  JlSketch out = sketch;
+  out.projection.resize(m);
+  return out;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,60 @@
+// Johnson–Lindenstrauss random projection (equivalently, the AMS "tug of
+// war" sketch with ±1 entries; Fact 1 of the paper).
+//
+// S(a) = Π·a for a random Π ∈ R^{m×n} with i.i.d. ±1/√m entries, and
+// F(S(a), S(b)) = ⟨S(a), S(b)⟩. The matrix is never materialized: entry
+// signs come from a 4-wise independent hash of (row, column), so sketching
+// costs O(nnz·m) and arbitrary (e.g. 2^64) dimensions are supported.
+//
+// We store the *unscaled* row sums Σ_i sign(r,i)·a[i] and fold the 1/m
+// factor into the estimator; this keeps any prefix of the rows a valid
+// smaller sketch (used to sweep storage budgets cheaply).
+
+#ifndef IPSKETCH_SKETCH_JL_SKETCH_H_
+#define IPSKETCH_SKETCH_JL_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Configuration for `SketchJl`.
+struct JlOptions {
+  /// Number of projection rows m; error decays as O(1/√m) (Fact 1).
+  size_t num_rows = 128;
+  /// Random seed; sketches are comparable only with equal seeds.
+  uint64_t seed = 0;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// A JL sketch: m unscaled projection coordinates.
+struct JlSketch {
+  std::vector<double> projection;  ///< row sums Σ_i sign(r,i)·a[i]
+  uint64_t seed = 0;
+  uint64_t dimension = 0;
+
+  /// Number of rows m.
+  size_t num_rows() const { return projection.size(); }
+
+  /// Storage in 64-bit words: one double per row.
+  double StorageWords() const { return static_cast<double>(num_rows()); }
+};
+
+/// Computes Π·a (unscaled).
+Result<JlSketch> SketchJl(const SparseVector& a, const JlOptions& options);
+
+/// Returns ⟨S(a), S(b)⟩/m, the Fact-1 estimator of ⟨a, b⟩.
+Result<double> EstimateJlInnerProduct(const JlSketch& a, const JlSketch& b);
+
+/// Prefix of the first m rows (a valid m-row sketch).
+JlSketch TruncatedJl(const JlSketch& sketch, size_t m);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SKETCH_JL_SKETCH_H_

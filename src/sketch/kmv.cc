@@ -1,0 +1,115 @@
+#include "sketch/kmv.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace ipsketch {
+
+Status KmvOptions::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  return Status::Ok();
+}
+
+Result<KmvSketch> SketchKmv(const SparseVector& a, const KmvOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  KmvSketch sketch;
+  sketch.k = options.k;
+  sketch.seed = options.seed;
+  sketch.dimension = a.dimension();
+  sketch.hash_kind = options.hash_kind;
+
+  const IndexHasher h(options.hash_kind, options.seed, /*stream=*/0);
+  sketch.samples.reserve(std::min(options.k, a.nnz()));
+  for (const Entry& e : a.entries()) {
+    sketch.samples.push_back({h.HashUnit(e.index), e.value});
+  }
+  if (sketch.samples.size() > options.k) {
+    std::nth_element(sketch.samples.begin(),
+                     sketch.samples.begin() + options.k - 1,
+                     sketch.samples.end(),
+                     [](const KmvSketch::Sample& x, const KmvSketch::Sample& y) {
+                       return x.hash < y.hash;
+                     });
+    sketch.samples.resize(options.k);
+  }
+  std::sort(sketch.samples.begin(), sketch.samples.end(),
+            [](const KmvSketch::Sample& x, const KmvSketch::Sample& y) {
+              return x.hash < y.hash;
+            });
+  return sketch;
+}
+
+Result<double> EstimateKmvInnerProduct(const KmvSketch& a,
+                                       const KmvSketch& b) {
+  if (a.k != b.k) return Status::InvalidArgument("sketch capacities differ");
+  if (a.k == 0) return Status::InvalidArgument("sketches are empty");
+  if (a.seed != b.seed) return Status::InvalidArgument("sketch seeds differ");
+  if (a.hash_kind != b.hash_kind) {
+    return Status::InvalidArgument("sketch hash families differ");
+  }
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+
+  // Merge the two ascending hash lists into the distinct union, tracking
+  // which hashes are present in both sketches (equal hashes mean equal
+  // indices, up to 2^-61 collision probability).
+  struct Pooled {
+    double hash;
+    bool matched;
+    double product;  // value_a · value_b when matched
+  };
+  std::vector<Pooled> pooled;
+  pooled.reserve(a.samples.size() + b.samples.size());
+  size_t i = 0, j = 0;
+  while (i < a.samples.size() || j < b.samples.size()) {
+    if (j == b.samples.size() ||
+        (i < a.samples.size() && a.samples[i].hash < b.samples[j].hash)) {
+      pooled.push_back({a.samples[i].hash, false, 0.0});
+      ++i;
+    } else if (i == a.samples.size() ||
+               b.samples[j].hash < a.samples[i].hash) {
+      pooled.push_back({b.samples[j].hash, false, 0.0});
+      ++j;
+    } else {
+      pooled.push_back({a.samples[i].hash, true,
+                        a.samples[i].value * b.samples[j].value});
+      ++i;
+      ++j;
+    }
+  }
+
+  if (a.exhaustive() && b.exhaustive()) {
+    // Both supports were retained whole: the matched products are exactly
+    // the non-zero terms of ⟨a, b⟩.
+    double exact = 0.0;
+    for (const Pooled& p : pooled) {
+      if (p.matched) exact += p.product;
+    }
+    return exact;
+  }
+
+  const size_t k_prime = std::min(a.k, pooled.size());
+  if (k_prime < 2) return 0.0;
+  // ζ = k'-th smallest union hash; union ≈ (k'−1)/ζ. The k'−1 entries below
+  // ζ are a uniform without-replacement sample of the union.
+  const double zeta = pooled[k_prime - 1].hash;
+  if (zeta <= 0.0) return Status::Internal("degenerate KMV threshold");
+  const double union_est = static_cast<double>(k_prime - 1) / zeta;
+  double match_sum = 0.0;
+  for (size_t t = 0; t + 1 < k_prime; ++t) {
+    if (pooled[t].matched) match_sum += pooled[t].product;
+  }
+  return union_est / static_cast<double>(k_prime - 1) * match_sum;
+}
+
+KmvSketch TruncatedKmv(const KmvSketch& sketch, size_t k_prime) {
+  IPS_CHECK(k_prime > 0 && k_prime <= sketch.k);
+  KmvSketch out = sketch;
+  out.k = k_prime;
+  if (out.samples.size() > k_prime) out.samples.resize(k_prime);
+  return out;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,77 @@
+// K-Minimum-Values (KMV) sampling sketch (Beyer et al. 2007), augmented with
+// vector values as in the correlation sketches of Santos et al. (2021) —
+// the "KMV" baseline of the paper's §5.
+//
+// Unlike MinHash, KMV uses a *single* hash function and keeps the k smallest
+// hash values over the support, i.e. it samples k support indices without
+// replacement. The k-th smallest hash ζ estimates the distinct union size as
+// (k−1)/ζ; matched hashes present in both sketches form a uniform
+// without-replacement sample of the support intersection.
+
+#ifndef IPSKETCH_SKETCH_KMV_H_
+#define IPSKETCH_SKETCH_KMV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Configuration for `SketchKmv`.
+struct KmvOptions {
+  /// Number of minimum values k to retain.
+  size_t k = 128;
+  /// Random seed; sketches are comparable only with equal seeds.
+  uint64_t seed = 0;
+  /// Hash family (see HashKind).
+  HashKind hash_kind = HashKind::kMixed64;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// A KMV sketch: the ≤ k smallest-hash support entries, sorted by hash.
+struct KmvSketch {
+  /// One retained sample: the hash of an index and the vector value there.
+  struct Sample {
+    double hash = 0.0;
+    double value = 0.0;
+  };
+
+  std::vector<Sample> samples;  ///< sorted ascending by hash; size ≤ k
+  size_t k = 0;                 ///< configured capacity
+  uint64_t seed = 0;
+  uint64_t dimension = 0;
+  HashKind hash_kind = HashKind::kMixed64;
+
+  /// True iff the sketch retained the vector's whole support (nnz ≤ k), in
+  /// which case it is lossless for that vector.
+  bool exhaustive() const { return samples.size() < k; }
+
+  /// Storage in 64-bit words: one double + one 32-bit hash per sample.
+  double StorageWords() const {
+    return 1.5 * static_cast<double>(samples.size());
+  }
+};
+
+/// Computes the KMV sketch of `a`.
+Result<KmvSketch> SketchKmv(const SparseVector& a, const KmvOptions& options);
+
+/// Estimates ⟨a, b⟩ from two KMV sketches.
+///
+/// Merges the two hash lists, takes the k' = min(k, distinct) smallest
+/// union hashes, estimates the union as (k'−1)/ζ_{k'} (or exactly, when both
+/// sketches are exhaustive), and inverse-weights the matched value products.
+Result<double> EstimateKmvInnerProduct(const KmvSketch& a, const KmvSketch& b);
+
+/// Re-capacitates the sketch to k' ≤ k by keeping the k' smallest samples
+/// (a valid KMV sketch with parameter k').
+KmvSketch TruncatedKmv(const KmvSketch& sketch, size_t k_prime);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SKETCH_KMV_H_

@@ -1,0 +1,75 @@
+#include "sketch/merge.h"
+
+namespace ipsketch {
+
+Result<JlSketch> MergeJl(const JlSketch& a, const JlSketch& b) {
+  if (a.num_rows() != b.num_rows()) {
+    return Status::InvalidArgument("sketch row counts differ");
+  }
+  if (a.seed != b.seed) return Status::InvalidArgument("sketch seeds differ");
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+  JlSketch out = a;
+  for (size_t r = 0; r < out.projection.size(); ++r) {
+    out.projection[r] += b.projection[r];
+  }
+  return out;
+}
+
+Result<CountSketch> MergeCountSketch(const CountSketch& a,
+                                     const CountSketch& b) {
+  if (a.tables.size() != b.tables.size() || a.width() != b.width()) {
+    return Status::InvalidArgument("sketch shapes differ");
+  }
+  if (a.seed != b.seed) return Status::InvalidArgument("sketch seeds differ");
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+  CountSketch out = a;
+  for (size_t r = 0; r < out.tables.size(); ++r) {
+    for (size_t j = 0; j < out.tables[r].size(); ++j) {
+      out.tables[r][j] += b.tables[r][j];
+    }
+  }
+  return out;
+}
+
+Result<KmvSketch> MergeKmv(const KmvSketch& a, const KmvSketch& b) {
+  if (a.k != b.k) return Status::InvalidArgument("sketch capacities differ");
+  if (a.seed != b.seed) return Status::InvalidArgument("sketch seeds differ");
+  if (a.hash_kind != b.hash_kind) {
+    return Status::InvalidArgument("sketch hash families differ");
+  }
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+
+  KmvSketch out;
+  out.k = a.k;
+  out.seed = a.seed;
+  out.hash_kind = a.hash_kind;
+  out.dimension = a.dimension;
+  out.samples.reserve(a.samples.size() + b.samples.size());
+
+  size_t i = 0, j = 0;
+  while (i < a.samples.size() || j < b.samples.size()) {
+    if (j == b.samples.size() ||
+        (i < a.samples.size() && a.samples[i].hash < b.samples[j].hash)) {
+      out.samples.push_back(a.samples[i++]);
+    } else if (i == a.samples.size() ||
+               b.samples[j].hash < a.samples[i].hash) {
+      out.samples.push_back(b.samples[j++]);
+    } else {
+      // Same hash ⇒ same index: the merged vector holds the value sum.
+      const double sum = a.samples[i].value + b.samples[j].value;
+      if (sum != 0.0) out.samples.push_back({a.samples[i].hash, sum});
+      ++i;
+      ++j;
+    }
+  }
+  if (out.samples.size() > out.k) out.samples.resize(out.k);
+  return out;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,49 @@
+// Sketch merging: combining S(a) and S(b) into a sketch of a + b without
+// touching the original vectors.
+//
+// Mergeability is the operational superpower of *linear* sketches: since
+// S(x) = Πx, S(a + b) = S(a) + S(b) exactly, which is what makes JL and
+// CountSketch suitable for distributed aggregation. KMV sketches merge too
+// (the k smallest of a union are contained in the union of the per-set k
+// smallest). The hashing-based inner product sketches do NOT merge:
+//
+//   * WMH/ICWS normalize by ‖a‖ before sampling, and ‖a + b‖ is not
+//     recoverable from ‖a‖, ‖b‖ and the samples;
+//   * even unweighted MinHash cannot merge *values*: the minimum of the
+//     union may sit at an index where both vectors are non-zero, and
+//     a[j] + b[j] is not recoverable from two independently sampled values.
+//
+// This asymmetry is a genuine trade-off against the accuracy advantage the
+// paper proves, and worth surfacing in the API rather than hiding.
+
+#ifndef IPSKETCH_SKETCH_MERGE_H_
+#define IPSKETCH_SKETCH_MERGE_H_
+
+#include "common/status.h"
+#include "sketch/count_sketch.h"
+#include "sketch/jl_sketch.h"
+#include "sketch/kmv.h"
+
+namespace ipsketch {
+
+/// S(a) + S(b) = S(a + b) for JL sketches. Requires identical
+/// (seed, rows, dimension).
+Result<JlSketch> MergeJl(const JlSketch& a, const JlSketch& b);
+
+/// S(a) + S(b) = S(a + b) for CountSketch. Requires identical shapes/seed.
+Result<CountSketch> MergeCountSketch(const CountSketch& a,
+                                     const CountSketch& b);
+
+/// KMV sketch of a + b from KMV sketches of a and b (same seed/k/domain).
+///
+/// Equal hashes denote the same index (same hash function); their values
+/// are summed, and exact cancellations (a[j] = −b[j]) are dropped. Caveat:
+/// if an index is present in both *vectors* but survived in only one
+/// *sketch* (beyond the k-th minimum), its merged value is the one that
+/// survived — the merged sketch is exact for the union's k smallest hashes
+/// whenever both inputs retained them, which is the standard KMV guarantee.
+Result<KmvSketch> MergeKmv(const KmvSketch& a, const KmvSketch& b);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SKETCH_MERGE_H_

@@ -1,0 +1,128 @@
+#include "sketch/minhash.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace ipsketch {
+
+Status MhOptions::Validate() const {
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  return Status::Ok();
+}
+
+Result<MhSketch> SketchMh(const SparseVector& a, const MhOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  MhSketch sketch;
+  sketch.seed = options.seed;
+  sketch.dimension = a.dimension();
+  sketch.hash_kind = options.hash_kind;
+  if (a.empty()) {
+    // Hash supremum: keeps min(h_a, h_b) equal to h_b in the union
+    // estimator while making matches impossible.
+    sketch.hashes.assign(options.num_samples, 1.0);
+    sketch.values.assign(options.num_samples, 0.0);
+    return sketch;
+  }
+  sketch.hashes.resize(options.num_samples);
+  sketch.values.resize(options.num_samples);
+  for (size_t s = 0; s < options.num_samples; ++s) {
+    const IndexHasher h(options.hash_kind, options.seed, s);
+    double best_hash = 2.0;
+    double best_value = 0.0;
+    for (const Entry& e : a.entries()) {
+      const double hv = h.HashUnit(e.index);
+      if (hv < best_hash) {
+        best_hash = hv;
+        best_value = e.value;
+      }
+    }
+    sketch.hashes[s] = best_hash;
+    sketch.values[s] = best_value;
+  }
+  return sketch;
+}
+
+Result<double> EstimateMhInnerProduct(const MhSketch& a, const MhSketch& b) {
+  if (a.num_samples() != b.num_samples()) {
+    return Status::InvalidArgument("sketch sample counts differ");
+  }
+  if (a.num_samples() == 0) return Status::InvalidArgument("sketches are empty");
+  if (a.seed != b.seed) return Status::InvalidArgument("sketch seeds differ");
+  if (a.hash_kind != b.hash_kind) {
+    return Status::InvalidArgument("sketch hash families differ");
+  }
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+
+  const size_t m = a.num_samples();
+  double min_hash_sum = 0.0;
+  double match_sum = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    min_hash_sum += std::min(a.hashes[i], b.hashes[i]);
+    if (a.hashes[i] == b.hashes[i] && a.hashes[i] < 1.0) {
+      match_sum += a.values[i] * b.values[i];
+    }
+  }
+  if (min_hash_sum <= 0.0) {
+    return Status::Internal("degenerate minimum-hash sum");
+  }
+  const double md = static_cast<double>(m);
+  const double u_tilde = md / min_hash_sum - 1.0;
+  return (u_tilde / md) * match_sum;
+}
+
+namespace {
+
+Status CheckMhCompatible(const MhSketch& a, const MhSketch& b) {
+  if (a.num_samples() != b.num_samples() || a.num_samples() == 0) {
+    return Status::InvalidArgument("sketch sample counts differ or empty");
+  }
+  if (a.seed != b.seed) return Status::InvalidArgument("sketch seeds differ");
+  if (a.hash_kind != b.hash_kind) {
+    return Status::InvalidArgument("sketch hash families differ");
+  }
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<double> EstimateSupportJaccard(const MhSketch& a, const MhSketch& b) {
+  IPS_RETURN_IF_ERROR(CheckMhCompatible(a, b));
+  size_t matches = 0;
+  for (size_t i = 0; i < a.num_samples(); ++i) {
+    // The 1.0 sentinel (empty sketch) never counts as a match.
+    matches += (a.hashes[i] == b.hashes[i] && a.hashes[i] < 1.0);
+  }
+  return static_cast<double>(matches) /
+         static_cast<double>(a.num_samples());
+}
+
+Result<double> EstimateSupportUnion(const MhSketch& a, const MhSketch& b) {
+  IPS_RETURN_IF_ERROR(CheckMhCompatible(a, b));
+  double min_hash_sum = 0.0;
+  for (size_t i = 0; i < a.num_samples(); ++i) {
+    min_hash_sum += std::min(a.hashes[i], b.hashes[i]);
+  }
+  if (min_hash_sum <= 0.0) {
+    return Status::Internal("degenerate minimum-hash sum");
+  }
+  const double md = static_cast<double>(a.num_samples());
+  return md / min_hash_sum - 1.0;
+}
+
+MhSketch TruncatedMh(const MhSketch& sketch, size_t m) {
+  IPS_CHECK(m > 0 && m <= sketch.num_samples());
+  MhSketch out = sketch;
+  out.hashes.resize(m);
+  out.values.resize(m);
+  return out;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,153 @@
+#include "sketch/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace ipsketch {
+namespace {
+
+uint32_t QuantizeHash(double h) {
+  // h in [0, 1]; floor to 32-bit fixed point. 1.0 (the empty-sketch
+  // sentinel) saturates to the maximum.
+  if (h >= 1.0) return ~uint32_t{0};
+  return static_cast<uint32_t>(h * 4294967296.0);
+}
+
+double DequantizeHash(uint32_t q) {
+  // Mid-point dequantization halves the floor bias of the FM estimator.
+  return (static_cast<double>(q) + 0.5) / 4294967296.0;
+}
+
+Status CheckCompatible(uint64_t seed_a, uint64_t seed_b, uint64_t la,
+                       uint64_t lb, uint64_t dim_a, uint64_t dim_b, size_t ma,
+                       size_t mb) {
+  if (ma != mb) return Status::InvalidArgument("sketch sample counts differ");
+  if (ma == 0) return Status::InvalidArgument("sketches are empty");
+  if (seed_a != seed_b) return Status::InvalidArgument("sketch seeds differ");
+  if (la != lb) {
+    return Status::InvalidArgument("sketch discretization parameters differ");
+  }
+  if (dim_a != dim_b) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+CompactWmhSketch CompactFromWmh(const WmhSketch& sketch) {
+  CompactWmhSketch out;
+  out.norm = sketch.norm;
+  out.seed = sketch.seed;
+  out.L = sketch.L;
+  out.dimension = sketch.dimension;
+  out.hashes.reserve(sketch.num_samples());
+  out.values.reserve(sketch.num_samples());
+  for (size_t i = 0; i < sketch.num_samples(); ++i) {
+    out.hashes.push_back(QuantizeHash(sketch.hashes[i]));
+    out.values.push_back(static_cast<float>(sketch.values[i]));
+  }
+  return out;
+}
+
+Result<double> EstimateCompactWmhInnerProduct(const CompactWmhSketch& a,
+                                              const CompactWmhSketch& b) {
+  IPS_RETURN_IF_ERROR(CheckCompatible(a.seed, b.seed, a.L, b.L, a.dimension,
+                                      b.dimension, a.num_samples(),
+                                      b.num_samples()));
+  if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
+
+  const size_t m = a.num_samples();
+  const double md = static_cast<double>(m);
+  double min_hash_sum = 0.0;
+  double weighted_match_sum = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    min_hash_sum += DequantizeHash(std::min(a.hashes[i], b.hashes[i]));
+    if (a.hashes[i] == b.hashes[i]) {
+      const double va = a.values[i];
+      const double vb = b.values[i];
+      const double q = std::min(va * va, vb * vb);
+      if (q > 0.0) weighted_match_sum += va * vb / q;
+    }
+  }
+  if (min_hash_sum <= 0.0) {
+    return Status::Internal("degenerate minimum-hash sum");
+  }
+  const double m_tilde =
+      (md / min_hash_sum - 1.0) / static_cast<double>(a.L);
+  return a.norm * b.norm * (m_tilde / md) * weighted_match_sum;
+}
+
+Result<BbitWmhSketch> BbitFromWmh(const WmhSketch& sketch, uint32_t bits) {
+  if (bits < 1 || bits > 32) {
+    return Status::InvalidArgument("bits must be in [1, 32]");
+  }
+  BbitWmhSketch out;
+  out.bits = bits;
+  out.norm = sketch.norm;
+  out.seed = sketch.seed;
+  out.L = sketch.L;
+  out.dimension = sketch.dimension;
+  const uint32_t mask =
+      bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1);
+  out.fingerprints.reserve(sketch.num_samples());
+  out.values.reserve(sketch.num_samples());
+  for (size_t i = 0; i < sketch.num_samples(); ++i) {
+    // Mix the double's bit pattern so the kept b bits are uniform even
+    // though minimum hashes cluster near zero.
+    uint64_t pattern;
+    static_assert(sizeof(pattern) == sizeof(double));
+    std::memcpy(&pattern, &sketch.hashes[i], sizeof(pattern));
+    out.fingerprints.push_back(static_cast<uint32_t>(Mix64(pattern)) & mask);
+    out.values.push_back(static_cast<float>(sketch.values[i]));
+  }
+  return out;
+}
+
+Result<double> EstimateBbitWmhInnerProduct(const BbitWmhSketch& a,
+                                           const BbitWmhSketch& b) {
+  IPS_RETURN_IF_ERROR(CheckCompatible(a.seed, b.seed, a.L, b.L, a.dimension,
+                                      b.dimension, a.num_samples(),
+                                      b.num_samples()));
+  if (a.bits != b.bits) {
+    return Status::InvalidArgument("fingerprint widths differ");
+  }
+  if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
+
+  const size_t m = a.num_samples();
+  const double md = static_cast<double>(m);
+  size_t match_count = 0;
+  double weighted_match_sum = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (a.fingerprints[i] == b.fingerprints[i]) {
+      const double va = a.values[i];
+      const double vb = b.values[i];
+      const double q = std::min(va * va, vb * vb);
+      if (q > 0.0) {
+        weighted_match_sum += va * vb / q;
+        ++match_count;
+      }
+    }
+  }
+
+  // Observed match rate = J̄ + (1 − J̄)·2⁻ᵇ; invert for J̄, then scale the
+  // weighted sum by the fraction of matches expected to be genuine.
+  const double fp = std::pow(0.5, static_cast<double>(a.bits));
+  const double observed = static_cast<double>(match_count) / md;
+  const double j_hat =
+      std::clamp((observed - fp) / (1.0 - fp), 0.0, 1.0);
+  if (match_count > 0 && observed > 0.0) {
+    // E[genuine matches]/E[observed matches] = J̄ / (J̄ + (1−J̄)·2⁻ᵇ).
+    const double genuine_fraction = j_hat / observed;
+    weighted_match_sum *= std::clamp(genuine_fraction, 0.0, 1.0);
+  }
+  // Weighted union size via the unit-norm closed form (b bits cannot feed
+  // the Flajolet–Martin estimator).
+  const double m_hat = 2.0 / (1.0 + j_hat);
+  return a.norm * b.norm * (m_hat / md) * weighted_match_sum;
+}
+
+}  // namespace ipsketch

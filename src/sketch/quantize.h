@@ -1,0 +1,88 @@
+// Quantized Weighted MinHash sketches — the paper's §5 future-work item
+// ("Standard quantization tricks could likely be used to reduce the size of
+// numbers in all sketches").
+//
+// Two compact encodings of a WmhSketch:
+//
+//   * CompactWmhSketch — hash as a 32-bit fixed-point fraction (exactly the
+//     32 bits the paper's storage accounting charges) and value as float32:
+//     1 word per sample instead of 1.5. True matches are preserved exactly
+//     (equal doubles quantize equally); spurious matches need two distinct
+//     minima within 2⁻³² of each other.
+//
+//   * BbitWmhSketch — in the spirit of b-bit minwise hashing (Li & König
+//     2010): only a b-bit fingerprint of each minimum hash is kept for
+//     match detection, plus a float32 value. Storage (b+32)/64 words per
+//     sample. Fingerprints collide spuriously with probability 2⁻ᵇ, which
+//     the estimator corrects for in the match *rate*; the weighted union
+//     size is estimated with the unit-norm closed form (the FM estimator
+//     needs full-precision minima, which b bits cannot carry).
+
+#ifndef IPSKETCH_SKETCH_QUANTIZE_H_
+#define IPSKETCH_SKETCH_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/wmh_sketch.h"
+
+namespace ipsketch {
+
+/// WMH sketch with 32-bit hashes and float32 values: 1 word/sample + norm.
+struct CompactWmhSketch {
+  std::vector<uint32_t> hashes;  ///< floor(h · 2³²)
+  std::vector<float> values;     ///< ã[j] as float32
+  double norm = 0.0;
+  uint64_t seed = 0;
+  uint64_t L = 0;
+  uint64_t dimension = 0;
+
+  size_t num_samples() const { return hashes.size(); }
+
+  /// Storage in 64-bit words: (32+32) bits per sample + the norm.
+  double StorageWords() const {
+    return static_cast<double>(num_samples()) + 1.0;
+  }
+};
+
+/// Quantizes a full-precision WMH sketch (lossy).
+CompactWmhSketch CompactFromWmh(const WmhSketch& sketch);
+
+/// Algorithm 5 on compact sketches: matches on quantized hashes, FM union
+/// estimate from dequantized minima. Same compatibility rules as the
+/// full-precision estimator.
+Result<double> EstimateCompactWmhInnerProduct(const CompactWmhSketch& a,
+                                              const CompactWmhSketch& b);
+
+/// WMH sketch keeping only b-bit match fingerprints (b ≤ 32).
+struct BbitWmhSketch {
+  std::vector<uint32_t> fingerprints;  ///< low b bits of a mixed hash of h
+  std::vector<float> values;
+  double norm = 0.0;
+  uint32_t bits = 16;  ///< b
+  uint64_t seed = 0;
+  uint64_t L = 0;
+  uint64_t dimension = 0;
+
+  size_t num_samples() const { return fingerprints.size(); }
+
+  /// Storage in 64-bit words: (b + 32) bits per sample + the norm.
+  double StorageWords() const {
+    return static_cast<double>(num_samples()) * (bits + 32.0) / 64.0 + 1.0;
+  }
+};
+
+/// Extracts b-bit fingerprints from a full-precision sketch. `bits` in
+/// [1, 32].
+Result<BbitWmhSketch> BbitFromWmh(const WmhSketch& sketch, uint32_t bits);
+
+/// Inner product estimate from b-bit sketches. The spurious-collision rate
+/// 2⁻ᵇ is removed from the match statistics in expectation; residual noise
+/// from false matches scales with 2⁻ᵇ (see bench_ext_quantization).
+Result<double> EstimateBbitWmhInnerProduct(const BbitWmhSketch& a,
+                                           const BbitWmhSketch& b);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SKETCH_QUANTIZE_H_

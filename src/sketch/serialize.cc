@@ -1,0 +1,390 @@
+#include "sketch/serialize.h"
+
+#include <cstring>
+
+namespace ipsketch {
+namespace {
+
+constexpr uint32_t kMagic = 0x49505348;  // "IPSH"
+constexpr uint8_t kVersion = 1;
+
+// --- encoding ---------------------------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutDoubles(std::string* out, const std::vector<double>& xs) {
+  PutU64(out, xs.size());
+  for (double x : xs) PutDouble(out, x);
+}
+
+void PutU64s(std::string* out, const std::vector<uint64_t>& xs) {
+  PutU64(out, xs.size());
+  for (uint64_t x : xs) PutU64(out, x);
+}
+
+void PutHeader(std::string* out, SketchTypeTag tag) {
+  PutU32(out, kMagic);
+  PutU8(out, kVersion);
+  PutU8(out, static_cast<uint8_t>(tag));
+}
+
+// --- decoding ---------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status ReadU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return Truncated();
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return Status::Ok();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return Truncated();
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return Status::Ok();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return Truncated();
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return Status::Ok();
+  }
+
+  Status ReadDouble(double* v) {
+    uint64_t bits;
+    IPS_RETURN_IF_ERROR(ReadU64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::Ok();
+  }
+
+  Status ReadDoubles(std::vector<double>* xs) {
+    uint64_t n;
+    IPS_RETURN_IF_ERROR(ReadU64(&n));
+    if (n > Remaining() / 8) return Truncated();  // cheap bound before alloc
+    xs->resize(n);
+    for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadDouble(&x));
+    return Status::Ok();
+  }
+
+  Status ReadU64s(std::vector<uint64_t>* xs) {
+    uint64_t n;
+    IPS_RETURN_IF_ERROR(ReadU64(&n));
+    if (n > Remaining() / 8) return Truncated();
+    xs->resize(n);
+    for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadU64(&x));
+    return Status::Ok();
+  }
+
+  Status ExpectHeader(SketchTypeTag tag) {
+    uint32_t magic;
+    IPS_RETURN_IF_ERROR(ReadU32(&magic));
+    if (magic != kMagic) return Status::InvalidArgument("bad sketch magic");
+    uint8_t version = 0;
+    IPS_RETURN_IF_ERROR(ReadU8(&version));
+    if (version != kVersion) {
+      return Status::InvalidArgument("unsupported sketch version " +
+                                     std::to_string(version));
+    }
+    uint8_t got = 0;
+    IPS_RETURN_IF_ERROR(ReadU8(&got));
+    if (got != static_cast<uint8_t>(tag)) {
+      return Status::InvalidArgument("sketch type mismatch");
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectEnd() const {
+    if (pos_ != bytes_.size()) {
+      return Status::InvalidArgument("trailing bytes after sketch payload");
+    }
+    return Status::Ok();
+  }
+
+  size_t Remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("truncated sketch bytes");
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// --- WMH ---------------------------------------------------------------------
+
+std::string SerializeWmh(const WmhSketch& sketch) {
+  std::string out;
+  PutHeader(&out, SketchTypeTag::kWmh);
+  PutU64(&out, sketch.seed);
+  PutU64(&out, sketch.L);
+  PutU64(&out, sketch.dimension);
+  PutDouble(&out, sketch.norm);
+  PutDoubles(&out, sketch.hashes);
+  PutDoubles(&out, sketch.values);
+  return out;
+}
+
+Result<WmhSketch> DeserializeWmh(std::string_view bytes) {
+  Reader r(bytes);
+  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kWmh));
+  WmhSketch s;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.L));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  IPS_RETURN_IF_ERROR(r.ReadDouble(&s.norm));
+  IPS_RETURN_IF_ERROR(r.ReadDoubles(&s.hashes));
+  IPS_RETURN_IF_ERROR(r.ReadDoubles(&s.values));
+  if (s.hashes.size() != s.values.size()) {
+    return Status::InvalidArgument("WMH hash/value length mismatch");
+  }
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
+// --- MH ------------------------------------------------------------------------
+
+std::string SerializeMh(const MhSketch& sketch) {
+  std::string out;
+  PutHeader(&out, SketchTypeTag::kMh);
+  PutU64(&out, sketch.seed);
+  PutU64(&out, sketch.dimension);
+  PutU8(&out, static_cast<uint8_t>(sketch.hash_kind));
+  PutDoubles(&out, sketch.hashes);
+  PutDoubles(&out, sketch.values);
+  return out;
+}
+
+Result<MhSketch> DeserializeMh(std::string_view bytes) {
+  Reader r(bytes);
+  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kMh));
+  MhSketch s;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  uint8_t kind = 0;
+  IPS_RETURN_IF_ERROR(r.ReadU8(&kind));
+  if (kind > static_cast<uint8_t>(HashKind::kCarterWegman31)) {
+    return Status::InvalidArgument("unknown hash kind");
+  }
+  s.hash_kind = static_cast<HashKind>(kind);
+  IPS_RETURN_IF_ERROR(r.ReadDoubles(&s.hashes));
+  IPS_RETURN_IF_ERROR(r.ReadDoubles(&s.values));
+  if (s.hashes.size() != s.values.size()) {
+    return Status::InvalidArgument("MH hash/value length mismatch");
+  }
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
+// --- KMV ---------------------------------------------------------------------
+
+std::string SerializeKmv(const KmvSketch& sketch) {
+  std::string out;
+  PutHeader(&out, SketchTypeTag::kKmv);
+  PutU64(&out, sketch.seed);
+  PutU64(&out, sketch.dimension);
+  PutU64(&out, sketch.k);
+  PutU8(&out, static_cast<uint8_t>(sketch.hash_kind));
+  PutU64(&out, sketch.samples.size());
+  for (const auto& sample : sketch.samples) {
+    PutDouble(&out, sample.hash);
+    PutDouble(&out, sample.value);
+  }
+  return out;
+}
+
+Result<KmvSketch> DeserializeKmv(std::string_view bytes) {
+  Reader r(bytes);
+  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kKmv));
+  KmvSketch s;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  uint64_t k;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&k));
+  s.k = static_cast<size_t>(k);
+  uint8_t kind = 0;
+  IPS_RETURN_IF_ERROR(r.ReadU8(&kind));
+  if (kind > static_cast<uint8_t>(HashKind::kCarterWegman31)) {
+    return Status::InvalidArgument("unknown hash kind");
+  }
+  s.hash_kind = static_cast<HashKind>(kind);
+  uint64_t n;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&n));
+  if (n > s.k || n > r.Remaining() / 16) {
+    return Status::InvalidArgument("KMV sample count out of range");
+  }
+  s.samples.resize(n);
+  double prev = -1.0;
+  for (auto& sample : s.samples) {
+    IPS_RETURN_IF_ERROR(r.ReadDouble(&sample.hash));
+    IPS_RETURN_IF_ERROR(r.ReadDouble(&sample.value));
+    if (sample.hash <= prev) {
+      return Status::InvalidArgument("KMV samples not strictly sorted");
+    }
+    prev = sample.hash;
+  }
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
+// --- JL ----------------------------------------------------------------------
+
+std::string SerializeJl(const JlSketch& sketch) {
+  std::string out;
+  PutHeader(&out, SketchTypeTag::kJl);
+  PutU64(&out, sketch.seed);
+  PutU64(&out, sketch.dimension);
+  PutDoubles(&out, sketch.projection);
+  return out;
+}
+
+Result<JlSketch> DeserializeJl(std::string_view bytes) {
+  Reader r(bytes);
+  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kJl));
+  JlSketch s;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  IPS_RETURN_IF_ERROR(r.ReadDoubles(&s.projection));
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
+// --- CountSketch ---------------------------------------------------------------
+
+std::string SerializeCountSketch(const CountSketch& sketch) {
+  std::string out;
+  PutHeader(&out, SketchTypeTag::kCountSketch);
+  PutU64(&out, sketch.seed);
+  PutU64(&out, sketch.dimension);
+  PutU64(&out, sketch.tables.size());
+  PutU64(&out, sketch.width());
+  for (const auto& table : sketch.tables) {
+    for (double c : table) PutDouble(&out, c);
+  }
+  return out;
+}
+
+Result<CountSketch> DeserializeCountSketch(std::string_view bytes) {
+  Reader r(bytes);
+  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kCountSketch));
+  CountSketch s;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  uint64_t reps, width;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&reps));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&width));
+  if (reps * width > r.Remaining() / 8) {
+    return Status::InvalidArgument("CountSketch shape out of range");
+  }
+  s.tables.assign(reps, std::vector<double>(width));
+  for (auto& table : s.tables) {
+    for (auto& c : table) IPS_RETURN_IF_ERROR(r.ReadDouble(&c));
+  }
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
+// --- ICWS ----------------------------------------------------------------------
+
+std::string SerializeIcws(const IcwsSketch& sketch) {
+  std::string out;
+  PutHeader(&out, SketchTypeTag::kIcws);
+  PutU64(&out, sketch.seed);
+  PutU64(&out, sketch.dimension);
+  PutDouble(&out, sketch.norm);
+  PutU64s(&out, sketch.fingerprints);
+  PutDoubles(&out, sketch.values);
+  return out;
+}
+
+Result<IcwsSketch> DeserializeIcws(std::string_view bytes) {
+  Reader r(bytes);
+  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kIcws));
+  IcwsSketch s;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  IPS_RETURN_IF_ERROR(r.ReadDouble(&s.norm));
+  IPS_RETURN_IF_ERROR(r.ReadU64s(&s.fingerprints));
+  IPS_RETURN_IF_ERROR(r.ReadDoubles(&s.values));
+  if (s.fingerprints.size() != s.values.size()) {
+    return Status::InvalidArgument("ICWS fingerprint/value length mismatch");
+  }
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
+// --- SimHash -------------------------------------------------------------------
+
+std::string SerializeSimHash(const SimHashSketch& sketch) {
+  std::string out;
+  PutHeader(&out, SketchTypeTag::kSimHash);
+  PutU64(&out, sketch.seed);
+  PutU64(&out, sketch.dimension);
+  PutU64(&out, sketch.num_bits);
+  PutDouble(&out, sketch.norm);
+  PutU64s(&out, sketch.bits);
+  return out;
+}
+
+Result<SimHashSketch> DeserializeSimHash(std::string_view bytes) {
+  Reader r(bytes);
+  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kSimHash));
+  SimHashSketch s;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  uint64_t num_bits;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&num_bits));
+  s.num_bits = static_cast<size_t>(num_bits);
+  IPS_RETURN_IF_ERROR(r.ReadDouble(&s.norm));
+  IPS_RETURN_IF_ERROR(r.ReadU64s(&s.bits));
+  if (s.bits.size() != (s.num_bits + 63) / 64) {
+    return Status::InvalidArgument("SimHash bit-word count mismatch");
+  }
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
+Result<SketchTypeTag> PeekSketchType(std::string_view bytes) {
+  Reader r(bytes);
+  uint32_t magic;
+  Status st = r.ReadU32(&magic);
+  if (!st.ok() || magic != kMagic) {
+    return Status::NotFound("not a serialized sketch");
+  }
+  uint8_t version = 0;
+  uint8_t tag = 0;
+  IPS_RETURN_IF_ERROR(r.ReadU8(&version));
+  IPS_RETURN_IF_ERROR(r.ReadU8(&tag));
+  if (tag < 1 || tag > static_cast<uint8_t>(SketchTypeTag::kSimHash)) {
+    return Status::NotFound("unknown sketch type tag");
+  }
+  return static_cast<SketchTypeTag>(tag);
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,73 @@
+// Binary (de)serialization for every sketch type.
+//
+// The point of inner product sketching is that sketches are *stored* (in a
+// dataset-search catalog) or *shipped* (between machines) and compared much
+// later, so a stable wire format is part of the public API. The format is:
+//
+//   [magic u32][version u8][type u8][payload ...]
+//
+// with all integers little-endian and doubles as IEEE-754 bit patterns.
+// Deserialization validates the magic, version, type tag, and payload
+// length, returning InvalidArgument on any mismatch — corrupted bytes never
+// produce a silently wrong sketch.
+//
+// Note that the wire sizes here are engineering-faithful but not identical
+// to the paper's §5 *accounting* model (which charges 32 bits per stored
+// hash); quantize.h provides the compact encodings.
+
+#ifndef IPSKETCH_SKETCH_SERIALIZE_H_
+#define IPSKETCH_SKETCH_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/icws.h"
+#include "core/wmh_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/jl_sketch.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+#include "sketch/simhash.h"
+
+namespace ipsketch {
+
+/// Serializes a Weighted MinHash sketch.
+std::string SerializeWmh(const WmhSketch& sketch);
+/// Parses a Weighted MinHash sketch; InvalidArgument on malformed input.
+Result<WmhSketch> DeserializeWmh(std::string_view bytes);
+
+std::string SerializeMh(const MhSketch& sketch);
+Result<MhSketch> DeserializeMh(std::string_view bytes);
+
+std::string SerializeKmv(const KmvSketch& sketch);
+Result<KmvSketch> DeserializeKmv(std::string_view bytes);
+
+std::string SerializeJl(const JlSketch& sketch);
+Result<JlSketch> DeserializeJl(std::string_view bytes);
+
+std::string SerializeCountSketch(const CountSketch& sketch);
+Result<CountSketch> DeserializeCountSketch(std::string_view bytes);
+
+std::string SerializeIcws(const IcwsSketch& sketch);
+Result<IcwsSketch> DeserializeIcws(std::string_view bytes);
+
+std::string SerializeSimHash(const SimHashSketch& sketch);
+Result<SimHashSketch> DeserializeSimHash(std::string_view bytes);
+
+/// Identifies which sketch type a serialized blob holds without parsing the
+/// payload. Returns NotFound for non-sketch bytes.
+enum class SketchTypeTag : uint8_t {
+  kWmh = 1,
+  kMh = 2,
+  kKmv = 3,
+  kJl = 4,
+  kCountSketch = 5,
+  kIcws = 6,
+  kSimHash = 7,
+};
+Result<SketchTypeTag> PeekSketchType(std::string_view bytes);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SKETCH_SERIALIZE_H_

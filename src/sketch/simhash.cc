@@ -1,0 +1,65 @@
+#include "sketch/simhash.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace ipsketch {
+
+Status SimHashOptions::Validate() const {
+  if (num_bits == 0) return Status::InvalidArgument("num_bits must be positive");
+  return Status::Ok();
+}
+
+Result<SimHashSketch> SketchSimHash(const SparseVector& a,
+                                    const SimHashOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  SimHashSketch sketch;
+  sketch.num_bits = options.num_bits;
+  sketch.norm = a.Norm();
+  sketch.seed = options.seed;
+  sketch.dimension = a.dimension();
+  sketch.bits.assign((options.num_bits + 63) / 64, 0);
+  for (size_t r = 0; r < options.num_bits; ++r) {
+    const SignHash sign(options.seed, r);
+    double acc = 0.0;
+    for (const Entry& e : a.entries()) {
+      acc += sign.Sign(e.index) * e.value;
+    }
+    if (acc >= 0.0) sketch.bits[r / 64] |= uint64_t{1} << (r % 64);
+  }
+  return sketch;
+}
+
+Result<double> EstimateSimHashCosine(const SimHashSketch& a,
+                                     const SimHashSketch& b) {
+  if (a.num_bits != b.num_bits) {
+    return Status::InvalidArgument("sketch bit counts differ");
+  }
+  if (a.num_bits == 0) return Status::InvalidArgument("sketches are empty");
+  if (a.seed != b.seed) return Status::InvalidArgument("sketch seeds differ");
+  if (a.dimension != b.dimension) {
+    return Status::InvalidArgument("sketch dimensions differ");
+  }
+  size_t disagreements = 0;
+  for (size_t w = 0; w < a.bits.size(); ++w) {
+    uint64_t diff = a.bits[w] ^ b.bits[w];
+    // Mask tail bits beyond num_bits in the final word.
+    if (w + 1 == a.bits.size() && a.num_bits % 64 != 0) {
+      diff &= (uint64_t{1} << (a.num_bits % 64)) - 1;
+    }
+    disagreements += static_cast<size_t>(__builtin_popcountll(diff));
+  }
+  const double theta = M_PI * static_cast<double>(disagreements) /
+                       static_cast<double>(a.num_bits);
+  return std::cos(theta);
+}
+
+Result<double> EstimateSimHashInnerProduct(const SimHashSketch& a,
+                                           const SimHashSketch& b) {
+  auto cosine = EstimateSimHashCosine(a, b);
+  IPS_RETURN_IF_ERROR(cosine.status());
+  return a.norm * b.norm * cosine.value();
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,62 @@
+// SimHash (Charikar 2002): 1-bit quantized random projection for cosine
+// similarity. Included as the "1-bit JL" reference point the paper mentions
+// in §5 (Storage Size) and §2 (LSH): each of m random hyperplanes
+// contributes the single bit sign(⟨π_r, a⟩), and the agreement rate encodes
+// the angle between a and b:  P[bit_r(a) = bit_r(b)] = 1 − θ(a,b)/π.
+
+#ifndef IPSKETCH_SKETCH_SIMHASH_H_
+#define IPSKETCH_SKETCH_SIMHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Configuration for `SketchSimHash`.
+struct SimHashOptions {
+  /// Number of hyperplane bits m.
+  size_t num_bits = 1024;
+  /// Random seed; sketches are comparable only with equal seeds.
+  uint64_t seed = 0;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// A SimHash sketch: m sign bits plus the vector norm (so inner products,
+/// not just cosines, can be recovered).
+struct SimHashSketch {
+  std::vector<uint64_t> bits;  ///< packed sign bits, 64 per word
+  size_t num_bits = 0;
+  double norm = 0.0;
+  uint64_t seed = 0;
+  uint64_t dimension = 0;
+
+  /// Bit r as 0/1.
+  int Bit(size_t r) const { return (bits[r / 64] >> (r % 64)) & 1; }
+
+  /// Storage in 64-bit words: packed bits + the norm scalar.
+  double StorageWords() const {
+    return static_cast<double>(bits.size()) + 1.0;
+  }
+};
+
+/// Computes the SimHash sketch of `a` (±1/√m hyperplanes, sign only).
+Result<SimHashSketch> SketchSimHash(const SparseVector& a,
+                                    const SimHashOptions& options);
+
+/// Estimates cos∠(a,b) = cos(π·(1 − agreement rate)).
+Result<double> EstimateSimHashCosine(const SimHashSketch& a,
+                                     const SimHashSketch& b);
+
+/// Estimates ⟨a, b⟩ = ‖a‖·‖b‖·cos∠(a,b).
+Result<double> EstimateSimHashInnerProduct(const SimHashSketch& a,
+                                           const SimHashSketch& b);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SKETCH_SIMHASH_H_

@@ -1,0 +1,46 @@
+#include "sketch/storage.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ipsketch {
+
+size_t SamplesForStorageWords(double storage_words, SketchFamily family) {
+  if (storage_words <= 0.0) return 0;
+  double m = 0.0;
+  switch (family) {
+    case SketchFamily::kLinear:
+      m = storage_words;
+      break;
+    case SketchFamily::kSampling:
+      m = storage_words / 1.5;
+      break;
+    case SketchFamily::kSamplingWithNorm:
+      m = (storage_words - 1.0) / 1.5;
+      break;
+    case SketchFamily::kBits:
+      m = storage_words * 64.0;
+      break;
+  }
+  if (m < 1.0) return 0;
+  return static_cast<size_t>(m);
+}
+
+double StorageWordsForSamples(size_t m, SketchFamily family) {
+  const double md = static_cast<double>(m);
+  switch (family) {
+    case SketchFamily::kLinear:
+      return md;
+    case SketchFamily::kSampling:
+      return 1.5 * md;
+    case SketchFamily::kSamplingWithNorm:
+      return 1.5 * md + 1.0;
+    case SketchFamily::kBits:
+      return std::ceil(md / 64.0);
+  }
+  IPS_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,35 @@
+// The paper's storage accounting model (§5, "Storage Size").
+//
+// All plots are parameterized by storage measured in 64-bit words ("the
+// total number of bits in the sketch divided by 64"):
+//   * linear sketches (JL, CountSketch) store one 64-bit double per row or
+//     counter → m words for m rows;
+//   * sampling sketches (MH, KMV, WMH, ICWS) store one 64-bit double value
+//     plus one 32-bit hash per sample → 1.5·m words for m samples (WMH and
+//     ICWS additionally store the scalar norm: +1 word).
+
+#ifndef IPSKETCH_SKETCH_STORAGE_H_
+#define IPSKETCH_SKETCH_STORAGE_H_
+
+#include <cstddef>
+
+namespace ipsketch {
+
+/// Storage family of a sketching method.
+enum class SketchFamily {
+  kLinear = 0,    ///< m doubles (JL, CountSketch)
+  kSampling = 1,  ///< m (double value, 32-bit hash) pairs (MH, KMV)
+  kSamplingWithNorm = 2,  ///< sampling + one norm scalar (WMH, ICWS)
+  kBits = 3,      ///< m single bits (SimHash)
+};
+
+/// Largest sample count m whose sketch fits in `storage_words` 64-bit words.
+/// Returns 0 if the budget cannot fit even one sample.
+size_t SamplesForStorageWords(double storage_words, SketchFamily family);
+
+/// Exact storage in 64-bit words of an m-sample sketch of `family`.
+double StorageWordsForSamples(size_t m, SketchFamily family);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SKETCH_STORAGE_H_

@@ -1,0 +1,101 @@
+#include "table/column.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+namespace ipsketch {
+
+Result<KeyedColumn> KeyedColumn::Make(std::string name,
+                                      std::vector<uint64_t> keys,
+                                      std::vector<double> values) {
+  if (keys.size() != values.size()) {
+    return Status::InvalidArgument("keys and values lengths differ");
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite value in column '" + name +
+                                     "'");
+    }
+  }
+  return KeyedColumn(std::move(name), std::move(keys), std::move(values));
+}
+
+KeyedColumn KeyedColumn::MakeOrDie(std::string name,
+                                   std::vector<uint64_t> keys,
+                                   std::vector<double> values) {
+  auto r = Make(std::move(name), std::move(keys), std::move(values));
+  IPS_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+bool KeyedColumn::HasUniqueKeys() const {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(keys_.size());
+  for (uint64_t k : keys_) {
+    if (!seen.insert(k).second) return false;
+  }
+  return true;
+}
+
+uint64_t KeyedColumn::MaxKey() const {
+  uint64_t max_key = 0;
+  for (uint64_t k : keys_) max_key = std::max(max_key, k);
+  return max_key;
+}
+
+KeyedColumn KeyedColumn::Aggregated(Aggregation agg) const {
+  struct Acc {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double first = 0.0;
+    size_t count = 0;
+  };
+  std::map<uint64_t, Acc> groups;  // ordered: output keys sorted ascending
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    Acc& acc = groups[keys_[i]];
+    const double v = values_[i];
+    if (acc.count == 0) {
+      acc.min = acc.max = acc.first = v;
+    } else {
+      acc.min = std::min(acc.min, v);
+      acc.max = std::max(acc.max, v);
+    }
+    acc.sum += v;
+    ++acc.count;
+  }
+  std::vector<uint64_t> out_keys;
+  std::vector<double> out_values;
+  out_keys.reserve(groups.size());
+  out_values.reserve(groups.size());
+  for (const auto& [key, acc] : groups) {
+    out_keys.push_back(key);
+    double v = 0.0;
+    switch (agg) {
+      case Aggregation::kSum:
+        v = acc.sum;
+        break;
+      case Aggregation::kMean:
+        v = acc.sum / static_cast<double>(acc.count);
+        break;
+      case Aggregation::kMin:
+        v = acc.min;
+        break;
+      case Aggregation::kMax:
+        v = acc.max;
+        break;
+      case Aggregation::kCount:
+        v = static_cast<double>(acc.count);
+        break;
+      case Aggregation::kFirst:
+        v = acc.first;
+        break;
+    }
+    out_values.push_back(v);
+  }
+  return KeyedColumn(name_, std::move(out_keys), std::move(out_values));
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,78 @@
+// Keyed columns: the unit of data in the dataset-search application (§1.2).
+//
+// A KeyedColumn is a (key, value) pair list — e.g. (date, #taxi rides) —
+// extracted from one column of a data table. Join-based statistics between
+// two tables reduce to inner products between vector encodings of their
+// keyed columns (Figures 2 and 3 of the paper).
+
+#ifndef IPSKETCH_TABLE_COLUMN_H_
+#define IPSKETCH_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipsketch {
+
+/// How duplicate keys are collapsed when reducing a many-to-many join input
+/// to the one-to-one setting (paper footnote 3: "a typical approach is to
+/// use a data aggregation function").
+enum class Aggregation {
+  kSum = 0,
+  kMean = 1,
+  kMin = 2,
+  kMax = 3,
+  kCount = 4,
+  kFirst = 5,
+};
+
+/// A named column of (key, value) rows.
+class KeyedColumn {
+ public:
+  KeyedColumn() = default;
+
+  /// Builds a column; `keys` and `values` must have equal length and all
+  /// values must be finite. Keys may repeat (use `Aggregated` to collapse).
+  static Result<KeyedColumn> Make(std::string name, std::vector<uint64_t> keys,
+                                  std::vector<double> values);
+
+  /// `Make` that aborts on error — for literals in tests and examples.
+  static KeyedColumn MakeOrDie(std::string name, std::vector<uint64_t> keys,
+                               std::vector<double> values);
+
+  /// Column name.
+  const std::string& name() const { return name_; }
+  /// Number of rows.
+  size_t size() const { return keys_.size(); }
+  /// Row keys, in insertion order.
+  const std::vector<uint64_t>& keys() const { return keys_; }
+  /// Row values, aligned with keys().
+  const std::vector<double>& values() const { return values_; }
+
+  /// True iff no key occurs twice.
+  bool HasUniqueKeys() const;
+
+  /// Largest key present (0 for an empty column).
+  uint64_t MaxKey() const;
+
+  /// Returns a copy with duplicate keys collapsed by `agg`, keys sorted
+  /// ascending. The result always has unique keys.
+  KeyedColumn Aggregated(Aggregation agg) const;
+
+ private:
+  KeyedColumn(std::string name, std::vector<uint64_t> keys,
+              std::vector<double> values)
+      : name_(std::move(name)),
+        keys_(std::move(keys)),
+        values_(std::move(values)) {}
+
+  std::string name_;
+  std::vector<uint64_t> keys_;
+  std::vector<double> values_;
+};
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_TABLE_COLUMN_H_

@@ -1,0 +1,55 @@
+#include "table/join.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace ipsketch {
+
+Result<std::vector<JoinedRow>> JoinRows(const KeyedColumn& a,
+                                        const KeyedColumn& b) {
+  if (!a.HasUniqueKeys() || !b.HasUniqueKeys()) {
+    return Status::FailedPrecondition(
+        "one-to-one join requires unique keys; aggregate first");
+  }
+  std::unordered_map<uint64_t, double> b_map;
+  b_map.reserve(b.size());
+  for (size_t i = 0; i < b.size(); ++i) b_map.emplace(b.keys()[i], b.values()[i]);
+
+  std::vector<JoinedRow> rows;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto it = b_map.find(a.keys()[i]);
+    if (it != b_map.end()) {
+      rows.push_back({a.keys()[i], a.values()[i], it->second});
+    }
+  }
+  return rows;
+}
+
+Result<JoinStats> ComputeJoinStats(const KeyedColumn& a,
+                                   const KeyedColumn& b) {
+  auto rows = JoinRows(a, b);
+  IPS_RETURN_IF_ERROR(rows.status());
+
+  JoinStats stats;
+  stats.size = rows.value().size();
+  for (const JoinedRow& r : rows.value()) {
+    stats.sum_a += r.value_a;
+    stats.sum_b += r.value_b;
+    stats.inner_product += r.value_a * r.value_b;
+    stats.sum_sq_a += r.value_a * r.value_a;
+    stats.sum_sq_b += r.value_b * r.value_b;
+  }
+  if (stats.size > 0) {
+    const double n = static_cast<double>(stats.size);
+    stats.mean_a = stats.sum_a / n;
+    stats.mean_b = stats.sum_b / n;
+    stats.variance_a = stats.sum_sq_a / n - stats.mean_a * stats.mean_a;
+    stats.variance_b = stats.sum_sq_b / n - stats.mean_b * stats.mean_b;
+    stats.covariance = stats.inner_product / n - stats.mean_a * stats.mean_b;
+    const double denom = std::sqrt(stats.variance_a * stats.variance_b);
+    stats.correlation = denom > 0.0 ? stats.covariance / denom : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace ipsketch

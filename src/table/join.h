@@ -1,0 +1,49 @@
+// Exact one-to-one joins and post-join statistics — the ground truth the
+// sketched estimates of join_estimates.h are evaluated against (Figure 2).
+
+#ifndef IPSKETCH_TABLE_JOIN_H_
+#define IPSKETCH_TABLE_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "table/column.h"
+
+namespace ipsketch {
+
+/// One row of a materialized one-to-one join.
+struct JoinedRow {
+  uint64_t key = 0;
+  double value_a = 0.0;
+  double value_b = 0.0;
+};
+
+/// Post-join statistics of T_A ⋈ T_B (Figure 2's SIZE / SUM / MEAN, plus the
+/// second-moment statistics dataset-search systems estimate).
+struct JoinStats {
+  size_t size = 0;             ///< |K_A ∩ K_B|
+  double sum_a = 0.0;          ///< SUM(V_A⋈)
+  double sum_b = 0.0;          ///< SUM(V_B⋈)
+  double mean_a = 0.0;         ///< MEAN(V_A⋈)
+  double mean_b = 0.0;         ///< MEAN(V_B⋈)
+  double inner_product = 0.0;  ///< Σ V_A⋈·V_B⋈ = ⟨x_VA, x_VB⟩
+  double sum_sq_a = 0.0;       ///< Σ V_A⋈²
+  double sum_sq_b = 0.0;       ///< Σ V_B⋈²
+  double variance_a = 0.0;     ///< population variance of V_A⋈
+  double variance_b = 0.0;     ///< population variance of V_B⋈
+  double covariance = 0.0;     ///< population covariance of (V_A⋈, V_B⋈)
+  double correlation = 0.0;    ///< Pearson correlation (0 if degenerate)
+};
+
+/// Materializes the one-to-one join of two keyed columns.
+/// Fails with FailedPrecondition if either column has duplicate keys.
+Result<std::vector<JoinedRow>> JoinRows(const KeyedColumn& a,
+                                        const KeyedColumn& b);
+
+/// Computes all post-join statistics of the one-to-one join.
+Result<JoinStats> ComputeJoinStats(const KeyedColumn& a, const KeyedColumn& b);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_TABLE_JOIN_H_

@@ -1,0 +1,166 @@
+#include "table/join_estimates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/wmh_estimator.h"
+#include "table/vectorize.h"
+
+namespace ipsketch {
+
+Status ColumnSketchOptions::Validate() const {
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  if (key_domain == 0) {
+    return Status::InvalidArgument("key_domain must be positive");
+  }
+  return Status::Ok();
+}
+
+Result<ColumnSketch> SketchColumn(const KeyedColumn& column,
+                                  const ColumnSketchOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+
+  WmhOptions wmh;
+  wmh.num_samples = options.num_samples;
+  wmh.L = options.L;
+  // All encodings — across every column in the catalog — must be sketched
+  // with the SAME hash functions: post-join statistics pair a value sketch
+  // of one column with a key-indicator sketch of another (e.g. SUM(V_A⋈) =
+  // ⟨x_VA, x_1[K_B]⟩), and Algorithm 5 only accepts sketches built with an
+  // identical seed.
+  wmh.seed = options.seed;
+
+  ColumnSketch out;
+  out.name = column.name();
+
+  auto indicator = KeyIndicatorVector(column, options.key_domain);
+  IPS_RETURN_IF_ERROR(indicator.status());
+  auto s1 = SketchWmh(indicator.value(), wmh);
+  IPS_RETURN_IF_ERROR(s1.status());
+  out.key_indicator = std::move(s1).value();
+
+  auto value_vec = ValueVector(column, options.key_domain);
+  IPS_RETURN_IF_ERROR(value_vec.status());
+  auto s2 = SketchWmh(value_vec.value(), wmh);
+  IPS_RETURN_IF_ERROR(s2.status());
+  out.values = std::move(s2).value();
+
+  auto squared = SquaredValueVector(column, options.key_domain);
+  IPS_RETURN_IF_ERROR(squared.status());
+  auto s3 = SketchWmh(squared.value(), wmh);
+  IPS_RETURN_IF_ERROR(s3.status());
+  out.squared_values = std::move(s3).value();
+
+  // Standardized encoding: ẑ[k] = (v[k] − mean)/stddev on the column's keys.
+  RunningMoments moments;
+  for (double v : column.values()) moments.Add(v);
+  out.value_mean = moments.Mean();
+  out.value_stddev = moments.StdDev();
+  std::vector<Entry> z_entries;
+  z_entries.reserve(column.size());
+  if (out.value_stddev > 0.0) {
+    for (size_t i = 0; i < column.size(); ++i) {
+      const double z =
+          (column.values()[i] - out.value_mean) / out.value_stddev;
+      if (z != 0.0) z_entries.push_back({column.keys()[i], z});
+    }
+  }
+  auto z_vec = SparseVector::Make(options.key_domain, std::move(z_entries));
+  IPS_RETURN_IF_ERROR(z_vec.status());
+  auto s4 = SketchWmh(z_vec.value(), wmh);
+  IPS_RETURN_IF_ERROR(s4.status());
+  out.standardized = std::move(s4).value();
+
+  return out;
+}
+
+Result<double> EstimateJoinSize(const ColumnSketch& a, const ColumnSketch& b) {
+  return EstimateWmhInnerProduct(a.key_indicator, b.key_indicator);
+}
+
+Result<double> EstimateJoinSum(const ColumnSketch& a, const ColumnSketch& b) {
+  return EstimateWmhInnerProduct(a.values, b.key_indicator);
+}
+
+Result<double> EstimateJoinMean(const ColumnSketch& a, const ColumnSketch& b) {
+  auto size = EstimateJoinSize(a, b);
+  IPS_RETURN_IF_ERROR(size.status());
+  auto sum = EstimateJoinSum(a, b);
+  IPS_RETURN_IF_ERROR(sum.status());
+  if (size.value() <= 0.0) return 0.0;
+  return sum.value() / size.value();
+}
+
+Result<double> EstimateJoinInnerProduct(const ColumnSketch& a,
+                                        const ColumnSketch& b) {
+  return EstimateWmhInnerProduct(a.values, b.values);
+}
+
+Result<EstimatedJoinStats> EstimateJoinStats(const ColumnSketch& a,
+                                             const ColumnSketch& b) {
+  EstimatedJoinStats stats;
+
+  auto size = EstimateJoinSize(a, b);
+  IPS_RETURN_IF_ERROR(size.status());
+  stats.size = size.value();
+
+  auto sum_a = EstimateJoinSum(a, b);
+  IPS_RETURN_IF_ERROR(sum_a.status());
+  stats.sum_a = sum_a.value();
+
+  auto sum_b = EstimateJoinSum(b, a);
+  IPS_RETURN_IF_ERROR(sum_b.status());
+  stats.sum_b = sum_b.value();
+
+  auto ip = EstimateJoinInnerProduct(a, b);
+  IPS_RETURN_IF_ERROR(ip.status());
+  stats.inner_product = ip.value();
+
+  auto sq_a = EstimateWmhInnerProduct(a.squared_values, b.key_indicator);
+  IPS_RETURN_IF_ERROR(sq_a.status());
+  stats.sum_sq_a = sq_a.value();
+
+  auto sq_b = EstimateWmhInnerProduct(b.squared_values, a.key_indicator);
+  IPS_RETURN_IF_ERROR(sq_b.status());
+  stats.sum_sq_b = sq_b.value();
+
+  if (stats.size > 0.0) {
+    const double n = stats.size;
+    stats.mean_a = stats.sum_a / n;
+    stats.mean_b = stats.sum_b / n;
+    // Plug-in moment estimates; estimation noise can push the variance
+    // estimates slightly negative, so clamp at 0.
+    stats.variance_a =
+        std::max(0.0, stats.sum_sq_a / n - stats.mean_a * stats.mean_a);
+    stats.variance_b =
+        std::max(0.0, stats.sum_sq_b / n - stats.mean_b * stats.mean_b);
+    stats.covariance = stats.inner_product / n - stats.mean_a * stats.mean_b;
+    const double denom = std::sqrt(stats.variance_a * stats.variance_b);
+    if (denom > 0.0) {
+      stats.correlation = std::clamp(stats.covariance / denom, -1.0, 1.0);
+    }
+  }
+
+  // Standardized correlation: on globally standardized values the post-join
+  // variances are ≈ 1, so r ≈ ⟨ẑ_A, ẑ_B⟩/n − μ̂_zA·μ̂_zB with the post-join
+  // standardized means estimated from the same sketches.
+  if (stats.size > 0.0 && a.value_stddev > 0.0 && b.value_stddev > 0.0) {
+    auto ipz = EstimateWmhInnerProduct(a.standardized, b.standardized);
+    IPS_RETURN_IF_ERROR(ipz.status());
+    auto mza = EstimateWmhInnerProduct(a.standardized, b.key_indicator);
+    IPS_RETURN_IF_ERROR(mza.status());
+    auto mzb = EstimateWmhInnerProduct(b.standardized, a.key_indicator);
+    IPS_RETURN_IF_ERROR(mzb.status());
+    const double n = stats.size;
+    const double r =
+        ipz.value() / n - (mza.value() / n) * (mzb.value() / n);
+    stats.standardized_correlation = std::clamp(r, -1.0, 1.0);
+  }
+  return stats;
+}
+
+}  // namespace ipsketch

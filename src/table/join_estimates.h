@@ -1,0 +1,108 @@
+// Sketch-backed post-join statistics: the dataset-search payload of §1.2.
+//
+// A `ColumnSketch` bundles WMH sketches of the three Figure-3 encodings of a
+// keyed column (key indicator, values, squared values). Once built, any two
+// column sketches with matching configuration can estimate — without ever
+// joining the tables —
+//
+//   join size        ⟨x_1[K_A], x_1[K_B]⟩
+//   post-join sums   ⟨x_VA, x_1[K_B]⟩,  ⟨x_VA², x_1[K_B]⟩
+//   post-join means  SUM/SIZE
+//   inner product    ⟨x_VA, x_VB⟩
+//   covariance/correlation from the five estimates above.
+
+#ifndef IPSKETCH_TABLE_JOIN_ESTIMATES_H_
+#define IPSKETCH_TABLE_JOIN_ESTIMATES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/wmh_sketch.h"
+#include "table/column.h"
+
+namespace ipsketch {
+
+/// Configuration shared by every column sketch in a catalog.
+struct ColumnSketchOptions {
+  /// Samples per underlying WMH sketch (three sketches are kept per column).
+  size_t num_samples = 256;
+  /// Master seed; all catalog sketches must share it to be comparable.
+  uint64_t seed = 0;
+  /// Key domain size n (e.g. 2^32 for 32-bit surrogate keys). Keys must be
+  /// smaller than this.
+  uint64_t key_domain = uint64_t{1} << 32;
+  /// WMH discretization parameter; 0 = DefaultL(key_domain).
+  uint64_t L = 0;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// WMH sketches of one keyed column's vector encodings.
+struct ColumnSketch {
+  std::string name;          ///< column display name
+  WmhSketch key_indicator;   ///< S(x_1[K])
+  WmhSketch values;          ///< S(x_V)
+  WmhSketch squared_values;  ///< S(x_V²)
+  /// S(x_ẑ) for the globally standardized values ẑ = (v − mean)/stddev.
+  /// Plug-in variance estimation (E[x²] − mean²) cancels catastrophically
+  /// when a column's mean dwarfs its spread, so correlation estimates use
+  /// this pre-centered encoding instead (the approach of the correlation-
+  /// sketch literature the paper builds on, Santos et al. 2021).
+  WmhSketch standardized;
+  double value_mean = 0.0;    ///< global mean of the column's values
+  double value_stddev = 0.0;  ///< global population stddev (0 if constant)
+
+  /// Total storage in 64-bit words.
+  double StorageWords() const {
+    return key_indicator.StorageWords() + values.StorageWords() +
+           squared_values.StorageWords() + standardized.StorageWords() + 2.0;
+  }
+};
+
+/// Builds the three sketches for a column. The column must have unique keys
+/// within the configured domain.
+Result<ColumnSketch> SketchColumn(const KeyedColumn& column,
+                                  const ColumnSketchOptions& options);
+
+/// All sketched post-join statistics for a column pair.
+struct EstimatedJoinStats {
+  double size = 0.0;
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  double inner_product = 0.0;
+  double sum_sq_a = 0.0;
+  double sum_sq_b = 0.0;
+  double variance_a = 0.0;
+  double variance_b = 0.0;
+  double covariance = 0.0;
+  double correlation = 0.0;  ///< plug-in moments estimate, clamped to [−1, 1]
+  /// Correlation from the standardized encodings: ⟨ẑ_A, ẑ_B⟩/SIZE minus the
+  /// product of post-join standardized means. Far better conditioned than
+  /// `correlation` for columns whose mean dwarfs their spread.
+  double standardized_correlation = 0.0;
+};
+
+/// Estimated join size ⟨x_1[K_A], x_1[K_B]⟩.
+Result<double> EstimateJoinSize(const ColumnSketch& a, const ColumnSketch& b);
+
+/// Estimated post-join sum of a's values, ⟨x_VA, x_1[K_B]⟩.
+Result<double> EstimateJoinSum(const ColumnSketch& a, const ColumnSketch& b);
+
+/// Estimated post-join mean of a's values (SUM/SIZE; 0 if SIZE ≤ 0).
+Result<double> EstimateJoinMean(const ColumnSketch& a, const ColumnSketch& b);
+
+/// Estimated post-join inner product ⟨x_VA, x_VB⟩.
+Result<double> EstimateJoinInnerProduct(const ColumnSketch& a,
+                                        const ColumnSketch& b);
+
+/// All statistics at once (size, sums, means, moments, correlation).
+Result<EstimatedJoinStats> EstimateJoinStats(const ColumnSketch& a,
+                                             const ColumnSketch& b);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_TABLE_JOIN_ESTIMATES_H_

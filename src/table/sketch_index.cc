@@ -1,0 +1,56 @@
+#include "table/sketch_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipsketch {
+
+Status SketchIndex::AddTable(const Table& table) {
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    auto column = table.ColumnAt(i);
+    IPS_RETURN_IF_ERROR(column.status());
+    IPS_RETURN_IF_ERROR(AddColumn(column.value()));
+  }
+  return Status::Ok();
+}
+
+Status SketchIndex::AddColumn(const KeyedColumn& column) {
+  auto sketch = SketchColumn(column, options_);
+  IPS_RETURN_IF_ERROR(sketch.status());
+  columns_.push_back(std::move(sketch).value());
+  return Status::Ok();
+}
+
+Result<std::vector<SketchIndex::Hit>> SketchIndex::Search(
+    const KeyedColumn& query, RankBy rank_by, size_t top_k) const {
+  auto query_sketch = SketchColumn(query, options_);
+  IPS_RETURN_IF_ERROR(query_sketch.status());
+
+  std::vector<Hit> hits;
+  hits.reserve(columns_.size());
+  for (const ColumnSketch& candidate : columns_) {
+    auto stats = EstimateJoinStats(query_sketch.value(), candidate);
+    IPS_RETURN_IF_ERROR(stats.status());
+    Hit hit;
+    hit.column_name = candidate.name;
+    hit.stats = stats.value();
+    switch (rank_by) {
+      case RankBy::kJoinSize:
+        hit.score = hit.stats.size;
+        break;
+      case RankBy::kAbsCorrelation:
+        hit.score = std::fabs(hit.stats.standardized_correlation);
+        break;
+      case RankBy::kAbsInnerProduct:
+        hit.score = std::fabs(hit.stats.inner_product);
+        break;
+    }
+    hits.push_back(std::move(hit));
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const Hit& x, const Hit& y) { return x.score > y.score; });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,64 @@
+// A dataset-search catalog: pre-computed column sketches over a corpus of
+// tables, searchable by estimated joinability/relatedness (§1.2's workflow:
+// "a small-space sketch is precomputed for all data tables in the search
+// set" and queries compare against those sketches).
+
+#ifndef IPSKETCH_TABLE_SKETCH_INDEX_H_
+#define IPSKETCH_TABLE_SKETCH_INDEX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/join_estimates.h"
+#include "table/table.h"
+
+namespace ipsketch {
+
+/// Ranking criterion for catalog search.
+enum class RankBy {
+  kJoinSize = 0,        ///< estimated |K_query ∩ K_candidate|
+  kAbsCorrelation = 1,  ///< |estimated post-join Pearson correlation|
+  kAbsInnerProduct = 2, ///< |estimated ⟨x_V_query, x_V_candidate⟩|
+};
+
+/// A pre-sketched catalog of table columns.
+class SketchIndex {
+ public:
+  /// Creates an empty catalog; all sketches use `options`.
+  explicit SketchIndex(ColumnSketchOptions options)
+      : options_(options) {}
+
+  /// Sketches every value column of `table` into the catalog.
+  Status AddTable(const Table& table);
+
+  /// Sketches a single keyed column into the catalog.
+  Status AddColumn(const KeyedColumn& column);
+
+  /// Number of sketched columns.
+  size_t size() const { return columns_.size(); }
+
+  /// One search hit.
+  struct Hit {
+    std::string column_name;  ///< catalog column ("table.column")
+    double score = 0.0;       ///< value of the ranking criterion
+    EstimatedJoinStats stats; ///< full estimated statistics vs the query
+  };
+
+  /// Ranks all catalog columns against `query` and returns the best `top_k`.
+  /// The query is sketched once with the catalog's configuration.
+  Result<std::vector<Hit>> Search(const KeyedColumn& query, RankBy rank_by,
+                                  size_t top_k) const;
+
+  /// The catalog's sketch configuration.
+  const ColumnSketchOptions& options() const { return options_; }
+
+ private:
+  ColumnSketchOptions options_;
+  std::vector<ColumnSketch> columns_;
+};
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_TABLE_SKETCH_INDEX_H_

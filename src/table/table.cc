@@ -1,0 +1,54 @@
+#include "table/table.h"
+
+#include <unordered_set>
+
+namespace ipsketch {
+
+Result<Table> Table::Make(std::string name, std::vector<uint64_t> keys,
+                          std::vector<std::string> column_names,
+                          std::vector<std::vector<double>> column_values) {
+  if (column_names.size() != column_values.size()) {
+    return Status::InvalidArgument("column name/value count mismatch");
+  }
+  for (const auto& col : column_values) {
+    if (col.size() != keys.size()) {
+      return Status::InvalidArgument("column length differs from key count");
+    }
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(keys.size());
+  for (uint64_t k : keys) {
+    if (!seen.insert(k).second) {
+      return Status::InvalidArgument("duplicate key " + std::to_string(k) +
+                                     " in table '" + name + "'");
+    }
+  }
+  return Table(std::move(name), std::move(keys), std::move(column_names),
+               std::move(column_values));
+}
+
+Table Table::MakeOrDie(std::string name, std::vector<uint64_t> keys,
+                       std::vector<std::string> column_names,
+                       std::vector<std::vector<double>> column_values) {
+  auto r = Make(std::move(name), std::move(keys), std::move(column_names),
+                std::move(column_values));
+  IPS_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+Result<KeyedColumn> Table::Column(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return ColumnAt(i);
+  }
+  return Status::NotFound("no column '" + name + "' in table '" + name_ + "'");
+}
+
+Result<KeyedColumn> Table::ColumnAt(size_t i) const {
+  if (i >= column_names_.size()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  return KeyedColumn::Make(name_ + "." + column_names_[i], keys_,
+                           column_values_[i]);
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,68 @@
+// A minimal relational table: one key column plus named numeric value
+// columns, mirroring the T_A / T_B tables of Figure 2.
+
+#ifndef IPSKETCH_TABLE_TABLE_H_
+#define IPSKETCH_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/column.h"
+
+namespace ipsketch {
+
+/// A table with one shared key column and any number of value columns.
+class Table {
+ public:
+  Table() = default;
+
+  /// Builds a table. Every value column must match the key column's length;
+  /// keys must be unique (aggregate upstream per footnote 3 of the paper).
+  static Result<Table> Make(std::string name, std::vector<uint64_t> keys,
+                            std::vector<std::string> column_names,
+                            std::vector<std::vector<double>> column_values);
+
+  /// `Make` that aborts on error — for literals in tests and examples.
+  static Table MakeOrDie(std::string name, std::vector<uint64_t> keys,
+                         std::vector<std::string> column_names,
+                         std::vector<std::vector<double>> column_values);
+
+  /// Table name.
+  const std::string& name() const { return name_; }
+  /// Number of rows.
+  size_t num_rows() const { return keys_.size(); }
+  /// Number of value columns.
+  size_t num_columns() const { return column_names_.size(); }
+  /// Row keys.
+  const std::vector<uint64_t>& keys() const { return keys_; }
+  /// Value column names.
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  /// The value column called `name`, as a KeyedColumn over this table's keys.
+  Result<KeyedColumn> Column(const std::string& name) const;
+
+  /// The i-th value column as a KeyedColumn.
+  Result<KeyedColumn> ColumnAt(size_t i) const;
+
+ private:
+  Table(std::string name, std::vector<uint64_t> keys,
+        std::vector<std::string> column_names,
+        std::vector<std::vector<double>> column_values)
+      : name_(std::move(name)),
+        keys_(std::move(keys)),
+        column_names_(std::move(column_names)),
+        column_values_(std::move(column_values)) {}
+
+  std::string name_;
+  std::vector<uint64_t> keys_;
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<double>> column_values_;
+};
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_TABLE_TABLE_H_

@@ -1,0 +1,50 @@
+#include "table/vectorize.h"
+
+namespace ipsketch {
+namespace {
+
+Result<SparseVector> VectorizeWith(const KeyedColumn& column,
+                                   uint64_t key_domain, bool indicator,
+                                   bool squared) {
+  if (!column.HasUniqueKeys()) {
+    return Status::FailedPrecondition(
+        "column '" + column.name() +
+        "' has duplicate keys; aggregate before vectorizing");
+  }
+  std::vector<Entry> entries;
+  entries.reserve(column.size());
+  for (size_t i = 0; i < column.size(); ++i) {
+    const uint64_t key = column.keys()[i];
+    if (key >= key_domain) {
+      return Status::OutOfRange("key " + std::to_string(key) +
+                                " outside domain " +
+                                std::to_string(key_domain));
+    }
+    double v = indicator ? 1.0 : column.values()[i];
+    if (squared) v *= v;
+    entries.push_back({key, v});
+  }
+  return SparseVector::Make(key_domain, std::move(entries));
+}
+
+}  // namespace
+
+Result<SparseVector> KeyIndicatorVector(const KeyedColumn& column,
+                                        uint64_t key_domain) {
+  return VectorizeWith(column, key_domain, /*indicator=*/true,
+                       /*squared=*/false);
+}
+
+Result<SparseVector> ValueVector(const KeyedColumn& column,
+                                 uint64_t key_domain) {
+  return VectorizeWith(column, key_domain, /*indicator=*/false,
+                       /*squared=*/false);
+}
+
+Result<SparseVector> SquaredValueVector(const KeyedColumn& column,
+                                        uint64_t key_domain) {
+  return VectorizeWith(column, key_domain, /*indicator=*/false,
+                       /*squared=*/true);
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,39 @@
+// Table → vector encodings (Figure 3 of the paper).
+//
+// A keyed column (K, V) over a key domain of size n becomes:
+//   * x_1[K]: the key indicator vector — 1 at each key of K, 0 elsewhere;
+//   * x_V:   the value vector — V's value at each key of K, 0 elsewhere;
+//   * x_V²:  squared values, enabling post-join second-moment estimates.
+//
+// Post-join statistics then reduce to inner products, e.g.
+//   SIZE = ⟨x_1[K_A], x_1[K_B]⟩,  SUM(V_A⋈) = ⟨x_VA, x_1[K_B]⟩.
+
+#ifndef IPSKETCH_TABLE_VECTORIZE_H_
+#define IPSKETCH_TABLE_VECTORIZE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "table/column.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// The key indicator vector x_1[K] over domain [0, key_domain).
+/// Fails if keys are duplicated or out of domain.
+Result<SparseVector> KeyIndicatorVector(const KeyedColumn& column,
+                                        uint64_t key_domain);
+
+/// The value vector x_V over domain [0, key_domain).
+/// Fails if keys are duplicated or out of domain. Note that zero values are
+/// (correctly) indistinguishable from absent keys in this encoding.
+Result<SparseVector> ValueVector(const KeyedColumn& column,
+                                 uint64_t key_domain);
+
+/// The squared-value vector x_V² over domain [0, key_domain).
+Result<SparseVector> SquaredValueVector(const KeyedColumn& column,
+                                        uint64_t key_domain);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_TABLE_VECTORIZE_H_

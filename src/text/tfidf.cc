@@ -1,0 +1,78 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace ipsketch {
+
+Status TfidfOptions::Validate() const {
+  if (dimension == 0 || (dimension & (dimension - 1)) != 0) {
+    return Status::InvalidArgument("dimension must be a power of two");
+  }
+  return Status::Ok();
+}
+
+Status TfidfVectorizer::Fit(
+    const std::vector<std::vector<uint64_t>>& documents) {
+  IPS_RETURN_IF_ERROR(options_.Validate());
+  if (fitted_) return Status::FailedPrecondition("Fit called twice");
+  for (const auto& doc : documents) {
+    std::unordered_set<uint64_t> distinct(doc.begin(), doc.end());
+    for (uint64_t f : distinct) ++document_frequency_[f];
+  }
+  num_documents_ = documents.size();
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<SparseVector> TfidfVectorizer::Transform(
+    const std::vector<uint64_t>& document) const {
+  if (!fitted_) return Status::FailedPrecondition("Transform before Fit");
+
+  std::unordered_map<uint64_t, uint32_t> term_frequency;
+  term_frequency.reserve(document.size());
+  for (uint64_t f : document) ++term_frequency[f];
+
+  const double n_docs = static_cast<double>(num_documents_);
+  const uint64_t mask = options_.dimension - 1;
+  // Feature hashing: distinct feature ids can (rarely) collide in the
+  // reduced dimension; their TF-IDF mass is summed, as is standard.
+  std::unordered_map<uint64_t, double> accum;
+  accum.reserve(term_frequency.size());
+  for (const auto& [feature, count] : term_frequency) {
+    auto it = document_frequency_.find(feature);
+    const double df = it == document_frequency_.end()
+                          ? 0.0
+                          : static_cast<double>(it->second);
+    const double idf = std::log((1.0 + n_docs) / (1.0 + df)) + 1.0;
+    const double tf = options_.sublinear_tf
+                          ? 1.0 + std::log(static_cast<double>(count))
+                          : static_cast<double>(count);
+    accum[feature & mask] += tf * idf;
+  }
+
+  std::vector<Entry> entries;
+  entries.reserve(accum.size());
+  for (const auto& [index, value] : accum) entries.push_back({index, value});
+  auto vec = SparseVector::Make(options_.dimension, std::move(entries));
+  IPS_RETURN_IF_ERROR(vec.status());
+  if (options_.l2_normalize && !vec.value().empty()) {
+    return vec.value().Normalized();
+  }
+  return vec;
+}
+
+Result<std::vector<SparseVector>> TfidfVectorizer::FitTransform(
+    const std::vector<std::vector<uint64_t>>& documents) {
+  IPS_RETURN_IF_ERROR(Fit(documents));
+  std::vector<SparseVector> out;
+  out.reserve(documents.size());
+  for (const auto& doc : documents) {
+    auto vec = Transform(doc);
+    IPS_RETURN_IF_ERROR(vec.status());
+    out.push_back(std::move(vec).value());
+  }
+  return out;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,71 @@
+// TF-IDF vectorization (Salton et al. 1975), as used for the §5.2 document
+// similarity experiments: "each entry represents a term or a combination of
+// 2 terms (bigrams), and is associated with a value that encodes ...
+// importance using TF-IDF weights".
+//
+// Feature ids are 64-bit hashes; the vectorizer maps them into a sparse
+// vector over a configurable power-of-two dimension (feature hashing). With
+// the default 2^40 dimension, collisions are negligible for corpora of
+// millions of features.
+
+#ifndef IPSKETCH_TEXT_TFIDF_H_
+#define IPSKETCH_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Configuration for TfidfVectorizer.
+struct TfidfOptions {
+  /// Sparse vector dimension; must be a power of two.
+  uint64_t dimension = uint64_t{1} << 40;
+  /// Use 1 + log(tf) instead of raw term counts.
+  bool sublinear_tf = false;
+  /// L2-normalize the output vectors (cosine similarity = inner product).
+  bool l2_normalize = true;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// Fits document frequencies over a corpus and transforms documents into
+/// TF-IDF vectors.
+class TfidfVectorizer {
+ public:
+  explicit TfidfVectorizer(TfidfOptions options = TfidfOptions())
+      : options_(options) {}
+
+  /// Counts document frequencies over `documents` (each a multiset of
+  /// feature ids). Must be called exactly once before Transform.
+  Status Fit(const std::vector<std::vector<uint64_t>>& documents);
+
+  /// TF-IDF vector of one document:
+  ///   value(f) = tf(f) · idf(f),  idf(f) = ln((1+N)/(1+df(f))) + 1
+  /// (the smooth IDF convention, robust to unseen features).
+  Result<SparseVector> Transform(const std::vector<uint64_t>& document) const;
+
+  /// Fit + Transform over the same corpus.
+  Result<std::vector<SparseVector>> FitTransform(
+      const std::vector<std::vector<uint64_t>>& documents);
+
+  /// Number of distinct features seen during Fit.
+  size_t vocabulary_size() const { return document_frequency_.size(); }
+
+  /// Number of documents seen during Fit.
+  size_t num_documents() const { return num_documents_; }
+
+ private:
+  TfidfOptions options_;
+  std::unordered_map<uint64_t, uint32_t> document_frequency_;
+  size_t num_documents_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_TEXT_TFIDF_H_

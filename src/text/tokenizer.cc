@@ -1,0 +1,64 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/rng.h"
+
+namespace ipsketch {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+uint64_t TokenId(std::string_view token) {
+  // FNV-1a over the bytes, then Mix64 for avalanche.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return Mix64(h);
+}
+
+uint64_t BigramId(uint64_t first_token_id, uint64_t second_token_id) {
+  // Order-sensitive combine with a domain-separation tag so a bigram id can
+  // never collide with a unigram id by construction alone.
+  return MixCombine(0xB16A4071D00DFEEDull, first_token_id, second_token_id);
+}
+
+std::vector<uint64_t> TokenFeatures(const std::vector<std::string>& tokens,
+                                    const FeatureOptions& options) {
+  std::vector<uint64_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) ids.push_back(TokenId(t));
+  return IdFeatures(ids, options);
+}
+
+std::vector<uint64_t> IdFeatures(const std::vector<uint64_t>& token_ids,
+                                 const FeatureOptions& options) {
+  std::vector<uint64_t> features;
+  features.reserve(token_ids.size() * (options.bigrams ? 2 : 1));
+  if (options.unigrams) {
+    features.insert(features.end(), token_ids.begin(), token_ids.end());
+  }
+  if (options.bigrams) {
+    for (size_t i = 0; i + 1 < token_ids.size(); ++i) {
+      features.push_back(BigramId(token_ids[i], token_ids[i + 1]));
+    }
+  }
+  return features;
+}
+
+}  // namespace ipsketch

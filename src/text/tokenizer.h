@@ -1,0 +1,45 @@
+// Text tokenization and feature extraction for the document-similarity
+// experiments (§5.2): each document becomes a bag of unigram and bigram
+// features, identified by 64-bit hashes so the feature space never needs a
+// materialized vocabulary ("n can be very large ... set n large enough to
+// cover the whole domain", §1.2).
+
+#ifndef IPSKETCH_TEXT_TOKENIZER_H_
+#define IPSKETCH_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipsketch {
+
+/// Splits `text` into lowercase tokens at non-alphanumeric boundaries.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Stable 64-bit id of a token (FNV-1a finalized with Mix64).
+uint64_t TokenId(std::string_view token);
+
+/// Stable 64-bit id of the bigram (first, second).
+uint64_t BigramId(uint64_t first_token_id, uint64_t second_token_id);
+
+/// Options for feature extraction.
+struct FeatureOptions {
+  bool unigrams = true;
+  bool bigrams = true;
+};
+
+/// Maps a token sequence to feature ids: unigram ids plus (optionally)
+/// bigram ids of adjacent pairs, in document order (duplicates preserved —
+/// term frequency is counted downstream).
+std::vector<uint64_t> TokenFeatures(const std::vector<std::string>& tokens,
+                                    const FeatureOptions& options);
+
+/// Same, over pre-hashed token ids (used by the synthetic corpus generator,
+/// which produces token ids directly).
+std::vector<uint64_t> IdFeatures(const std::vector<uint64_t>& token_ids,
+                                 const FeatureOptions& options);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_TEXT_TOKENIZER_H_

@@ -1,0 +1,114 @@
+#include "vector/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ipsketch {
+
+Result<SparseVector> SparseVector::Make(uint64_t dimension,
+                                        std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.index < b.index; });
+  std::vector<Entry> kept;
+  kept.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    if (e.index >= dimension) {
+      return Status::InvalidArgument("entry index " + std::to_string(e.index) +
+                                     " >= dimension " +
+                                     std::to_string(dimension));
+    }
+    if (i + 1 < entries.size() && entries[i + 1].index == e.index) {
+      return Status::InvalidArgument("duplicate index " +
+                                     std::to_string(e.index));
+    }
+    if (!std::isfinite(e.value)) {
+      return Status::InvalidArgument("non-finite value at index " +
+                                     std::to_string(e.index));
+    }
+    if (e.value != 0.0) kept.push_back(e);
+  }
+  return SparseVector(dimension, std::move(kept));
+}
+
+SparseVector SparseVector::MakeOrDie(uint64_t dimension,
+                                     std::vector<Entry> entries) {
+  auto r = Make(dimension, std::move(entries));
+  IPS_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+SparseVector SparseVector::FromDense(const std::vector<double>& dense) {
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0) entries.push_back({i, dense[i]});
+  }
+  return SparseVector(dense.size(), std::move(entries));
+}
+
+std::vector<double> SparseVector::ToDense() const {
+  std::vector<double> dense(dimension_, 0.0);
+  for (const Entry& e : entries_) dense[e.index] = e.value;
+  return dense;
+}
+
+double SparseVector::Get(uint64_t index) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), index,
+      [](const Entry& e, uint64_t idx) { return e.index < idx; });
+  if (it != entries_.end() && it->index == index) return it->value;
+  return 0.0;
+}
+
+double SparseVector::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double SparseVector::SquaredNorm() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s += e.value * e.value;
+  return s;
+}
+
+double SparseVector::L1Norm() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s += std::fabs(e.value);
+  return s;
+}
+
+double SparseVector::InfNorm() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s = std::max(s, std::fabs(e.value));
+  return s;
+}
+
+SparseVector SparseVector::Scaled(double factor) const {
+  if (factor == 0.0) return SparseVector(dimension_, {});
+  std::vector<Entry> scaled = entries_;
+  for (Entry& e : scaled) e.value *= factor;
+  return SparseVector(dimension_, std::move(scaled));
+}
+
+Result<SparseVector> SparseVector::Normalized() const {
+  const double norm = Norm();
+  if (norm == 0.0) {
+    return Status::FailedPrecondition("cannot normalize the zero vector");
+  }
+  return Scaled(1.0 / norm);
+}
+
+std::string SparseVector::DebugString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i) os << ", ";
+    os << entries_[i].index << ": " << entries_[i].value;
+    if (i >= 16) {
+      os << ", ...";
+      break;
+    }
+  }
+  os << "]  (dim " << dimension_ << ", nnz " << entries_.size() << ")";
+  return os.str();
+}
+
+}  // namespace ipsketch

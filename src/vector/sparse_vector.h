@@ -1,0 +1,107 @@
+// Sparse vector representation shared by every sketch in the library.
+//
+// All sketching methods in the paper (linear and sampling-based alike) only
+// touch the non-zero entries of their input, and the motivating applications
+// (dataset search, §1.2) produce vectors whose logical dimension can be as
+// large as the key domain (2^32 or 2^64) while only thousands of entries are
+// non-zero. `SparseVector` therefore stores a sorted coordinate list of
+// (index, value) pairs and never materializes the dense form.
+
+#ifndef IPSKETCH_VECTOR_SPARSE_VECTOR_H_
+#define IPSKETCH_VECTOR_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipsketch {
+
+/// One non-zero coordinate of a sparse vector.
+struct Entry {
+  uint64_t index = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Entry& a, const Entry& b) {
+    return a.index == b.index && a.value == b.value;
+  }
+};
+
+/// Immutable sparse vector over the index domain [0, dimension).
+///
+/// Entries are stored sorted by index with no duplicates and no explicit
+/// zeros; construction enforces these invariants. The logical `dimension`
+/// bounds the index domain — it matters for hashing (which hashes indices,
+/// not positions) and for the discretization analysis (L must scale with n).
+class SparseVector {
+ public:
+  /// An empty vector of dimension 0.
+  SparseVector() = default;
+
+  /// Builds a vector from unordered (index, value) pairs.
+  /// Fails with InvalidArgument on duplicate indices or out-of-range indices;
+  /// entries with value exactly 0 are dropped.
+  static Result<SparseVector> Make(uint64_t dimension, std::vector<Entry> entries);
+
+  /// `Make` that aborts on error — for literals in tests and examples.
+  static SparseVector MakeOrDie(uint64_t dimension, std::vector<Entry> entries);
+
+  /// Builds from a dense array; dimension is `dense.size()`.
+  static SparseVector FromDense(const std::vector<double>& dense);
+
+  /// Materializes the dense form (tests and tiny examples only).
+  /// Requires dimension() to fit in memory.
+  std::vector<double> ToDense() const;
+
+  /// Logical dimension n of the vector.
+  uint64_t dimension() const { return dimension_; }
+
+  /// Number of stored (non-zero) entries.
+  size_t nnz() const { return entries_.size(); }
+
+  /// True iff there are no non-zero entries.
+  bool empty() const { return entries_.empty(); }
+
+  /// The sorted non-zero entries.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Value at `index` (0 if not stored). Binary search, O(log nnz).
+  double Get(uint64_t index) const;
+
+  /// Euclidean norm ‖a‖.
+  double Norm() const;
+  /// Squared Euclidean norm ‖a‖².
+  double SquaredNorm() const;
+  /// ℓ1 norm ‖a‖₁.
+  double L1Norm() const;
+  /// ℓ∞ norm ‖a‖∞ = max |a[i]|.
+  double InfNorm() const;
+
+  /// Returns this vector scaled by `factor` (entries that become 0 stay,
+  /// scaling by 0 yields an empty vector).
+  SparseVector Scaled(double factor) const;
+
+  /// Returns the unit-norm version a/‖a‖. Fails on the zero vector.
+  Result<SparseVector> Normalized() const;
+
+  /// True iff both vectors have the same dimension and identical entries.
+  friend bool operator==(const SparseVector& a, const SparseVector& b) {
+    return a.dimension_ == b.dimension_ && a.entries_ == b.entries_;
+  }
+
+  /// Compact debug rendering, e.g. "[3: 1.5, 7: -2]  (dim 16)".
+  std::string DebugString() const;
+
+ private:
+  SparseVector(uint64_t dimension, std::vector<Entry> entries)
+      : dimension_(dimension), entries_(std::move(entries)) {}
+
+  uint64_t dimension_ = 0;
+  std::vector<Entry> entries_;  // sorted by index, values non-zero
+};
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_VECTOR_SPARSE_VECTOR_H_

@@ -1,0 +1,137 @@
+#include "vector/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipsketch {
+namespace {
+
+// Invokes fn(a_value, b_value) for every index in the support intersection.
+template <typename Fn>
+void ForEachIntersecting(const SparseVector& a, const SparseVector& b, Fn fn) {
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t i = 0, j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].index < eb[j].index) {
+      ++i;
+    } else if (eb[j].index < ea[i].index) {
+      ++j;
+    } else {
+      fn(ea[i], eb[j]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+double Dot(const SparseVector& a, const SparseVector& b) {
+  double s = 0.0;
+  ForEachIntersecting(
+      a, b, [&](const Entry& x, const Entry& y) { s += x.value * y.value; });
+  return s;
+}
+
+size_t SupportIntersectionSize(const SparseVector& a, const SparseVector& b) {
+  size_t n = 0;
+  ForEachIntersecting(a, b, [&](const Entry&, const Entry&) { ++n; });
+  return n;
+}
+
+size_t SupportUnionSize(const SparseVector& a, const SparseVector& b) {
+  return a.nnz() + b.nnz() - SupportIntersectionSize(a, b);
+}
+
+double SupportJaccard(const SparseVector& a, const SparseVector& b) {
+  const size_t u = SupportUnionSize(a, b);
+  if (u == 0) return 0.0;
+  return static_cast<double>(SupportIntersectionSize(a, b)) /
+         static_cast<double>(u);
+}
+
+double OverlapRatio(const SparseVector& a, const SparseVector& b) {
+  const size_t m = std::max(a.nnz(), b.nnz());
+  if (m == 0) return 0.0;
+  return static_cast<double>(SupportIntersectionSize(a, b)) /
+         static_cast<double>(m);
+}
+
+SparseVector RestrictToIntersection(const SparseVector& a,
+                                    const SparseVector& b) {
+  std::vector<Entry> kept;
+  ForEachIntersecting(
+      a, b, [&](const Entry& x, const Entry&) { kept.push_back(x); });
+  return SparseVector::MakeOrDie(a.dimension(), std::move(kept));
+}
+
+IntersectionNorms ComputeIntersectionNorms(const SparseVector& a,
+                                           const SparseVector& b) {
+  double sa = 0.0, sb = 0.0;
+  ForEachIntersecting(a, b, [&](const Entry& x, const Entry& y) {
+    sa += x.value * x.value;
+    sb += y.value * y.value;
+  });
+  return {std::sqrt(sa), std::sqrt(sb)};
+}
+
+double Fact1Bound(const SparseVector& a, const SparseVector& b) {
+  return a.Norm() * b.Norm();
+}
+
+double Theorem2Bound(const SparseVector& a, const SparseVector& b) {
+  const IntersectionNorms in = ComputeIntersectionNorms(a, b);
+  return std::max(in.a_norm * b.Norm(), a.Norm() * in.b_norm);
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  const double na = a.Norm();
+  const double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+Result<SparseVector> Add(const SparseVector& a, const SparseVector& b) {
+  if (a.dimension() != b.dimension()) {
+    return Status::InvalidArgument("dimension mismatch in Add");
+  }
+  std::vector<Entry> out;
+  out.reserve(a.nnz() + b.nnz());
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t i = 0, j = 0;
+  while (i < ea.size() || j < eb.size()) {
+    if (j == eb.size() || (i < ea.size() && ea[i].index < eb[j].index)) {
+      out.push_back(ea[i++]);
+    } else if (i == ea.size() || eb[j].index < ea[i].index) {
+      out.push_back(eb[j++]);
+    } else {
+      const double v = ea[i].value + eb[j].value;
+      if (v != 0.0) out.push_back({ea[i].index, v});
+      ++i;
+      ++j;
+    }
+  }
+  return SparseVector::Make(a.dimension(), std::move(out));
+}
+
+Result<SparseVector> Hadamard(const SparseVector& a, const SparseVector& b) {
+  if (a.dimension() != b.dimension()) {
+    return Status::InvalidArgument("dimension mismatch in Hadamard");
+  }
+  std::vector<Entry> out;
+  ForEachIntersecting(a, b, [&](const Entry& x, const Entry& y) {
+    const double v = x.value * y.value;
+    if (v != 0.0) out.push_back({x.index, v});
+  });
+  return SparseVector::Make(a.dimension(), std::move(out));
+}
+
+SparseVector Squared(const SparseVector& a) {
+  std::vector<Entry> out = a.entries();
+  for (Entry& e : out) e.value *= e.value;
+  return SparseVector::MakeOrDie(a.dimension(), std::move(out));
+}
+
+}  // namespace ipsketch

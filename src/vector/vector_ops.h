@@ -1,0 +1,64 @@
+// Pairwise operations on sparse vectors: exact inner products, support
+// algebra, and the error-bound quantities from Fact 1 and Theorem 2.
+
+#ifndef IPSKETCH_VECTOR_VECTOR_OPS_H_
+#define IPSKETCH_VECTOR_VECTOR_OPS_H_
+
+#include <cstdint>
+
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Exact inner product ⟨a, b⟩ via sorted-merge over non-zeros.
+/// O(nnz(a) + nnz(b)).
+double Dot(const SparseVector& a, const SparseVector& b);
+
+/// |I| where I = {i : a[i] != 0 and b[i] != 0} (support intersection).
+size_t SupportIntersectionSize(const SparseVector& a, const SparseVector& b);
+
+/// |A ∪ B| over the supports.
+size_t SupportUnionSize(const SparseVector& a, const SparseVector& b);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of the supports (0 if both empty).
+double SupportJaccard(const SparseVector& a, const SparseVector& b);
+
+/// The paper's "overlap ratio": fraction of each vector's non-zeros that are
+/// shared, |A ∩ B| / max(|A|, |B|) (0 if both empty). §5.1 sweeps this.
+double OverlapRatio(const SparseVector& a, const SparseVector& b);
+
+/// a restricted to the intersection of supports: a_I (Theorem 2 notation).
+SparseVector RestrictToIntersection(const SparseVector& a,
+                                    const SparseVector& b);
+
+/// ‖a_I‖ and ‖b_I‖ in one merge pass.
+struct IntersectionNorms {
+  double a_norm = 0.0;  ///< ‖a_I‖
+  double b_norm = 0.0;  ///< ‖b_I‖
+};
+IntersectionNorms ComputeIntersectionNorms(const SparseVector& a,
+                                           const SparseVector& b);
+
+/// The linear-sketching error scale of Fact 1: ‖a‖·‖b‖.
+double Fact1Bound(const SparseVector& a, const SparseVector& b);
+
+/// The WMH error scale of Theorem 2: max(‖a_I‖‖b‖, ‖a‖‖b_I‖).
+/// Always ≤ Fact1Bound.
+double Theorem2Bound(const SparseVector& a, const SparseVector& b);
+
+/// Cosine similarity ⟨a,b⟩ / (‖a‖‖b‖); 0 if either vector is zero.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Element-wise sum a + b (dimension must match).
+Result<SparseVector> Add(const SparseVector& a, const SparseVector& b);
+
+/// Element-wise (Hadamard) product a ⊙ b (dimension must match).
+Result<SparseVector> Hadamard(const SparseVector& a, const SparseVector& b);
+
+/// Element-wise square a², used to sketch post-join second moments (§1.2,
+/// "Sketching other vector transformations like S((x_VB)²)").
+SparseVector Squared(const SparseVector& a);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_VECTOR_VECTOR_OPS_H_

@@ -1,0 +1,195 @@
+#include "core/active_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/expanded_reference.h"
+
+namespace ipsketch {
+namespace {
+
+TEST(ActiveIndexTest, Deterministic) {
+  EXPECT_EQ(ActiveIndexBlockMin(1, 2, 3, 100),
+            ActiveIndexBlockMin(1, 2, 3, 100));
+  EXPECT_NE(ActiveIndexBlockMin(1, 2, 3, 100),
+            ActiveIndexBlockMin(1, 2, 4, 100));
+  EXPECT_NE(ActiveIndexBlockMin(1, 2, 3, 100),
+            ActiveIndexBlockMin(1, 3, 3, 100));
+  EXPECT_NE(ActiveIndexBlockMin(1, 2, 3, 100),
+            ActiveIndexBlockMin(2, 2, 3, 100));
+}
+
+TEST(ActiveIndexTest, OutputInUnitInterval) {
+  for (uint64_t block = 0; block < 200; ++block) {
+    const double v = ActiveIndexBlockMin(7, 0, block, 50);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ActiveIndexTest, MonotoneNonIncreasingInReps) {
+  // The block minimum is a prefix minimum: more occupied slots can only
+  // lower (or keep) it. This is the coordination property two vectors with
+  // different weights rely on.
+  for (uint64_t block = 0; block < 100; ++block) {
+    double prev = 2.0;
+    for (uint64_t reps : {1u, 2u, 4u, 16u, 256u, 65536u}) {
+      const double v = ActiveIndexBlockMin(11, 3, block, reps);
+      EXPECT_LE(v, prev) << "block " << block << " reps " << reps;
+      prev = v;
+    }
+  }
+}
+
+TEST(ActiveIndexTest, EqualityIffNoRecordInBetween) {
+  // If blockmin(t1) == blockmin(t2) for t1 < t2, then blockmin is constant
+  // on [t1, t2] (the record positions are fixed by the stream).
+  for (uint64_t block = 0; block < 50; ++block) {
+    const double v10 = ActiveIndexBlockMin(13, 1, block, 10);
+    const double v20 = ActiveIndexBlockMin(13, 1, block, 20);
+    const double v15 = ActiveIndexBlockMin(13, 1, block, 15);
+    if (v10 == v20) {
+      EXPECT_EQ(v15, v10) << "block " << block;
+    } else {
+      EXPECT_LT(v20, v10);
+    }
+  }
+}
+
+TEST(ActiveIndexTest, SingleRepMatchesFirstDraw) {
+  // With reps = 1 the block min is the very first stream value, which is
+  // uniform on (0, 1]: its mean should be 1/2.
+  double sum = 0.0;
+  const int n = 20000;
+  for (int block = 0; block < n; ++block) {
+    sum += ActiveIndexBlockMin(17, 0, block, 1);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(ActiveIndexTest, BlockMinDistributionMatchesBetaOneT) {
+  // min of t i.i.d. U(0,1) has mean 1/(t+1) and E[min²] = 2/((t+1)(t+2)).
+  for (uint64_t t : {2u, 8u, 64u, 1024u}) {
+    RunningMoments m;
+    const int n = 40000;
+    for (int block = 0; block < n; ++block) {
+      m.Add(ActiveIndexBlockMin(19, 2, block, t));
+    }
+    const double expected_mean = 1.0 / static_cast<double>(t + 1);
+    EXPECT_NEAR(m.Mean(), expected_mean, 0.05 * expected_mean)
+        << "t=" << t;
+    const double expected_second =
+        2.0 / (static_cast<double>(t + 1) * static_cast<double>(t + 2));
+    EXPECT_NEAR(m.Variance() + m.Mean() * m.Mean(), expected_second,
+                0.1 * expected_second)
+        << "t=" << t;
+  }
+}
+
+TEST(ActiveIndexTest, SurvivalFunctionMatchesPower) {
+  // P(blockmin(t) > x) = (1 − x)^t.
+  const uint64_t t = 10;
+  const double x = 0.05;
+  int exceed = 0;
+  const int n = 40000;
+  for (int block = 0; block < n; ++block) {
+    if (ActiveIndexBlockMin(23, 0, block, t) > x) ++exceed;
+  }
+  EXPECT_NEAR(static_cast<double>(exceed) / n, std::pow(1.0 - x, t), 0.01);
+}
+
+TEST(ActiveIndexTest, TruncationSharingProbability) {
+  // For t_a < t_b, P(blockmin(t_a) == blockmin(t_b)) = t_a / t_b: the
+  // overall minimum of t_b uniforms lands in the first t_a slots with
+  // exactly that probability. This is the heart of Fact 5.
+  const uint64_t ta = 30, tb = 100;
+  int equal = 0;
+  const int n = 40000;
+  for (int block = 0; block < n; ++block) {
+    const double va = ActiveIndexBlockMin(29, 1, block, ta);
+    const double vb = ActiveIndexBlockMin(29, 1, block, tb);
+    if (va == vb) ++equal;
+  }
+  EXPECT_NEAR(static_cast<double>(equal) / n,
+              static_cast<double>(ta) / static_cast<double>(tb), 0.015);
+}
+
+TEST(ActiveIndexTest, SketchMatchesBlockMinComposition) {
+  // SketchWithActiveIndex must equal the explicit min over per-block
+  // ActiveIndexBlockMin calls.
+  DiscretizedVector dv;
+  dv.dimension = 64;
+  dv.L = 48;
+  dv.original_norm = 1.0;
+  dv.entries = {{3, 16, 0.577}, {10, 16, 0.577}, {40, 16, 0.577}};
+  const size_t m = 16;
+  std::vector<double> hashes(m), values(m);
+  SketchWithActiveIndex(dv, 31, m, &hashes, &values);
+  for (size_t s = 0; s < m; ++s) {
+    double best = 2.0;
+    double best_value = 0.0;
+    for (const auto& e : dv.entries) {
+      const double bm = ActiveIndexBlockMin(31, s, e.index, e.reps);
+      if (bm < best) {
+        best = bm;
+        best_value = e.value;
+      }
+    }
+    EXPECT_EQ(hashes[s], best);
+    EXPECT_EQ(values[s], best_value);
+  }
+}
+
+TEST(ActiveIndexTest, HugeRepsTerminates) {
+  // Expected number of records is ~ln(reps); even astronomically wide
+  // blocks complete fast and produce tiny minima.
+  const double v = ActiveIndexBlockMin(37, 0, 0, uint64_t{1} << 40);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1e-6);
+}
+
+TEST(ExpandedReferenceTest, SlotHashIsDeterministicUniform) {
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double h = ReferenceSlotHash(41, 0, i % 64, i / 64, 1024);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LT(h, 1.0);
+    sum += h;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_EQ(ReferenceSlotHash(41, 1, 2, 3, 64),
+            ReferenceSlotHash(41, 1, 2, 3, 64));
+}
+
+TEST(ExpandedReferenceTest, SketchIsArgminOverSlots) {
+  DiscretizedVector dv;
+  dv.dimension = 16;
+  dv.L = 32;
+  dv.original_norm = 2.0;
+  dv.entries = {{1, 8, 0.5}, {5, 8, 0.5}, {9, 16, std::sqrt(0.5)}};
+  const size_t m = 8;
+  std::vector<double> hashes(m), values(m);
+  SketchWithExpandedReference(dv, 43, m, &hashes, &values);
+  for (size_t s = 0; s < m; ++s) {
+    double best = 2.0;
+    double best_value = 0.0;
+    for (const auto& e : dv.entries) {
+      for (uint64_t slot = 0; slot < e.reps; ++slot) {
+        const double h = ReferenceSlotHash(43, s, e.index, slot, dv.L);
+        if (h < best) {
+          best = h;
+          best_value = e.value;
+        }
+      }
+    }
+    EXPECT_EQ(hashes[s], best);
+    EXPECT_EQ(values[s], best_value);
+  }
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,79 @@
+#include "expt/ascii.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+SweepResult SampleSweep() {
+  SweepResult r;
+  r.method_names = {"JL", "WMH"};
+  r.storage_words = {100, 200};
+  r.mean_errors = {{0.05, 0.03}, {0.01, 0.005}};
+  return r;
+}
+
+TEST(FormatGTest, SignificantDigits) {
+  EXPECT_EQ(FormatG(0.123456, 3), "0.123");
+  EXPECT_EQ(FormatG(1234.5678, 6), "1234.57");
+  EXPECT_EQ(FormatG(0.0, 4), "0");
+}
+
+TEST(PrintAlignedTableTest, AlignsColumns) {
+  std::ostringstream os;
+  PrintAlignedTable(os, {"name", "value"},
+                    {{"alpha", "1"}, {"b", "22222"}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);  // header rule
+}
+
+TEST(PrintSweepTableTest, ContainsHeadersAndValues) {
+  std::ostringstream os;
+  PrintSweepTable(os, SampleSweep());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("storage"), std::string::npos);
+  EXPECT_NE(out.find("JL"), std::string::npos);
+  EXPECT_NE(out.find("WMH"), std::string::npos);
+  EXPECT_NE(out.find("0.05"), std::string::npos);
+  EXPECT_NE(out.find("0.005"), std::string::npos);
+}
+
+TEST(PrintSweepChartTest, RendersSeriesMarks) {
+  std::ostringstream os;
+  PrintSweepChart(os, SampleSweep(), 40, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("J"), std::string::npos);
+  EXPECT_NE(out.find("W"), std::string::npos);
+  EXPECT_NE(out.find("storage"), std::string::npos);
+  // 10 canvas rows, each framed by "  |".
+  size_t rows = 0;
+  for (size_t pos = out.find("  |"); pos != std::string::npos;
+       pos = out.find("  |", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 10u);
+}
+
+TEST(PrintWinningTableTest, MarksNegativeCells) {
+  WinningTable table;
+  table.overlap_edges = {0.5};
+  table.kurtosis_edges = {10.0};
+  table.diff = {{-0.02, 0.01}, {0.0, -0.3}};
+  table.count = {{5, 3}, {0, 2}};
+  std::ostringstream os;
+  PrintWinningTable(os, table, "WMH", "JL");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("err_WMH - err_JL"), std::string::npos);
+  EXPECT_NE(out.find("-0.02*"), std::string::npos);  // negative → starred
+  EXPECT_NE(out.find("-0.3*"), std::string::npos);
+  EXPECT_NE(out.find("(n=5)"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);  // empty cell placeholder
+}
+
+}  // namespace
+}  // namespace ipsketch

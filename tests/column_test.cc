@@ -1,0 +1,86 @@
+#include "table/column.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+TEST(KeyedColumnTest, MakeValidatesLengths) {
+  EXPECT_FALSE(KeyedColumn::Make("x", {1, 2}, {1.0}).ok());
+  EXPECT_TRUE(KeyedColumn::Make("x", {1, 2}, {1.0, 2.0}).ok());
+  EXPECT_TRUE(KeyedColumn::Make("empty", {}, {}).ok());
+}
+
+TEST(KeyedColumnTest, MakeRejectsNonFinite) {
+  EXPECT_FALSE(KeyedColumn::Make("x", {1}, {NAN}).ok());
+  EXPECT_FALSE(KeyedColumn::Make("x", {1}, {INFINITY}).ok());
+}
+
+TEST(KeyedColumnTest, Accessors) {
+  const auto c = KeyedColumn::MakeOrDie("rides", {3, 1, 2}, {30.0, 10.0, 20.0});
+  EXPECT_EQ(c.name(), "rides");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.keys()[0], 3u);
+  EXPECT_EQ(c.values()[0], 30.0);
+  EXPECT_EQ(c.MaxKey(), 3u);
+}
+
+TEST(KeyedColumnTest, UniqueKeyDetection) {
+  EXPECT_TRUE(
+      KeyedColumn::MakeOrDie("u", {1, 2, 3}, {1, 1, 1}).HasUniqueKeys());
+  EXPECT_FALSE(
+      KeyedColumn::MakeOrDie("d", {1, 2, 1}, {1, 1, 1}).HasUniqueKeys());
+  EXPECT_TRUE(KeyedColumn::MakeOrDie("e", {}, {}).HasUniqueKeys());
+}
+
+TEST(KeyedColumnTest, AggregationSum) {
+  const auto c =
+      KeyedColumn::MakeOrDie("x", {5, 3, 5, 3, 7}, {1.0, 2.0, 3.0, 4.0, 5.0});
+  const auto agg = c.Aggregated(Aggregation::kSum);
+  EXPECT_TRUE(agg.HasUniqueKeys());
+  ASSERT_EQ(agg.size(), 3u);
+  // Sorted keys: 3, 5, 7.
+  EXPECT_EQ(agg.keys(), (std::vector<uint64_t>{3, 5, 7}));
+  EXPECT_EQ(agg.values(), (std::vector<double>{6.0, 4.0, 5.0}));
+}
+
+TEST(KeyedColumnTest, AggregationMean) {
+  const auto c = KeyedColumn::MakeOrDie("x", {1, 1, 2}, {2.0, 4.0, 9.0});
+  const auto agg = c.Aggregated(Aggregation::kMean);
+  EXPECT_EQ(agg.values(), (std::vector<double>{3.0, 9.0}));
+}
+
+TEST(KeyedColumnTest, AggregationMinMax) {
+  const auto c =
+      KeyedColumn::MakeOrDie("x", {1, 1, 1}, {5.0, -2.0, 3.0});
+  EXPECT_EQ(c.Aggregated(Aggregation::kMin).values(),
+            (std::vector<double>{-2.0}));
+  EXPECT_EQ(c.Aggregated(Aggregation::kMax).values(),
+            (std::vector<double>{5.0}));
+}
+
+TEST(KeyedColumnTest, AggregationCountAndFirst) {
+  const auto c =
+      KeyedColumn::MakeOrDie("x", {4, 4, 4, 9}, {7.0, 8.0, 9.0, 1.0});
+  EXPECT_EQ(c.Aggregated(Aggregation::kCount).values(),
+            (std::vector<double>{3.0, 1.0}));
+  EXPECT_EQ(c.Aggregated(Aggregation::kFirst).values(),
+            (std::vector<double>{7.0, 1.0}));
+}
+
+TEST(KeyedColumnTest, AggregationPreservesName) {
+  const auto c = KeyedColumn::MakeOrDie("taxi", {1, 1}, {1.0, 2.0});
+  EXPECT_EQ(c.Aggregated(Aggregation::kSum).name(), "taxi");
+}
+
+TEST(KeyedColumnTest, AggregationOfUniqueKeysIsIdentityUnderFirst) {
+  const auto c = KeyedColumn::MakeOrDie("x", {2, 1, 3}, {20.0, 10.0, 30.0});
+  const auto agg = c.Aggregated(Aggregation::kFirst);
+  EXPECT_EQ(agg.keys(), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(agg.values(), (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+}  // namespace
+}  // namespace ipsketch

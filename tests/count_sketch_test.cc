@@ -1,0 +1,194 @@
+#include "sketch/count_sketch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector RandomVector(uint64_t dim, size_t nnz, uint64_t seed,
+                          double heavy_fraction = 0.0) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < nnz; ++i) {
+    double v = rng.NextGaussian() + 0.1;
+    if (rng.NextUnit() < heavy_fraction) v *= 20.0;
+    entries.push_back({i * (dim / nnz), v});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+CountSketch Sketch(const SparseVector& v, size_t total, uint64_t seed,
+                   size_t reps = 5) {
+  CountSketchOptions o;
+  o.total_counters = total;
+  o.repetitions = reps;
+  o.seed = seed;
+  return SketchCount(v, o).value();
+}
+
+TEST(CountSketchOptionsTest, Validation) {
+  CountSketchOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.repetitions = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.repetitions = 5;
+  o.total_counters = 4;  // width would be 0
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(CountSketchTest, ShapeAndDeterminism) {
+  const auto v = RandomVector(500, 50, 1);
+  const auto s1 = Sketch(v, 100, 7);
+  const auto s2 = Sketch(v, 100, 7);
+  EXPECT_EQ(s1.tables.size(), 5u);
+  EXPECT_EQ(s1.width(), 20u);
+  EXPECT_EQ(s1.tables, s2.tables);
+  EXPECT_DOUBLE_EQ(s1.StorageWords(), 100.0);
+}
+
+TEST(CountSketchTest, SignedMassBoundedByL1) {
+  const auto v = RandomVector(300, 40, 2);
+  const auto s = Sketch(v, 60, 3);
+  for (const auto& table : s.tables) {
+    double total = 0.0;
+    for (double c : table) total += c;
+    EXPECT_LE(std::fabs(total), v.L1Norm() + 1e-9);
+  }
+}
+
+TEST(CountSketchTest, SketchIsLinear) {
+  const auto a = RandomVector(400, 40, 4);
+  const auto b = RandomVector(400, 40, 5);
+  const auto sum = Add(a, b).value();
+  const auto sa = Sketch(a, 50, 11);
+  const auto sb = Sketch(b, 50, 11);
+  const auto ssum = Sketch(sum, 50, 11);
+  for (size_t r = 0; r < sa.tables.size(); ++r) {
+    for (size_t j = 0; j < sa.width(); ++j) {
+      EXPECT_NEAR(ssum.tables[r][j], sa.tables[r][j] + sb.tables[r][j], 1e-9);
+    }
+  }
+}
+
+TEST(CountSketchEstimatorTest, CompatibilityChecks) {
+  const auto v = RandomVector(100, 20, 6);
+  EXPECT_FALSE(EstimateCountSketchInnerProduct(Sketch(v, 50, 1),
+                                               Sketch(v, 100, 1))
+                   .ok());
+  EXPECT_FALSE(EstimateCountSketchInnerProduct(Sketch(v, 50, 1),
+                                               Sketch(v, 50, 2))
+                   .ok());
+}
+
+TEST(CountSketchEstimatorTest, UnbiasedOverSeeds) {
+  const auto a = RandomVector(600, 80, 7);
+  const auto b = RandomVector(600, 80, 8);
+  const double truth = Dot(a, b);
+  // Use 1 repetition for the unbiasedness check (medians are not unbiased).
+  double sum = 0.0;
+  const int kSeeds = 600;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    sum += EstimateCountSketchInnerProduct(Sketch(a, 64, seed, 1),
+                                           Sketch(b, 64, seed, 1))
+               .value();
+  }
+  const double se =
+      Fact1Bound(a, b) / std::sqrt(64.0) / std::sqrt(double(kSeeds));
+  EXPECT_NEAR(sum / kSeeds, truth, 6.0 * se);
+}
+
+TEST(CountSketchEstimatorTest, ExactWhenWidthExceedsSupport) {
+  // With more buckets than distinct non-zeros and no collisions between the
+  // two supports' buckets, a single repetition recovers the inner product
+  // only in expectation — but identical supports hashing to distinct
+  // buckets recover it exactly.
+  const auto a = SparseVector::MakeOrDie(16, {{2, 1.5}, {9, -2.0}});
+  const auto b = SparseVector::MakeOrDie(16, {{2, 4.0}, {9, 1.0}});
+  // Seek a seed with no bucket collision among the two support indices.
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    CountSketchOptions o;
+    o.total_counters = 64;
+    o.repetitions = 1;
+    o.seed = seed;
+    const auto sa = SketchCount(a, o).value();
+    const auto sb = SketchCount(b, o).value();
+    size_t nonzero_buckets = 0;
+    for (double c : sa.tables[0]) nonzero_buckets += (c != 0.0);
+    if (nonzero_buckets == 2) {
+      EXPECT_NEAR(
+          EstimateCountSketchInnerProduct(sa, sb).value(),
+          Dot(a, b), 1e-9);
+      return;
+    }
+  }
+  FAIL() << "no collision-free seed found in 64 tries (p < 1e-30)";
+}
+
+TEST(CountSketchEstimatorTest, MedianCompetitiveWithSingleRep) {
+  const auto a = RandomVector(600, 80, 9, 0.1);
+  const auto b = RandomVector(600, 80, 10, 0.1);
+  const double truth = Dot(a, b);
+  double err_single = 0.0, err_median = 0.0;
+  const int kSeeds = 80;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    err_single += std::fabs(
+        EstimateCountSketchInnerProduct(Sketch(a, 100, seed, 1),
+                                        Sketch(b, 100, seed, 1))
+            .value() -
+        truth);
+    err_median += std::fabs(
+        EstimateCountSketchInnerProduct(Sketch(a, 100, seed, 5),
+                                        Sketch(b, 100, seed, 5))
+            .value() -
+        truth);
+  }
+  // The 5-rep median uses 5× narrower tables; it should still be within a
+  // small factor of the single wide table and usually better in the tails.
+  EXPECT_LT(err_median, err_single * 3.0);
+}
+
+TEST(CountSketchEstimatorTest, ErrorWithinFact1Scale) {
+  const auto a = RandomVector(500, 100, 11);
+  const auto b = RandomVector(500, 100, 12);
+  const double truth = Dot(a, b);
+  const size_t m = 200;
+  int violations = 0;
+  const int kSeeds = 60;
+  const double tolerance = 5.0 / std::sqrt(static_cast<double>(m) / 5.0);
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const double est = EstimateCountSketchInnerProduct(Sketch(a, m, seed),
+                                                       Sketch(b, m, seed))
+                           .value();
+    if (std::fabs(est - truth) > tolerance * Fact1Bound(a, b)) ++violations;
+  }
+  EXPECT_LE(violations, 3);
+}
+
+TEST(CountSketchEstimatorTest, ErrorDecreasesWithWidth) {
+  const auto a = RandomVector(500, 100, 13);
+  const auto b = RandomVector(500, 100, 14);
+  const double truth = Dot(a, b);
+  double err_narrow = 0.0, err_wide = 0.0;
+  const int kSeeds = 60;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    err_narrow += std::fabs(
+        EstimateCountSketchInnerProduct(Sketch(a, 25, seed),
+                                        Sketch(b, 25, seed))
+            .value() -
+        truth);
+    err_wide += std::fabs(
+        EstimateCountSketchInnerProduct(Sketch(a, 400, seed),
+                                        Sketch(b, 400, seed))
+            .value() -
+        truth);
+  }
+  EXPECT_LT(err_wide, err_narrow / 2.0);
+}
+
+}  // namespace
+}  // namespace ipsketch

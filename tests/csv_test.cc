@@ -1,0 +1,59 @@
+#include "expt/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(WriteCsvTest, WritesHeaderAndRows) {
+  const std::string path = TempPath("basic.csv");
+  ASSERT_TRUE(WriteCsv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}}).ok());
+  EXPECT_EQ(ReadAll(path), "a,b\n1,2\n3,4\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvTest, QuotesSpecialCells) {
+  const std::string path = TempPath("quoted.csv");
+  ASSERT_TRUE(WriteCsv(path, {"x"}, {{"has,comma"}, {"has\"quote"}}).ok());
+  const std::string out = ReadAll(path);
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvTest, BadPathFails) {
+  EXPECT_FALSE(WriteCsv("/nonexistent-dir/x.csv", {"a"}, {}).ok());
+}
+
+TEST(WriteSweepCsvTest, RoundTripsSweep) {
+  SweepResult r;
+  r.method_names = {"JL", "WMH"};
+  r.storage_words = {100, 200};
+  r.mean_errors = {{0.5, 0.25}, {0.125, 0.0625}};
+  const std::string path = TempPath("sweep.csv");
+  ASSERT_TRUE(WriteSweepCsv(path, r).ok());
+  const std::string out = ReadAll(path);
+  EXPECT_EQ(out,
+            "storage_words,JL,WMH\n"
+            "100,0.5,0.125\n"
+            "200,0.25,0.0625\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,33 @@
+#include "expt/error.h"
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+TEST(ScaledErrorTest, BasicScaling) {
+  EXPECT_DOUBLE_EQ(ScaledError(11.0, 10.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ScaledError(9.0, 10.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ScaledError(10.0, 10.0, 2.0), 0.0);
+}
+
+TEST(ScaledErrorTest, ZeroNormFallsBackToAbsolute) {
+  EXPECT_DOUBLE_EQ(ScaledError(3.0, 1.0, 0.0), 2.0);
+}
+
+TEST(ScaledErrorTest, VectorOverloadMatchesManual) {
+  const auto a = SparseVector::MakeOrDie(8, {{0, 3.0}, {1, 4.0}});  // norm 5
+  const auto b = SparseVector::MakeOrDie(8, {{0, 1.0}});            // norm 1
+  // ⟨a,b⟩ = 3; scaled error of estimate 4 = |4−3|/(5·1) = 0.2.
+  EXPECT_DOUBLE_EQ(ScaledError(4.0, a, b), 0.2);
+}
+
+TEST(ScaledErrorTest, SymmetricInSign) {
+  const auto a = SparseVector::MakeOrDie(8, {{0, 2.0}});
+  const auto b = SparseVector::MakeOrDie(8, {{0, -2.0}});
+  // truth −4, norms 2·2 = 4.
+  EXPECT_DOUBLE_EQ(ScaledError(0.0, a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,122 @@
+#include "sketch/estimator_registry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+VectorPair TestPair(double overlap, uint64_t seed) {
+  SyntheticPairOptions opt;
+  opt.dimension = 2000;
+  opt.nnz = 300;
+  opt.overlap = overlap;
+  opt.seed = seed;
+  return GenerateSyntheticPair(opt).value();
+}
+
+TEST(RegistryTest, StandardSetHasPaperBaselines) {
+  const auto methods = MakeStandardEvaluators();
+  ASSERT_EQ(methods.size(), 5u);
+  EXPECT_EQ(methods[0]->name(), "JL");
+  EXPECT_EQ(methods[1]->name(), "CS");
+  EXPECT_EQ(methods[2]->name(), "MH");
+  EXPECT_EQ(methods[3]->name(), "KMV");
+  EXPECT_EQ(methods[4]->name(), "WMH");
+}
+
+TEST(RegistryTest, ExtendedSetAddsIcws) {
+  const auto methods = MakeExtendedEvaluators();
+  ASSERT_EQ(methods.size(), 6u);
+  EXPECT_EQ(methods.back()->name(), "ICWS");
+}
+
+TEST(RegistryTest, AllMethodsProduceFiniteEstimates) {
+  const auto pair = TestPair(0.3, 1);
+  for (auto& method : MakeExtendedEvaluators()) {
+    ASSERT_TRUE(method->Prepare(pair.a, pair.b, 300, 42).ok())
+        << method->name();
+    auto est = method->Estimate(300);
+    ASSERT_TRUE(est.ok()) << method->name();
+    EXPECT_TRUE(std::isfinite(est.value())) << method->name();
+  }
+}
+
+TEST(RegistryTest, AllMethodsReasonablyAccurateAtLargeBudget) {
+  const auto pair = TestPair(0.5, 2);
+  const double truth = Dot(pair.a, pair.b);
+  const double scale = pair.a.Norm() * pair.b.Norm();
+  for (auto& method : MakeExtendedEvaluators()) {
+    double err = 0.0;
+    const int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+      ASSERT_TRUE(method->Prepare(pair.a, pair.b, 1200, 100 + t).ok());
+      err += std::fabs(method->Estimate(1200).value() - truth);
+    }
+    EXPECT_LT(err / kTrials / scale, 0.25) << method->name();
+  }
+}
+
+TEST(RegistryTest, EstimateAtSmallerBudgetAfterOnePrepare) {
+  const auto pair = TestPair(0.2, 3);
+  for (auto& method : MakeExtendedEvaluators()) {
+    ASSERT_TRUE(method->Prepare(pair.a, pair.b, 600, 7).ok());
+    for (double words : {60.0, 150.0, 300.0, 600.0}) {
+      auto est = method->Estimate(words);
+      EXPECT_TRUE(est.ok()) << method->name() << " at " << words;
+    }
+  }
+}
+
+TEST(RegistryTest, BudgetAbovePreparedFails) {
+  const auto pair = TestPair(0.2, 4);
+  for (auto& method : MakeExtendedEvaluators()) {
+    ASSERT_TRUE(method->Prepare(pair.a, pair.b, 150, 7).ok());
+    auto est = method->Estimate(1000);
+    EXPECT_FALSE(est.ok()) << method->name();
+    EXPECT_EQ(est.status().code(), StatusCode::kOutOfRange) << method->name();
+  }
+}
+
+TEST(RegistryTest, TruncatedEstimateMatchesFreshPrepare) {
+  // For truncation-based methods, Estimate(w) after Prepare(W) must equal
+  // Estimate(w) after Prepare(w) with the same seed.
+  const auto pair = TestPair(0.4, 5);
+  for (auto& method : MakeExtendedEvaluators()) {
+    ASSERT_TRUE(method->Prepare(pair.a, pair.b, 600, 11).ok());
+    const double truncated = method->Estimate(150).value();
+    ASSERT_TRUE(method->Prepare(pair.a, pair.b, 150, 11).ok());
+    const double fresh = method->Estimate(150).value();
+    EXPECT_DOUBLE_EQ(truncated, fresh) << method->name();
+  }
+}
+
+TEST(RegistryTest, PrepareIsRepeatable) {
+  const auto pair1 = TestPair(0.2, 6);
+  const auto pair2 = TestPair(0.8, 7);
+  auto method = MakeWmhEvaluator();
+  ASSERT_TRUE(method->Prepare(pair1.a, pair1.b, 300, 1).ok());
+  const double est1 = method->Estimate(300).value();
+  ASSERT_TRUE(method->Prepare(pair2.a, pair2.b, 300, 1).ok());
+  ASSERT_TRUE(method->Prepare(pair1.a, pair1.b, 300, 1).ok());
+  EXPECT_DOUBLE_EQ(method->Estimate(300).value(), est1);
+}
+
+TEST(RegistryTest, WmhEvaluatorSupportsReferenceEngine) {
+  SyntheticPairOptions opt;
+  opt.dimension = 200;
+  opt.nnz = 30;
+  opt.overlap = 0.5;
+  opt.seed = 8;
+  const auto pair = GenerateSyntheticPair(opt).value();
+  auto method = MakeWmhEvaluator(WmhEngine::kExpandedReference, 2048);
+  ASSERT_TRUE(method->Prepare(pair.a, pair.b, 300, 3).ok());
+  EXPECT_TRUE(std::isfinite(method->Estimate(300).value()));
+}
+
+}  // namespace
+}  // namespace ipsketch

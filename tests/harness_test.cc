@@ -1,0 +1,122 @@
+#include "expt/harness.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ipsketch {
+namespace {
+
+std::vector<EvalPair> SmallPairs(size_t count, double overlap) {
+  SyntheticPairOptions o;
+  o.dimension = 1500;
+  o.nnz = 200;
+  o.overlap = overlap;
+  o.seed = 17;
+  const auto pairs = GenerateSyntheticPairs(o, count).value();
+  std::vector<EvalPair> out;
+  for (const auto& p : pairs) out.push_back({p.a, p.b});
+  return out;
+}
+
+TEST(SweepOptionsTest, Validation) {
+  SweepOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.trials = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = SweepOptions();
+  o.storage_words.clear();
+  EXPECT_FALSE(o.Validate().ok());
+  o = SweepOptions();
+  o.storage_words = {100.0, -5.0};
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(StorageSweepTest, ShapeOfResult) {
+  auto methods = MakeStandardEvaluators();
+  SweepOptions o;
+  o.storage_words = {60, 120, 240};
+  o.trials = 2;
+  const auto result =
+      RunStorageSweep(methods, SmallPairs(2, 0.3), o).value();
+  ASSERT_EQ(result.method_names.size(), 5u);
+  ASSERT_EQ(result.storage_words.size(), 3u);
+  ASSERT_EQ(result.mean_errors.size(), 5u);
+  for (const auto& row : result.mean_errors) {
+    ASSERT_EQ(row.size(), 3u);
+    for (double e : row) {
+      EXPECT_GE(e, 0.0);
+      EXPECT_TRUE(std::isfinite(e));
+    }
+  }
+}
+
+TEST(StorageSweepTest, ErrorsShrinkWithStorageOnAverage) {
+  auto methods = MakeStandardEvaluators();
+  SweepOptions o;
+  o.storage_words = {45, 600};
+  o.trials = 4;
+  const auto result =
+      RunStorageSweep(methods, SmallPairs(3, 0.4), o).value();
+  for (size_t mi = 0; mi < result.method_names.size(); ++mi) {
+    EXPECT_LT(result.mean_errors[mi][1], result.mean_errors[mi][0] * 1.1)
+        << result.method_names[mi];
+  }
+}
+
+TEST(StorageSweepTest, EmptyInputsRejected) {
+  auto methods = MakeStandardEvaluators();
+  SweepOptions o;
+  EXPECT_FALSE(RunStorageSweep(methods, {}, o).ok());
+  std::vector<std::unique_ptr<MethodEvaluator>> none;
+  EXPECT_FALSE(RunStorageSweep(none, SmallPairs(1, 0.5), o).ok());
+}
+
+TEST(PairErrorsTest, PerPairErrorsAndCovariates) {
+  auto methods = MakeStandardEvaluators();
+  const auto pairs = SmallPairs(4, 0.25);
+  const auto obs = ComputePairErrors(methods, pairs, 150, 2, 3).value();
+  ASSERT_EQ(obs.size(), 4u);
+  for (const auto& pe : obs) {
+    ASSERT_EQ(pe.errors.size(), 5u);
+    EXPECT_NEAR(pe.overlap, 0.25, 0.05);
+    for (double e : pe.errors) EXPECT_GE(e, 0.0);
+  }
+}
+
+TEST(WinningTableTest, BucketsAndMeans) {
+  std::vector<PairErrors> obs;
+  // Two observations in the low/low bucket, one in high/high.
+  obs.push_back({.overlap = 0.1, .kurtosis = 2.0, .errors = {0.5, 0.3}});
+  obs.push_back({.overlap = 0.2, .kurtosis = 2.5, .errors = {0.1, 0.3}});
+  obs.push_back({.overlap = 0.9, .kurtosis = 50.0, .errors = {0.4, 0.1}});
+  const auto table = BuildWinningTable(obs, /*target=*/0, /*baseline=*/1,
+                                       {0.5}, {10.0});
+  ASSERT_EQ(table.diff.size(), 2u);
+  ASSERT_EQ(table.diff[0].size(), 2u);
+  EXPECT_EQ(table.count[0][0], 2u);
+  EXPECT_NEAR(table.diff[0][0], ((0.5 - 0.3) + (0.1 - 0.3)) / 2.0, 1e-12);
+  EXPECT_EQ(table.count[1][1], 1u);
+  EXPECT_NEAR(table.diff[1][1], 0.3, 1e-12);
+  EXPECT_EQ(table.count[0][1], 0u);
+  EXPECT_EQ(table.count[1][0], 0u);
+}
+
+TEST(WinningTableTest, EdgeValuesGoToLowerBucket) {
+  std::vector<PairErrors> obs;
+  obs.push_back({.overlap = 0.5, .kurtosis = 10.0, .errors = {1.0, 0.0}});
+  const auto table = BuildWinningTable(obs, 0, 1, {0.5}, {10.0});
+  EXPECT_EQ(table.count[0][0], 1u);  // x ≤ edge goes low
+}
+
+TEST(WinningTableTest, NegativeDiffMeansTargetWins) {
+  std::vector<PairErrors> obs;
+  obs.push_back({.overlap = 0.1, .kurtosis = 1.0, .errors = {0.1, 0.9}});
+  const auto table = BuildWinningTable(obs, 0, 1, {0.5}, {10.0});
+  EXPECT_LT(table.diff[0][0], 0.0);
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,222 @@
+#include "common/hash.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ipsketch {
+namespace {
+
+TEST(MersenneTest, Mod31KnownValues) {
+  EXPECT_EQ(ModMersenne31(0), 0u);
+  EXPECT_EQ(ModMersenne31(kMersenne31), 0u);
+  EXPECT_EQ(ModMersenne31(kMersenne31 + 5), 5u);
+  EXPECT_EQ(ModMersenne31(2 * kMersenne31 + 7), 7u);
+}
+
+TEST(MersenneTest, Mod31MatchesBuiltinModulo) {
+  SplitMix64 sm(3);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = sm.Next() >> 2;  // < 2^62, the documented domain
+    EXPECT_EQ(ModMersenne31(x), x % kMersenne31);
+  }
+}
+
+TEST(MersenneTest, Mod61MatchesBuiltinModulo) {
+  SplitMix64 sm(5);
+  for (int i = 0; i < 1000; ++i) {
+    const unsigned __int128 x =
+        (static_cast<unsigned __int128>(sm.Next()) << 57) ^ sm.Next();
+    EXPECT_EQ(ModMersenne61(x),
+              static_cast<uint64_t>(x % kMersenne61));
+  }
+}
+
+TEST(CarterWegman31Test, DeterministicPerSeedStream) {
+  CarterWegman31 h1(1, 2), h2(1, 2), h3(1, 3);
+  EXPECT_EQ(h1.Hash(12345), h2.Hash(12345));
+  EXPECT_NE(h1.a(), h3.a());
+}
+
+TEST(CarterWegman31Test, OutputBelowPrime) {
+  CarterWegman31 h(7, 0);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(h.Hash(x * 2654435761u), kMersenne31);
+  }
+}
+
+TEST(CarterWegman31Test, UnitRange) {
+  CarterWegman31 h(7, 1);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    const double u = h.HashUnit(x);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CarterWegman31Test, LinearInInput) {
+  // h(x) = a·x + b mod p is exactly linear: h(x+1) − h(x) = a (mod p).
+  CarterWegman31 h(11, 4);
+  const uint64_t d1 =
+      (h.Hash(101) + kMersenne31 - h.Hash(100)) % kMersenne31;
+  const uint64_t d2 =
+      (h.Hash(5556) + kMersenne31 - h.Hash(5555)) % kMersenne31;
+  EXPECT_EQ(d1, h.a() % kMersenne31);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(CarterWegman61Test, DeterministicAndBelowPrime) {
+  CarterWegman61 h(1, 2), same(1, 2);
+  for (uint64_t x : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 40,
+                     kMersenne61 - 1}) {
+    EXPECT_EQ(h.Hash(x), same.Hash(x));
+    EXPECT_LT(h.Hash(x), kMersenne61);
+  }
+}
+
+TEST(CarterWegman61Test, PairwiseCollisionRate) {
+  // 2-universality holds in expectation over the draw of (a, b): averaged
+  // over many functions from the family, distinct inputs collide in a
+  // kBuckets-way reduction at rate ≈ 1/kBuckets.
+  const int kBuckets = 8192;
+  const int kStreams = 200;
+  const int n = 400;
+  size_t collisions = 0;
+  for (int s = 0; s < kStreams; ++s) {
+    CarterWegman61 h(13, s);
+    std::map<uint32_t, int> counts;
+    for (int i = 0; i < n; ++i) {
+      const uint32_t b =
+          static_cast<uint32_t>(h.Hash(Mix64(i)) % kBuckets);
+      collisions += counts[b]++;
+    }
+  }
+  const double expected =
+      static_cast<double>(kStreams) * n * (n - 1) / 2.0 / kBuckets;  // ≈ 1948
+  EXPECT_GT(static_cast<double>(collisions), expected * 0.7);
+  EXPECT_LT(static_cast<double>(collisions), expected * 1.4);
+}
+
+TEST(CarterWegman61Test, UnitMeanIsHalf) {
+  CarterWegman61 h(17, 3);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += h.HashUnit(i);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(SignHashTest, OnlyPlusMinusOne) {
+  SignHash s(19, 0);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    const double v = s.Sign(x);
+    EXPECT_TRUE(v == 1.0 || v == -1.0);
+  }
+}
+
+TEST(SignHashTest, Balanced) {
+  SignHash s(23, 1);
+  int plus = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) plus += s.Sign(i) > 0;
+  EXPECT_NEAR(static_cast<double>(plus) / n, 0.5, 0.02);
+}
+
+TEST(SignHashTest, StreamsAreIndependent) {
+  // Products of signs across two independent streams should be balanced.
+  SignHash s1(29, 0), s2(29, 1);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += s1.Sign(i) * s2.Sign(i);
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+TEST(BucketHashTest, RangeAndDeterminism) {
+  BucketHash b(31, 0, 17);
+  BucketHash same(31, 0, 17);
+  for (uint64_t x = 0; x < 2000; ++x) {
+    const uint32_t v = b.Bucket(x);
+    EXPECT_LT(v, 17u);
+    EXPECT_EQ(v, same.Bucket(x));
+  }
+}
+
+TEST(BucketHashTest, RoughlyUniform) {
+  const uint32_t kBuckets = 32;
+  BucketHash b(37, 0, kBuckets);
+  std::vector<int> counts(kBuckets, 0);
+  const int n = 64000;
+  for (int i = 0; i < n; ++i) ++counts[b.Bucket(i)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / kBuckets / 2);
+    EXPECT_LT(c, n / kBuckets * 2);
+  }
+}
+
+class IndexHasherParamTest : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(IndexHasherParamTest, UnitRangeAndDeterminism) {
+  IndexHasher h(GetParam(), 41, 5);
+  IndexHasher same(GetParam(), 41, 5);
+  IndexHasher other(GetParam(), 41, 6);
+  int diff = 0;
+  for (uint64_t x = 0; x < 2000; ++x) {
+    const double u = h.HashUnit(x);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_EQ(u, same.HashUnit(x));
+    diff += (u != other.HashUnit(x));
+  }
+  EXPECT_GT(diff, 1900);  // different streams are different functions
+}
+
+TEST_P(IndexHasherParamTest, MeanIsHalf) {
+  IndexHasher h(GetParam(), 43, 0);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += h.HashUnit(i);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(IndexHasherParamTest, MinOverScatteredSetCalibrated) {
+  // E[min of k hashes] = 1/(k+1) — the Flajolet–Martin primitive all the
+  // sampling sketches rely on. Scattered (mixed) inputs: all families pass.
+  const size_t k = 64;
+  double sum_min = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    IndexHasher h(GetParam(), 47, t);
+    double mn = 1.0;
+    for (size_t i = 0; i < k; ++i) {
+      mn = std::min(mn, h.HashUnit(Mix64(i * 977 + 5)));
+    }
+    sum_min += mn;
+  }
+  EXPECT_NEAR(sum_min / trials, 1.0 / (k + 1), 0.15 / (k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, IndexHasherParamTest,
+                         ::testing::Values(HashKind::kMixed64,
+                                           HashKind::kCarterWegman61,
+                                           HashKind::kCarterWegman31));
+
+TEST(IndexHasherTest, MixedMinCalibratedOnContiguousRuns) {
+  // The idealized mixed hash stays calibrated even on contiguous indices —
+  // the case that motivated it (expanded WMH blocks are contiguous).
+  const size_t k = 64;
+  double sum_min = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    IndexHasher h(HashKind::kMixed64, 53, t);
+    double mn = 1.0;
+    for (size_t i = 0; i < k; ++i) mn = std::min(mn, h.HashUnit(i));
+    sum_min += mn;
+  }
+  EXPECT_NEAR(sum_min / trials, 1.0 / (k + 1), 0.15 / (k + 1));
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,146 @@
+#include "core/icws.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rounding.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector TestVector(uint64_t dim, uint64_t lo, uint64_t hi,
+                        uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t i = lo; i < hi; ++i) {
+    double v = 0.3 + rng.NextUnit() * (i % 6 == 0 ? 6.0 : 1.0);
+    if (rng.NextUnit() < 0.5) v = -v;
+    entries.push_back({i, v});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+IcwsSketch Sketch(const SparseVector& v, size_t m, uint64_t seed) {
+  IcwsOptions o;
+  o.num_samples = m;
+  o.seed = seed;
+  return SketchIcws(v, o).value();
+}
+
+TEST(IcwsOptionsTest, Validation) {
+  IcwsOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_samples = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(IcwsTest, Deterministic) {
+  const auto v = TestVector(128, 0, 64, 1);
+  const auto s1 = Sketch(v, 32, 5);
+  const auto s2 = Sketch(v, 32, 5);
+  EXPECT_EQ(s1.fingerprints, s2.fingerprints);
+  EXPECT_EQ(s1.values, s2.values);
+}
+
+TEST(IcwsTest, ScaleInvariantUpToNorm) {
+  const auto v = TestVector(128, 0, 64, 2);
+  const auto s1 = Sketch(v, 32, 5);
+  const auto s2 = Sketch(v.Scaled(4.0), 32, 5);
+  EXPECT_EQ(s1.fingerprints, s2.fingerprints);
+  EXPECT_EQ(s1.values, s2.values);
+  EXPECT_NEAR(s2.norm, 4.0 * s1.norm, 1e-9);
+}
+
+TEST(IcwsTest, EmptyVectorSketch) {
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(8, 0.0));
+  const auto s = Sketch(zero, 16, 1);
+  EXPECT_EQ(s.norm, 0.0);
+  const auto v = TestVector(8, 0, 4, 3);
+  EXPECT_EQ(EstimateIcwsInnerProduct(s, Sketch(v, 16, 1)).value(), 0.0);
+}
+
+TEST(IcwsTest, MatchProbabilityIsWeightedJaccard) {
+  // The defining CWS property: P(sample matches) = weighted Jaccard of the
+  // squared normalized vectors.
+  const auto a = TestVector(200, 0, 120, 4);
+  const auto b = TestVector(200, 60, 180, 5);
+  const uint64_t L = 1 << 22;
+  const double jw = WeightedJaccard(Round(a, L).value(),
+                                    Round(b, L).value())
+                        .value();
+  size_t matches = 0;
+  const size_t m = 512;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto sa = Sketch(a, m, seed);
+    const auto sb = Sketch(b, m, seed);
+    for (size_t i = 0; i < m; ++i) {
+      matches += (sa.fingerprints[i] == sb.fingerprints[i]);
+    }
+  }
+  const double rate = static_cast<double>(matches) / (m * kSeeds);
+  EXPECT_NEAR(rate, jw, 0.15 * jw + 0.01);
+}
+
+TEST(IcwsTest, SamplesHeavyEntriesProportionally) {
+  const auto v = SparseVector::MakeOrDie(
+      16, {{0, 3.0}, {1, 1.0}, {2, 1.0}, {3, 1.0}});  // squared: 9/12 = 0.75
+  const auto s = Sketch(v, 4000, 6);
+  size_t heavy = 0;
+  for (double value : s.values) {
+    if (std::fabs(value) > 0.8) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / 4000.0, 0.75, 0.03);
+}
+
+TEST(IcwsTest, EstimateAccuracyOnOverlappingVectors) {
+  const auto a = TestVector(300, 0, 200, 7);
+  const auto b = TestVector(300, 100, 300, 8);
+  const double truth = Dot(a, b);
+  double err = 0.0;
+  const int kSeeds = 40;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    err += std::fabs(
+        EstimateIcwsInnerProduct(Sketch(a, 256, seed), Sketch(b, 256, seed))
+            .value() -
+        truth);
+  }
+  const double scale = Theorem2Bound(a, b);
+  EXPECT_LT(err / kSeeds, scale * 0.5);
+}
+
+TEST(IcwsTest, SelfEstimateNearlyExact) {
+  const auto v = TestVector(200, 0, 150, 9);
+  // Identical vectors: every sample matches, J̄ = 1, M = 1; the estimator
+  // is then deterministic: ‖v‖²·(1/m)·Σ 1 = ‖v‖².
+  const double est =
+      EstimateIcwsInnerProduct(Sketch(v, 128, 3), Sketch(v, 128, 3)).value();
+  EXPECT_NEAR(est, Dot(v, v), 1e-9 * Dot(v, v));
+}
+
+TEST(IcwsTest, CompatibilityChecks) {
+  const auto v = TestVector(64, 0, 32, 10);
+  EXPECT_FALSE(EstimateIcwsInnerProduct(Sketch(v, 16, 1), Sketch(v, 32, 1)).ok());
+  EXPECT_FALSE(EstimateIcwsInnerProduct(Sketch(v, 16, 1), Sketch(v, 16, 2)).ok());
+  const auto w = TestVector(65, 0, 32, 10);
+  EXPECT_FALSE(EstimateIcwsInnerProduct(Sketch(v, 16, 1), Sketch(w, 16, 1)).ok());
+}
+
+TEST(IcwsTest, TruncationMatchesFreshSketch) {
+  const auto a = TestVector(128, 0, 96, 11);
+  const auto b = TestVector(128, 48, 128, 12);
+  const auto sa = Sketch(a, 128, 13);
+  const auto sb = Sketch(b, 128, 13);
+  const double est_trunc =
+      EstimateIcwsInnerProduct(TruncatedIcws(sa, 32), TruncatedIcws(sb, 32))
+          .value();
+  const double est_fresh =
+      EstimateIcwsInnerProduct(Sketch(a, 32, 13), Sketch(b, 32, 13)).value();
+  EXPECT_DOUBLE_EQ(est_trunc, est_fresh);
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,207 @@
+// End-to-end integration tests: miniature versions of the paper's three
+// experiments (Figures 4-6) plus the full dataset-search pipeline, wired
+// through the same harness the bench binaries use.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/newsgroups.h"
+#include "data/synthetic.h"
+#include "data/worldbank.h"
+#include "expt/harness.h"
+#include "table/join.h"
+#include "table/sketch_index.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+// --- Figure 4 in miniature: synthetic sweep, WMH wins at low overlap. -----
+
+TEST(Figure4Integration, LowOverlapOrderingSamplingBeatsLinear) {
+  SyntheticPairOptions gen;
+  gen.dimension = 10000;
+  gen.nnz = 800;
+  gen.overlap = 0.05;
+  gen.seed = 41;
+  const auto raw_pairs = GenerateSyntheticPairs(gen, 3).value();
+  std::vector<EvalPair> pairs;
+  for (const auto& p : raw_pairs) pairs.push_back({p.a, p.b});
+
+  auto methods = MakeStandardEvaluators();
+  SweepOptions sweep;
+  sweep.storage_words = {400};
+  sweep.trials = 6;
+  sweep.seed = 43;
+  const auto result = RunStorageSweep(methods, pairs, sweep).value();
+
+  const double jl = result.mean_errors[0][0];
+  const double cs = result.mean_errors[1][0];
+  const double wmh = result.mean_errors[4][0];
+  // The paper's Figure 4(a,b): at ≤5% overlap the WMH error is far below
+  // both linear sketches.
+  EXPECT_LT(wmh, 0.5 * jl);
+  EXPECT_LT(wmh, 0.5 * cs);
+}
+
+TEST(Figure4Integration, HighOverlapLinearComparable) {
+  SyntheticPairOptions gen;
+  gen.dimension = 10000;
+  gen.nnz = 800;
+  gen.overlap = 0.5;
+  gen.seed = 47;
+  const auto raw_pairs = GenerateSyntheticPairs(gen, 3).value();
+  std::vector<EvalPair> pairs;
+  for (const auto& p : raw_pairs) pairs.push_back({p.a, p.b});
+
+  auto methods = MakeStandardEvaluators();
+  SweepOptions sweep;
+  sweep.storage_words = {400};
+  sweep.trials = 6;
+  sweep.seed = 53;
+  const auto result = RunStorageSweep(methods, pairs, sweep).value();
+
+  const double jl = result.mean_errors[0][0];
+  const double wmh = result.mean_errors[4][0];
+  // Figure 4(d): at 50% overlap linear sketching is comparable — WMH is not
+  // allowed to be an order of magnitude worse.
+  EXPECT_LT(wmh, 5.0 * jl + 0.05);
+}
+
+// --- Figure 5 in miniature: winning table on the World-Bank stand-in. -----
+
+TEST(Figure5Integration, WinningTableLowOverlapFavorsWmh) {
+  WorldBankOptions wb;
+  wb.num_datasets = 14;
+  wb.columns_per_dataset = 2;
+  wb.key_universe = 6000;
+  wb.min_rows = 150;
+  wb.max_rows = 900;
+  wb.seed = 59;
+  const auto corpus = GenerateWorldBankCorpus(wb).value();
+  const auto samples = SampleColumnPairs(corpus, 6000, 60, 61).value();
+
+  std::vector<EvalPair> pairs;
+  std::vector<double> kurtoses;
+  for (const auto& s : samples) {
+    pairs.push_back({s.a, s.b});
+    kurtoses.push_back(s.kurtosis);
+  }
+  auto methods = MakeStandardEvaluators();
+  auto obs = ComputePairErrors(methods, pairs, 400, 2, 67).value();
+  for (size_t i = 0; i < obs.size(); ++i) {
+    obs[i].overlap = samples[i].overlap;
+    obs[i].kurtosis = kurtoses[i];
+  }
+  // WMH (index 4) vs JL (index 0), bucketed as in Figure 5.
+  const auto table =
+      BuildWinningTable(obs, 4, 0, {0.25, 0.5, 0.75}, {10.0});
+
+  // Mean difference over all *low-overlap* observations must favor WMH.
+  double low_overlap_diff = 0.0;
+  size_t low_n = 0;
+  for (const auto& o : obs) {
+    if (o.overlap <= 0.25) {
+      low_overlap_diff += o.errors[4] - o.errors[0];
+      ++low_n;
+    }
+  }
+  ASSERT_GT(low_n, 5u);
+  EXPECT_LT(low_overlap_diff / static_cast<double>(low_n), 0.0);
+  // And the table plumbing recorded every observation somewhere.
+  size_t total = 0;
+  for (const auto& row : table.count) {
+    for (size_t c : row) total += c;
+  }
+  EXPECT_EQ(total, obs.size());
+}
+
+// --- Figure 6 in miniature: TF-IDF cosine estimation on synthetic text. ---
+
+TEST(Figure6Integration, SamplingSketchesBeatLinearOnTfIdf) {
+  NewsgroupsOptions ng;
+  ng.num_documents = 60;
+  ng.vocab_size = 4000;
+  ng.num_topics = 5;
+  ng.seed = 71;
+  const auto corpus = GenerateNewsgroupsCorpus(ng).value();
+
+  FeatureOptions fo;
+  std::vector<std::vector<uint64_t>> docs;
+  for (const auto& d : corpus) docs.push_back(IdFeatures(d.token_ids, fo));
+  TfidfVectorizer vectorizer;
+  const auto vectors = vectorizer.FitTransform(docs).value();
+
+  std::vector<EvalPair> pairs;
+  for (size_t i = 0; i + 1 < vectors.size() && pairs.size() < 25; i += 2) {
+    pairs.push_back({vectors[i], vectors[i + 1]});
+  }
+  auto methods = MakeStandardEvaluators();
+  SweepOptions sweep;
+  sweep.storage_words = {200};
+  sweep.trials = 3;
+  sweep.seed = 73;
+  const auto result = RunStorageSweep(methods, pairs, sweep).value();
+  const double jl = result.mean_errors[0][0];
+  const double mh = result.mean_errors[2][0];
+  const double wmh = result.mean_errors[4][0];
+  // Figure 6: at small budgets Weighted MinHash dominates linear
+  // projections on sparse TF-IDF vectors, and — because Zipfian term
+  // frequencies make the vectors heavy-tailed, as in the paper's
+  // long-document split (Fig. 6b) — it is also no worse than unweighted MH.
+  EXPECT_LT(wmh, jl);
+  EXPECT_LE(wmh, mh * 1.2);
+}
+
+// --- §1.2 pipeline: sketch-based dataset search finds the weather table. --
+
+TEST(DatasetSearchIntegration, TaxiWeatherScenario) {
+  // The paper's motivating example: a taxi-rides table, searched against a
+  // catalog containing a correlated weather table and unrelated tables.
+  Xoshiro256StarStar rng(79);
+  std::vector<uint64_t> days;
+  std::vector<double> rides, precip, unrelated;
+  for (uint64_t d = 0; d < 365; ++d) {
+    days.push_back(20220000 + d);
+    const double rain = std::max(0.0, rng.NextGaussian() + 0.5);
+    precip.push_back(rain);
+    rides.push_back(100000.0 - 20000.0 * rain + 3000.0 * rng.NextGaussian());
+    unrelated.push_back(rng.NextGaussian() * 5.0);
+  }
+  const auto taxi = KeyedColumn::MakeOrDie("taxi.rides", days, rides);
+  const auto weather =
+      Table::MakeOrDie("weather", days, {"precipitation"}, {precip});
+
+  // An unrelated table over a disjoint key range (different year).
+  std::vector<uint64_t> other_days;
+  for (uint64_t d = 0; d < 365; ++d) other_days.push_back(20190000 + d);
+  const auto stocks =
+      Table::MakeOrDie("stocks", other_days, {"returns"}, {unrelated});
+
+  ColumnSketchOptions opt;
+  opt.num_samples = 384;
+  opt.seed = 83;
+  opt.key_domain = 30000000;
+  SketchIndex index(opt);
+  ASSERT_TRUE(index.AddTable(weather).ok());
+  ASSERT_TRUE(index.AddTable(stocks).ok());
+
+  const auto hits = index.Search(taxi, RankBy::kAbsCorrelation, 2).value();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].column_name, "weather.precipitation");
+  // Rain suppresses ridership: the standardized estimate must be negative.
+  EXPECT_LT(hits[0].stats.standardized_correlation, 0.0);
+
+  // Cross-check the estimated join statistics against the exact join.
+  const auto exact =
+      ComputeJoinStats(taxi, weather.Column("precipitation").value()).value();
+  EXPECT_NEAR(hits[0].stats.size, static_cast<double>(exact.size),
+              0.3 * static_cast<double>(exact.size));
+}
+
+}  // namespace
+}  // namespace ipsketch

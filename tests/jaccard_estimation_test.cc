@@ -1,0 +1,146 @@
+// Tests for the direct (weighted) Jaccard and union-size estimation APIs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rounding.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "sketch/minhash.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector RangeVector(uint64_t dim, uint64_t lo, uint64_t hi,
+                         uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t i = lo; i < hi; ++i) {
+    entries.push_back({i, 0.4 + rng.NextUnit() * (i % 9 == 0 ? 5.0 : 1.0)});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+WmhSketch Wmh(const SparseVector& v, size_t m, uint64_t seed) {
+  WmhOptions o;
+  o.num_samples = m;
+  o.seed = seed;
+  o.L = 1 << 18;
+  return SketchWmh(v, o).value();
+}
+
+TEST(WeightedJaccardEstimationTest, TracksExactValue) {
+  const auto a = RangeVector(512, 0, 200, 1);
+  const auto b = RangeVector(512, 100, 300, 2);
+  const double exact = WeightedJaccard(Round(a, 1 << 18).value(),
+                                       Round(b, 1 << 18).value())
+                           .value();
+  double est_sum = 0.0;
+  const int kSeeds = 40;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    est_sum += EstimateWeightedJaccard(Wmh(a, 256, seed), Wmh(b, 256, seed))
+                   .value();
+  }
+  EXPECT_NEAR(est_sum / kSeeds, exact, 0.15 * exact + 0.005);
+}
+
+TEST(WeightedJaccardEstimationTest, IdenticalVectorsGiveOne) {
+  const auto v = RangeVector(256, 0, 100, 3);
+  EXPECT_DOUBLE_EQ(
+      EstimateWeightedJaccard(Wmh(v, 64, 5), Wmh(v, 64, 5)).value(), 1.0);
+}
+
+TEST(WeightedJaccardEstimationTest, DisjointVectorsGiveZero) {
+  const auto a = RangeVector(512, 0, 100, 4);
+  const auto b = RangeVector(512, 300, 400, 5);
+  EXPECT_DOUBLE_EQ(
+      EstimateWeightedJaccard(Wmh(a, 64, 5), Wmh(b, 64, 5)).value(), 0.0);
+}
+
+TEST(WeightedJaccardEstimationTest, ZeroVectorConvention) {
+  const auto v = RangeVector(64, 0, 32, 6);
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(64, 0.0));
+  EXPECT_EQ(EstimateWeightedJaccard(Wmh(v, 32, 1), Wmh(zero, 32, 1)).value(),
+            0.0);
+}
+
+TEST(WeightedUnionEstimationTest, TracksExactValue) {
+  const auto a = RangeVector(512, 0, 200, 7);
+  const auto b = RangeVector(512, 100, 300, 8);
+  const double exact = WeightedUnionSize(Round(a, 1 << 18).value(),
+                                         Round(b, 1 << 18).value())
+                           .value();
+  double est_sum = 0.0;
+  const int kSeeds = 40;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    est_sum +=
+        EstimateWeightedUnion(Wmh(a, 256, seed), Wmh(b, 256, seed)).value();
+  }
+  EXPECT_NEAR(est_sum / kSeeds, exact, 0.1 * exact);
+}
+
+TEST(WeightedUnionEstimationTest, SelfUnionIsOne) {
+  // For a vector against itself the weighted union is exactly ‖z̃‖² = 1.
+  const auto v = RangeVector(256, 0, 120, 9);
+  double est_sum = 0.0;
+  const int kSeeds = 40;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    est_sum +=
+        EstimateWeightedUnion(Wmh(v, 256, seed), Wmh(v, 256, seed)).value();
+  }
+  EXPECT_NEAR(est_sum / kSeeds, 1.0, 0.05);
+}
+
+MhSketch Mh(const SparseVector& v, size_t m, uint64_t seed) {
+  MhOptions o;
+  o.num_samples = m;
+  o.seed = seed;
+  return SketchMh(v, o).value();
+}
+
+TEST(SupportJaccardEstimationTest, TracksExactValue) {
+  const auto a = RangeVector(512, 0, 200, 10);
+  const auto b = RangeVector(512, 150, 350, 11);
+  const double exact = SupportJaccard(a, b);  // 50 / 350
+  double est_sum = 0.0;
+  const int kSeeds = 40;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    est_sum +=
+        EstimateSupportJaccard(Mh(a, 256, seed), Mh(b, 256, seed)).value();
+  }
+  EXPECT_NEAR(est_sum / kSeeds, exact, 0.15 * exact + 0.005);
+}
+
+TEST(SupportJaccardEstimationTest, EmptySketchNeverMatches) {
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(8, 0.0));
+  // Even two empty sketches (both all-1.0 sentinels) report Jaccard 0.
+  EXPECT_EQ(
+      EstimateSupportJaccard(Mh(zero, 16, 1), Mh(zero, 16, 1)).value(), 0.0);
+}
+
+TEST(SupportUnionEstimationTest, Lemma1Accuracy) {
+  const auto a = RangeVector(4096, 0, 700, 12);
+  const auto b = RangeVector(4096, 350, 1050, 13);
+  const double exact = static_cast<double>(SupportUnionSize(a, b));  // 1050
+  double est_sum = 0.0;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    est_sum +=
+        EstimateSupportUnion(Mh(a, 512, seed), Mh(b, 512, seed)).value();
+  }
+  // Lemma 1: relative error O(1/sqrt(m)) per sketch; the mean over 30 seeds
+  // concentrates much tighter.
+  EXPECT_NEAR(est_sum / kSeeds, exact, 0.05 * exact);
+}
+
+TEST(SupportUnionEstimationTest, CompatibilityChecks) {
+  const auto v = RangeVector(64, 0, 32, 14);
+  EXPECT_FALSE(EstimateSupportUnion(Mh(v, 16, 1), Mh(v, 16, 2)).ok());
+  EXPECT_FALSE(EstimateSupportJaccard(Mh(v, 16, 1), Mh(v, 32, 1)).ok());
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,159 @@
+#include "sketch/jl_sketch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector RandomVector(uint64_t dim, size_t nnz, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < nnz; ++i) {
+    entries.push_back({i * (dim / nnz), rng.NextGaussian() + 0.1});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+JlSketch Sketch(const SparseVector& v, size_t m, uint64_t seed) {
+  JlOptions o;
+  o.num_rows = m;
+  o.seed = seed;
+  return SketchJl(v, o).value();
+}
+
+TEST(JlOptionsTest, Validation) {
+  JlOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_rows = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(JlSketchTest, DeterministicAndShaped) {
+  const auto v = RandomVector(1000, 100, 1);
+  const auto s1 = Sketch(v, 64, 7);
+  const auto s2 = Sketch(v, 64, 7);
+  EXPECT_EQ(s1.projection, s2.projection);
+  EXPECT_EQ(s1.num_rows(), 64u);
+  EXPECT_DOUBLE_EQ(s1.StorageWords(), 64.0);
+}
+
+TEST(JlSketchTest, SketchIsLinear) {
+  // S(a + b) = S(a) + S(b) — the defining property of linear sketches.
+  const auto a = RandomVector(500, 50, 2);
+  const auto b = RandomVector(500, 50, 3);
+  const auto sum = Add(a, b).value();
+  const auto sa = Sketch(a, 32, 11);
+  const auto sb = Sketch(b, 32, 11);
+  const auto ssum = Sketch(sum, 32, 11);
+  for (size_t r = 0; r < 32; ++r) {
+    EXPECT_NEAR(ssum.projection[r], sa.projection[r] + sb.projection[r],
+                1e-9);
+  }
+}
+
+TEST(JlSketchTest, ZeroVectorSketchesToZero) {
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(16, 0.0));
+  const auto s = Sketch(zero, 16, 1);
+  for (double p : s.projection) EXPECT_EQ(p, 0.0);
+}
+
+TEST(JlEstimatorTest, CompatibilityChecks) {
+  const auto v = RandomVector(100, 20, 4);
+  EXPECT_FALSE(
+      EstimateJlInnerProduct(Sketch(v, 16, 1), Sketch(v, 32, 1)).ok());
+  EXPECT_FALSE(
+      EstimateJlInnerProduct(Sketch(v, 16, 1), Sketch(v, 16, 2)).ok());
+  const auto w = RandomVector(101, 20, 4);
+  EXPECT_FALSE(
+      EstimateJlInnerProduct(Sketch(v, 16, 1), Sketch(w, 16, 1)).ok());
+}
+
+TEST(JlEstimatorTest, UnbiasedOverSeeds) {
+  const auto a = RandomVector(800, 120, 5);
+  const auto b = RandomVector(800, 120, 6);  // same support grid → overlap
+  const double truth = Dot(a, b);
+  double sum = 0.0;
+  const int kSeeds = 500;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    sum += EstimateJlInnerProduct(Sketch(a, 64, seed), Sketch(b, 64, seed))
+               .value();
+  }
+  const double se =
+      Fact1Bound(a, b) / std::sqrt(64.0) / std::sqrt(double(kSeeds));
+  EXPECT_NEAR(sum / kSeeds, truth, 5.0 * se);
+}
+
+TEST(JlEstimatorTest, SelfEstimateApproximatesSquaredNorm) {
+  const auto v = RandomVector(600, 80, 7);
+  const double truth = Dot(v, v);
+  double err = 0.0;
+  const int kSeeds = 50;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto s = Sketch(v, 256, seed);
+    err += std::fabs(EstimateJlInnerProduct(s, s).value() - truth);
+  }
+  EXPECT_LT(err / kSeeds, 0.25 * truth);
+}
+
+TEST(JlEstimatorTest, ErrorWithinFact1Scale) {
+  // Fact 1: |est − ⟨a,b⟩| ≤ ε‖a‖‖b‖ with ε = O(1/√m), w.h.p.
+  const auto a = RandomVector(500, 100, 8);
+  const auto b = RandomVector(500, 100, 9);
+  const double truth = Dot(a, b);
+  const size_t m = 128;
+  int violations = 0;
+  const int kSeeds = 60;
+  const double tolerance = 4.0 / std::sqrt(static_cast<double>(m));
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const double est =
+        EstimateJlInnerProduct(Sketch(a, m, seed), Sketch(b, m, seed)).value();
+    if (std::fabs(est - truth) > tolerance * Fact1Bound(a, b)) ++violations;
+  }
+  EXPECT_LE(violations, 3);
+}
+
+TEST(JlEstimatorTest, ErrorDecreasesWithRows) {
+  const auto a = RandomVector(500, 100, 10);
+  const auto b = RandomVector(500, 100, 11);
+  const double truth = Dot(a, b);
+  double err16 = 0.0, err256 = 0.0;
+  const int kSeeds = 60;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    err16 += std::fabs(
+        EstimateJlInnerProduct(Sketch(a, 16, seed), Sketch(b, 16, seed))
+            .value() -
+        truth);
+    err256 += std::fabs(
+        EstimateJlInnerProduct(Sketch(a, 256, seed), Sketch(b, 256, seed))
+            .value() -
+        truth);
+  }
+  EXPECT_LT(err256, err16 / 1.8);
+}
+
+TEST(TruncatedJlTest, PrefixMatchesFreshSketch) {
+  const auto a = RandomVector(300, 60, 12);
+  const auto b = RandomVector(300, 60, 13);
+  const auto sa = Sketch(a, 128, 14);
+  const auto sb = Sketch(b, 128, 14);
+  const double est_trunc =
+      EstimateJlInnerProduct(TruncatedJl(sa, 32), TruncatedJl(sb, 32)).value();
+  const double est_fresh =
+      EstimateJlInnerProduct(Sketch(a, 32, 14), Sketch(b, 32, 14)).value();
+  EXPECT_DOUBLE_EQ(est_trunc, est_fresh);
+}
+
+TEST(TruncatedJlDeathTest, RejectsBadPrefix) {
+  const auto v = RandomVector(100, 10, 15);
+  const auto s = Sketch(v, 16, 1);
+  EXPECT_DEATH(TruncatedJl(s, 0), "IPS_CHECK");
+  EXPECT_DEATH(TruncatedJl(s, 17), "IPS_CHECK");
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,215 @@
+#include "table/join_estimates.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "table/join.h"
+
+namespace ipsketch {
+namespace {
+
+// Two overlapping columns with correlated values on the shared keys.
+struct TestColumns {
+  KeyedColumn a;
+  KeyedColumn b;
+};
+
+TestColumns MakeColumns(uint64_t seed, double mean_offset = 10.0,
+                        size_t rows = 600, size_t shift = 200) {
+  Xoshiro256StarStar rng(seed);
+  // A latent value per *key*, so the columns are correlated on the keys
+  // they share (a covers [0, rows), b covers [shift, rows + shift)).
+  std::vector<double> base(rows + shift);
+  for (auto& x : base) x = rng.NextGaussian() * 2.0 + mean_offset;
+  std::vector<uint64_t> keys_a, keys_b;
+  std::vector<double> vals_a, vals_b;
+  for (size_t i = 0; i < rows; ++i) {
+    keys_a.push_back(i);
+    keys_b.push_back(i + shift);
+    vals_a.push_back(base[i] + rng.NextGaussian() * 0.5);
+    vals_b.push_back(0.8 * base[i + shift] + rng.NextGaussian() * 0.5);
+  }
+  return {KeyedColumn::MakeOrDie("a", keys_a, vals_a),
+          KeyedColumn::MakeOrDie("b", keys_b, vals_b)};
+}
+
+ColumnSketchOptions Options(size_t m = 512) {
+  ColumnSketchOptions o;
+  o.num_samples = m;
+  o.seed = 99;
+  o.key_domain = 1 << 16;
+  o.L = 1 << 20;
+  return o;
+}
+
+TEST(ColumnSketchOptionsTest, Validation) {
+  ColumnSketchOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_samples = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = ColumnSketchOptions();
+  o.key_domain = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(SketchColumnTest, BuildsThreeSketches) {
+  const auto cols = MakeColumns(1);
+  const auto sketch = SketchColumn(cols.a, Options(64)).value();
+  EXPECT_EQ(sketch.name, "a");
+  EXPECT_EQ(sketch.key_indicator.num_samples(), 64u);
+  EXPECT_EQ(sketch.values.num_samples(), 64u);
+  EXPECT_EQ(sketch.squared_values.num_samples(), 64u);
+  EXPECT_GT(sketch.StorageWords(), 3 * 64.0);
+}
+
+TEST(SketchColumnTest, RejectsOutOfDomainKeys) {
+  const auto c = KeyedColumn::MakeOrDie("c", {uint64_t{1} << 40}, {1.0});
+  ColumnSketchOptions o = Options(16);
+  o.key_domain = 1 << 16;
+  EXPECT_FALSE(SketchColumn(c, o).ok());
+}
+
+TEST(JoinEstimateTest, JoinSizeCloseToExact) {
+  const auto cols = MakeColumns(2);
+  const auto exact = ComputeJoinStats(cols.a, cols.b).value();  // size 400
+  const auto o = Options();
+  const auto sa = SketchColumn(cols.a, o).value();
+  const auto sb = SketchColumn(cols.b, o).value();
+  const double est = EstimateJoinSize(sa, sb).value();
+  EXPECT_NEAR(est, static_cast<double>(exact.size),
+              0.25 * static_cast<double>(exact.size));
+}
+
+TEST(JoinEstimateTest, JoinSumCloseToExact) {
+  const auto cols = MakeColumns(3);
+  const auto exact = ComputeJoinStats(cols.a, cols.b).value();
+  const auto o = Options();
+  const auto sa = SketchColumn(cols.a, o).value();
+  const auto sb = SketchColumn(cols.b, o).value();
+  EXPECT_NEAR(EstimateJoinSum(sa, sb).value(), exact.sum_a,
+              0.25 * std::fabs(exact.sum_a));
+  EXPECT_NEAR(EstimateJoinSum(sb, sa).value(), exact.sum_b,
+              0.25 * std::fabs(exact.sum_b));
+}
+
+TEST(JoinEstimateTest, JoinMeanCloseToExact) {
+  const auto cols = MakeColumns(4);
+  const auto exact = ComputeJoinStats(cols.a, cols.b).value();
+  const auto o = Options();
+  const auto sa = SketchColumn(cols.a, o).value();
+  const auto sb = SketchColumn(cols.b, o).value();
+  // Means are ratios of two estimates; both concentrate, so the ratio does.
+  EXPECT_NEAR(EstimateJoinMean(sa, sb).value(), exact.mean_a,
+              0.2 * std::fabs(exact.mean_a));
+}
+
+TEST(JoinEstimateTest, InnerProductCloseToExact) {
+  const auto cols = MakeColumns(5);
+  const auto exact = ComputeJoinStats(cols.a, cols.b).value();
+  const auto o = Options();
+  const auto sa = SketchColumn(cols.a, o).value();
+  const auto sb = SketchColumn(cols.b, o).value();
+  EXPECT_NEAR(EstimateJoinInnerProduct(sa, sb).value(), exact.inner_product,
+              0.25 * std::fabs(exact.inner_product));
+}
+
+TEST(JoinEstimateTest, FullStatsBundleIsConsistent) {
+  // Zero-centered values: plug-in moment estimation of variance is
+  // well-conditioned only when the mean does not dwarf the spread
+  // (var = E[x²] − mean² cancels catastrophically otherwise — a documented
+  // limitation of sketched second moments).
+  const auto cols = MakeColumns(6, /*mean_offset=*/0.0);
+  const auto exact = ComputeJoinStats(cols.a, cols.b).value();
+  const auto o = Options();
+  const auto sa = SketchColumn(cols.a, o).value();
+  const auto sb = SketchColumn(cols.b, o).value();
+  const auto est = EstimateJoinStats(sa, sb).value();
+  EXPECT_NEAR(est.size, static_cast<double>(exact.size), 0.25 * exact.size);
+  // Zero-centered data: check the mean with an absolute tolerance sized to
+  // the value spread (relative error of a near-zero mean is meaningless).
+  EXPECT_NEAR(est.mean_a, exact.mean_a, 0.5);
+  EXPECT_GE(est.variance_a, 0.0);
+  EXPECT_GE(est.variance_b, 0.0);
+  EXPECT_GE(est.correlation, -1.0);
+  EXPECT_LE(est.correlation, 1.0);
+  EXPECT_GE(est.standardized_correlation, -1.0);
+  EXPECT_LE(est.standardized_correlation, 1.0);
+  // The columns were built strongly correlated (shared latent base); the
+  // standardized estimator must see it.
+  EXPECT_GT(est.standardized_correlation, 0.3);
+}
+
+TEST(JoinEstimateTest, StandardizedCorrelationRobustToHugeMeans) {
+  // Shift both columns by a huge constant: plug-in moment correlation
+  // degenerates (variance = E[x²] − mean² cancels), but the standardized
+  // estimator is shift-invariant by construction.
+  const auto base = MakeColumns(9, /*mean_offset=*/0.0);
+  std::vector<double> va = base.a.values(), vb = base.b.values();
+  for (double& v : va) v += 100000.0;
+  for (double& v : vb) v += 100000.0;
+  const auto a = KeyedColumn::MakeOrDie("a", base.a.keys(), va);
+  const auto b = KeyedColumn::MakeOrDie("b", base.b.keys(), vb);
+  const auto exact = ComputeJoinStats(a, b).value();
+  ASSERT_GT(exact.correlation, 0.5);  // truly correlated
+  const auto o = Options();
+  const auto sa = SketchColumn(a, o).value();
+  const auto sb = SketchColumn(b, o).value();
+  const auto est = EstimateJoinStats(sa, sb).value();
+  EXPECT_GT(est.standardized_correlation, 0.3);
+  EXPECT_NEAR(est.standardized_correlation, exact.correlation, 0.45);
+}
+
+TEST(JoinEstimateTest, StandardizedCorrelationSignTracksExact) {
+  // Anti-correlated columns must estimate negative.
+  Xoshiro256StarStar rng(10);
+  std::vector<uint64_t> keys;
+  std::vector<double> va, vb;
+  for (uint64_t k = 0; k < 800; ++k) {
+    keys.push_back(k);
+    const double base = rng.NextGaussian();
+    va.push_back(base + 0.3 * rng.NextGaussian());
+    vb.push_back(-base + 0.3 * rng.NextGaussian());
+  }
+  const auto a = KeyedColumn::MakeOrDie("a", keys, va);
+  const auto b = KeyedColumn::MakeOrDie("b", keys, vb);
+  const auto o = Options();
+  const auto sa = SketchColumn(a, o).value();
+  const auto sb = SketchColumn(b, o).value();
+  const auto est = EstimateJoinStats(sa, sb).value();
+  EXPECT_LT(est.standardized_correlation, -0.3);
+}
+
+TEST(JoinEstimateTest, DisjointColumnsEstimateZeroSize) {
+  Xoshiro256StarStar rng(7);
+  std::vector<uint64_t> ka, kb;
+  std::vector<double> va, vb;
+  for (uint64_t i = 0; i < 200; ++i) {
+    ka.push_back(i);
+    kb.push_back(10000 + i);
+    va.push_back(rng.NextUnit());
+    vb.push_back(rng.NextUnit());
+  }
+  const auto a = KeyedColumn::MakeOrDie("a", ka, va);
+  const auto b = KeyedColumn::MakeOrDie("b", kb, vb);
+  const auto o = Options(128);
+  const auto sa = SketchColumn(a, o).value();
+  const auto sb = SketchColumn(b, o).value();
+  EXPECT_EQ(EstimateJoinSize(sa, sb).value(), 0.0);
+  EXPECT_EQ(EstimateJoinSum(sa, sb).value(), 0.0);
+  EXPECT_EQ(EstimateJoinMean(sa, sb).value(), 0.0);
+}
+
+TEST(JoinEstimateTest, MismatchedCatalogSeedsFail) {
+  const auto cols = MakeColumns(8);
+  auto o1 = Options(64);
+  auto o2 = Options(64);
+  o2.seed = o1.seed + 1;
+  const auto sa = SketchColumn(cols.a, o1).value();
+  const auto sb = SketchColumn(cols.b, o2).value();
+  EXPECT_FALSE(EstimateJoinSize(sa, sb).ok());
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,130 @@
+#include "table/join.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+// The exact tables of Figure 2 in the paper.
+KeyedColumn FigureTwoA() {
+  return KeyedColumn::MakeOrDie(
+      "V_A", {1, 3, 4, 5, 6, 7, 8, 9, 11},
+      {6.0, 2.0, 6.0, 1.0, 4.0, 2.0, 2.0, 8.0, 3.0});
+}
+
+KeyedColumn FigureTwoB() {
+  return KeyedColumn::MakeOrDie(
+      "V_B", {2, 4, 5, 8, 10, 11, 12, 15, 16},
+      {1.0, 5.0, 1.0, 2.0, 4.0, 2.5, 6.0, 6.0, 3.7});
+}
+
+TEST(JoinRowsTest, FigureTwoJoinRows) {
+  auto rows = JoinRows(FigureTwoA(), FigureTwoB());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 4u);
+  // Keys 4, 5, 8, 11 with values (6,5), (1,1), (2,2), (3,2.5).
+  EXPECT_EQ(rows.value()[0].key, 4u);
+  EXPECT_EQ(rows.value()[0].value_a, 6.0);
+  EXPECT_EQ(rows.value()[0].value_b, 5.0);
+  EXPECT_EQ(rows.value()[3].key, 11u);
+  EXPECT_EQ(rows.value()[3].value_b, 2.5);
+}
+
+TEST(JoinRowsTest, RequiresUniqueKeys) {
+  const auto dup = KeyedColumn::MakeOrDie("d", {1, 1}, {1.0, 2.0});
+  const auto ok = KeyedColumn::MakeOrDie("o", {1, 2}, {1.0, 2.0});
+  EXPECT_FALSE(JoinRows(dup, ok).ok());
+  EXPECT_FALSE(JoinRows(ok, dup).ok());
+  EXPECT_EQ(JoinRows(dup, ok).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(JoinRowsTest, AggregationRepairsDuplicates) {
+  const auto dup = KeyedColumn::MakeOrDie("d", {1, 1, 2}, {1.0, 2.0, 5.0});
+  const auto ok = KeyedColumn::MakeOrDie("o", {1, 2}, {10.0, 20.0});
+  auto rows = JoinRows(dup.Aggregated(Aggregation::kSum), ok);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0].value_a, 3.0);  // 1 + 2 summed
+}
+
+TEST(JoinStatsTest, FigureTwoStatistics) {
+  // The worked numbers printed in Figure 2:
+  //   SIZE(V_A⋈) = 4, SUM(V_A⋈) = 12.0, SUM(V_B⋈) = 10.5,
+  //   MEAN(V_A⋈) = 3.0.
+  auto stats = ComputeJoinStats(FigureTwoA(), FigureTwoB()).value();
+  EXPECT_EQ(stats.size, 4u);
+  EXPECT_DOUBLE_EQ(stats.sum_a, 12.0);
+  EXPECT_DOUBLE_EQ(stats.sum_b, 10.5);
+  EXPECT_DOUBLE_EQ(stats.mean_a, 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean_b, 10.5 / 4.0);
+  // ⟨x_VA, x_VB⟩ = 6·5 + 1·1 + 2·2 + 3·2.5 = 42.5 (Figure 3 reduction).
+  EXPECT_DOUBLE_EQ(stats.inner_product, 42.5);
+  EXPECT_DOUBLE_EQ(stats.sum_sq_a, 36.0 + 1.0 + 4.0 + 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum_sq_b, 25.0 + 1.0 + 4.0 + 6.25);
+}
+
+TEST(JoinStatsTest, MomentsMatchDirectComputation) {
+  auto stats = ComputeJoinStats(FigureTwoA(), FigureTwoB()).value();
+  // V_A⋈ = {6,1,2,3}, V_B⋈ = {5,1,2,2.5}.
+  const double mean_a = 3.0, mean_b = 2.625;
+  const double var_a =
+      (36.0 + 1.0 + 4.0 + 9.0) / 4.0 - mean_a * mean_a;
+  const double var_b =
+      (25.0 + 1.0 + 4.0 + 6.25) / 4.0 - mean_b * mean_b;
+  const double cov = 42.5 / 4.0 - mean_a * mean_b;
+  EXPECT_DOUBLE_EQ(stats.variance_a, var_a);
+  EXPECT_DOUBLE_EQ(stats.variance_b, var_b);
+  EXPECT_DOUBLE_EQ(stats.covariance, cov);
+  EXPECT_NEAR(stats.correlation, cov / std::sqrt(var_a * var_b), 1e-12);
+  EXPECT_GE(stats.correlation, -1.0);
+  EXPECT_LE(stats.correlation, 1.0);
+}
+
+TEST(JoinStatsTest, EmptyJoin) {
+  const auto a = KeyedColumn::MakeOrDie("a", {1, 2}, {1.0, 2.0});
+  const auto b = KeyedColumn::MakeOrDie("b", {3, 4}, {3.0, 4.0});
+  auto stats = ComputeJoinStats(a, b).value();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.sum_a, 0.0);
+  EXPECT_EQ(stats.mean_a, 0.0);
+  EXPECT_EQ(stats.correlation, 0.0);
+}
+
+TEST(JoinStatsTest, PerfectlyCorrelatedColumns) {
+  const auto a = KeyedColumn::MakeOrDie("a", {1, 2, 3}, {1.0, 2.0, 3.0});
+  const auto b = KeyedColumn::MakeOrDie("b", {1, 2, 3}, {10.0, 20.0, 30.0});
+  auto stats = ComputeJoinStats(a, b).value();
+  EXPECT_NEAR(stats.correlation, 1.0, 1e-12);
+}
+
+TEST(JoinStatsTest, AntiCorrelatedColumns) {
+  const auto a = KeyedColumn::MakeOrDie("a", {1, 2, 3}, {1.0, 2.0, 3.0});
+  const auto b = KeyedColumn::MakeOrDie("b", {1, 2, 3}, {5.0, 3.0, 1.0});
+  auto stats = ComputeJoinStats(a, b).value();
+  EXPECT_NEAR(stats.correlation, -1.0, 1e-12);
+}
+
+TEST(JoinStatsTest, ConstantColumnHasZeroCorrelationByConvention) {
+  const auto a = KeyedColumn::MakeOrDie("a", {1, 2, 3}, {7.0, 7.0, 7.0});
+  const auto b = KeyedColumn::MakeOrDie("b", {1, 2, 3}, {1.0, 2.0, 3.0});
+  auto stats = ComputeJoinStats(a, b).value();
+  EXPECT_EQ(stats.correlation, 0.0);
+  EXPECT_NEAR(stats.variance_a, 0.0, 1e-12);
+}
+
+TEST(JoinStatsTest, JoinIsSymmetricInSize) {
+  const auto a = FigureTwoA();
+  const auto b = FigureTwoB();
+  EXPECT_EQ(ComputeJoinStats(a, b).value().size,
+            ComputeJoinStats(b, a).value().size);
+  EXPECT_DOUBLE_EQ(ComputeJoinStats(a, b).value().inner_product,
+                   ComputeJoinStats(b, a).value().inner_product);
+  EXPECT_DOUBLE_EQ(ComputeJoinStats(a, b).value().sum_a,
+                   ComputeJoinStats(b, a).value().sum_b);
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,172 @@
+#include "sketch/kmv.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector RangeVector(uint64_t dim, uint64_t lo, uint64_t hi,
+                         double value = 1.0) {
+  std::vector<Entry> entries;
+  for (uint64_t i = lo; i < hi; ++i) entries.push_back({i, value});
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+KmvSketch Sketch(const SparseVector& v, size_t k, uint64_t seed) {
+  KmvOptions o;
+  o.k = k;
+  o.seed = seed;
+  return SketchKmv(v, o).value();
+}
+
+TEST(KmvOptionsTest, Validation) {
+  KmvOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.k = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(KmvSketchTest, KeepsKSmallestSorted) {
+  const auto v = RangeVector(4096, 0, 500);
+  const auto s = Sketch(v, 64, 3);
+  ASSERT_EQ(s.samples.size(), 64u);
+  for (size_t i = 1; i < s.samples.size(); ++i) {
+    EXPECT_LT(s.samples[i - 1].hash, s.samples[i].hash);
+  }
+  EXPECT_FALSE(s.exhaustive());
+  EXPECT_DOUBLE_EQ(s.StorageWords(), 96.0);
+}
+
+TEST(KmvSketchTest, SmallSupportIsExhaustive) {
+  const auto v = RangeVector(128, 0, 10);
+  const auto s = Sketch(v, 64, 3);
+  EXPECT_EQ(s.samples.size(), 10u);
+  EXPECT_TRUE(s.exhaustive());
+}
+
+TEST(KmvSketchTest, SketchIsPrefixStable) {
+  // The k smallest of a vector contain the k' < k smallest: truncation is a
+  // valid re-capacitation.
+  const auto v = RangeVector(4096, 0, 500);
+  const auto big = Sketch(v, 128, 5);
+  const auto small = Sketch(v, 32, 5);
+  const auto trunc = TruncatedKmv(big, 32);
+  ASSERT_EQ(trunc.samples.size(), small.samples.size());
+  for (size_t i = 0; i < small.samples.size(); ++i) {
+    EXPECT_EQ(trunc.samples[i].hash, small.samples[i].hash);
+  }
+}
+
+TEST(KmvEstimatorTest, CompatibilityChecks) {
+  const auto v = RangeVector(64, 0, 32);
+  EXPECT_FALSE(
+      EstimateKmvInnerProduct(Sketch(v, 8, 1), Sketch(v, 16, 1)).ok());
+  EXPECT_FALSE(
+      EstimateKmvInnerProduct(Sketch(v, 8, 1), Sketch(v, 8, 2)).ok());
+}
+
+TEST(KmvEstimatorTest, ExhaustiveSketchesAreExact) {
+  // Both supports below k: the estimate is the exact inner product.
+  Xoshiro256StarStar rng(7);
+  std::vector<Entry> ea, eb;
+  for (uint64_t i = 0; i < 20; ++i) ea.push_back({i, rng.NextGaussian()});
+  for (uint64_t i = 10; i < 30; ++i) eb.push_back({i, rng.NextGaussian()});
+  const auto a = SparseVector::MakeOrDie(64, ea);
+  const auto b = SparseVector::MakeOrDie(64, eb);
+  const double est =
+      EstimateKmvInnerProduct(Sketch(a, 64, 3), Sketch(b, 64, 3)).value();
+  EXPECT_NEAR(est, Dot(a, b), 1e-9);
+}
+
+TEST(KmvEstimatorTest, UnionEstimateViaKthMinimum) {
+  // Feed the estimator binary vectors: the estimate is then
+  // Û/(k'−1)·|matches below ζ| ≈ |A∩B|, so checking the estimate checks
+  // the union calibration too.
+  const auto a = RangeVector(8192, 0, 1000);
+  const auto b = RangeVector(8192, 500, 1500);  // intersection 500
+  double est_sum = 0.0;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    est_sum += EstimateKmvInnerProduct(Sketch(a, 256, seed),
+                                       Sketch(b, 256, seed))
+                   .value();
+  }
+  EXPECT_NEAR(est_sum / kSeeds, 500.0, 50.0);
+}
+
+TEST(KmvEstimatorTest, DisjointSupportsEstimateZero) {
+  const auto a = RangeVector(4096, 0, 500, 2.0);
+  const auto b = RangeVector(4096, 1000, 1500, 3.0);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    EXPECT_EQ(EstimateKmvInnerProduct(Sketch(a, 64, seed),
+                                      Sketch(b, 64, seed))
+                  .value(),
+              0.0);
+  }
+}
+
+TEST(KmvEstimatorTest, EmptyVectorEstimatesZero) {
+  const auto v = RangeVector(64, 0, 32);
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(64, 0.0));
+  EXPECT_EQ(
+      EstimateKmvInnerProduct(Sketch(v, 16, 1), Sketch(zero, 16, 1)).value(),
+      0.0);
+}
+
+TEST(KmvEstimatorTest, WeightedVectorsAccuracy) {
+  Xoshiro256StarStar rng(11);
+  std::vector<Entry> ea, eb;
+  for (uint64_t i = 0; i < 600; ++i) {
+    ea.push_back({i, 0.5 + rng.NextUnit()});
+  }
+  for (uint64_t i = 300; i < 900; ++i) {
+    eb.push_back({i, 0.5 + rng.NextUnit()});
+  }
+  const auto a = SparseVector::MakeOrDie(4096, ea);
+  const auto b = SparseVector::MakeOrDie(4096, eb);
+  const double truth = Dot(a, b);
+  double err = 0.0;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    err += std::fabs(EstimateKmvInnerProduct(Sketch(a, 256, seed),
+                                             Sketch(b, 256, seed))
+                         .value() -
+                     truth);
+  }
+  // Scaled error of a 256-sample sketch on this workload is a few percent.
+  EXPECT_LT(err / kSeeds / (a.Norm() * b.Norm()), 0.1);
+}
+
+TEST(KmvEstimatorTest, ErrorDecreasesWithK) {
+  const auto a = RangeVector(8192, 0, 1000);
+  const auto b = RangeVector(8192, 500, 1500);
+  const double truth = Dot(a, b);
+  double err32 = 0.0, err512 = 0.0;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    err32 += std::fabs(
+        EstimateKmvInnerProduct(Sketch(a, 32, seed), Sketch(b, 32, seed))
+            .value() -
+        truth);
+    err512 += std::fabs(
+        EstimateKmvInnerProduct(Sketch(a, 512, seed), Sketch(b, 512, seed))
+            .value() -
+        truth);
+  }
+  EXPECT_LT(err512, err32 / 1.8);
+}
+
+TEST(TruncatedKmvDeathTest, RejectsBadCapacity) {
+  const auto v = RangeVector(128, 0, 64);
+  const auto s = Sketch(v, 16, 1);
+  EXPECT_DEATH(TruncatedKmv(s, 0), "IPS_CHECK");
+  EXPECT_DEATH(TruncatedKmv(s, 17), "IPS_CHECK");
+}
+
+}  // namespace
+}  // namespace ipsketch

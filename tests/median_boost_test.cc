@@ -1,0 +1,127 @@
+#include "core/median_boost.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector TestVector(uint64_t dim, uint64_t lo, uint64_t hi,
+                        uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t i = lo; i < hi; ++i) {
+    entries.push_back({i, 0.2 + rng.NextUnit() * (i % 9 == 0 ? 10.0 : 1.0)});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+TEST(MedianWmhOptionsTest, Validation) {
+  MedianWmhOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.repetitions = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.repetitions = 3;
+  o.base.num_samples = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(MedianWmhOptionsTest, RepetitionsForDeltaIsOddAndGrows) {
+  const size_t r1 = MedianWmhOptions::RepetitionsForDelta(0.1);
+  const size_t r2 = MedianWmhOptions::RepetitionsForDelta(0.01);
+  const size_t r3 = MedianWmhOptions::RepetitionsForDelta(1e-6);
+  EXPECT_EQ(r1 % 2, 1u);
+  EXPECT_EQ(r2 % 2, 1u);
+  EXPECT_EQ(r3 % 2, 1u);
+  EXPECT_LE(r1, r2);
+  EXPECT_LT(r2, r3);
+  // O(log 1/δ): 1e-6 needs ≈ 6/0.0589·ln(10) ≈ a few hundred at most.
+  EXPECT_LT(r3, 500u);
+}
+
+TEST(MedianWmhTest, SketchHasRequestedRepetitions) {
+  MedianWmhOptions o;
+  o.repetitions = 5;
+  o.base.num_samples = 16;
+  o.base.L = 1 << 12;
+  const auto v = TestVector(128, 0, 64, 1);
+  const auto s = SketchMedianWmh(v, o).value();
+  EXPECT_EQ(s.repetitions.size(), 5u);
+  // Sub-sketches must use distinct seeds.
+  EXPECT_NE(s.repetitions[0].seed, s.repetitions[1].seed);
+  EXPECT_NE(s.repetitions[1].seed, s.repetitions[2].seed);
+  EXPECT_DOUBLE_EQ(s.StorageWords(), 5 * (1.5 * 16 + 1));
+}
+
+TEST(MedianWmhTest, EstimateRequiresMatchingShape) {
+  MedianWmhOptions o3, o5;
+  o3.repetitions = 3;
+  o5.repetitions = 5;
+  o3.base.num_samples = o5.base.num_samples = 8;
+  const auto v = TestVector(64, 0, 32, 2);
+  const auto s3 = SketchMedianWmh(v, o3).value();
+  const auto s5 = SketchMedianWmh(v, o5).value();
+  EXPECT_FALSE(EstimateMedianWmhInnerProduct(s3, s5).ok());
+}
+
+TEST(MedianWmhTest, MedianEstimateIsAccurate) {
+  const auto a = TestVector(300, 0, 200, 3);
+  const auto b = TestVector(300, 100, 300, 4);
+  const double truth = Dot(a, b);
+  MedianWmhOptions o;
+  o.repetitions = 9;
+  o.base.num_samples = 128;
+  o.base.L = 1 << 14;
+  o.base.seed = 77;
+  const auto sa = SketchMedianWmh(a, o).value();
+  const auto sb = SketchMedianWmh(b, o).value();
+  const double est = EstimateMedianWmhInnerProduct(sa, sb).value();
+  const double scale = Theorem2Bound(a, b) / std::sqrt(128.0);
+  EXPECT_NEAR(est, truth, 5.0 * scale);
+}
+
+TEST(MedianWmhTest, MedianShrinksFailureTail) {
+  // Count how often the error exceeds a threshold for single sketches vs
+  // 9-way medians at the same per-repetition size. The median must fail
+  // (strictly) less often on this workload.
+  const auto a = TestVector(200, 0, 140, 5);
+  const auto b = TestVector(200, 70, 200, 6);
+  const double truth = Dot(a, b);
+  const double threshold = Theorem2Bound(a, b) / 2.5;
+
+  int single_fail = 0, median_fail = 0;
+  const int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    MedianWmhOptions o;
+    o.repetitions = 9;
+    o.base.num_samples = 16;
+    o.base.L = 1 << 12;
+    o.base.seed = 1000 + t;
+    const auto sa = SketchMedianWmh(a, o).value();
+    const auto sb = SketchMedianWmh(b, o).value();
+    const double med = EstimateMedianWmhInnerProduct(sa, sb).value();
+    if (std::fabs(med - truth) > threshold) ++median_fail;
+    const double single =
+        EstimateWmhInnerProduct(sa.repetitions[0], sb.repetitions[0]).value();
+    if (std::fabs(single - truth) > threshold) ++single_fail;
+  }
+  EXPECT_LE(median_fail, single_fail);
+}
+
+TEST(MedianWmhTest, ZeroVectorEstimatesZero) {
+  MedianWmhOptions o;
+  o.repetitions = 3;
+  o.base.num_samples = 8;
+  const auto v = TestVector(64, 0, 32, 7);
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(64, 0.0));
+  const auto sv = SketchMedianWmh(v, o).value();
+  const auto sz = SketchMedianWmh(zero, o).value();
+  EXPECT_EQ(EstimateMedianWmhInnerProduct(sv, sz).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace ipsketch

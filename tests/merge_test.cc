@@ -1,0 +1,172 @@
+#include "sketch/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector TestVector(uint64_t seed, uint64_t lo, uint64_t hi) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t i = lo; i < hi; ++i) {
+    entries.push_back({i, rng.NextGaussian() + 0.25});
+  }
+  return SparseVector::MakeOrDie(512, std::move(entries));
+}
+
+TEST(MergeJlTest, MergedEqualsSketchOfSum) {
+  const auto a = TestVector(1, 0, 100);
+  const auto b = TestVector(2, 50, 150);
+  JlOptions o;
+  o.num_rows = 32;
+  o.seed = 7;
+  const auto sa = SketchJl(a, o).value();
+  const auto sb = SketchJl(b, o).value();
+  const auto merged = MergeJl(sa, sb).value();
+  const auto direct = SketchJl(Add(a, b).value(), o).value();
+  ASSERT_EQ(merged.projection.size(), direct.projection.size());
+  for (size_t r = 0; r < merged.projection.size(); ++r) {
+    EXPECT_NEAR(merged.projection[r], direct.projection[r], 1e-9);
+  }
+}
+
+TEST(MergeJlTest, RejectsIncompatibleSketches) {
+  const auto v = TestVector(3, 0, 50);
+  JlOptions o1, o2;
+  o1.num_rows = 16;
+  o2.num_rows = 32;
+  EXPECT_FALSE(
+      MergeJl(SketchJl(v, o1).value(), SketchJl(v, o2).value()).ok());
+  o2.num_rows = 16;
+  o2.seed = 99;
+  EXPECT_FALSE(
+      MergeJl(SketchJl(v, o1).value(), SketchJl(v, o2).value()).ok());
+}
+
+TEST(MergeJlTest, MergedSketchEstimatesSumInnerProduct) {
+  const auto a = TestVector(4, 0, 120);
+  const auto b = TestVector(5, 60, 180);
+  const auto c = TestVector(6, 30, 150);
+  const auto sum = Add(a, b).value();
+  const double truth = Dot(sum, c);
+  JlOptions o;
+  o.num_rows = 512;
+  o.seed = 11;
+  const auto merged = MergeJl(SketchJl(a, o).value(), SketchJl(b, o).value());
+  const auto sc = SketchJl(c, o).value();
+  const double est = EstimateJlInnerProduct(merged.value(), sc).value();
+  EXPECT_NEAR(est, truth, 0.5 * sum.Norm() * c.Norm());
+}
+
+TEST(MergeCountSketchTest, MergedEqualsSketchOfSum) {
+  const auto a = TestVector(7, 0, 100);
+  const auto b = TestVector(8, 50, 150);
+  CountSketchOptions o;
+  o.total_counters = 60;
+  o.seed = 13;
+  const auto merged =
+      MergeCountSketch(SketchCount(a, o).value(), SketchCount(b, o).value())
+          .value();
+  const auto direct = SketchCount(Add(a, b).value(), o).value();
+  ASSERT_EQ(merged.tables.size(), direct.tables.size());
+  for (size_t r = 0; r < merged.tables.size(); ++r) {
+    for (size_t j = 0; j < merged.tables[r].size(); ++j) {
+      EXPECT_NEAR(merged.tables[r][j], direct.tables[r][j], 1e-9);
+    }
+  }
+}
+
+TEST(MergeCountSketchTest, RejectsShapeMismatch) {
+  const auto v = TestVector(9, 0, 50);
+  CountSketchOptions o1, o2;
+  o1.total_counters = 50;
+  o2.total_counters = 100;
+  EXPECT_FALSE(MergeCountSketch(SketchCount(v, o1).value(),
+                                SketchCount(v, o2).value())
+                   .ok());
+}
+
+TEST(MergeKmvTest, DisjointSupportsMergeExactly) {
+  const auto a = TestVector(10, 0, 80);
+  const auto b = TestVector(11, 200, 280);
+  KmvOptions o;
+  o.k = 64;
+  o.seed = 17;
+  const auto merged =
+      MergeKmv(SketchKmv(a, o).value(), SketchKmv(b, o).value()).value();
+  const auto direct = SketchKmv(Add(a, b).value(), o).value();
+  ASSERT_EQ(merged.samples.size(), direct.samples.size());
+  for (size_t i = 0; i < merged.samples.size(); ++i) {
+    EXPECT_EQ(merged.samples[i].hash, direct.samples[i].hash);
+    EXPECT_EQ(merged.samples[i].value, direct.samples[i].value);
+  }
+}
+
+TEST(MergeKmvTest, OverlappingSupportsSumValues) {
+  // Exhaustive sketches (k > nnz): the merge must equal the sketch of the
+  // summed vector exactly, including value sums on shared indices.
+  const auto a = TestVector(12, 0, 40);
+  const auto b = TestVector(13, 20, 60);
+  KmvOptions o;
+  o.k = 128;
+  o.seed = 19;
+  const auto merged =
+      MergeKmv(SketchKmv(a, o).value(), SketchKmv(b, o).value()).value();
+  const auto direct = SketchKmv(Add(a, b).value(), o).value();
+  ASSERT_EQ(merged.samples.size(), direct.samples.size());
+  for (size_t i = 0; i < merged.samples.size(); ++i) {
+    EXPECT_EQ(merged.samples[i].hash, direct.samples[i].hash);
+    EXPECT_NEAR(merged.samples[i].value, direct.samples[i].value, 1e-12);
+  }
+}
+
+TEST(MergeKmvTest, ExactCancellationDropsEntry) {
+  const auto a = SparseVector::MakeOrDie(16, {{3, 2.0}, {5, 1.0}});
+  const auto b = SparseVector::MakeOrDie(16, {{3, -2.0}, {7, 1.0}});
+  KmvOptions o;
+  o.k = 16;
+  o.seed = 23;
+  const auto merged =
+      MergeKmv(SketchKmv(a, o).value(), SketchKmv(b, o).value()).value();
+  // Index 3 cancels: the merged sketch holds only indices 5 and 7.
+  EXPECT_EQ(merged.samples.size(), 2u);
+  const auto direct = SketchKmv(Add(a, b).value(), o).value();
+  ASSERT_EQ(direct.samples.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(merged.samples[i].hash, direct.samples[i].hash);
+  }
+}
+
+TEST(MergeKmvTest, CapacityRespected) {
+  const auto a = TestVector(14, 0, 200);
+  const auto b = TestVector(15, 200, 400);
+  KmvOptions o;
+  o.k = 32;
+  o.seed = 29;
+  const auto merged =
+      MergeKmv(SketchKmv(a, o).value(), SketchKmv(b, o).value()).value();
+  EXPECT_LE(merged.samples.size(), 32u);
+  // Sorted ascending.
+  for (size_t i = 1; i < merged.samples.size(); ++i) {
+    EXPECT_LT(merged.samples[i - 1].hash, merged.samples[i].hash);
+  }
+}
+
+TEST(MergeKmvTest, RejectsIncompatible) {
+  const auto v = TestVector(16, 0, 50);
+  KmvOptions o1, o2;
+  o1.k = o2.k = 16;
+  o2.seed = 1;
+  EXPECT_FALSE(
+      MergeKmv(SketchKmv(v, o1).value(), SketchKmv(v, o2).value()).ok());
+  o2.seed = 0;
+  o2.hash_kind = HashKind::kCarterWegman61;
+  EXPECT_FALSE(
+      MergeKmv(SketchKmv(v, o1).value(), SketchKmv(v, o2).value()).ok());
+}
+
+}  // namespace
+}  // namespace ipsketch

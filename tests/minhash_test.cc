@@ -1,0 +1,219 @@
+#include "sketch/minhash.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector RangeVector(uint64_t dim, uint64_t lo, uint64_t hi, double value) {
+  std::vector<Entry> entries;
+  for (uint64_t i = lo; i < hi; ++i) entries.push_back({i, value});
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+MhSketch Sketch(const SparseVector& v, size_t m, uint64_t seed) {
+  MhOptions o;
+  o.num_samples = m;
+  o.seed = seed;
+  return SketchMh(v, o).value();
+}
+
+TEST(MhOptionsTest, Validation) {
+  MhOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_samples = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(MhSketchTest, DeterministicAndShaped) {
+  const auto v = RangeVector(256, 0, 64, 2.0);
+  const auto s1 = Sketch(v, 32, 5);
+  const auto s2 = Sketch(v, 32, 5);
+  EXPECT_EQ(s1.hashes, s2.hashes);
+  EXPECT_EQ(s1.values, s2.values);
+  EXPECT_DOUBLE_EQ(s1.StorageWords(), 48.0);  // 1.5 · 32
+}
+
+TEST(MhSketchTest, EmptyVectorUsesHashSupremum) {
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(8, 0.0));
+  const auto s = Sketch(zero, 16, 1);
+  for (double h : s.hashes) EXPECT_EQ(h, 1.0);
+  for (double v : s.values) EXPECT_EQ(v, 0.0);
+}
+
+TEST(MhSketchTest, ValueIsVectorEntryAtArgmin) {
+  // Every sampled value must be one of the vector's non-zero values.
+  Xoshiro256StarStar rng(3);
+  std::vector<Entry> entries;
+  for (uint64_t i = 0; i < 50; ++i) entries.push_back({i * 3, 1.0 + i});
+  const auto v = SparseVector::MakeOrDie(256, entries);
+  const auto s = Sketch(v, 64, 7);
+  for (double value : s.values) {
+    EXPECT_GE(value, 1.0);
+    EXPECT_LE(value, 50.0);
+  }
+}
+
+TEST(MhSketchTest, Fact3MatchProbabilityIsJaccard) {
+  // |A| = 60, |B| = 60, |A∩B| = 30 ⇒ J = 30/90 = 1/3.
+  const auto a = RangeVector(256, 0, 60, 1.0);
+  const auto b = RangeVector(256, 30, 90, 1.0);
+  size_t matches = 0;
+  const size_t m = 256;
+  const int kSeeds = 40;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto sa = Sketch(a, m, seed);
+    const auto sb = Sketch(b, m, seed);
+    for (size_t i = 0; i < m; ++i) matches += (sa.hashes[i] == sb.hashes[i]);
+  }
+  EXPECT_NEAR(static_cast<double>(matches) / (m * kSeeds), 1.0 / 3.0, 0.02);
+}
+
+TEST(MhSketchTest, Lemma1UnionEstimate) {
+  // Ũ = m/Σ min(h_a, h_b) − 1 approximates |A ∪ B| (Lemma 1).
+  const auto a = RangeVector(1024, 0, 200, 1.0);
+  const auto b = RangeVector(1024, 100, 300, 1.0);  // union = 300
+  const size_t m = 512;
+  double est_sum = 0.0;
+  const int kSeeds = 20;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto sa = Sketch(a, m, seed);
+    const auto sb = Sketch(b, m, seed);
+    double min_sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      min_sum += std::min(sa.hashes[i], sb.hashes[i]);
+    }
+    est_sum += static_cast<double>(m) / min_sum - 1.0;
+  }
+  EXPECT_NEAR(est_sum / kSeeds, 300.0, 15.0);
+}
+
+TEST(MhEstimatorTest, CompatibilityChecks) {
+  const auto v = RangeVector(64, 0, 32, 1.0);
+  EXPECT_FALSE(EstimateMhInnerProduct(Sketch(v, 8, 1), Sketch(v, 16, 1)).ok());
+  EXPECT_FALSE(EstimateMhInnerProduct(Sketch(v, 8, 1), Sketch(v, 8, 2)).ok());
+  MhOptions cw;
+  cw.num_samples = 8;
+  cw.hash_kind = HashKind::kCarterWegman31;
+  EXPECT_FALSE(
+      EstimateMhInnerProduct(Sketch(v, 8, 0), SketchMh(v, cw).value()).ok());
+}
+
+TEST(MhEstimatorTest, BinaryVectorsEstimateIntersectionSize) {
+  const auto a = RangeVector(512, 0, 100, 1.0);
+  const auto b = RangeVector(512, 50, 150, 1.0);  // intersection = 50
+  double est_sum = 0.0;
+  const int kSeeds = 40;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    est_sum += EstimateMhInnerProduct(Sketch(a, 256, seed),
+                                      Sketch(b, 256, seed))
+                   .value();
+  }
+  EXPECT_NEAR(est_sum / kSeeds, 50.0, 5.0);
+}
+
+TEST(MhEstimatorTest, DisjointSupportsEstimateZero) {
+  const auto a = RangeVector(512, 0, 100, 2.0);
+  const auto b = RangeVector(512, 200, 300, 3.0);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    EXPECT_EQ(
+        EstimateMhInnerProduct(Sketch(a, 64, seed), Sketch(b, 64, seed))
+            .value(),
+        0.0);
+  }
+}
+
+TEST(MhEstimatorTest, EmptyVersusNonEmptyIsZero) {
+  const auto v = RangeVector(64, 0, 32, 1.0);
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(64, 0.0));
+  EXPECT_EQ(
+      EstimateMhInnerProduct(Sketch(v, 32, 3), Sketch(zero, 32, 3)).value(),
+      0.0);
+}
+
+TEST(MhEstimatorTest, Theorem4BoundOnBoundedVectors) {
+  // Entries bounded by c = 2: median error over seeds should respect
+  // ε·c²·√(max(|A|,|B|)·|A∩B|) with ε = O(1/√m).
+  Xoshiro256StarStar rng(5);
+  std::vector<Entry> ea, eb;
+  for (uint64_t i = 0; i < 120; ++i) {
+    ea.push_back({i, (rng.NextUnit() * 4.0 - 2.0)});
+  }
+  for (uint64_t i = 60; i < 180; ++i) {
+    eb.push_back({i, (rng.NextUnit() * 4.0 - 2.0)});
+  }
+  const auto a = SparseVector::MakeOrDie(512, ea);
+  const auto b = SparseVector::MakeOrDie(512, eb);
+  const double truth = Dot(a, b);
+  const size_t m = 128;
+  std::vector<double> errors;
+  for (int seed = 0; seed < 31; ++seed) {
+    errors.push_back(std::fabs(
+        EstimateMhInnerProduct(Sketch(a, m, seed), Sketch(b, m, seed)).value() -
+        truth));
+  }
+  std::sort(errors.begin(), errors.end());
+  const double c2 = 4.0;
+  const double set_scale = std::sqrt(120.0 * 60.0);
+  const double epsilon = 4.0 / std::sqrt(static_cast<double>(m));
+  EXPECT_LE(errors[errors.size() / 2], epsilon * c2 * set_scale);
+}
+
+TEST(MhEstimatorTest, CarterWegmanFamilyAlsoWorks) {
+  // The paper's practical 2-wise family gives comparable estimates on
+  // scattered supports.
+  Xoshiro256StarStar rng(7);
+  std::vector<Entry> ea, eb;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const uint64_t idx = Mix64(i) % 4096;
+    ea.push_back({idx, 1.0});
+    eb.push_back({Mix64(i + 100) % 4096, 1.0});
+  }
+  std::sort(ea.begin(), ea.end(),
+            [](const Entry& x, const Entry& y) { return x.index < y.index; });
+  ea.erase(std::unique(ea.begin(), ea.end(),
+                       [](const Entry& x, const Entry& y) {
+                         return x.index == y.index;
+                       }),
+           ea.end());
+  std::sort(eb.begin(), eb.end(),
+            [](const Entry& x, const Entry& y) { return x.index < y.index; });
+  eb.erase(std::unique(eb.begin(), eb.end(),
+                       [](const Entry& x, const Entry& y) {
+                         return x.index == y.index;
+                       }),
+           eb.end());
+  const auto a = SparseVector::MakeOrDie(4096, ea);
+  const auto b = SparseVector::MakeOrDie(4096, eb);
+  const double truth = Dot(a, b);
+  MhOptions o;
+  o.num_samples = 512;
+  o.hash_kind = HashKind::kCarterWegman31;
+  double est_sum = 0.0;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    o.seed = seed;
+    est_sum += EstimateMhInnerProduct(SketchMh(a, o).value(),
+                                      SketchMh(b, o).value())
+                   .value();
+  }
+  EXPECT_NEAR(est_sum / kSeeds, truth, std::max(5.0, 0.2 * truth));
+}
+
+TEST(TruncatedMhTest, PrefixMatchesFreshSketch) {
+  const auto a = RangeVector(512, 0, 100, 1.5);
+  const auto b = RangeVector(512, 50, 150, 2.5);
+  const auto sa = Sketch(a, 128, 9);
+  const auto sb = Sketch(b, 128, 9);
+  EXPECT_DOUBLE_EQ(
+      EstimateMhInnerProduct(TruncatedMh(sa, 32), TruncatedMh(sb, 32)).value(),
+      EstimateMhInnerProduct(Sketch(a, 32, 9), Sketch(b, 32, 9)).value());
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,157 @@
+#include "data/newsgroups.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+NewsgroupsOptions SmallOptions() {
+  NewsgroupsOptions o;
+  o.num_documents = 120;
+  o.vocab_size = 3000;
+  o.num_topics = 6;
+  o.seed = 11;
+  return o;
+}
+
+TEST(NewsgroupsOptionsTest, Validation) {
+  NewsgroupsOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_topics = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = NewsgroupsOptions();
+  o.topic_mix = -0.1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = NewsgroupsOptions();
+  o.min_length = 100;
+  o.max_length = 50;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(ZipfSamplerTest, RankZeroMostLikely) {
+  const ZipfSampler zipf(1000, 1.1);
+  Xoshiro256StarStar rng(3);
+  std::vector<size_t> counts(1000, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng.NextUnit())];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+  // Zipf head mass: rank 0 should hold a few percent of all draws.
+  EXPECT_GT(counts[0], n / 50);
+}
+
+TEST(ZipfSamplerTest, BoundaryUnits) {
+  const ZipfSampler zipf(100, 1.0);
+  EXPECT_EQ(zipf.Sample(0.0), 0u);
+  EXPECT_LT(zipf.Sample(0.999999999), 100u);
+}
+
+TEST(NewsgroupsCorpusTest, ShapeAndDeterminism) {
+  const auto c1 = GenerateNewsgroupsCorpus(SmallOptions()).value();
+  const auto c2 = GenerateNewsgroupsCorpus(SmallOptions()).value();
+  ASSERT_EQ(c1.size(), 120u);
+  ASSERT_EQ(c2.size(), 120u);
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].token_ids, c2[i].token_ids);
+    EXPECT_EQ(c1[i].topic, c2[i].topic);
+  }
+}
+
+TEST(NewsgroupsCorpusTest, LengthsWithinBounds) {
+  const auto corpus = GenerateNewsgroupsCorpus(SmallOptions()).value();
+  for (const auto& doc : corpus) {
+    EXPECT_GE(doc.length(), 40u);
+    EXPECT_LE(doc.length(), 5000u);
+  }
+}
+
+TEST(NewsgroupsCorpusTest, LengthsHaveHeavyRightTail) {
+  NewsgroupsOptions o;
+  o.num_documents = 700;
+  o.seed = 13;
+  const auto corpus = GenerateNewsgroupsCorpus(o).value();
+  size_t long_docs = 0;
+  for (const auto& doc : corpus) long_docs += (doc.length() > 700);
+  // Figure 6(b) needs a meaningful >700-word subpopulation.
+  EXPECT_GT(long_docs, 30u);
+  EXPECT_LT(long_docs, 600u);
+}
+
+TEST(NewsgroupsCorpusTest, TopicsAssignedAcrossRange) {
+  const auto corpus = GenerateNewsgroupsCorpus(SmallOptions()).value();
+  std::unordered_set<size_t> topics;
+  for (const auto& doc : corpus) {
+    EXPECT_LT(doc.topic, 6u);
+    topics.insert(doc.topic);
+  }
+  EXPECT_GE(topics.size(), 4u);  // 120 docs over 6 topics hits most
+}
+
+TEST(NewsgroupsCorpusTest, SameTopicPairsShareMoreVocabulary) {
+  const auto corpus = GenerateNewsgroupsCorpus(SmallOptions()).value();
+  auto distinct = [](const SyntheticDocument& d) {
+    return std::unordered_set<uint64_t>(d.token_ids.begin(),
+                                        d.token_ids.end());
+  };
+  auto jaccard = [&](const SyntheticDocument& x, const SyntheticDocument& y) {
+    const auto sx = distinct(x);
+    const auto sy = distinct(y);
+    size_t inter = 0;
+    for (uint64_t t : sx) inter += sy.count(t);
+    return static_cast<double>(inter) /
+           static_cast<double>(sx.size() + sy.size() - inter);
+  };
+  double same_sum = 0.0, cross_sum = 0.0;
+  size_t same_n = 0, cross_n = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (size_t j = i + 1; j < std::min(corpus.size(), i + 20); ++j) {
+      const double jac = jaccard(corpus[i], corpus[j]);
+      if (corpus[i].topic == corpus[j].topic) {
+        same_sum += jac;
+        ++same_n;
+      } else {
+        cross_sum += jac;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(cross_n, 0u);
+  EXPECT_GT(same_sum / same_n, cross_sum / cross_n);
+}
+
+TEST(NewsgroupsCorpusTest, TfidfPipelineProducesSparseHighDimVectors) {
+  const auto corpus = GenerateNewsgroupsCorpus(SmallOptions()).value();
+  std::vector<std::vector<uint64_t>> feature_docs;
+  FeatureOptions fo;
+  for (const auto& doc : corpus) {
+    feature_docs.push_back(IdFeatures(doc.token_ids, fo));
+  }
+  TfidfVectorizer vectorizer;
+  const auto vectors = vectorizer.FitTransform(feature_docs).value();
+  ASSERT_EQ(vectors.size(), corpus.size());
+  for (const auto& v : vectors) {
+    EXPECT_GT(v.nnz(), 10u);
+    EXPECT_NEAR(v.Norm(), 1.0, 1e-9);
+  }
+  // Pairwise cosines live in [0, 1] and are mostly small (sparse overlap).
+  double max_cross = 0.0;
+  for (size_t i = 1; i < 30; ++i) {
+    const double c = CosineSimilarity(vectors[0], vectors[i]);
+    EXPECT_GE(c, -1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    max_cross = std::max(max_cross, c);
+  }
+  EXPECT_LT(max_cross, 0.9);
+}
+
+}  // namespace
+}  // namespace ipsketch

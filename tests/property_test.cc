@@ -1,0 +1,228 @@
+// Cross-cutting property tests: the paper's theoretical claims checked over
+// parameterized families of inputs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rounding.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "data/synthetic.h"
+#include "expt/error.h"
+#include "sketch/estimator_registry.h"
+#include "sketch/jl_sketch.h"
+#include "sketch/minhash.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fact 5: the WMH collision probability equals the weighted Jaccard
+// similarity, across sparsity/weight regimes.
+// ---------------------------------------------------------------------------
+
+struct Fact5Case {
+  double overlap;
+  double outlier_fraction;
+};
+
+class Fact5Test : public ::testing::TestWithParam<Fact5Case> {};
+
+TEST_P(Fact5Test, MatchRateEqualsWeightedJaccard) {
+  SyntheticPairOptions opt;
+  opt.dimension = 600;
+  opt.nnz = 120;
+  opt.overlap = GetParam().overlap;
+  opt.outlier_fraction = GetParam().outlier_fraction;
+  opt.seed = 23;
+  const auto pair = GenerateSyntheticPair(opt).value();
+
+  const uint64_t L = 1 << 18;
+  const double jw =
+      WeightedJaccard(Round(pair.a, L).value(), Round(pair.b, L).value())
+          .value();
+
+  size_t matches = 0;
+  const size_t m = 256;
+  const int kSeeds = 25;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    WmhOptions w;
+    w.num_samples = m;
+    w.seed = seed;
+    w.L = L;
+    const auto sa = SketchWmh(pair.a, w).value();
+    const auto sb = SketchWmh(pair.b, w).value();
+    for (size_t i = 0; i < m; ++i) {
+      matches += (sa.hashes[i] == sb.hashes[i]);
+    }
+  }
+  const double rate = static_cast<double>(matches) / (m * kSeeds);
+  const double sd = std::sqrt(jw * (1 - jw) / (m * kSeeds));
+  EXPECT_NEAR(rate, jw, 5.0 * sd + 0.003)
+      << "overlap=" << GetParam().overlap
+      << " outliers=" << GetParam().outlier_fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverlapOutlierGrid, Fact5Test,
+    ::testing::Values(Fact5Case{0.05, 0.0}, Fact5Case{0.05, 0.1},
+                      Fact5Case{0.25, 0.0}, Fact5Case{0.25, 0.1},
+                      Fact5Case{0.5, 0.1}, Fact5Case{1.0, 0.1},
+                      Fact5Case{1.0, 0.0}));
+
+// ---------------------------------------------------------------------------
+// Table 1 ordering: on sparse inputs with outliers, the paper's headline —
+// WMH's error scale beats linear sketching's, and the measured errors
+// respect their respective scales.
+// ---------------------------------------------------------------------------
+
+class Table1Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Table1Test, BoundOrderingHolds) {
+  SyntheticPairOptions opt;
+  opt.dimension = 4000;
+  opt.nnz = 600;
+  opt.overlap = GetParam();
+  opt.seed = 29;
+  const auto pair = GenerateSyntheticPair(opt).value();
+  const double t2 = Theorem2Bound(pair.a, pair.b);
+  const double f1 = Fact1Bound(pair.a, pair.b);
+  EXPECT_LE(t2, f1 * (1 + 1e-12));
+  if (GetParam() <= 0.1) {
+    // With little overlap the WMH scale should be markedly better.
+    EXPECT_LT(t2, 0.8 * f1);
+  }
+}
+
+TEST_P(Table1Test, MeasuredErrorsTrackTheirScales) {
+  SyntheticPairOptions opt;
+  opt.dimension = 4000;
+  opt.nnz = 600;
+  opt.overlap = GetParam();
+  opt.seed = 31;
+  const auto pair = GenerateSyntheticPair(opt).value();
+  const double truth = Dot(pair.a, pair.b);
+
+  const size_t m = 128;
+  double wmh_err = 0.0, jl_err = 0.0;
+  const int kSeeds = 15;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    WmhOptions w;
+    w.num_samples = m;
+    w.seed = seed;
+    const auto wa = SketchWmh(pair.a, w).value();
+    const auto wb = SketchWmh(pair.b, w).value();
+    wmh_err +=
+        std::fabs(EstimateWmhInnerProduct(wa, wb).value() - truth);
+
+    JlOptions j;
+    j.num_rows = m;
+    j.seed = seed;
+    const auto ja = SketchJl(pair.a, j).value();
+    const auto jb = SketchJl(pair.b, j).value();
+    jl_err += std::fabs(EstimateJlInnerProduct(ja, jb).value() - truth);
+  }
+  wmh_err /= kSeeds;
+  jl_err /= kSeeds;
+  const double eps = 4.0 / std::sqrt(static_cast<double>(m));
+  EXPECT_LE(wmh_err, eps * Theorem2Bound(pair.a, pair.b));
+  EXPECT_LE(jl_err, eps * Fact1Bound(pair.a, pair.b));
+}
+
+INSTANTIATE_TEST_SUITE_P(OverlapSweep, Table1Test,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.5));
+
+// ---------------------------------------------------------------------------
+// Binary-vector specialization (§2): for binary inputs, Theorem 2 reduces to
+// the set-intersection bound and WMH behaves like unweighted MinHash.
+// ---------------------------------------------------------------------------
+
+class BinaryVectorTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BinaryVectorTest, WmhAndMhComparableOnBinaryInputs) {
+  const size_t shift = GetParam();
+  std::vector<Entry> ea, eb;
+  for (uint64_t i = 0; i < 200; ++i) ea.push_back({i, 1.0});
+  for (uint64_t i = shift; i < shift + 200; ++i) eb.push_back({i, 1.0});
+  const auto a = SparseVector::MakeOrDie(1024, ea);
+  const auto b = SparseVector::MakeOrDie(1024, eb);
+  const double truth = Dot(a, b);
+
+  double wmh_err = 0.0, mh_err = 0.0;
+  const size_t m = 128;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    WmhOptions w;
+    w.num_samples = m;
+    w.seed = seed;
+    wmh_err += std::fabs(EstimateWmhInnerProduct(SketchWmh(a, w).value(),
+                                                 SketchWmh(b, w).value())
+                             .value() -
+                         truth);
+    MhOptions mh;
+    mh.num_samples = m;
+    mh.seed = seed;
+    mh_err += std::fabs(EstimateMhInnerProduct(SketchMh(a, mh).value(),
+                                               SketchMh(b, mh).value())
+                            .value() -
+                        truth);
+  }
+  // On binary data the two methods share the same guarantee: mean errors
+  // should be within a factor ~2.5 of each other.
+  wmh_err /= kSeeds;
+  mh_err /= kSeeds;
+  if (truth > 0.0) {
+    EXPECT_LT(wmh_err, 2.5 * mh_err + 0.05 * truth);
+    EXPECT_LT(mh_err, 2.5 * wmh_err + 0.05 * truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftSweep, BinaryVectorTest,
+                         ::testing::Values(20, 100, 180));
+
+// ---------------------------------------------------------------------------
+// The headline phenomenon (Figure 4 in miniature): with low overlap and
+// outliers, WMH beats JL; with full overlap they are comparable.
+// ---------------------------------------------------------------------------
+
+TEST(HeadlineTest, WmhBeatsJlAtLowOverlap) {
+  SyntheticPairOptions opt;
+  opt.dimension = 10000;
+  opt.nnz = 1000;
+  opt.overlap = 0.02;
+  opt.seed = 37;
+
+  double wmh_err = 0.0, jl_err = 0.0;
+  const int kPairs = 4, kSeeds = 4;
+  for (int p = 0; p < kPairs; ++p) {
+    opt.seed = 37 + p;
+    const auto pair = GenerateSyntheticPair(opt).value();
+    const double truth = Dot(pair.a, pair.b);
+    const double np = pair.a.Norm() * pair.b.Norm();
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      WmhOptions w;
+      w.num_samples = 170;  // storage ≈ 256 words
+      w.seed = seed;
+      wmh_err += ScaledError(
+          EstimateWmhInnerProduct(SketchWmh(pair.a, w).value(),
+                                  SketchWmh(pair.b, w).value())
+              .value(),
+          truth, np);
+      JlOptions j;
+      j.num_rows = 256;
+      j.seed = seed;
+      jl_err += ScaledError(
+          EstimateJlInnerProduct(SketchJl(pair.a, j).value(),
+                                 SketchJl(pair.b, j).value())
+              .value(),
+          truth, np);
+    }
+  }
+  EXPECT_LT(wmh_err, jl_err * 0.8);
+}
+
+}  // namespace
+}  // namespace ipsketch

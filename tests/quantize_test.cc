@@ -1,0 +1,176 @@
+#include "sketch/quantize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/wmh_estimator.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector TestVector(uint64_t seed, uint64_t lo, uint64_t hi) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t i = lo; i < hi; ++i) {
+    entries.push_back({i, 0.3 + rng.NextUnit() * (i % 8 == 0 ? 6.0 : 1.0)});
+  }
+  return SparseVector::MakeOrDie(1024, std::move(entries));
+}
+
+WmhSketch Sketch(const SparseVector& v, size_t m, uint64_t seed) {
+  WmhOptions o;
+  o.num_samples = m;
+  o.seed = seed;
+  o.L = 1 << 16;
+  return SketchWmh(v, o).value();
+}
+
+TEST(CompactWmhTest, StorageIsOneWordPerSample) {
+  const auto full = Sketch(TestVector(1, 0, 100), 64, 3);
+  const auto compact = CompactFromWmh(full);
+  EXPECT_DOUBLE_EQ(full.StorageWords(), 97.0);     // 1.5·64 + 1
+  EXPECT_DOUBLE_EQ(compact.StorageWords(), 65.0);  // 1·64 + 1
+}
+
+TEST(CompactWmhTest, PreservesTrueMatches) {
+  // True matches are equal doubles, which quantize equally: the compact
+  // match count can never drop below the full-precision count.
+  const auto a = TestVector(2, 0, 150);
+  const auto b = TestVector(3, 75, 225);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const auto sa = Sketch(a, 128, seed);
+    const auto sb = Sketch(b, 128, seed);
+    const auto ca = CompactFromWmh(sa);
+    const auto cb = CompactFromWmh(sb);
+    size_t full_matches = 0, compact_matches = 0;
+    for (size_t i = 0; i < 128; ++i) {
+      full_matches += (sa.hashes[i] == sb.hashes[i]);
+      compact_matches += (ca.hashes[i] == cb.hashes[i]);
+    }
+    EXPECT_GE(compact_matches, full_matches) << "seed " << seed;
+  }
+}
+
+TEST(CompactWmhTest, EstimateTracksFullPrecision) {
+  const auto a = TestVector(4, 0, 200);
+  const auto b = TestVector(5, 100, 300);
+  const double truth = Dot(a, b);
+  const double scale = a.Norm() * b.Norm();
+  double full_err = 0.0, compact_err = 0.0;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto sa = Sketch(a, 256, seed);
+    const auto sb = Sketch(b, 256, seed);
+    full_err +=
+        std::fabs(EstimateWmhInnerProduct(sa, sb).value() - truth) / scale;
+    compact_err += std::fabs(EstimateCompactWmhInnerProduct(
+                                 CompactFromWmh(sa), CompactFromWmh(sb))
+                                 .value() -
+                             truth) /
+                   scale;
+  }
+  // 32-bit hashes + float32 values: nearly indistinguishable accuracy.
+  EXPECT_LT(compact_err, full_err * 1.25 + 0.002 * kSeeds);
+}
+
+TEST(CompactWmhTest, CompatibilityChecks) {
+  const auto v = TestVector(6, 0, 64);
+  const auto s1 = CompactFromWmh(Sketch(v, 16, 1));
+  const auto s2 = CompactFromWmh(Sketch(v, 16, 2));
+  EXPECT_FALSE(EstimateCompactWmhInnerProduct(s1, s2).ok());
+}
+
+TEST(CompactWmhTest, ZeroVectorEstimatesZero) {
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(8, 0.0));
+  WmhOptions o;
+  o.num_samples = 16;
+  const auto sz = CompactFromWmh(SketchWmh(zero, o).value());
+  WmhOptions o2 = o;
+  const auto sv = CompactFromWmh(
+      SketchWmh(SparseVector::MakeOrDie(8, {{1, 2.0}}), o2).value());
+  EXPECT_EQ(EstimateCompactWmhInnerProduct(sz, sv).value(), 0.0);
+}
+
+TEST(BbitWmhTest, ValidatesBitWidth) {
+  const auto s = Sketch(TestVector(7, 0, 64), 16, 1);
+  EXPECT_FALSE(BbitFromWmh(s, 0).ok());
+  EXPECT_FALSE(BbitFromWmh(s, 33).ok());
+  EXPECT_TRUE(BbitFromWmh(s, 1).ok());
+  EXPECT_TRUE(BbitFromWmh(s, 32).ok());
+}
+
+TEST(BbitWmhTest, StorageScalesWithBits) {
+  const auto s = Sketch(TestVector(8, 0, 64), 64, 1);
+  EXPECT_DOUBLE_EQ(BbitFromWmh(s, 16).value().StorageWords(),
+                   64.0 * 48.0 / 64.0 + 1.0);
+  EXPECT_DOUBLE_EQ(BbitFromWmh(s, 8).value().StorageWords(),
+                   64.0 * 40.0 / 64.0 + 1.0);
+}
+
+TEST(BbitWmhTest, FingerprintsWithinWidth) {
+  const auto s = Sketch(TestVector(9, 0, 64), 64, 1);
+  const auto b8 = BbitFromWmh(s, 8).value();
+  for (uint32_t fp : b8.fingerprints) EXPECT_LT(fp, 256u);
+}
+
+TEST(BbitWmhTest, TrueMatchesAlwaysCollide) {
+  const auto a = TestVector(10, 0, 150);
+  const auto b = TestVector(11, 75, 225);
+  const auto sa = Sketch(a, 128, 5);
+  const auto sb = Sketch(b, 128, 5);
+  const auto ba = BbitFromWmh(sa, 12).value();
+  const auto bb = BbitFromWmh(sb, 12).value();
+  for (size_t i = 0; i < 128; ++i) {
+    if (sa.hashes[i] == sb.hashes[i]) {
+      EXPECT_EQ(ba.fingerprints[i], bb.fingerprints[i]) << i;
+    }
+  }
+}
+
+TEST(BbitWmhTest, FalsePositiveRateNearTwoToMinusB) {
+  // Disjoint supports: every fingerprint collision is spurious.
+  const auto a = TestVector(12, 0, 100);
+  const auto b = TestVector(13, 500, 600);
+  size_t collisions = 0;
+  const size_t m = 256;
+  const int kSeeds = 40;
+  const uint32_t bits = 8;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto ba = BbitFromWmh(Sketch(a, m, seed), bits).value();
+    const auto bb = BbitFromWmh(Sketch(b, m, seed), bits).value();
+    for (size_t i = 0; i < m; ++i) {
+      collisions += (ba.fingerprints[i] == bb.fingerprints[i]);
+    }
+  }
+  const double rate = static_cast<double>(collisions) / (m * kSeeds);
+  EXPECT_NEAR(rate, 1.0 / 256.0, 1.5e-3);
+}
+
+TEST(BbitWmhTest, EstimateReasonableAtSixteenBits) {
+  const auto a = TestVector(14, 0, 200);
+  const auto b = TestVector(15, 100, 300);
+  const double truth = Dot(a, b);
+  const double scale = a.Norm() * b.Norm();
+  double err = 0.0;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto ba = BbitFromWmh(Sketch(a, 256, seed), 16).value();
+    const auto bb = BbitFromWmh(Sketch(b, 256, seed), 16).value();
+    err += std::fabs(EstimateBbitWmhInnerProduct(ba, bb).value() - truth) /
+           scale;
+  }
+  EXPECT_LT(err / kSeeds, 0.1);
+}
+
+TEST(BbitWmhTest, MismatchedWidthsRejected) {
+  const auto s = Sketch(TestVector(16, 0, 64), 16, 1);
+  const auto b8 = BbitFromWmh(s, 8).value();
+  const auto b16 = BbitFromWmh(s, 16).value();
+  EXPECT_FALSE(EstimateBbitWmhInnerProduct(b8, b16).ok());
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,213 @@
+#include "core/rounding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector RandomVector(uint64_t dim, size_t nnz, uint64_t seed,
+                          double heavy_fraction = 0.1) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < nnz; ++i) {
+    double v = rng.NextGaussian();
+    if (rng.NextUnit() < heavy_fraction) v *= 25.0;
+    if (v == 0.0) v = 1.0;
+    entries.push_back({i * (dim / nnz), v});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+TEST(RoundTest, RejectsZeroL) {
+  const auto v = SparseVector::MakeOrDie(4, {{0, 1.0}});
+  EXPECT_EQ(Round(v, 0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RoundTest, RejectsZeroVector) {
+  SparseVector zero = SparseVector::FromDense({0.0, 0.0});
+  EXPECT_EQ(Round(zero, 64).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RoundTest, TotalRepsIsExactlyL) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    for (uint64_t L : {16u, 64u, 1024u, 65536u}) {
+      const auto v = RandomVector(1000, 50, seed);
+      auto dv = Round(v, L);
+      ASSERT_TRUE(dv.ok());
+      EXPECT_EQ(dv.value().TotalReps(), L) << "seed=" << seed << " L=" << L;
+    }
+  }
+}
+
+TEST(RoundTest, ResultIsUnitNorm) {
+  const auto v = RandomVector(1000, 80, 3);
+  const auto dv = Round(v, 4096).value();
+  EXPECT_NEAR(dv.ToSparseVector().Norm(), 1.0, 1e-9);
+}
+
+TEST(RoundTest, SquaredEntriesAreMultiplesOfOneOverL) {
+  const uint64_t L = 512;
+  const auto v = RandomVector(400, 40, 5);
+  const auto dv = Round(v, L).value();
+  for (const auto& e : dv.entries) {
+    const double scaled = e.value * e.value * static_cast<double>(L);
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-6);
+    EXPECT_EQ(static_cast<uint64_t>(std::round(scaled)), e.reps);
+  }
+}
+
+TEST(RoundTest, PreservesSigns) {
+  const auto v = SparseVector::MakeOrDie(8, {{0, -3.0}, {1, 4.0}});
+  const auto dv = Round(v, 100).value();
+  for (const auto& e : dv.entries) {
+    if (e.index == 0) {
+      EXPECT_LT(e.value, 0.0);
+    }
+    if (e.index == 1) {
+      EXPECT_GT(e.value, 0.0);
+    }
+  }
+}
+
+TEST(RoundTest, ScaleInvariant) {
+  // Round(a/‖a‖) depends only on the direction of a.
+  const auto v = RandomVector(300, 30, 7);
+  const auto dv1 = Round(v, 2048).value();
+  const auto dv2 = Round(v.Scaled(37.5), 2048).value();
+  ASSERT_EQ(dv1.entries.size(), dv2.entries.size());
+  for (size_t i = 0; i < dv1.entries.size(); ++i) {
+    EXPECT_EQ(dv1.entries[i].index, dv2.entries[i].index);
+    EXPECT_EQ(dv1.entries[i].reps, dv2.entries[i].reps);
+  }
+  EXPECT_NEAR(dv2.original_norm, 37.5 * dv1.original_norm, 1e-9);
+}
+
+TEST(RoundTest, DeficitGoesToMaxEntry) {
+  // z = (sqrt(0.5), sqrt(0.3), sqrt(0.2)), L = 10: squared values 5, 3, 2 —
+  // exact. With L = 16: floors are 8, 4, 3 (sum 15), deficit 1 → max entry.
+  const auto v = SparseVector::MakeOrDie(
+      4, {{0, std::sqrt(0.5)}, {1, std::sqrt(0.3)}, {2, std::sqrt(0.2)}});
+  const auto dv = Round(v, 16).value();
+  ASSERT_EQ(dv.entries.size(), 3u);
+  EXPECT_EQ(dv.entries[0].reps, 9u);  // 8 + deficit
+  EXPECT_EQ(dv.entries[1].reps, 4u);
+  EXPECT_EQ(dv.entries[2].reps, 3u);
+}
+
+TEST(RoundTest, ExactMultiplesUnchanged) {
+  // Entries already integer multiples of 1/L in square: Round is a no-op
+  // modulo normalization (Lemma 2's precondition).
+  const auto v = SparseVector::MakeOrDie(
+      4, {{0, std::sqrt(0.25)}, {1, std::sqrt(0.5)}, {3, std::sqrt(0.25)}});
+  const auto dv = Round(v, 8).value();
+  ASSERT_EQ(dv.entries.size(), 3u);
+  EXPECT_EQ(dv.entries[0].reps, 2u);
+  EXPECT_EQ(dv.entries[1].reps, 4u);
+  EXPECT_EQ(dv.entries[2].reps, 2u);
+}
+
+TEST(RoundTest, SingleEntryVectorTakesAllReps) {
+  const auto v = SparseVector::MakeOrDie(4, {{2, -7.0}});
+  const auto dv = Round(v, 1000).value();
+  ASSERT_EQ(dv.entries.size(), 1u);
+  EXPECT_EQ(dv.entries[0].reps, 1000u);
+  EXPECT_NEAR(dv.entries[0].value, -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dv.original_norm, 7.0);
+}
+
+TEST(RoundTest, SmallLDropsTinyEntriesButKeepsMax) {
+  // With L smaller than nnz, most entries round to zero reps; the max entry
+  // must survive and absorb the deficit (line 2-3 of Algorithm 4).
+  std::vector<Entry> entries;
+  for (uint64_t i = 0; i < 100; ++i) entries.push_back({i, 1.0});
+  entries.push_back({100, 10.0});
+  const auto v = SparseVector::MakeOrDie(128, entries);
+  const auto dv = Round(v, 4).value();
+  EXPECT_EQ(dv.TotalReps(), 4u);
+  bool has_max = false;
+  for (const auto& e : dv.entries) has_max |= (e.index == 100);
+  EXPECT_TRUE(has_max);
+}
+
+TEST(RoundTest, RoundingErrorShrinksWithL) {
+  const auto v = RandomVector(500, 60, 11);
+  const auto unit = v.Normalized().value();
+  double prev_err = 1e9;
+  for (uint64_t L : {64u, 1024u, 16384u, 262144u}) {
+    const auto dv = Round(v, L).value();
+    const auto z = dv.ToSparseVector();
+    auto diff = Add(z, unit.Scaled(-1.0)).value();
+    const double err = diff.Norm();
+    EXPECT_LT(err, prev_err * 1.5);  // non-increasing up to noise
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.01);
+}
+
+TEST(DiscretizedVectorTest, SquaredValueAtLookup) {
+  const auto v = SparseVector::MakeOrDie(8, {{1, 1.0}, {5, 1.0}});
+  const auto dv = Round(v, 10).value();
+  EXPECT_NEAR(dv.SquaredValueAt(1) + dv.SquaredValueAt(5), 1.0, 1e-12);
+  EXPECT_EQ(dv.SquaredValueAt(0), 0.0);
+  EXPECT_EQ(dv.SquaredValueAt(7), 0.0);
+}
+
+TEST(WeightedJaccardTest, IdenticalVectorsGiveOne) {
+  const auto v = RandomVector(200, 20, 13);
+  const auto dv = Round(v, 4096).value();
+  EXPECT_DOUBLE_EQ(WeightedJaccard(dv, dv).value(), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedUnionSize(dv, dv).value(), 1.0);
+}
+
+TEST(WeightedJaccardTest, DisjointVectorsGiveZero) {
+  const auto a = Round(SparseVector::MakeOrDie(8, {{0, 1.0}}), 64).value();
+  const auto b = Round(SparseVector::MakeOrDie(8, {{4, 1.0}}), 64).value();
+  EXPECT_DOUBLE_EQ(WeightedJaccard(a, b).value(), 0.0);
+  EXPECT_DOUBLE_EQ(WeightedUnionSize(a, b).value(), 2.0);
+}
+
+TEST(WeightedJaccardTest, MismatchedLFails) {
+  const auto a = Round(SparseVector::MakeOrDie(8, {{0, 1.0}}), 64).value();
+  const auto b = Round(SparseVector::MakeOrDie(8, {{0, 1.0}}), 128).value();
+  EXPECT_FALSE(WeightedJaccard(a, b).ok());
+  EXPECT_FALSE(WeightedUnionSize(a, b).ok());
+}
+
+TEST(WeightedJaccardTest, MatchesContinuousFormulaForLargeL) {
+  const auto a = RandomVector(300, 40, 17);
+  const auto b = RandomVector(300, 40, 19);
+  const auto ua = a.Normalized().value();
+  const auto ub = b.Normalized().value();
+  // Continuous J̄ = Σ min(ã², b̃²) / Σ max(ã², b̃²).
+  double min_sum = 0.0, max_sum = 0.0;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const double x = ua.Get(i) * ua.Get(i);
+    const double y = ub.Get(i) * ub.Get(i);
+    min_sum += std::min(x, y);
+    max_sum += std::max(x, y);
+  }
+  const uint64_t L = 1 << 22;
+  const auto da = Round(a, L).value();
+  const auto db = Round(b, L).value();
+  EXPECT_NEAR(WeightedJaccard(da, db).value(), min_sum / max_sum, 1e-3);
+  EXPECT_NEAR(WeightedUnionSize(da, db).value(), max_sum, 1e-3);
+}
+
+TEST(DefaultLTest, GrowsWithDimensionAndClamps) {
+  EXPECT_GE(DefaultL(1), 1024u);
+  EXPECT_EQ(DefaultL(10000), 10000u * 256u);
+  EXPECT_GE(DefaultL(uint64_t{1} << 50), DefaultL(uint64_t{1} << 32));
+  EXPECT_LE(DefaultL(~uint64_t{0}), uint64_t{1} << 40);
+  // The paper's guidance: L should exceed n (for n below the clamp).
+  for (uint64_t n : {100u, 10000u, 1000000u}) {
+    EXPECT_GT(DefaultL(n), n);
+  }
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,109 @@
+#include "sketch/simhash.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector RandomVector(uint64_t dim, size_t nnz, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < nnz; ++i) {
+    entries.push_back({i * (dim / nnz), rng.NextGaussian()});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+SimHashSketch Sketch(const SparseVector& v, size_t bits, uint64_t seed) {
+  SimHashOptions o;
+  o.num_bits = bits;
+  o.seed = seed;
+  return SketchSimHash(v, o).value();
+}
+
+TEST(SimHashOptionsTest, Validation) {
+  SimHashOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_bits = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(SimHashTest, DeterministicAndPacked) {
+  const auto v = RandomVector(512, 64, 1);
+  const auto s1 = Sketch(v, 130, 7);
+  const auto s2 = Sketch(v, 130, 7);
+  EXPECT_EQ(s1.bits, s2.bits);
+  EXPECT_EQ(s1.bits.size(), 3u);  // ceil(130/64)
+  EXPECT_DOUBLE_EQ(s1.StorageWords(), 4.0);
+  EXPECT_NEAR(s1.norm, v.Norm(), 1e-12);
+}
+
+TEST(SimHashTest, IdenticalVectorsAgreeEverywhere) {
+  const auto v = RandomVector(512, 64, 2);
+  const auto sa = Sketch(v, 256, 3);
+  const auto sb = Sketch(v, 256, 3);
+  EXPECT_DOUBLE_EQ(EstimateSimHashCosine(sa, sb).value(), 1.0);
+}
+
+TEST(SimHashTest, OppositeVectorsDisagreeEverywhere) {
+  const auto v = RandomVector(512, 64, 4);
+  const auto sa = Sketch(v, 256, 5);
+  const auto sb = Sketch(v.Scaled(-1.0), 256, 5);
+  // θ = π ⇒ cos ≈ −1 (boundary ties at acc == 0 are measure-zero-ish).
+  EXPECT_LT(EstimateSimHashCosine(sa, sb).value(), -0.95);
+}
+
+TEST(SimHashTest, CosineEstimateAccuracy) {
+  const auto a = RandomVector(1024, 128, 6);
+  const auto b = RandomVector(1024, 128, 7);
+  const double truth = CosineSimilarity(a, b);
+  double est_sum = 0.0;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    est_sum +=
+        EstimateSimHashCosine(Sketch(a, 2048, seed), Sketch(b, 2048, seed))
+            .value();
+  }
+  EXPECT_NEAR(est_sum / kSeeds, truth, 0.05);
+}
+
+TEST(SimHashTest, InnerProductEstimateUsesNorms) {
+  const auto a = RandomVector(1024, 128, 8);
+  const auto b = RandomVector(1024, 128, 9);
+  const double truth = Dot(a, b);
+  double est_sum = 0.0;
+  const int kSeeds = 30;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    est_sum += EstimateSimHashInnerProduct(Sketch(a, 2048, seed),
+                                           Sketch(b, 2048, seed))
+                   .value();
+  }
+  EXPECT_NEAR(est_sum / kSeeds, truth, 0.1 * a.Norm() * b.Norm());
+}
+
+TEST(SimHashTest, CompatibilityChecks) {
+  const auto v = RandomVector(128, 16, 10);
+  EXPECT_FALSE(
+      EstimateSimHashCosine(Sketch(v, 64, 1), Sketch(v, 128, 1)).ok());
+  EXPECT_FALSE(
+      EstimateSimHashCosine(Sketch(v, 64, 1), Sketch(v, 64, 2)).ok());
+}
+
+TEST(SimHashTest, TailBitsMasked) {
+  // num_bits not a multiple of 64: the final partial word's unused bits
+  // must not contribute disagreements.
+  const auto v = RandomVector(256, 32, 11);
+  const auto sa = Sketch(v, 70, 12);
+  auto sb = sa;
+  // Poison the unused tail bits of the last word of b.
+  sb.bits.back() |= ~((uint64_t{1} << (70 % 64)) - 1);
+  EXPECT_DOUBLE_EQ(EstimateSimHashCosine(sa, sb).value(), 1.0);
+}
+
+}  // namespace
+}  // namespace ipsketch

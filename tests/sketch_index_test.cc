@@ -1,0 +1,139 @@
+#include "table/sketch_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ipsketch {
+namespace {
+
+ColumnSketchOptions Options() {
+  ColumnSketchOptions o;
+  o.num_samples = 256;
+  o.seed = 7;
+  o.key_domain = 1 << 16;
+  o.L = 1 << 20;
+  return o;
+}
+
+// A catalog with one clearly joinable table (shares 80% of the query's
+// keys), one partially joinable (20%), and one disjoint.
+struct Corpus {
+  Table joinable;
+  Table partial;
+  Table disjoint;
+  KeyedColumn query;
+};
+
+Corpus MakeCorpus() {
+  Xoshiro256StarStar rng(13);
+  std::vector<uint64_t> query_keys;
+  std::vector<double> query_vals;
+  for (uint64_t i = 0; i < 500; ++i) {
+    query_keys.push_back(i);
+    query_vals.push_back(rng.NextGaussian() + 5.0);
+  }
+
+  auto make_table = [&](const std::string& name, uint64_t lo) {
+    std::vector<uint64_t> keys;
+    std::vector<double> correlated, noise;
+    for (uint64_t i = lo; i < lo + 500; ++i) {
+      keys.push_back(i);
+      const double q = i < 500 ? query_vals[i] : rng.NextGaussian();
+      correlated.push_back(2.0 * q + rng.NextGaussian() * 0.1);
+      noise.push_back(rng.NextGaussian());
+    }
+    return Table::MakeOrDie(name, keys, {"corr", "noise"},
+                            {correlated, noise});
+  };
+
+  return {make_table("joinable", 100),   // keys 100..599: 80% overlap
+          make_table("partial", 400),    // keys 400..899: 20% overlap
+          make_table("disjoint", 5000),  // no overlap
+          KeyedColumn::MakeOrDie("query", query_keys, query_vals)};
+}
+
+TEST(SketchIndexTest, AddTableSketchesAllColumns) {
+  SketchIndex index(Options());
+  const Corpus corpus = MakeCorpus();
+  ASSERT_TRUE(index.AddTable(corpus.joinable).ok());
+  EXPECT_EQ(index.size(), 2u);
+  ASSERT_TRUE(index.AddTable(corpus.disjoint).ok());
+  EXPECT_EQ(index.size(), 4u);
+}
+
+TEST(SketchIndexTest, SearchByJoinSizeRanksJoinableFirst) {
+  SketchIndex index(Options());
+  const Corpus corpus = MakeCorpus();
+  ASSERT_TRUE(index.AddTable(corpus.joinable).ok());
+  ASSERT_TRUE(index.AddTable(corpus.partial).ok());
+  ASSERT_TRUE(index.AddTable(corpus.disjoint).ok());
+
+  const auto hits =
+      index.Search(corpus.query, RankBy::kJoinSize, 6).value();
+  ASSERT_EQ(hits.size(), 6u);
+  // The two "joinable" columns must outrank all "disjoint" columns.
+  EXPECT_EQ(hits[0].column_name.substr(0, 8), "joinable");
+  EXPECT_EQ(hits[1].column_name.substr(0, 8), "joinable");
+  for (const auto& hit : hits) {
+    if (hit.column_name.substr(0, 8) == "disjoint") {
+      EXPECT_EQ(hit.stats.size, 0.0);
+    }
+  }
+}
+
+TEST(SketchIndexTest, SearchByCorrelationFindsCorrelatedColumn) {
+  SketchIndex index(Options());
+  const Corpus corpus = MakeCorpus();
+  ASSERT_TRUE(index.AddTable(corpus.joinable).ok());
+
+  const auto hits =
+      index.Search(corpus.query, RankBy::kAbsCorrelation, 2).value();
+  ASSERT_EQ(hits.size(), 2u);
+  // The column built as 2·query + noise should beat the pure-noise column.
+  EXPECT_EQ(hits[0].column_name, "joinable.corr");
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(SketchIndexTest, TopKTruncates) {
+  SketchIndex index(Options());
+  const Corpus corpus = MakeCorpus();
+  ASSERT_TRUE(index.AddTable(corpus.joinable).ok());
+  ASSERT_TRUE(index.AddTable(corpus.partial).ok());
+  EXPECT_EQ(index.Search(corpus.query, RankBy::kJoinSize, 3).value().size(),
+            3u);
+  EXPECT_EQ(index.Search(corpus.query, RankBy::kJoinSize, 100).value().size(),
+            4u);
+}
+
+TEST(SketchIndexTest, AddSingleColumn) {
+  SketchIndex index(Options());
+  const Corpus corpus = MakeCorpus();
+  ASSERT_TRUE(index.AddColumn(corpus.query).ok());
+  EXPECT_EQ(index.size(), 1u);
+  // Querying with itself: join size ≈ 500, correlation ≈ 1.
+  const auto hits =
+      index.Search(corpus.query, RankBy::kJoinSize, 1).value();
+  EXPECT_NEAR(hits[0].stats.size, 500.0, 100.0);
+}
+
+TEST(SketchIndexTest, SearchScoresMatchRankCriterion) {
+  SketchIndex index(Options());
+  const Corpus corpus = MakeCorpus();
+  ASSERT_TRUE(index.AddTable(corpus.partial).ok());
+  const auto by_size =
+      index.Search(corpus.query, RankBy::kJoinSize, 10).value();
+  for (const auto& hit : by_size) {
+    EXPECT_DOUBLE_EQ(hit.score, hit.stats.size);
+  }
+  const auto by_ip =
+      index.Search(corpus.query, RankBy::kAbsInnerProduct, 10).value();
+  for (const auto& hit : by_ip) {
+    EXPECT_DOUBLE_EQ(hit.score, std::fabs(hit.stats.inner_product));
+  }
+}
+
+}  // namespace
+}  // namespace ipsketch

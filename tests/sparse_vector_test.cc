@@ -1,0 +1,138 @@
+#include "vector/sparse_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+TEST(SparseVectorTest, DefaultIsEmpty) {
+  SparseVector v;
+  EXPECT_EQ(v.dimension(), 0u);
+  EXPECT_EQ(v.nnz(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SparseVectorTest, MakeSortsEntries) {
+  auto v = SparseVector::Make(10, {{7, 1.0}, {2, 2.0}, {5, 3.0}});
+  ASSERT_TRUE(v.ok());
+  const auto& e = v.value().entries();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0].index, 2u);
+  EXPECT_EQ(e[1].index, 5u);
+  EXPECT_EQ(e[2].index, 7u);
+}
+
+TEST(SparseVectorTest, MakeDropsExplicitZeros) {
+  auto v = SparseVector::Make(10, {{1, 0.0}, {2, 5.0}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().nnz(), 1u);
+  EXPECT_EQ(v.value().Get(1), 0.0);
+  EXPECT_EQ(v.value().Get(2), 5.0);
+}
+
+TEST(SparseVectorTest, MakeRejectsDuplicates) {
+  auto v = SparseVector::Make(10, {{3, 1.0}, {3, 2.0}});
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SparseVectorTest, MakeRejectsOutOfRangeIndex) {
+  auto v = SparseVector::Make(10, {{10, 1.0}});
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(SparseVectorTest, MakeRejectsNonFinite) {
+  EXPECT_FALSE(SparseVector::Make(4, {{0, NAN}}).ok());
+  EXPECT_FALSE(SparseVector::Make(4, {{0, INFINITY}}).ok());
+}
+
+TEST(SparseVectorTest, DenseRoundTrip) {
+  const std::vector<double> dense = {0.0, 1.5, 0.0, -2.0, 0.0};
+  const SparseVector v = SparseVector::FromDense(dense);
+  EXPECT_EQ(v.dimension(), 5u);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.ToDense(), dense);
+}
+
+TEST(SparseVectorTest, GetBinarySearch) {
+  const auto v = SparseVector::MakeOrDie(100, {{10, 1.0}, {50, -3.0}, {99, 7.0}});
+  EXPECT_EQ(v.Get(10), 1.0);
+  EXPECT_EQ(v.Get(50), -3.0);
+  EXPECT_EQ(v.Get(99), 7.0);
+  EXPECT_EQ(v.Get(0), 0.0);
+  EXPECT_EQ(v.Get(11), 0.0);
+  EXPECT_EQ(v.Get(98), 0.0);
+}
+
+TEST(SparseVectorTest, Norms) {
+  const auto v = SparseVector::MakeOrDie(10, {{0, 3.0}, {1, -4.0}});
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(v.L1Norm(), 7.0);
+  EXPECT_DOUBLE_EQ(v.InfNorm(), 4.0);
+}
+
+TEST(SparseVectorTest, NormsOfEmpty) {
+  SparseVector v;
+  EXPECT_EQ(v.Norm(), 0.0);
+  EXPECT_EQ(v.L1Norm(), 0.0);
+  EXPECT_EQ(v.InfNorm(), 0.0);
+}
+
+TEST(SparseVectorTest, Scaled) {
+  const auto v = SparseVector::MakeOrDie(10, {{0, 2.0}, {3, -1.0}});
+  const auto s = v.Scaled(-2.0);
+  EXPECT_EQ(s.Get(0), -4.0);
+  EXPECT_EQ(s.Get(3), 2.0);
+  EXPECT_EQ(s.dimension(), 10u);
+}
+
+TEST(SparseVectorTest, ScaledByZeroIsEmpty) {
+  const auto v = SparseVector::MakeOrDie(10, {{0, 2.0}});
+  EXPECT_TRUE(v.Scaled(0.0).empty());
+}
+
+TEST(SparseVectorTest, Normalized) {
+  const auto v = SparseVector::MakeOrDie(10, {{0, 3.0}, {1, 4.0}});
+  auto n = v.Normalized();
+  ASSERT_TRUE(n.ok());
+  EXPECT_NEAR(n.value().Norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(n.value().Get(0), 0.6);
+  EXPECT_DOUBLE_EQ(n.value().Get(1), 0.8);
+}
+
+TEST(SparseVectorTest, NormalizeZeroVectorFails) {
+  SparseVector v = SparseVector::FromDense({0.0, 0.0});
+  auto n = v.Normalized();
+  EXPECT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SparseVectorTest, Equality) {
+  const auto a = SparseVector::MakeOrDie(10, {{1, 2.0}});
+  const auto b = SparseVector::MakeOrDie(10, {{1, 2.0}});
+  const auto c = SparseVector::MakeOrDie(11, {{1, 2.0}});
+  const auto d = SparseVector::MakeOrDie(10, {{1, 3.0}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(SparseVectorTest, LargeDimensionIndices) {
+  const uint64_t big = uint64_t{1} << 62;
+  const auto v = SparseVector::MakeOrDie(uint64_t{1} << 63, {{big, 1.0}});
+  EXPECT_EQ(v.Get(big), 1.0);
+  EXPECT_EQ(v.nnz(), 1u);
+}
+
+TEST(SparseVectorTest, DebugStringMentionsEntriesAndDim) {
+  const auto v = SparseVector::MakeOrDie(16, {{3, 1.5}});
+  const std::string s = v.DebugString();
+  EXPECT_NE(s.find("3: 1.5"), std::string::npos);
+  EXPECT_NE(s.find("dim 16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,135 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ipsketch {
+namespace {
+
+TEST(RunningMomentsTest, EmptyIsZero) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.Mean(), 0.0);
+  EXPECT_EQ(m.Variance(), 0.0);
+  EXPECT_EQ(m.Kurtosis(), 0.0);
+}
+
+TEST(RunningMomentsTest, SingleValue) {
+  RunningMoments m;
+  m.Add(5.0);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_EQ(m.Mean(), 5.0);
+  EXPECT_EQ(m.Variance(), 0.0);
+}
+
+TEST(RunningMomentsTest, KnownSmallSample) {
+  RunningMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(x);
+  EXPECT_DOUBLE_EQ(m.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.Variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(m.StdDev(), 2.0);
+  EXPECT_NEAR(m.SampleVariance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningMomentsTest, ConstantSequenceHasZeroVariance) {
+  RunningMoments m;
+  for (int i = 0; i < 100; ++i) m.Add(3.25);
+  EXPECT_DOUBLE_EQ(m.Mean(), 3.25);
+  EXPECT_NEAR(m.Variance(), 0.0, 1e-20);
+  EXPECT_EQ(m.Kurtosis(), 0.0);  // degenerate by convention
+}
+
+TEST(RunningMomentsTest, GaussianKurtosisIsThree) {
+  Xoshiro256StarStar rng(71);
+  RunningMoments m;
+  for (int i = 0; i < 300000; ++i) m.Add(rng.NextGaussian());
+  EXPECT_NEAR(m.Kurtosis(), 3.0, 0.1);
+  EXPECT_NEAR(m.ExcessKurtosis(), 0.0, 0.1);
+  EXPECT_NEAR(m.Skewness(), 0.0, 0.05);
+}
+
+TEST(RunningMomentsTest, UniformKurtosisIsNinePifths) {
+  Xoshiro256StarStar rng(73);
+  RunningMoments m;
+  for (int i = 0; i < 300000; ++i) m.Add(rng.NextUnit());
+  EXPECT_NEAR(m.Kurtosis(), 1.8, 0.05);
+}
+
+TEST(RunningMomentsTest, ExponentialKurtosisIsNine) {
+  Xoshiro256StarStar rng(79);
+  RunningMoments m;
+  for (int i = 0; i < 500000; ++i) m.Add(-std::log(rng.NextPositiveUnit()));
+  EXPECT_NEAR(m.Kurtosis(), 9.0, 0.5);
+  EXPECT_NEAR(m.Skewness(), 2.0, 0.1);
+}
+
+TEST(RunningMomentsTest, MergeMatchesSequential) {
+  Xoshiro256StarStar rng(83);
+  RunningMoments whole, left, right;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.NextGaussian() * (i % 3 + 1) + i % 7;
+    whole.Add(x);
+    (i < 2000 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.Mean(), whole.Mean(), 1e-9);
+  EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-9);
+  EXPECT_NEAR(left.Skewness(), whole.Skewness(), 1e-9);
+  EXPECT_NEAR(left.Kurtosis(), whole.Kurtosis(), 1e-9);
+}
+
+TEST(RunningMomentsTest, MergeWithEmptyIsIdentity) {
+  RunningMoments m, empty;
+  for (double x : {1.0, 2.0, 3.0}) m.Add(x);
+  const double mean = m.Mean(), var = m.Variance();
+  m.Merge(empty);
+  EXPECT_EQ(m.count(), 3u);
+  EXPECT_DOUBLE_EQ(m.Mean(), mean);
+  EXPECT_DOUBLE_EQ(m.Variance(), var);
+
+  empty.Merge(m);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), mean);
+}
+
+TEST(FreeFunctionTest, MeanVarianceKurtosis) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);
+  EXPECT_GT(Kurtosis(xs), 0.0);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({}), 0.0);
+}
+
+TEST(QuantileTest, MedianOfOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.75), 7.5);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) { EXPECT_EQ(Quantile({}, 0.5), 0.0); }
+
+TEST(MedianSortedTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(MedianSorted({1.0, 2.0, 9.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MedianSorted({1.0, 2.0, 3.0, 9.0}), 2.5);
+  EXPECT_DOUBLE_EQ(MedianSorted({7.0}), 7.0);
+}
+
+}  // namespace
+}  // namespace ipsketch

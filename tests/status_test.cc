@@ -1,0 +1,103 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoryConstructors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::InvalidArgument("bad m");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad m");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad m");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status::Ok());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  // Constructing a Result from an OK status is a programming error that is
+  // downgraded to an Internal error rather than a crash.
+  Result<int> r(Status::Ok());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status FailsThen(Status inner) {
+  IPS_RETURN_IF_ERROR(inner);
+  return Status::Ok();
+}
+
+TEST(MacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsThen(Status::Ok()).ok());
+  Status s = FailsThen(Status::OutOfRange("deep"));
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.message(), "deep");
+}
+
+TEST(MacroTest, CheckPassesOnTrue) {
+  IPS_CHECK(1 + 1 == 2);  // must not abort
+  SUCCEED();
+}
+
+TEST(StatusDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(IPS_CHECK(false), "IPS_CHECK failed");
+}
+
+TEST(StatusDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_DEATH(r.value(), "gone");
+}
+
+}  // namespace
+}  // namespace ipsketch

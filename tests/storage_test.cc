@@ -1,0 +1,57 @@
+#include "sketch/storage.h"
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+TEST(StorageTest, LinearFamilyIsIdentity) {
+  EXPECT_EQ(SamplesForStorageWords(400, SketchFamily::kLinear), 400u);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(400, SketchFamily::kLinear), 400.0);
+}
+
+TEST(StorageTest, SamplingChargesOnePointFiveWords) {
+  // §5: "a sampling-based sketch with m samples takes 1.5x as much space as
+  // a JL sketch with m rows".
+  EXPECT_EQ(SamplesForStorageWords(400, SketchFamily::kSampling), 266u);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(266, SketchFamily::kSampling),
+                   399.0);
+  EXPECT_EQ(SamplesForStorageWords(3, SketchFamily::kSampling), 2u);
+}
+
+TEST(StorageTest, SamplingWithNormReservesOneWord) {
+  EXPECT_EQ(SamplesForStorageWords(400, SketchFamily::kSamplingWithNorm),
+            266u);
+  EXPECT_DOUBLE_EQ(
+      StorageWordsForSamples(266, SketchFamily::kSamplingWithNorm), 400.0);
+}
+
+TEST(StorageTest, BitsFamilyPacksSixtyFourPerWord) {
+  EXPECT_EQ(SamplesForStorageWords(4, SketchFamily::kBits), 256u);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(256, SketchFamily::kBits), 4.0);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(70, SketchFamily::kBits), 2.0);
+}
+
+TEST(StorageTest, RoundTripNeverExceedsBudget) {
+  for (double words : {2.0, 10.0, 100.0, 400.0, 1000.0}) {
+    for (auto family :
+         {SketchFamily::kLinear, SketchFamily::kSampling,
+          SketchFamily::kSamplingWithNorm, SketchFamily::kBits}) {
+      const size_t m = SamplesForStorageWords(words, family);
+      if (m > 0) {
+        EXPECT_LE(StorageWordsForSamples(m, family), words + 1e-9)
+            << "words=" << words << " family=" << static_cast<int>(family);
+      }
+    }
+  }
+}
+
+TEST(StorageTest, TinyBudgetsYieldZeroSamples) {
+  EXPECT_EQ(SamplesForStorageWords(0.0, SketchFamily::kLinear), 0u);
+  EXPECT_EQ(SamplesForStorageWords(-5.0, SketchFamily::kLinear), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kSampling), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kSamplingWithNorm), 0u);
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,67 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+Table Example() {
+  return Table::MakeOrDie("weather", {1, 2, 3},
+                          {"temp", "precip"},
+                          {{20.0, 21.0, 19.0}, {0.0, 5.0, 2.0}});
+}
+
+TEST(TableTest, MakeValidatesShapes) {
+  EXPECT_FALSE(Table::Make("t", {1, 2}, {"a"}, {{1.0}}).ok());  // short col
+  EXPECT_FALSE(Table::Make("t", {1, 2}, {"a", "b"}, {{1.0, 2.0}}).ok());
+  EXPECT_TRUE(Table::Make("t", {1, 2}, {"a"}, {{1.0, 2.0}}).ok());
+}
+
+TEST(TableTest, MakeRejectsDuplicateKeys) {
+  auto t = Table::Make("t", {1, 1}, {"a"}, {{1.0, 2.0}});
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, Accessors) {
+  const Table t = Example();
+  EXPECT_EQ(t.name(), "weather");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.column_names()[1], "precip");
+}
+
+TEST(TableTest, ColumnByName) {
+  const Table t = Example();
+  auto col = t.Column("precip");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col.value().name(), "weather.precip");
+  EXPECT_EQ(col.value().values(), (std::vector<double>{0.0, 5.0, 2.0}));
+  EXPECT_EQ(col.value().keys(), t.keys());
+}
+
+TEST(TableTest, MissingColumnIsNotFound) {
+  const Table t = Example();
+  auto col = t.Column("humidity");
+  EXPECT_FALSE(col.ok());
+  EXPECT_EQ(col.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, ColumnAtBounds) {
+  const Table t = Example();
+  EXPECT_TRUE(t.ColumnAt(0).ok());
+  EXPECT_TRUE(t.ColumnAt(1).ok());
+  auto bad = t.ColumnAt(2);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, EmptyTable) {
+  const auto t = Table::MakeOrDie("empty", {}, {"a"}, {{}});
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_TRUE(t.ColumnAt(0).ok());
+  EXPECT_EQ(t.ColumnAt(0).value().size(), 0u);
+}
+
+}  // namespace
+}  // namespace ipsketch

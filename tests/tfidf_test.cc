@@ -1,0 +1,127 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+std::vector<std::vector<uint64_t>> SmallCorpus() {
+  // doc0: {a, a, b}; doc1: {b, c}; doc2: {c, c, c}.
+  const uint64_t a = TokenId("a"), b = TokenId("b"), c = TokenId("c");
+  return {{a, a, b}, {b, c}, {c, c, c}};
+}
+
+TEST(TfidfOptionsTest, DimensionMustBePowerOfTwo) {
+  TfidfOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.dimension = 1000;
+  EXPECT_FALSE(o.Validate().ok());
+  o.dimension = 1024;
+  EXPECT_TRUE(o.Validate().ok());
+  o.dimension = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(TfidfTest, FitCountsDocumentFrequencies) {
+  TfidfVectorizer v;
+  ASSERT_TRUE(v.Fit(SmallCorpus()).ok());
+  EXPECT_EQ(v.vocabulary_size(), 3u);
+  EXPECT_EQ(v.num_documents(), 3u);
+}
+
+TEST(TfidfTest, FitTwiceFails) {
+  TfidfVectorizer v;
+  ASSERT_TRUE(v.Fit(SmallCorpus()).ok());
+  EXPECT_EQ(v.Fit(SmallCorpus()).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TfidfTest, TransformBeforeFitFails) {
+  TfidfVectorizer v;
+  EXPECT_FALSE(v.Transform({TokenId("a")}).ok());
+}
+
+TEST(TfidfTest, TransformValuesMatchFormula) {
+  TfidfOptions o;
+  o.l2_normalize = false;
+  TfidfVectorizer v(o);
+  ASSERT_TRUE(v.Fit(SmallCorpus()).ok());
+  const auto vec = v.Transform(SmallCorpus()[0]).value();
+  // doc0 = {a×2, b×1}; df(a) = 1, df(b) = 2, N = 3.
+  const double idf_a = std::log(4.0 / 2.0) + 1.0;
+  const double idf_b = std::log(4.0 / 3.0) + 1.0;
+  EXPECT_EQ(vec.nnz(), 2u);
+  const uint64_t mask = o.dimension - 1;
+  EXPECT_NEAR(vec.Get(TokenId("a") & mask), 2.0 * idf_a, 1e-12);
+  EXPECT_NEAR(vec.Get(TokenId("b") & mask), 1.0 * idf_b, 1e-12);
+}
+
+TEST(TfidfTest, SublinearTfDampensCounts) {
+  TfidfOptions raw, sub;
+  raw.l2_normalize = sub.l2_normalize = false;
+  sub.sublinear_tf = true;
+  TfidfVectorizer vr(raw), vs(sub);
+  ASSERT_TRUE(vr.Fit(SmallCorpus()).ok());
+  ASSERT_TRUE(vs.Fit(SmallCorpus()).ok());
+  const uint64_t mask = raw.dimension - 1;
+  const auto r = vr.Transform(SmallCorpus()[2]).value();  // c×3
+  const auto s = vs.Transform(SmallCorpus()[2]).value();
+  const double ratio =
+      s.Get(TokenId("c") & mask) / r.Get(TokenId("c") & mask);
+  EXPECT_NEAR(ratio, (1.0 + std::log(3.0)) / 3.0, 1e-12);
+}
+
+TEST(TfidfTest, NormalizedOutputHasUnitNorm) {
+  TfidfVectorizer v;
+  ASSERT_TRUE(v.Fit(SmallCorpus()).ok());
+  for (const auto& doc : SmallCorpus()) {
+    EXPECT_NEAR(v.Transform(doc).value().Norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(TfidfTest, EmptyDocumentTransformsToEmptyVector) {
+  TfidfVectorizer v;
+  ASSERT_TRUE(v.Fit(SmallCorpus()).ok());
+  const auto vec = v.Transform({}).value();
+  EXPECT_TRUE(vec.empty());
+}
+
+TEST(TfidfTest, UnseenFeatureGetsMaxIdf) {
+  TfidfOptions o;
+  o.l2_normalize = false;
+  TfidfVectorizer v(o);
+  ASSERT_TRUE(v.Fit(SmallCorpus()).ok());
+  const auto vec = v.Transform({TokenId("zzz")}).value();
+  const uint64_t mask = o.dimension - 1;
+  EXPECT_NEAR(vec.Get(TokenId("zzz") & mask), std::log(4.0) + 1.0, 1e-12);
+}
+
+TEST(TfidfTest, FitTransformMatchesSeparateCalls) {
+  TfidfVectorizer v1, v2;
+  const auto corpus = SmallCorpus();
+  const auto vecs = v1.FitTransform(corpus).value();
+  ASSERT_TRUE(v2.Fit(corpus).ok());
+  ASSERT_EQ(vecs.size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_TRUE(vecs[i] == v2.Transform(corpus[i]).value());
+  }
+}
+
+TEST(TfidfTest, SharedVocabularyRaisesCosine) {
+  // Documents sharing words should have higher cosine than disjoint ones.
+  TfidfVectorizer v;
+  const uint64_t a = TokenId("a"), b = TokenId("b"), c = TokenId("c"),
+                 d = TokenId("d");
+  const std::vector<std::vector<uint64_t>> corpus = {
+      {a, b, a}, {a, b, c}, {c, d, d}};
+  const auto vecs = v.FitTransform(corpus).value();
+  EXPECT_GT(CosineSimilarity(vecs[0], vecs[1]),
+            CosineSimilarity(vecs[0], vecs[2]));
+}
+
+}  // namespace
+}  // namespace ipsketch

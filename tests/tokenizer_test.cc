@@ -1,0 +1,81 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  const auto tokens = Tokenize("Hello, World! FOO-bar baz42");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "foo");
+  EXPECT_EQ(tokens[3], "bar");
+  EXPECT_EQ(tokens[4], "baz42");
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!! ---").empty());
+}
+
+TEST(TokenizeTest, NoTrailingSeparatorNeeded) {
+  const auto tokens = Tokenize("last");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "last");
+}
+
+TEST(TokenIdTest, DeterministicAndDistinct) {
+  EXPECT_EQ(TokenId("word"), TokenId("word"));
+  EXPECT_NE(TokenId("word"), TokenId("Word"));
+  EXPECT_NE(TokenId("word"), TokenId("words"));
+  EXPECT_NE(TokenId("ab"), TokenId("ba"));
+}
+
+TEST(BigramIdTest, OrderSensitiveAndDistinctFromUnigrams) {
+  const uint64_t a = TokenId("new");
+  const uint64_t b = TokenId("york");
+  EXPECT_NE(BigramId(a, b), BigramId(b, a));
+  EXPECT_NE(BigramId(a, b), a);
+  EXPECT_NE(BigramId(a, b), b);
+}
+
+TEST(TokenFeaturesTest, UnigramsOnly) {
+  FeatureOptions o;
+  o.bigrams = false;
+  const auto features = TokenFeatures({"a", "b", "c"}, o);
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_EQ(features[0], TokenId("a"));
+}
+
+TEST(TokenFeaturesTest, UnigramsPlusBigrams) {
+  FeatureOptions o;
+  const auto features = TokenFeatures({"a", "b", "c"}, o);
+  // 3 unigrams + 2 bigrams.
+  ASSERT_EQ(features.size(), 5u);
+  EXPECT_EQ(features[3], BigramId(TokenId("a"), TokenId("b")));
+  EXPECT_EQ(features[4], BigramId(TokenId("b"), TokenId("c")));
+}
+
+TEST(TokenFeaturesTest, DuplicatesPreservedForTermFrequency) {
+  FeatureOptions o;
+  o.bigrams = false;
+  const auto features = TokenFeatures({"x", "x", "x"}, o);
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_EQ(features[0], features[1]);
+}
+
+TEST(IdFeaturesTest, SingleTokenHasNoBigrams) {
+  FeatureOptions o;
+  const auto features = IdFeatures({42}, o);
+  ASSERT_EQ(features.size(), 1u);
+}
+
+TEST(IdFeaturesTest, EmptyDocument) {
+  FeatureOptions o;
+  EXPECT_TRUE(IdFeatures({}, o).empty());
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,169 @@
+#include "vector/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector V(std::vector<Entry> e, uint64_t dim = 16) {
+  return SparseVector::MakeOrDie(dim, std::move(e));
+}
+
+TEST(DotTest, BasicOverlap) {
+  const auto a = V({{1, 2.0}, {3, 1.0}, {5, -1.0}});
+  const auto b = V({{3, 4.0}, {5, 2.0}, {7, 9.0}});
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0 * 4.0 + (-1.0) * 2.0);
+}
+
+TEST(DotTest, DisjointSupportsIsZero) {
+  EXPECT_EQ(Dot(V({{0, 1.0}}), V({{1, 1.0}})), 0.0);
+}
+
+TEST(DotTest, EmptyVector) {
+  EXPECT_EQ(Dot(SparseVector(), SparseVector()), 0.0);
+  EXPECT_EQ(Dot(V({{0, 1.0}}), SparseVector::FromDense({0.0})), 0.0);
+}
+
+TEST(DotTest, Symmetric) {
+  const auto a = V({{1, 2.0}, {4, -3.0}});
+  const auto b = V({{1, 5.0}, {4, 7.0}, {9, 1.0}});
+  EXPECT_DOUBLE_EQ(Dot(a, b), Dot(b, a));
+}
+
+TEST(DotTest, MatchesFigure3Example) {
+  // The worked example of Figures 2-3: ⟨x_VA, x_VB⟩ over the join keys
+  // {4, 5, 8, 11} = 6·5 + 1·1 + 2·2 + 3·2.5 = 42.5.
+  const auto x_va = V({{1, 6.0}, {3, 2.0}, {4, 6.0}, {5, 1.0}, {6, 4.0},
+                       {7, 2.0}, {8, 2.0}, {9, 8.0}, {11, 3.0}},
+                      17);
+  const auto x_vb = V({{2, 1.0}, {4, 5.0}, {5, 1.0}, {8, 2.0}, {10, 4.0},
+                       {11, 2.5}, {12, 6.0}, {15, 6.0}, {16, 3.7}},
+                      17);
+  EXPECT_DOUBLE_EQ(Dot(x_va, x_vb), 42.5);
+}
+
+TEST(SupportTest, IntersectionAndUnionSizes) {
+  const auto a = V({{1, 1.0}, {2, 1.0}, {3, 1.0}});
+  const auto b = V({{2, 1.0}, {3, 1.0}, {4, 1.0}, {5, 1.0}});
+  EXPECT_EQ(SupportIntersectionSize(a, b), 2u);
+  EXPECT_EQ(SupportUnionSize(a, b), 5u);
+  EXPECT_DOUBLE_EQ(SupportJaccard(a, b), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(OverlapRatio(a, b), 2.0 / 4.0);
+}
+
+TEST(SupportTest, EmptyConventions) {
+  SparseVector e;
+  EXPECT_EQ(SupportIntersectionSize(e, e), 0u);
+  EXPECT_EQ(SupportJaccard(e, e), 0.0);
+  EXPECT_EQ(OverlapRatio(e, e), 0.0);
+}
+
+TEST(RestrictTest, KeepsOnlySharedIndicesWithAValues) {
+  const auto a = V({{1, 10.0}, {2, 20.0}, {3, 30.0}});
+  const auto b = V({{2, -1.0}, {3, -2.0}, {4, -3.0}});
+  const auto aI = RestrictToIntersection(a, b);
+  EXPECT_EQ(aI.nnz(), 2u);
+  EXPECT_EQ(aI.Get(2), 20.0);
+  EXPECT_EQ(aI.Get(3), 30.0);
+  EXPECT_EQ(aI.Get(1), 0.0);
+  EXPECT_EQ(aI.dimension(), a.dimension());
+}
+
+TEST(IntersectionNormsTest, MatchesRestrictedNorms) {
+  const auto a = V({{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  const auto b = V({{2, 5.0}, {3, 6.0}, {7, 7.0}});
+  const IntersectionNorms in = ComputeIntersectionNorms(a, b);
+  EXPECT_DOUBLE_EQ(in.a_norm, RestrictToIntersection(a, b).Norm());
+  EXPECT_DOUBLE_EQ(in.b_norm, RestrictToIntersection(b, a).Norm());
+}
+
+TEST(BoundsTest, Theorem2NeverExceedsFact1) {
+  // Property sweep: over random sparse pairs, the Theorem 2 error scale is
+  // always ≤ the Fact 1 scale, and equals it when supports coincide.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    SyntheticPairOptions opt;
+    opt.dimension = 500;
+    opt.nnz = 80;
+    opt.overlap = (seed % 5) * 0.25;
+    opt.seed = seed;
+    auto pair = GenerateSyntheticPair(opt).value();
+    EXPECT_LE(Theorem2Bound(pair.a, pair.b),
+              Fact1Bound(pair.a, pair.b) * (1 + 1e-12))
+        << "seed " << seed;
+  }
+}
+
+TEST(BoundsTest, EqualSupportsMakeBoundsEqual) {
+  const auto a = V({{1, 2.0}, {2, -1.0}});
+  const auto b = V({{1, 3.0}, {2, 5.0}});
+  EXPECT_DOUBLE_EQ(Theorem2Bound(a, b), Fact1Bound(a, b));
+}
+
+TEST(BoundsTest, DisjointSupportsGiveZeroTheorem2) {
+  const auto a = V({{1, 2.0}});
+  const auto b = V({{2, 3.0}});
+  EXPECT_EQ(Theorem2Bound(a, b), 0.0);
+  EXPECT_GT(Fact1Bound(a, b), 0.0);
+}
+
+TEST(BoundsTest, BinaryVectorsMatchSetBound) {
+  // For binary vectors, Theorem 2's scale equals √(max(|A|,|B|)·|A∩B|)
+  // (§2 of the paper).
+  const auto a = V({{1, 1.0}, {2, 1.0}, {3, 1.0}, {4, 1.0}});
+  const auto b = V({{3, 1.0}, {4, 1.0}, {5, 1.0}});
+  const double expected = std::sqrt(4.0 * 2.0);
+  EXPECT_DOUBLE_EQ(Theorem2Bound(a, b), expected);
+}
+
+TEST(CosineTest, ParallelAndOrthogonal) {
+  const auto a = V({{0, 1.0}, {1, 1.0}});
+  EXPECT_NEAR(CosineSimilarity(a, a.Scaled(7.0)), 1.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity(V({{0, 1.0}}), V({{1, 1.0}})), 0.0);
+  EXPECT_EQ(CosineSimilarity(a, SparseVector::FromDense({0, 0})), 0.0);
+}
+
+TEST(AddTest, MergesAndCancels) {
+  const auto a = V({{1, 2.0}, {3, -1.0}});
+  const auto b = V({{1, -2.0}, {2, 4.0}});
+  auto sum = Add(a, b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum.value().Get(1), 0.0);  // exact cancellation drops the entry
+  EXPECT_EQ(sum.value().Get(2), 4.0);
+  EXPECT_EQ(sum.value().Get(3), -1.0);
+  EXPECT_EQ(sum.value().nnz(), 2u);
+}
+
+TEST(AddTest, DimensionMismatchFails) {
+  EXPECT_FALSE(Add(V({{1, 1.0}}, 8), V({{1, 1.0}}, 9)).ok());
+}
+
+TEST(HadamardTest, ProductOnIntersection) {
+  const auto a = V({{1, 2.0}, {2, 3.0}});
+  const auto b = V({{2, 5.0}, {3, 7.0}});
+  auto prod = Hadamard(a, b);
+  ASSERT_TRUE(prod.ok());
+  EXPECT_EQ(prod.value().nnz(), 1u);
+  EXPECT_EQ(prod.value().Get(2), 15.0);
+}
+
+TEST(SquaredTest, SquaresEntries) {
+  const auto v = Squared(V({{1, -3.0}, {2, 2.0}}));
+  EXPECT_EQ(v.Get(1), 9.0);
+  EXPECT_EQ(v.Get(2), 4.0);
+}
+
+TEST(SquaredTest, DotWithIndicatorGivesSumOfSquares) {
+  // ⟨x_V², x_1[K]⟩ = Σ v² over joined keys — the reduction used for
+  // post-join variance estimation (§1.2).
+  const auto values = V({{1, 2.0}, {2, 3.0}, {5, 4.0}});
+  const auto indicator = V({{1, 1.0}, {2, 1.0}, {9, 1.0}});
+  EXPECT_DOUBLE_EQ(Dot(Squared(values), indicator), 4.0 + 9.0);
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,0 +1,110 @@
+#include "table/vectorize.h"
+
+#include <gtest/gtest.h>
+
+#include "table/join.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+KeyedColumn FigureTwoA() {
+  return KeyedColumn::MakeOrDie(
+      "V_A", {1, 3, 4, 5, 6, 7, 8, 9, 11},
+      {6.0, 2.0, 6.0, 1.0, 4.0, 2.0, 2.0, 8.0, 3.0});
+}
+
+KeyedColumn FigureTwoB() {
+  return KeyedColumn::MakeOrDie(
+      "V_B", {2, 4, 5, 8, 10, 11, 12, 15, 16},
+      {1.0, 5.0, 1.0, 2.0, 4.0, 2.5, 6.0, 6.0, 3.7});
+}
+
+constexpr uint64_t kDomain = 17;
+
+TEST(VectorizeTest, KeyIndicatorMatchesFigureThree) {
+  const auto x = KeyIndicatorVector(FigureTwoA(), kDomain).value();
+  EXPECT_EQ(x.nnz(), 9u);
+  for (uint64_t k : {1, 3, 4, 5, 6, 7, 8, 9, 11}) EXPECT_EQ(x.Get(k), 1.0);
+  EXPECT_EQ(x.Get(2), 0.0);
+  EXPECT_EQ(x.Get(16), 0.0);
+  EXPECT_EQ(x.dimension(), kDomain);
+}
+
+TEST(VectorizeTest, ValueVectorMatchesFigureThree) {
+  const auto x = ValueVector(FigureTwoB(), kDomain).value();
+  EXPECT_EQ(x.Get(2), 1.0);
+  EXPECT_EQ(x.Get(4), 5.0);
+  EXPECT_EQ(x.Get(11), 2.5);
+  EXPECT_EQ(x.Get(16), 3.7);
+  EXPECT_EQ(x.Get(1), 0.0);
+}
+
+TEST(VectorizeTest, SquaredValueVector) {
+  const auto x = SquaredValueVector(FigureTwoB(), kDomain).value();
+  EXPECT_EQ(x.Get(4), 25.0);
+  EXPECT_DOUBLE_EQ(x.Get(16), 3.7 * 3.7);
+}
+
+TEST(VectorizeTest, RejectsDuplicateKeys) {
+  const auto dup = KeyedColumn::MakeOrDie("d", {1, 1}, {1.0, 2.0});
+  EXPECT_FALSE(KeyIndicatorVector(dup, 8).ok());
+  EXPECT_FALSE(ValueVector(dup, 8).ok());
+}
+
+TEST(VectorizeTest, RejectsKeysOutsideDomain) {
+  const auto c = KeyedColumn::MakeOrDie("c", {5}, {1.0});
+  EXPECT_FALSE(ValueVector(c, 5).ok());
+  EXPECT_TRUE(ValueVector(c, 6).ok());
+}
+
+// The reductions of §1.2: every post-join statistic equals an inner product
+// of the Figure 3 encodings.
+TEST(ReductionTest, JoinSizeIsIndicatorInnerProduct) {
+  const auto ia = KeyIndicatorVector(FigureTwoA(), kDomain).value();
+  const auto ib = KeyIndicatorVector(FigureTwoB(), kDomain).value();
+  const auto stats = ComputeJoinStats(FigureTwoA(), FigureTwoB()).value();
+  EXPECT_DOUBLE_EQ(Dot(ia, ib), static_cast<double>(stats.size));  // = 4
+}
+
+TEST(ReductionTest, PostJoinSumIsValueIndicatorInnerProduct) {
+  const auto va = ValueVector(FigureTwoA(), kDomain).value();
+  const auto ib = KeyIndicatorVector(FigureTwoB(), kDomain).value();
+  const auto stats = ComputeJoinStats(FigureTwoA(), FigureTwoB()).value();
+  EXPECT_DOUBLE_EQ(Dot(va, ib), stats.sum_a);  // = 12.0
+}
+
+TEST(ReductionTest, PostJoinMeanIsRatioOfInnerProducts) {
+  const auto va = ValueVector(FigureTwoA(), kDomain).value();
+  const auto ia = KeyIndicatorVector(FigureTwoA(), kDomain).value();
+  const auto ib = KeyIndicatorVector(FigureTwoB(), kDomain).value();
+  EXPECT_DOUBLE_EQ(Dot(va, ib) / Dot(ia, ib), 3.0);  // MEAN(V_A⋈)
+}
+
+TEST(ReductionTest, PostJoinInnerProduct) {
+  const auto va = ValueVector(FigureTwoA(), kDomain).value();
+  const auto vb = ValueVector(FigureTwoB(), kDomain).value();
+  const auto stats = ComputeJoinStats(FigureTwoA(), FigureTwoB()).value();
+  EXPECT_DOUBLE_EQ(Dot(va, vb), stats.inner_product);  // = 42.5
+}
+
+TEST(ReductionTest, PostJoinSumOfSquares) {
+  const auto sa = SquaredValueVector(FigureTwoA(), kDomain).value();
+  const auto ib = KeyIndicatorVector(FigureTwoB(), kDomain).value();
+  const auto stats = ComputeJoinStats(FigureTwoA(), FigureTwoB()).value();
+  EXPECT_DOUBLE_EQ(Dot(sa, ib), stats.sum_sq_a);
+}
+
+TEST(ReductionTest, ZeroValuesAreAbsentFromValueVector) {
+  // A documented caveat: a value of exactly 0 vectorizes identically to a
+  // missing key, so ⟨x_V, x_1⟩ still equals the post-join SUM, but the
+  // value vector's support undercounts the key set.
+  const auto c = KeyedColumn::MakeOrDie("z", {1, 2}, {0.0, 5.0});
+  const auto v = ValueVector(c, 8).value();
+  EXPECT_EQ(v.nnz(), 1u);
+  const auto i = KeyIndicatorVector(c, 8).value();
+  EXPECT_EQ(i.nnz(), 2u);
+}
+
+}  // namespace
+}  // namespace ipsketch

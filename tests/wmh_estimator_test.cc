@@ -1,0 +1,222 @@
+#include "core/wmh_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rounding.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector OverlappingVector(uint64_t dim, uint64_t lo, uint64_t hi,
+                               uint64_t seed, double heavy_every = 7) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t i = lo; i < hi; ++i) {
+    double v = 0.3 + rng.NextUnit();
+    if (heavy_every > 0 && i % static_cast<uint64_t>(heavy_every) == 0) {
+      v *= 8.0;
+    }
+    if (rng.NextUnit() < 0.5) v = -v;
+    entries.push_back({i, v});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+WmhSketch Sketch(const SparseVector& v, size_t m, uint64_t seed,
+                 uint64_t L = 1 << 14) {
+  WmhOptions o;
+  o.num_samples = m;
+  o.seed = seed;
+  o.L = L;
+  return SketchWmh(v, o).value();
+}
+
+TEST(WmhEstimatorTest, RejectsMismatchedSampleCounts) {
+  const auto v = OverlappingVector(64, 0, 32, 1);
+  const auto a = Sketch(v, 16, 1);
+  const auto b = Sketch(v, 32, 1);
+  EXPECT_EQ(EstimateWmhInnerProduct(a, b).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WmhEstimatorTest, RejectsMismatchedSeeds) {
+  const auto v = OverlappingVector(64, 0, 32, 1);
+  EXPECT_FALSE(
+      EstimateWmhInnerProduct(Sketch(v, 16, 1), Sketch(v, 16, 2)).ok());
+}
+
+TEST(WmhEstimatorTest, RejectsMismatchedL) {
+  const auto v = OverlappingVector(64, 0, 32, 1);
+  EXPECT_FALSE(EstimateWmhInnerProduct(Sketch(v, 16, 1, 1024),
+                                       Sketch(v, 16, 1, 2048))
+                   .ok());
+}
+
+TEST(WmhEstimatorTest, RejectsMismatchedDimensions) {
+  const auto a = OverlappingVector(64, 0, 32, 1);
+  const auto b = OverlappingVector(128, 0, 32, 1);
+  EXPECT_FALSE(
+      EstimateWmhInnerProduct(Sketch(a, 16, 1), Sketch(b, 16, 1)).ok());
+}
+
+TEST(WmhEstimatorTest, ZeroVectorGivesExactZero) {
+  const auto v = OverlappingVector(64, 0, 32, 1);
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(64, 0.0));
+  EXPECT_EQ(EstimateWmhInnerProduct(Sketch(v, 16, 1), Sketch(zero, 16, 1))
+                .value(),
+            0.0);
+  EXPECT_EQ(EstimateWmhInnerProduct(Sketch(zero, 16, 1), Sketch(zero, 16, 1))
+                .value(),
+            0.0);
+}
+
+TEST(WmhEstimatorTest, DisjointSupportsEstimateZero) {
+  const auto a = OverlappingVector(256, 0, 64, 3);
+  const auto b = OverlappingVector(256, 128, 192, 4);
+  // No shared support ⇒ no matches possible ⇒ estimate exactly 0.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    EXPECT_EQ(
+        EstimateWmhInnerProduct(Sketch(a, 64, seed), Sketch(b, 64, seed))
+            .value(),
+        0.0);
+  }
+}
+
+TEST(WmhEstimatorTest, UnbiasedOverSeeds) {
+  const auto a = OverlappingVector(200, 0, 120, 5);
+  const auto b = OverlappingVector(200, 60, 180, 6);
+  const double truth = Dot(a, b);
+  double sum = 0.0;
+  const int kSeeds = 400;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    sum += EstimateWmhInnerProduct(Sketch(a, 128, seed), Sketch(b, 128, seed))
+               .value();
+  }
+  const double mean = sum / kSeeds;
+  // Mean over 400 seeds should sit near the truth relative to the error scale.
+  const double scale = Theorem2Bound(a, b) / std::sqrt(128.0);
+  EXPECT_NEAR(mean, truth, 3.0 * scale / std::sqrt(kSeeds) + 0.05 * std::fabs(truth));
+}
+
+TEST(WmhEstimatorTest, SelfInnerProductCloseToSquaredNorm) {
+  const auto v = OverlappingVector(300, 0, 200, 7);
+  const double truth = Dot(v, v);
+  const double est =
+      EstimateWmhInnerProduct(Sketch(v, 512, 11), Sketch(v, 512, 11)).value();
+  // All samples match; the only noise is the union-size estimate, whose
+  // relative error at m = 512 is a few percent.
+  EXPECT_NEAR(est, truth, 0.2 * truth);
+}
+
+TEST(WmhEstimatorTest, ErrorDecreasesWithSampleCount) {
+  const auto a = OverlappingVector(400, 0, 250, 13);
+  const auto b = OverlappingVector(400, 150, 400, 14);
+  const double truth = Dot(a, b);
+  double err_small = 0.0, err_large = 0.0;
+  const int kSeeds = 60;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    err_small += std::fabs(
+        EstimateWmhInnerProduct(Sketch(a, 32, seed), Sketch(b, 32, seed))
+            .value() -
+        truth);
+    err_large += std::fabs(
+        EstimateWmhInnerProduct(Sketch(a, 512, seed), Sketch(b, 512, seed))
+            .value() -
+        truth);
+  }
+  // 16× more samples should cut error roughly 4×; require at least 1.8×.
+  EXPECT_LT(err_large, err_small / 1.8);
+}
+
+// Parameterized bound check: across overlaps and sample counts, the observed
+// error should respect the Theorem 2 scale ε·max(‖a_I‖‖b‖, ‖a‖‖b_I‖) with
+// ε = c/√m for a modest constant.
+struct BoundCase {
+  uint64_t a_lo, a_hi, b_lo, b_hi;
+  size_t m;
+};
+
+class WmhBoundTest : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(WmhBoundTest, ErrorWithinTheorem2Scale) {
+  const BoundCase& c = GetParam();
+  const auto a = OverlappingVector(500, c.a_lo, c.a_hi, 17);
+  const auto b = OverlappingVector(500, c.b_lo, c.b_hi, 18);
+  const double truth = Dot(a, b);
+  const double scale = Theorem2Bound(a, b);
+
+  // Median-of-seeds error: robust against the constant-probability tail a
+  // single sketch is allowed (Theorem 2 gives 2/3 success per sketch).
+  std::vector<double> errors;
+  for (int seed = 0; seed < 31; ++seed) {
+    errors.push_back(std::fabs(
+        EstimateWmhInnerProduct(Sketch(a, c.m, seed), Sketch(b, c.m, seed))
+            .value() -
+        truth));
+  }
+  std::sort(errors.begin(), errors.end());
+  const double median_error = errors[errors.size() / 2];
+  const double epsilon = 4.0 / std::sqrt(static_cast<double>(c.m));
+  EXPECT_LE(median_error, epsilon * scale + 1e-9)
+      << "m=" << c.m << " truth=" << truth << " scale=" << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverlapAndSampleSweep, WmhBoundTest,
+    ::testing::Values(BoundCase{0, 100, 50, 150, 64},     // 50% overlap
+                      BoundCase{0, 100, 90, 190, 64},     // 10% overlap
+                      BoundCase{0, 100, 99, 199, 64},     // 1% overlap
+                      BoundCase{0, 200, 100, 300, 128},   // larger vectors
+                      BoundCase{0, 100, 50, 150, 256},    // more samples
+                      BoundCase{0, 400, 200, 500, 256},   // asymmetric sizes
+                      BoundCase{0, 50, 0, 500, 128}));    // containment
+
+TEST(WmhEstimatorTest, JaccardClosedFormUnionEstimatorWorks) {
+  const auto a = OverlappingVector(300, 0, 200, 19);
+  const auto b = OverlappingVector(300, 100, 300, 20);
+  const double truth = Dot(a, b);
+  WmhEstimateOptions jc;
+  jc.union_estimator = UnionEstimator::kJaccardClosedForm;
+  double err_sum = 0.0;
+  const int kSeeds = 50;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    err_sum += std::fabs(
+        EstimateWmhInnerProduct(Sketch(a, 256, seed), Sketch(b, 256, seed), jc)
+            .value() -
+        truth);
+  }
+  const double scale = Theorem2Bound(a, b);
+  EXPECT_LT(err_sum / kSeeds, scale);  // loose sanity: same order as FM
+}
+
+TEST(TruncatedWmhTest, PrefixIsValidSketch) {
+  const auto a = OverlappingVector(300, 0, 200, 21);
+  const auto b = OverlappingVector(300, 100, 300, 22);
+  const auto sa = Sketch(a, 256, 23);
+  const auto sb = Sketch(b, 256, 23);
+  const auto ta = TruncatedWmh(sa, 64);
+  const auto tb = TruncatedWmh(sb, 64);
+  EXPECT_EQ(ta.num_samples(), 64u);
+  EXPECT_EQ(ta.norm, sa.norm);
+  // The truncated estimate equals the estimate from a fresh 64-sample
+  // sketch with the same seed (samples are independent streams).
+  const auto fresh_a = Sketch(a, 64, 23);
+  const auto fresh_b = Sketch(b, 64, 23);
+  EXPECT_DOUBLE_EQ(EstimateWmhInnerProduct(ta, tb).value(),
+                   EstimateWmhInnerProduct(fresh_a, fresh_b).value());
+}
+
+TEST(TruncatedWmhDeathTest, RejectsBadPrefix) {
+  const auto v = OverlappingVector(64, 0, 32, 1);
+  const auto s = Sketch(v, 16, 1);
+  EXPECT_DEATH(TruncatedWmh(s, 0), "IPS_CHECK");
+  EXPECT_DEATH(TruncatedWmh(s, 17), "IPS_CHECK");
+}
+
+}  // namespace
+}  // namespace ipsketch

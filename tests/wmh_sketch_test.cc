@@ -1,0 +1,175 @@
+#include "core/wmh_sketch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rounding.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector RandomVector(uint64_t dim, size_t nnz, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < nnz; ++i) {
+    double v = rng.NextGaussian();
+    if (v == 0.0) v = 0.5;
+    entries.push_back({i * (dim / nnz), v});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+TEST(WmhOptionsTest, Validation) {
+  WmhOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_samples = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(WmhSketchTest, StorageWordsAccounting) {
+  WmhSketch s;
+  s.hashes.resize(100);
+  s.values.resize(100);
+  EXPECT_DOUBLE_EQ(s.StorageWords(), 151.0);  // 1.5·m + norm
+}
+
+class WmhEngineTest : public ::testing::TestWithParam<WmhEngine> {
+ protected:
+  WmhOptions Options(size_t m, uint64_t seed) const {
+    WmhOptions o;
+    o.num_samples = m;
+    o.seed = seed;
+    o.L = 4096;  // small enough for the reference engine
+    o.engine = GetParam();
+    return o;
+  }
+};
+
+TEST_P(WmhEngineTest, DeterministicInSeed) {
+  const auto v = RandomVector(512, 40, 1);
+  const auto s1 = SketchWmh(v, Options(32, 7)).value();
+  const auto s2 = SketchWmh(v, Options(32, 7)).value();
+  const auto s3 = SketchWmh(v, Options(32, 8)).value();
+  EXPECT_EQ(s1.hashes, s2.hashes);
+  EXPECT_EQ(s1.values, s2.values);
+  EXPECT_NE(s1.hashes, s3.hashes);
+}
+
+TEST_P(WmhEngineTest, SketchShapeAndMetadata) {
+  const auto v = RandomVector(512, 40, 2);
+  const auto s = SketchWmh(v, Options(64, 3)).value();
+  EXPECT_EQ(s.num_samples(), 64u);
+  EXPECT_EQ(s.values.size(), 64u);
+  EXPECT_EQ(s.seed, 3u);
+  EXPECT_EQ(s.L, 4096u);
+  EXPECT_EQ(s.dimension, 512u);
+  EXPECT_NEAR(s.norm, v.Norm(), 1e-12);
+}
+
+TEST_P(WmhEngineTest, HashesInUnitInterval) {
+  const auto v = RandomVector(512, 40, 4);
+  const auto s = SketchWmh(v, Options(128, 5)).value();
+  for (double h : s.hashes) {
+    EXPECT_GT(h, 0.0);
+    EXPECT_LT(h, 1.0);
+  }
+}
+
+TEST_P(WmhEngineTest, ValuesComeFromDiscretizedVector) {
+  const auto v = RandomVector(512, 40, 6);
+  const auto s = SketchWmh(v, Options(64, 7)).value();
+  const auto dv = Round(v, 4096).value();
+  for (double value : s.values) {
+    bool found = false;
+    for (const auto& e : dv.entries) {
+      if (std::fabs(e.value - value) < 1e-15) found = true;
+    }
+    EXPECT_TRUE(found) << "sampled value " << value
+                       << " not in discretized support";
+  }
+}
+
+TEST_P(WmhEngineTest, ScaleInvariantUpToNorm) {
+  // Sketching 5a yields identical hashes/values with norm scaled by 5 —
+  // the normalization property Algorithm 3 line 2 establishes.
+  const auto v = RandomVector(512, 40, 8);
+  const auto s1 = SketchWmh(v, Options(64, 9)).value();
+  const auto s2 = SketchWmh(v.Scaled(5.0), Options(64, 9)).value();
+  EXPECT_EQ(s1.hashes, s2.hashes);
+  EXPECT_EQ(s1.values, s2.values);
+  EXPECT_NEAR(s2.norm, 5.0 * s1.norm, 1e-9);
+}
+
+TEST_P(WmhEngineTest, EmptyVectorSketch) {
+  SparseVector zero = SparseVector::FromDense(std::vector<double>(16, 0.0));
+  const auto s = SketchWmh(zero, Options(32, 1)).value();
+  EXPECT_EQ(s.norm, 0.0);
+  for (double h : s.hashes) EXPECT_EQ(h, 1.0);
+  for (double v : s.values) EXPECT_EQ(v, 0.0);
+}
+
+TEST_P(WmhEngineTest, SingleEntryVectorAlwaysSamplesIt) {
+  const auto v = SparseVector::MakeOrDie(64, {{17, -4.0}});
+  const auto s = SketchWmh(v, Options(32, 11)).value();
+  for (double value : s.values) EXPECT_NEAR(value, -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.norm, 4.0);
+}
+
+TEST_P(WmhEngineTest, HeavyEntrySampledProportionallyToSquare) {
+  // One entry carries 80% of the squared mass; it should be the argmin
+  // roughly 80% of the time (Fact 5 marginal).
+  const auto v = SparseVector::MakeOrDie(
+      16, {{0, 2.0}, {1, 0.5}, {2, 0.5}, {3, 0.5}, {4, 0.5}});
+  // squared mass: 4 / (4 + 4·0.25) = 0.8
+  const auto s = SketchWmh(v, Options(4000, 13)).value();
+  size_t heavy = 0;
+  for (double value : s.values) {
+    if (value > 0.8) ++heavy;  // ã[0] = sqrt(0.8) ≈ 0.894; others ≈ 0.22
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / 4000.0, 0.8, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, WmhEngineTest,
+                         ::testing::Values(WmhEngine::kActiveIndex,
+                                           WmhEngine::kExpandedReference));
+
+TEST(WmhDefaultLTest, AutoSelectsDefaultL) {
+  const auto v = RandomVector(512, 16, 1);
+  WmhOptions o;
+  o.num_samples = 4;
+  const auto s = SketchWmh(v, o).value();
+  EXPECT_EQ(s.L, DefaultL(512));
+}
+
+TEST(WmhEngineAgreementTest, EnginesAgreeStatistically) {
+  // The two engines realize the same distribution: compare the mean minimum
+  // hash (a fine-grained functional of the sketch distribution) across many
+  // seeds. Both should estimate 1/(L'+1)-style means identically.
+  const auto v = RandomVector(256, 20, 21);
+  double mean_active = 0.0, mean_reference = 0.0;
+  const int kSeeds = 300;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    WmhOptions o;
+    o.num_samples = 8;
+    o.seed = seed;
+    o.L = 1024;
+    o.engine = WmhEngine::kActiveIndex;
+    const auto sa = SketchWmh(v, o).value();
+    o.engine = WmhEngine::kExpandedReference;
+    const auto sr = SketchWmh(v, o).value();
+    for (size_t i = 0; i < 8; ++i) {
+      mean_active += sa.hashes[i];
+      mean_reference += sr.hashes[i];
+    }
+  }
+  mean_active /= kSeeds * 8;
+  mean_reference /= kSeeds * 8;
+  // Both ≈ 1/(L+1) since the expanded vector occupies exactly L slots.
+  EXPECT_NEAR(mean_active, 1.0 / 1025.0, 0.15 / 1025.0);
+  EXPECT_NEAR(mean_reference, 1.0 / 1025.0, 0.15 / 1025.0);
+}
+
+}  // namespace
+}  // namespace ipsketch

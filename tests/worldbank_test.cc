@@ -1,0 +1,148 @@
+#include "data/worldbank.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ipsketch {
+namespace {
+
+WorldBankOptions SmallOptions() {
+  WorldBankOptions o;
+  o.num_datasets = 20;
+  o.columns_per_dataset = 3;
+  o.key_universe = 10000;
+  o.min_rows = 100;
+  o.max_rows = 800;
+  o.seed = 5;
+  return o;
+}
+
+TEST(WorldBankOptionsTest, Validation) {
+  WorldBankOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_datasets = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = WorldBankOptions();
+  o.min_rows = 10;
+  o.max_rows = 5;
+  EXPECT_FALSE(o.Validate().ok());
+  o = WorldBankOptions();
+  o.max_rows = 100000;
+  o.key_universe = 50000;
+  EXPECT_FALSE(o.Validate().ok());
+  o = WorldBankOptions();
+  o.family_fraction = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(WorldBankCorpusTest, ShapeMatchesOptions) {
+  const auto corpus = GenerateWorldBankCorpus(SmallOptions()).value();
+  ASSERT_EQ(corpus.size(), 20u);
+  for (const auto& table : corpus) {
+    EXPECT_EQ(table.num_columns(), 3u);
+    EXPECT_GT(table.num_rows(), 0u);
+    EXPECT_LE(table.num_rows(), 800u);
+  }
+}
+
+TEST(WorldBankCorpusTest, KeysUniqueAndInUniverse) {
+  const auto corpus = GenerateWorldBankCorpus(SmallOptions()).value();
+  for (const auto& table : corpus) {
+    // Table::Make enforces uniqueness; check the domain too.
+    for (uint64_t k : table.keys()) EXPECT_LT(k, 10000u);
+  }
+}
+
+TEST(WorldBankCorpusTest, Deterministic) {
+  const auto c1 = GenerateWorldBankCorpus(SmallOptions()).value();
+  const auto c2 = GenerateWorldBankCorpus(SmallOptions()).value();
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].keys(), c2[i].keys());
+  }
+}
+
+TEST(WorldBankCorpusTest, ColumnShapesVaryInKurtosis) {
+  // The generator rotates through light- and heavy-tailed distributions;
+  // column names encode the shape.
+  const auto corpus =
+      GenerateWorldBankCorpus(SmallOptions()).value();
+  size_t heavy = 0, light = 0;
+  for (const auto& table : corpus) {
+    for (const auto& name : table.column_names()) {
+      if (name.find("lognormal") != std::string::npos ||
+          name.find("spiky") != std::string::npos ||
+          name.find("student") != std::string::npos) {
+        ++heavy;
+      } else {
+        ++light;
+      }
+    }
+  }
+  EXPECT_GT(heavy, 0u);
+  EXPECT_GT(light, 0u);
+}
+
+TEST(SampleColumnPairsTest, ProducesRequestedCount) {
+  const auto corpus = GenerateWorldBankCorpus(SmallOptions()).value();
+  const auto pairs = SampleColumnPairs(corpus, 10000, 200, 7).value();
+  EXPECT_EQ(pairs.size(), 200u);
+}
+
+TEST(SampleColumnPairsTest, PairsAreUnitNormalized) {
+  const auto corpus = GenerateWorldBankCorpus(SmallOptions()).value();
+  const auto pairs = SampleColumnPairs(corpus, 10000, 50, 9).value();
+  for (const auto& p : pairs) {
+    EXPECT_NEAR(p.a.Norm(), 1.0, 1e-9);
+    EXPECT_NEAR(p.b.Norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(SampleColumnPairsTest, CovariatesInRange) {
+  const auto corpus = GenerateWorldBankCorpus(SmallOptions()).value();
+  const auto pairs = SampleColumnPairs(corpus, 10000, 200, 11).value();
+  for (const auto& p : pairs) {
+    EXPECT_GE(p.overlap, 0.0);
+    EXPECT_LE(p.overlap, 1.0);
+    EXPECT_GE(p.kurtosis, 0.0);
+  }
+}
+
+TEST(SampleColumnPairsTest, OverlapSpreadMatchesPaperShape) {
+  // The paper reports a corpus dominated by low-overlap pairs (42% of pairs
+  // with Jaccard ≤ 0.1) but with high-overlap pairs present. Require both
+  // tails to exist in the synthetic stand-in.
+  const auto corpus =
+      GenerateWorldBankCorpus(WorldBankOptions{.seed = 3}).value();
+  const auto pairs = SampleColumnPairs(corpus, 40000, 500, 13).value();
+  size_t low = 0, high = 0;
+  for (const auto& p : pairs) {
+    if (p.overlap <= 0.1) ++low;
+    if (p.overlap >= 0.5) ++high;
+  }
+  EXPECT_GT(low, pairs.size() / 5);   // sizable low-overlap mass
+  EXPECT_GT(high, pairs.size() / 50); // high-overlap pairs exist (families)
+}
+
+TEST(SampleColumnPairsTest, KurtosisSpread) {
+  const auto corpus =
+      GenerateWorldBankCorpus(WorldBankOptions{.seed = 4}).value();
+  const auto pairs = SampleColumnPairs(corpus, 40000, 500, 15).value();
+  size_t low = 0, high = 0;
+  for (const auto& p : pairs) {
+    if (p.kurtosis < 5.0) ++low;
+    if (p.kurtosis > 20.0) ++high;
+  }
+  EXPECT_GT(low, 10u);
+  EXPECT_GT(high, 10u);
+}
+
+TEST(SampleColumnPairsTest, TooSmallCorpusFails) {
+  const auto corpus = GenerateWorldBankCorpus(SmallOptions()).value();
+  std::vector<Table> one = {corpus[0]};
+  EXPECT_FALSE(SampleColumnPairs(one, 10000, 10, 1).ok());
+}
+
+}  // namespace
+}  // namespace ipsketch
