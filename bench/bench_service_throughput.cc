@@ -1,0 +1,121 @@
+// Service-layer throughput: vectors/sec for batch ingest into a SketchStore
+// and queries/sec for QueryEngine::TopK, each at 1/2/4/8 worker threads.
+//
+//   build/bench_service_throughput [scale]
+//
+// Ingest parallelizes over vectors (one WmhSketcher per worker); queries
+// parallelize over shards. Speedups track the machine's core count —
+// hardware_concurrency is printed so single-core results read correctly.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "service/query_engine.h"
+#include "service/sketch_store.h"
+#include "service/thread_pool.h"
+
+using namespace ipsketch;
+
+namespace {
+
+constexpr uint64_t kDimension = 100000;
+constexpr size_t kNnz = 300;
+constexpr size_t kNumSamples = 256;
+
+SparseVector CorpusVector(uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t index : SampleDistinctIndices(kDimension, kNnz, seed)) {
+    entries.push_back({index, rng.NextUnit() * 2.0 - 1.0});
+  }
+  return SparseVector::MakeOrDie(kDimension, std::move(entries));
+}
+
+SketchStoreOptions StoreOptions() {
+  SketchStoreOptions options;
+  options.dimension = kDimension;
+  options.num_shards = 32;
+  options.sketch.num_samples = kNumSamples;
+  options.sketch.seed = 7;
+  return options;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t scale = bench::ScaleFromArgs(argc, argv);
+  bench::Banner("service_throughput",
+                "SketchStore batch ingest and QueryEngine::TopK throughput "
+                "at 1/2/4/8 threads",
+                scale);
+  std::printf("hardware_concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const size_t corpus = 600 * scale;
+  std::vector<std::pair<uint64_t, SparseVector>> batch;
+  batch.reserve(corpus);
+  for (uint64_t id = 0; id < corpus; ++id) {
+    batch.push_back({id, CorpusVector(id)});
+  }
+  std::printf("corpus: %zu vectors, dim %llu, %zu nnz, m = %zu\n\n", corpus,
+              static_cast<unsigned long long>(kDimension), kNnz, kNumSamples);
+
+  // --- ingest ---------------------------------------------------------------
+  std::printf("%-10s %14s %10s\n", "ingest", "vectors/sec", "speedup");
+  double base_rate = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    auto store = SketchStore::Make(StoreOptions()).value();
+    const auto start = std::chrono::steady_clock::now();
+    const Status st = store.BuildAndInsertBatch(batch, &pool);
+    const double secs = SecondsSince(start);
+    if (!st.ok() || store.size() != corpus) {
+      std::printf("ingest failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double rate = static_cast<double>(corpus) / secs;
+    if (threads == 1) base_rate = rate;
+    std::printf("%zu threads  %14.0f %9.2fx\n", threads, rate,
+                rate / base_rate);
+  }
+
+  // --- queries --------------------------------------------------------------
+  auto store = SketchStore::Make(StoreOptions()).value();
+  {
+    ThreadPool pool(4);
+    if (!store.BuildAndInsertBatch(batch, &pool).ok()) return 1;
+  }
+  const size_t num_queries = 40 * scale;
+  std::vector<SparseVector> queries;
+  for (size_t q = 0; q < num_queries; ++q) {
+    queries.push_back(CorpusVector(1000000 + q));
+  }
+
+  std::printf("\n%-10s %14s %10s\n", "top-10", "queries/sec", "speedup");
+  base_rate = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    QueryEngine engine(&store, &pool);
+    const auto start = std::chrono::steady_clock::now();
+    for (const SparseVector& q : queries) {
+      if (!engine.TopK(q, 10).ok()) return 1;
+    }
+    const double secs = SecondsSince(start);
+    const double rate = static_cast<double>(num_queries) / secs;
+    if (threads == 1) base_rate = rate;
+    std::printf("%zu threads  %14.1f %9.2fx\n", threads, rate,
+                rate / base_rate);
+  }
+  return 0;
+}

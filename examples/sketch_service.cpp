@@ -1,0 +1,95 @@
+// The service layer end to end: ingest a corpus of sparse vectors into a
+// sharded SketchStore with a thread pool, answer point estimates and top-k
+// retrieval through a QueryEngine, and persist/reload the whole catalog —
+// the dataset-search deployment shape the paper motivates (§1.2).
+//
+//   build/example_sketch_service
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "service/persistence.h"
+#include "service/query_engine.h"
+#include "service/sketch_store.h"
+#include "service/thread_pool.h"
+#include "vector/vector_ops.h"
+
+using namespace ipsketch;
+
+namespace {
+
+// A corpus member: a random sparse vector over a large domain.
+SparseVector CorpusVector(uint64_t dimension, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t index : SampleDistinctIndices(dimension, 300, seed)) {
+    entries.push_back({index, rng.NextUnit() * 2.0 - 1.0});
+  }
+  return SparseVector::MakeOrDie(dimension, std::move(entries));
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kDimension = 100000;
+  constexpr size_t kCorpusSize = 400;
+
+  // 1. A store: 16 shards, every sketch built with the same (m, seed, L).
+  SketchStoreOptions options;
+  options.dimension = kDimension;
+  options.num_shards = 16;
+  options.sketch.num_samples = 256;
+  options.sketch.seed = 7;
+  SketchStore store = SketchStore::Make(options).value();
+  std::printf("store: %zu shards, m = %zu, L = %llu\n", store.num_shards(),
+              store.options().sketch.num_samples,
+              static_cast<unsigned long long>(store.options().sketch.L));
+
+  // 2. Batch ingest across a thread pool. Sketching dominates the cost and
+  //    parallelizes across workers; shard locks are touched only to insert.
+  std::vector<std::pair<uint64_t, SparseVector>> batch;
+  for (uint64_t id = 0; id < kCorpusSize; ++id) {
+    batch.push_back({id, CorpusVector(kDimension, id)});
+  }
+  ThreadPool pool(4);
+  Status ingest = store.BuildAndInsertBatch(batch, &pool);
+  std::printf("ingested %zu vectors across %zu threads: %s\n", store.size(),
+              pool.num_threads(), ingest.ToString().c_str());
+
+  // 3. Point estimate between two stored vectors — no raw vectors touched.
+  QueryEngine engine(&store, &pool);
+  std::printf("\n<v17, v42>: exact %.4f, from sketches %.4f\n",
+              Dot(batch[17].second, batch[42].second),
+              engine.EstimateInnerProduct(17, 42).value());
+
+  // 4. Top-k retrieval: the query is sketched once, then every shard is
+  //    scanned in parallel with a private heap per worker.
+  const SparseVector query = CorpusVector(kDimension, 42);  // = vector 42
+  std::printf("\ntop-5 by estimated inner product against (a copy of) v42:\n");
+  const std::vector<QueryHit> top5 = engine.TopK(query, 5).value();
+  for (const auto& hit : top5) {
+    std::printf("  id %-4llu estimate %8.4f  (exact %8.4f)\n",
+                static_cast<unsigned long long>(hit.id), hit.estimate,
+                Dot(query, batch[hit.id].second));
+  }
+
+  // 5. Persist the whole catalog and reload it; estimates are
+  //    byte-identical because sketches serialize as IEEE-754 bit patterns.
+  const std::string path = "/tmp/ipsketch_service_demo.store";
+  if (!SaveSketchStore(store, path).ok()) {
+    std::printf("\nsave failed\n");
+    return 1;
+  }
+  SketchStore reloaded = LoadSketchStore(path).value();
+  QueryEngine engine2(&reloaded, &pool);
+  std::printf("\nreloaded %zu sketches from %s\n", reloaded.size(),
+              path.c_str());
+  std::printf("<v17, v42> after reload: %.17g (before: %.17g)\n",
+              engine2.EstimateInnerProduct(17, 42).value(),
+              engine.EstimateInnerProduct(17, 42).value());
+  std::remove(path.c_str());
+  return 0;
+}

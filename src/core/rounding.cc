@@ -30,6 +30,12 @@ double DiscretizedVector::SquaredValueAt(uint64_t index) const {
 }
 
 Result<DiscretizedVector> Round(const SparseVector& a, uint64_t L) {
+  DiscretizedVector out;
+  IPS_RETURN_IF_ERROR(RoundInto(a, L, &out));
+  return out;
+}
+
+Status RoundInto(const SparseVector& a, uint64_t L, DiscretizedVector* out_p) {
   if (L == 0) return Status::InvalidArgument("L must be positive");
   const double norm = a.Norm();
   if (norm == 0.0) {
@@ -37,10 +43,11 @@ Result<DiscretizedVector> Round(const SparseVector& a, uint64_t L) {
   }
 
   const double Ld = static_cast<double>(L);
-  DiscretizedVector out;
+  DiscretizedVector& out = *out_p;
   out.dimension = a.dimension();
   out.L = L;
   out.original_norm = norm;
+  out.entries.clear();
   out.entries.reserve(a.nnz());
 
   // Line 1 of Algorithm 4: round every squared entry down to a multiple of
@@ -106,7 +113,7 @@ Result<DiscretizedVector> Round(const SparseVector& a, uint64_t L) {
   std::erase_if(out.entries,
                 [](const DiscretizedEntry& e) { return e.reps == 0; });
   IPS_CHECK(out.TotalReps() == L);
-  return out;
+  return Status::Ok();
 }
 
 uint64_t DefaultL(uint64_t dimension) {

@@ -56,6 +56,12 @@ struct DiscretizedVector {
 /// enforce that — callers choose L, see `DefaultL`.
 Result<DiscretizedVector> Round(const SparseVector& a, uint64_t L);
 
+/// `Round` into a caller-owned output, reusing its entry storage. The hot
+/// path of bulk sketching (service ingest, benches) rounds millions of
+/// vectors; recycling the entries vector avoids an allocation per vector.
+/// On error `*out` is left in an unspecified but destructible state.
+Status RoundInto(const SparseVector& a, uint64_t L, DiscretizedVector* out);
+
 /// A practical default for L: max(1024, 256·min(n, 2^32)), clamped to 2^40.
 /// The paper's analysis wants L = Θ(n⁶/ε²) but notes the bound is loose and
 /// that L ≳ 100·n suffices empirically (§5, "Choice of L"); L has no effect

@@ -5,61 +5,82 @@
 namespace ipsketch {
 namespace {
 
-void SortAndTruncateHits(std::vector<SimilarityHit>* hits, size_t top_k) {
-  std::stable_sort(hits->begin(), hits->end(),
-                   [](const SimilarityHit& x, const SimilarityHit& y) {
-                     return x.estimate > y.estimate;
-                   });
-  if (hits->size() > top_k) hits->resize(top_k);
+// Heap comparator: the *worst* hit (per BetterHit) must surface at the top
+// so it is the one evicted, hence the inverted order.
+bool WorseOnTop(const SimilarityHit& x, const SimilarityHit& y) {
+  return BetterHit(x, y);
 }
 
 }  // namespace
 
+void TopKHeap::Offer(size_t index, double estimate) {
+  if (top_k_ == 0) return;
+  const SimilarityHit hit{index, estimate};
+  if (heap_.size() < top_k_) {
+    heap_.push_back(hit);
+    std::push_heap(heap_.begin(), heap_.end(), WorseOnTop);
+    return;
+  }
+  if (!BetterHit(hit, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), WorseOnTop);
+  heap_.back() = hit;
+  std::push_heap(heap_.begin(), heap_.end(), WorseOnTop);
+}
+
+void TopKHeap::Merge(const TopKHeap& other) {
+  for (const SimilarityHit& hit : other.heap_) Offer(hit.index, hit.estimate);
+}
+
+std::vector<SimilarityHit> TopKHeap::TakeSorted() {
+  std::vector<SimilarityHit> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), BetterHit);
+  return out;
+}
+
 Result<std::vector<SimilarityHit>> TopKByInnerProduct(
     const WmhSketch& query, const std::vector<WmhSketch>& candidates,
     size_t top_k, const WmhEstimateOptions& options) {
-  std::vector<SimilarityHit> hits;
-  hits.reserve(candidates.size());
+  TopKHeap heap(top_k);
   for (size_t i = 0; i < candidates.size(); ++i) {
     auto est = EstimateWmhInnerProduct(query, candidates[i], options);
     IPS_RETURN_IF_ERROR(est.status());
-    hits.push_back({i, est.value()});
+    heap.Offer(i, est.value());
   }
-  SortAndTruncateHits(&hits, top_k);
-  return hits;
+  return heap.TakeSorted();
 }
 
 Result<std::vector<SimilarityHit>> TopKByCosine(
     const WmhSketch& query, const std::vector<WmhSketch>& candidates,
     size_t top_k, const WmhEstimateOptions& options) {
-  std::vector<SimilarityHit> hits;
-  hits.reserve(candidates.size());
+  TopKHeap heap(top_k);
   for (size_t i = 0; i < candidates.size(); ++i) {
     auto est = EstimateWmhInnerProduct(query, candidates[i], options);
     IPS_RETURN_IF_ERROR(est.status());
     const double denom = query.norm * candidates[i].norm;
-    hits.push_back({i, denom > 0.0 ? est.value() / denom : 0.0});
+    heap.Offer(i, denom > 0.0 ? est.value() / denom : 0.0);
   }
-  SortAndTruncateHits(&hits, top_k);
-  return hits;
+  return heap.TakeSorted();
 }
 
 Result<std::vector<SimilarityPair>> AllPairsTopK(
     const std::vector<WmhSketch>& sketches, size_t top_k,
     const WmhEstimateOptions& options) {
-  std::vector<SimilarityPair> pairs;
-  for (size_t i = 0; i < sketches.size(); ++i) {
-    for (size_t j = i + 1; j < sketches.size(); ++j) {
+  // Pairs (i, j) are flattened through the heap as index i·n + j so the
+  // shared kernel's deterministic tie-break applies to pairs too.
+  const size_t n = sketches.size();
+  TopKHeap heap(top_k);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
       auto est = EstimateWmhInnerProduct(sketches[i], sketches[j], options);
       IPS_RETURN_IF_ERROR(est.status());
-      pairs.push_back({i, j, est.value()});
+      heap.Offer(i * n + j, est.value());
     }
   }
-  std::stable_sort(pairs.begin(), pairs.end(),
-                   [](const SimilarityPair& x, const SimilarityPair& y) {
-                     return x.estimate > y.estimate;
-                   });
-  if (pairs.size() > top_k) pairs.resize(top_k);
+  std::vector<SimilarityPair> pairs;
+  for (const SimilarityHit& hit : heap.TakeSorted()) {
+    pairs.push_back({hit.index / n, hit.index % n, hit.estimate});
+  }
   return pairs;
 }
 

@@ -21,6 +21,43 @@ struct SimilarityHit {
   double estimate = 0.0;  ///< estimated ⟨query, candidate⟩
 };
 
+/// Total order on hits: larger estimate first, ties broken by smaller index.
+/// Every ranking in this header (and in service/query_engine.h) sorts by
+/// this order, so results are deterministic regardless of scan order — the
+/// property that lets a parallel shard scan match a serial one exactly.
+inline bool BetterHit(const SimilarityHit& x, const SimilarityHit& y) {
+  if (x.estimate != y.estimate) return x.estimate > y.estimate;
+  return x.index < y.index;
+}
+
+/// Bounded collector that keeps the `top_k` best hits (per `BetterHit`) of a
+/// stream. O(log k) per offer against the worst retained hit; the brute-force
+/// scan over n candidates costs O(n log k) instead of the O(n log n) of
+/// sort-everything. This is the single kernel behind every brute-force path:
+/// the serial rankers below feed one heap; the service QueryEngine feeds one
+/// heap per worker thread and merges them at the end.
+class TopKHeap {
+ public:
+  /// A collector retaining at most `top_k` hits. `top_k == 0` retains none.
+  explicit TopKHeap(size_t top_k) : top_k_(top_k) {}
+
+  /// Offers one hit; evicts the worst retained hit if over capacity.
+  void Offer(size_t index, double estimate);
+
+  /// Offers every hit another collector retained (its capacity may differ).
+  void Merge(const TopKHeap& other);
+
+  /// Number of hits currently retained (≤ top_k).
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts the retained hits, best first, leaving the collector empty.
+  std::vector<SimilarityHit> TakeSorted();
+
+ private:
+  size_t top_k_;
+  std::vector<SimilarityHit> heap_;  // min-heap: worst retained hit on top
+};
+
 /// One all-pairs hit.
 struct SimilarityPair {
   size_t first = 0;

@@ -1,5 +1,7 @@
 #include "core/wmh_sketch.h"
 
+#include <utility>
+
 #include "core/active_index.h"
 #include "core/expanded_reference.h"
 #include "core/rounding.h"
@@ -17,43 +19,53 @@ Status WmhOptions::Validate() const {
   return Status::Ok();
 }
 
-Result<WmhSketch> SketchWmh(const SparseVector& a, const WmhOptions& options) {
+Result<WmhSketcher> WmhSketcher::Make(const WmhOptions& options) {
   IPS_RETURN_IF_ERROR(options.Validate());
-  const uint64_t L = options.L != 0 ? options.L : DefaultL(a.dimension());
+  return WmhSketcher(options);
+}
 
-  WmhSketch sketch;
-  sketch.seed = options.seed;
-  sketch.L = L;
-  sketch.dimension = a.dimension();
+Status WmhSketcher::Sketch(const SparseVector& a, WmhSketch* out) {
+  const uint64_t L = options_.L != 0 ? options_.L : DefaultL(a.dimension());
+  out->seed = options_.seed;
+  out->L = L;
+  out->dimension = a.dimension();
 
   if (a.empty()) {
     // The zero vector has no direction to sketch. Represent it with the
     // hash supremum so min(h_a, h_b) degenerates to h_b in the union
     // estimator, and matches (which would multiply by norm = 0 anyway)
     // cannot occur.
-    sketch.norm = 0.0;
-    sketch.hashes.assign(options.num_samples, 1.0);
-    sketch.values.assign(options.num_samples, 0.0);
-    return sketch;
+    out->norm = 0.0;
+    out->hashes.assign(options_.num_samples, 1.0);
+    out->values.assign(options_.num_samples, 0.0);
+    return Status::Ok();
   }
 
-  auto rounded = Round(a, L);
-  IPS_RETURN_IF_ERROR(rounded.status());
-  const DiscretizedVector& dv = rounded.value();
-  sketch.norm = dv.original_norm;
-  sketch.hashes.resize(options.num_samples);
-  sketch.values.resize(options.num_samples);
+  IPS_RETURN_IF_ERROR(RoundInto(a, L, &scratch_));
+  out->norm = scratch_.original_norm;
+  out->hashes.resize(options_.num_samples);
+  out->values.resize(options_.num_samples);
 
-  switch (options.engine) {
+  switch (options_.engine) {
     case WmhEngine::kActiveIndex:
-      SketchWithActiveIndex(dv, options.seed, options.num_samples,
-                            &sketch.hashes, &sketch.values);
+      SketchWithActiveIndex(scratch_, options_.seed, options_.num_samples,
+                            &out->hashes, &out->values);
       break;
     case WmhEngine::kExpandedReference:
-      SketchWithExpandedReference(dv, options.seed, options.num_samples,
-                                  &sketch.hashes, &sketch.values);
+      SketchWithExpandedReference(scratch_, options_.seed,
+                                  options_.num_samples, &out->hashes,
+                                  &out->values);
       break;
   }
+  return Status::Ok();
+}
+
+Result<WmhSketch> SketchWmh(const SparseVector& a, const WmhOptions& options) {
+  auto made = WmhSketcher::Make(options);
+  IPS_RETURN_IF_ERROR(made.status());
+  WmhSketcher sketcher = std::move(made).value();
+  WmhSketch sketch;
+  IPS_RETURN_IF_ERROR(sketcher.Sketch(a, &sketch));
   return sketch;
 }
 

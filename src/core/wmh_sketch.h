@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/rounding.h"
 #include "vector/sparse_vector.h"
 
 namespace ipsketch {
@@ -83,6 +84,34 @@ struct WmhSketch {
 /// it estimates inner products as 0 against anything. Fails only on invalid
 /// options.
 Result<WmhSketch> SketchWmh(const SparseVector& a, const WmhOptions& options);
+
+/// Reusable sketching context: options are validated once and the
+/// discretization scratch buffer is recycled across calls, so bulk ingest
+/// pays no per-vector validation or rounding allocation.
+///
+/// A `WmhSketcher` is NOT thread-safe — it owns mutable scratch state. The
+/// intended pattern for concurrent ingest (service/sketch_store.h) is one
+/// sketcher per worker thread, all constructed from the same options;
+/// sketches are coordinated across sketchers because the engines are
+/// deterministic in (seed, sample, block).
+class WmhSketcher {
+ public:
+  /// Validates `options` and builds a context. Fails like SketchWmh.
+  static Result<WmhSketcher> Make(const WmhOptions& options);
+
+  /// The options this context sketches with.
+  const WmhOptions& options() const { return options_; }
+
+  /// Sketches `a` into `*out`, reusing its vectors' capacity. Equivalent to
+  /// `*out = SketchWmh(a, options()).value()` without the allocations.
+  Status Sketch(const SparseVector& a, WmhSketch* out);
+
+ private:
+  explicit WmhSketcher(const WmhOptions& options) : options_(options) {}
+
+  WmhOptions options_;
+  DiscretizedVector scratch_;
+};
 
 }  // namespace ipsketch
 

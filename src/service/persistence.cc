@@ -1,0 +1,162 @@
+#include "service/persistence.h"
+
+#include <cstdio>
+
+#include "sketch/serialize.h"
+
+namespace ipsketch {
+namespace {
+
+constexpr uint32_t kStoreMagic = 0x49505354;  // "IPST"
+constexpr uint8_t kStoreVersion = 1;
+
+// FNV-1a over the encoded payload, stored as an 8-byte trailer. The wire
+// framing alone only catches *structural* corruption; a flipped byte inside
+// a double payload would otherwise load as a silently wrong sketch.
+uint64_t Checksum(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string EncodeSketchStore(const SketchStore& store) {
+  const SketchStoreOptions& opts = store.options();
+  std::string out;
+  wire::AppendU32(&out, kStoreMagic);
+  wire::AppendU8(&out, kStoreVersion);
+  wire::AppendU64(&out, opts.dimension);
+  wire::AppendU64(&out, opts.num_shards);
+  wire::AppendU64(&out, opts.sketch.num_samples);
+  wire::AppendU64(&out, opts.sketch.seed);
+  wire::AppendU64(&out, opts.sketch.L);
+  wire::AppendU8(&out, static_cast<uint8_t>(opts.sketch.engine));
+
+  // Count first, then entries in (shard, id) order. Snapshots are taken per
+  // shard, so a concurrently-written store encodes *some* consistent-per-
+  // shard state; quiesce writers for a point-in-time image.
+  std::vector<std::vector<StoreEntry>> shards;
+  shards.reserve(store.num_shards());
+  uint64_t count = 0;
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    shards.push_back(store.ShardSnapshot(s));
+    count += shards.back().size();
+  }
+  wire::AppendU64(&out, count);
+  for (const auto& entries : shards) {
+    for (const StoreEntry& e : entries) {
+      wire::AppendU64(&out, e.id);
+      wire::AppendBytes(&out, SerializeWmh(e.sketch));
+    }
+  }
+  wire::AppendU64(&out, Checksum(out));
+  return out;
+}
+
+Result<SketchStore> DecodeSketchStore(std::string_view bytes) {
+  if (bytes.size() < 8) {
+    return Status::InvalidArgument("sketch-store bytes too short");
+  }
+  const std::string_view payload = bytes.substr(0, bytes.size() - 8);
+  {
+    wire::Reader trailer(bytes.substr(bytes.size() - 8));
+    uint64_t stored = 0;
+    IPS_RETURN_IF_ERROR(trailer.ReadU64(&stored));
+    if (stored != Checksum(payload)) {
+      return Status::InvalidArgument("sketch-store checksum mismatch");
+    }
+  }
+  wire::Reader r(payload);
+  uint32_t magic = 0;
+  IPS_RETURN_IF_ERROR(r.ReadU32(&magic));
+  if (magic != kStoreMagic) {
+    return Status::InvalidArgument("bad sketch-store magic");
+  }
+  uint8_t version = 0;
+  IPS_RETURN_IF_ERROR(r.ReadU8(&version));
+  if (version != kStoreVersion) {
+    return Status::InvalidArgument("unsupported sketch-store version " +
+                                   std::to_string(version));
+  }
+
+  SketchStoreOptions opts;
+  uint64_t num_shards = 0;
+  uint8_t engine = 0;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&opts.dimension));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&num_shards));
+  uint64_t num_samples = 0;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&num_samples));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&opts.sketch.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&opts.sketch.L));
+  IPS_RETURN_IF_ERROR(r.ReadU8(&engine));
+  opts.num_shards = static_cast<size_t>(num_shards);
+  opts.sketch.num_samples = static_cast<size_t>(num_samples);
+  if (engine > static_cast<uint8_t>(WmhEngine::kExpandedReference)) {
+    return Status::InvalidArgument("unknown sketch engine in store file");
+  }
+  opts.sketch.engine = static_cast<WmhEngine>(engine);
+
+  auto made = SketchStore::Make(opts);
+  IPS_RETURN_IF_ERROR(made.status());
+  SketchStore store = std::move(made).value();
+
+  uint64_t count = 0;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&count));
+  // Every entry costs at least 16 bytes (id + length prefix), so this bound
+  // rejects absurd counts before the loop.
+  if (count > r.Remaining() / 16) {
+    return Status::InvalidArgument("sketch-store entry count out of range");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    IPS_RETURN_IF_ERROR(r.ReadU64(&id));
+    std::string_view blob;
+    IPS_RETURN_IF_ERROR(r.ReadBytes(&blob));
+    auto sketch = DeserializeWmh(blob);
+    IPS_RETURN_IF_ERROR(sketch.status());
+    // Insert re-validates (m, seed, L, dimension) against the decoded
+    // options, so a file with internally inconsistent sketches is rejected.
+    IPS_RETURN_IF_ERROR(store.Insert(id, std::move(sketch).value()));
+  }
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return store;
+}
+
+Status SaveSketchStore(const SketchStore& store, const std::string& path) {
+  const std::string bytes = EncodeSketchStore(store);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != bytes.size() || !close_ok) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<SketchStore> LoadSketchStore(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("read error on " + path);
+  }
+  return DecodeSketchStore(bytes);
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,48 @@
+// Whole-store save/load — the catalog survives process restarts.
+//
+// File format (little-endian, doubles as IEEE-754 bit patterns; built from
+// the same wire primitives as sketch/serialize.h):
+//
+//   [magic u32 "IPST"][version u8]
+//   [dimension u64][num_shards u64]
+//   [num_samples u64][seed u64][L u64][engine u8]
+//   [count u64] then per entry: [id u64][len u64][SerializeWmh bytes]
+//   [fnv1a-64 checksum of all preceding bytes, u64]
+//
+// Each entry's payload is exactly the per-sketch wire format, so a store
+// file is also a valid container of individually-parseable sketches. Load
+// verifies the checksum and then every frame, so neither structural damage
+// nor a flipped payload byte ever yields a silently wrong store.
+
+#ifndef IPSKETCH_SERVICE_PERSISTENCE_H_
+#define IPSKETCH_SERVICE_PERSISTENCE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "service/sketch_store.h"
+
+namespace ipsketch {
+
+/// Encodes the whole store (options + every sketch) to bytes. The encoding
+/// of a given store state is deterministic: entries are written in
+/// (shard, id) order from per-shard snapshots.
+std::string EncodeSketchStore(const SketchStore& store);
+
+/// Decodes a store previously produced by EncodeSketchStore, reproducing
+/// options, shard layout, and every sketch. InvalidArgument on malformed
+/// bytes.
+Result<SketchStore> DecodeSketchStore(std::string_view bytes);
+
+/// Writes EncodeSketchStore(store) to `path` atomically enough for a single
+/// writer (write to a temp file in place is NOT attempted — this is a plain
+/// truncate-and-write). Internal error statuses on I/O failure.
+Status SaveSketchStore(const SketchStore& store, const std::string& path);
+
+/// Reads `path` and decodes it. NotFound if the file cannot be opened.
+Result<SketchStore> LoadSketchStore(const std::string& path);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SERVICE_PERSISTENCE_H_

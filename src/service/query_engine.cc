@@ -1,0 +1,126 @@
+#include "service/query_engine.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace ipsketch {
+
+// Heap entries carry store ids in SimilarityHit::index.
+static_assert(sizeof(size_t) >= sizeof(uint64_t),
+              "service ids require a 64-bit size_t");
+
+QueryEngine::QueryEngine(const SketchStore* store, ThreadPool* pool)
+    : store_(store), pool_(pool) {
+  IPS_CHECK(store_ != nullptr);
+}
+
+Result<double> QueryEngine::EstimateInnerProduct(uint64_t id_a,
+                                                 uint64_t id_b) const {
+  auto a = store_->Lookup(id_a);
+  IPS_RETURN_IF_ERROR(a.status());
+  auto b = store_->Lookup(id_b);
+  IPS_RETURN_IF_ERROR(b.status());
+  return EstimateWmhInnerProduct(a.value(), b.value());
+}
+
+Result<WmhSketch> QueryEngine::SketchQuery(const SparseVector& query) const {
+  if (query.dimension() != store_->options().dimension) {
+    return Status::InvalidArgument(
+        "query dimension does not match the store");
+  }
+  return SketchWmh(query, store_->options().sketch);
+}
+
+void QueryEngine::ForEachShard(const std::function<void(size_t)>& fn) const {
+  const size_t n = store_->num_shards();
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(n, fn);
+  } else {
+    for (size_t s = 0; s < n; ++s) fn(s);
+  }
+}
+
+Result<std::vector<QueryHit>> QueryEngine::EstimateAgainstQuery(
+    const SparseVector& query) const {
+  auto sketched = SketchQuery(query);
+  IPS_RETURN_IF_ERROR(sketched.status());
+  const WmhSketch& qs = sketched.value();
+
+  std::vector<std::vector<QueryHit>> per_shard(store_->num_shards());
+  std::mutex error_mu;
+  Status first_error;
+  ForEachShard([&](size_t s) {
+    // Estimation runs under the shard lock (ForEachInShard): copying whole
+    // shards out per query would cost far more than briefly blocking that
+    // shard's writers — the estimator is O(m) per entry and read-only.
+    store_->ForEachInShard(s, [&](uint64_t id, const WmhSketch& sketch) {
+      auto est = EstimateWmhInnerProduct(qs, sketch);
+      if (!est.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = est.status();
+        return false;
+      }
+      per_shard[s].push_back({id, est.value()});
+      return true;
+    });
+  });
+  IPS_RETURN_IF_ERROR(first_error);
+
+  std::vector<QueryHit> all;
+  for (auto& shard_hits : per_shard) {
+    all.insert(all.end(), shard_hits.begin(), shard_hits.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const QueryHit& a, const QueryHit& b) { return a.id < b.id; });
+  return all;
+}
+
+Result<std::vector<QueryHit>> QueryEngine::TopK(const SparseVector& query,
+                                                size_t k) const {
+  auto sketched = SketchQuery(query);
+  IPS_RETURN_IF_ERROR(sketched.status());
+  return TopKSketch(sketched.value(), k);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::TopKSketch(const WmhSketch& query,
+                                                      size_t k) const {
+  const SketchStoreOptions& opts = store_->options();
+  if (query.num_samples() != opts.sketch.num_samples ||
+      query.seed != opts.sketch.seed || query.L != opts.sketch.L ||
+      query.dimension != opts.dimension) {
+    return Status::InvalidArgument(
+        "query sketch parameters do not match the store's");
+  }
+
+  // One private heap per shard; each shard is scanned by exactly one worker,
+  // so the heaps are written lock-free and merged once all scans finish.
+  const size_t n = store_->num_shards();
+  std::vector<TopKHeap> heaps;
+  heaps.reserve(n);
+  for (size_t s = 0; s < n; ++s) heaps.emplace_back(k);
+  std::mutex error_mu;
+  Status first_error;
+  ForEachShard([&](size_t s) {
+    store_->ForEachInShard(s, [&](uint64_t id, const WmhSketch& sketch) {
+      auto est = EstimateWmhInnerProduct(query, sketch);
+      if (!est.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = est.status();
+        return false;
+      }
+      heaps[s].Offer(static_cast<size_t>(id), est.value());
+      return true;
+    });
+  });
+  IPS_RETURN_IF_ERROR(first_error);
+
+  TopKHeap merged(k);
+  for (const TopKHeap& heap : heaps) merged.Merge(heap);
+  std::vector<QueryHit> hits;
+  for (const SimilarityHit& hit : merged.TakeSorted()) {
+    hits.push_back({static_cast<uint64_t>(hit.index), hit.estimate});
+  }
+  return hits;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,80 @@
+// Estimation and retrieval queries over a SketchStore — the read side of
+// the service. All estimates are Algorithm 5 on stored sketches; the engine
+// never touches raw vectors except to sketch an incoming query exactly once.
+//
+// Parallelism: scans decompose by shard. Each worker thread walks whole
+// shards in place under the shard lock (SketchStore::ForEachInShard — no
+// copies), feeding a private TopKHeap (core/similarity_search.h), and the
+// per-thread heaps are merged at the end; BetterHit's deterministic
+// tie-break makes the merged result identical to a serial scan regardless
+// of thread count or shard order.
+
+#ifndef IPSKETCH_SERVICE_QUERY_ENGINE_H_
+#define IPSKETCH_SERVICE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/similarity_search.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "service/sketch_store.h"
+#include "service/thread_pool.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// One scored result of a store query.
+struct QueryHit {
+  uint64_t id = 0;        ///< vector id in the store
+  double estimate = 0.0;  ///< estimated ⟨query, stored vector⟩
+};
+
+/// Read-side engine over one store. Holds no mutable state of its own, so a
+/// single engine may serve concurrent queries from many threads; the store
+/// may be ingesting concurrently (each shard scan holds that shard's lock,
+/// so it sees a consistent per-shard state and briefly delays writers).
+class QueryEngine {
+ public:
+  /// Queries run against `store`, fanning across `pool` (nullptr = serial).
+  /// Both pointers must outlive the engine; the engine owns neither.
+  explicit QueryEngine(const SketchStore* store, ThreadPool* pool = nullptr);
+
+  /// Estimates ⟨a, b⟩ between two stored vectors. NotFound if either id is
+  /// absent.
+  Result<double> EstimateInnerProduct(uint64_t id_a, uint64_t id_b) const;
+
+  /// Sketches `query` once with the store's parameters, then scans every
+  /// shard (in parallel when a pool is present) and returns an estimate for
+  /// every stored vector, sorted by id.
+  Result<std::vector<QueryHit>> EstimateAgainstQuery(
+      const SparseVector& query) const;
+
+  /// The `k` stored vectors with the largest estimated inner product
+  /// against `query` (sketched once), best first; ties break toward the
+  /// smaller id. Returns fewer than `k` hits iff the store is smaller.
+  Result<std::vector<QueryHit>> TopK(const SparseVector& query,
+                                     size_t k) const;
+
+  /// TopK against a pre-built query sketch (must match the store's
+  /// parameters) — the path for queries that arrive already sketched, e.g.
+  /// from a remote catalog shard.
+  Result<std::vector<QueryHit>> TopKSketch(const WmhSketch& query,
+                                           size_t k) const;
+
+ private:
+  /// Sketches a raw query vector with the store's parameters.
+  Result<WmhSketch> SketchQuery(const SparseVector& query) const;
+
+  /// Runs fn(shard_index) over all shards, on the pool when available.
+  void ForEachShard(const std::function<void(size_t)>& fn) const;
+
+  const SketchStore* store_;
+  ThreadPool* pool_;
+};
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SERVICE_QUERY_ENGINE_H_

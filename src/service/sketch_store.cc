@@ -1,0 +1,219 @@
+#include "service/sketch_store.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/rounding.h"
+
+namespace ipsketch {
+
+Status SketchStoreOptions::Validate() const {
+  if (dimension == 0) {
+    return Status::InvalidArgument("store dimension must be positive");
+  }
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  return sketch.Validate();
+}
+
+SketchStore::SketchStore(const SketchStoreOptions& options)
+    : options_(options) {
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Result<SketchStore> SketchStore::Make(const SketchStoreOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  SketchStoreOptions resolved = options;
+  // Resolve L here so every sketch — including ones built by callers from
+  // options() — agrees on it, and so it survives persistence verbatim.
+  if (resolved.sketch.L == 0) {
+    resolved.sketch.L = DefaultL(resolved.dimension);
+  }
+  return SketchStore(resolved);
+}
+
+size_t SketchStore::ShardOf(uint64_t id) const {
+  // Mix first: sequential ids would otherwise all land in shard id % N for
+  // small N and defeat the sharding.
+  return static_cast<size_t>(Mix64(id) % shards_.size());
+}
+
+Status SketchStore::CheckCompatible(const WmhSketch& sketch) const {
+  if (sketch.num_samples() != options_.sketch.num_samples ||
+      sketch.seed != options_.sketch.seed || sketch.L != options_.sketch.L ||
+      sketch.dimension != options_.dimension) {
+    return Status::InvalidArgument(
+        "sketch parameters do not match the store's (m, seed, L, dimension)");
+  }
+  if (sketch.hashes.size() != sketch.values.size()) {
+    return Status::InvalidArgument("sketch hash/value length mismatch");
+  }
+  return Status::Ok();
+}
+
+size_t SketchStore::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+Status SketchStore::Insert(uint64_t id, WmhSketch sketch) {
+  IPS_RETURN_IF_ERROR(CheckCompatible(sketch));
+  Shard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.insert_or_assign(id, std::move(sketch));
+  return Status::Ok();
+}
+
+Status SketchStore::BuildAndInsert(uint64_t id, const SparseVector& vec) {
+  if (vec.dimension() != options_.dimension) {
+    return Status::InvalidArgument("vector dimension does not match store");
+  }
+  auto made = WmhSketcher::Make(options_.sketch);
+  IPS_RETURN_IF_ERROR(made.status());
+  WmhSketcher sketcher = std::move(made).value();
+  WmhSketch sketch;
+  IPS_RETURN_IF_ERROR(sketcher.Sketch(vec, &sketch));
+  return Insert(id, std::move(sketch));
+}
+
+Status SketchStore::BuildAndInsertBatch(
+    const std::vector<std::pair<uint64_t, SparseVector>>& batch,
+    ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() == 1 || batch.size() <= 1) {
+    // One sketcher for the whole batch — the same scratch reuse the chunked
+    // path gets, so serial and parallel ingest differ only in parallelism.
+    auto made = WmhSketcher::Make(options_.sketch);
+    IPS_RETURN_IF_ERROR(made.status());
+    WmhSketcher sketcher = std::move(made).value();
+    WmhSketch sketch;
+    for (const auto& [id, vec] : batch) {
+      if (vec.dimension() != options_.dimension) {
+        return Status::InvalidArgument("vector dimension does not match store");
+      }
+      IPS_RETURN_IF_ERROR(sketcher.Sketch(vec, &sketch));
+      IPS_RETURN_IF_ERROR(Insert(id, std::move(sketch)));
+    }
+    return Status::Ok();
+  }
+
+  // Carve the batch into one contiguous chunk per worker: each chunk gets
+  // its own WmhSketcher (scratch reuse across its vectors) and inserts as
+  // it goes, so sketching — the expensive part — runs fully in parallel and
+  // shard locks are held only for map writes. Chunks share no state except
+  // the first-error slot.
+  const size_t chunks = std::min(batch.size(), pool->num_threads());
+  const size_t per_chunk = (batch.size() + chunks - 1) / chunks;
+  std::mutex error_mu;
+  Status first_error;
+  pool->ParallelFor(chunks, [&](size_t c) {
+    const size_t begin = c * per_chunk;
+    const size_t end = std::min(begin + per_chunk, batch.size());
+    auto made = WmhSketcher::Make(options_.sketch);
+    if (!made.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = made.status();
+      return;
+    }
+    WmhSketcher sketcher = std::move(made).value();
+    WmhSketch sketch;
+    for (size_t i = begin; i < end; ++i) {
+      const auto& [id, vec] = batch[i];
+      Status st;
+      if (vec.dimension() != options_.dimension) {
+        st = Status::InvalidArgument("vector dimension does not match store");
+      } else {
+        st = sketcher.Sketch(vec, &sketch);
+        if (st.ok()) st = Insert(id, std::move(sketch));
+      }
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+    }
+  });
+  return first_error;
+}
+
+bool SketchStore::Contains(uint64_t id) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.find(id) != shard.map.end();
+}
+
+Result<WmhSketch> SketchStore::Lookup(uint64_t id) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  if (it == shard.map.end()) {
+    return Status::NotFound("no sketch stored under id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status SketchStore::Erase(uint64_t id) {
+  Shard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.erase(id) == 0) {
+    return Status::NotFound("no sketch stored under id " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+bool SketchStore::ForEachInShard(
+    size_t shard_index,
+    const std::function<bool(uint64_t, const WmhSketch&)>& fn) const {
+  IPS_CHECK(shard_index < shards_.size());
+  const Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (const auto& [id, sketch] : shard.map) {
+    if (!fn(id, sketch)) return false;
+  }
+  return true;
+}
+
+std::vector<StoreEntry> SketchStore::ShardSnapshot(size_t shard_index) const {
+  IPS_CHECK(shard_index < shards_.size());
+  const Shard& shard = *shards_[shard_index];
+  std::vector<StoreEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.reserve(shard.map.size());
+    for (const auto& [id, sketch] : shard.map) out.push_back({id, sketch});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StoreEntry& a, const StoreEntry& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<StoreEntry> SketchStore::Snapshot() const {
+  std::vector<StoreEntry> out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    auto shard_entries = ShardSnapshot(s);
+    out.insert(out.end(), std::make_move_iterator(shard_entries.begin()),
+               std::make_move_iterator(shard_entries.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StoreEntry& a, const StoreEntry& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<uint64_t> SketchStore::Ids() const {
+  std::vector<uint64_t> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, sketch] : shard->map) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,147 @@
+// A sharded, thread-safe collection of Weighted MinHash sketches keyed by
+// vector id — the catalog side of the dataset-search workload (§1.2): every
+// dataset in the corpus is sketched once at ingest time and queries later
+// run against sketches only.
+//
+// Concurrency model: N shards (hash-on-id), one mutex per shard. Writers to
+// different shards never contend; readers either copy sketches out under
+// the shard lock (Lookup, Snapshot) or scan in place while holding it
+// (ForEachInShard). Batch ingest sketches
+// *outside* any lock (sketching is the expensive part, O(nnz·m·log L) per
+// vector) with one WmhSketcher per worker thread, then takes each shard
+// lock only for the map insert.
+//
+// Every sketch in a store shares (m, seed, L, dimension) — the estimator's
+// compatibility requirement — enforced at construction and on every insert.
+
+#ifndef IPSKETCH_SERVICE_SKETCH_STORE_H_
+#define IPSKETCH_SERVICE_SKETCH_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/wmh_sketch.h"
+#include "service/thread_pool.h"
+#include "vector/sparse_vector.h"
+
+namespace ipsketch {
+
+/// Configuration for `SketchStore::Make`.
+struct SketchStoreOptions {
+  /// Logical dimension every ingested vector must have. Required (> 0):
+  /// sketches of different dimensions are not comparable (Algorithm 5).
+  uint64_t dimension = 0;
+  /// Shard count. More shards = less write contention; 16 is plenty below
+  /// a few dozen threads. Must be positive.
+  size_t num_shards = 16;
+  /// Sketching parameters shared by every vector in the store. If
+  /// `sketch.L` is 0 it is resolved to DefaultL(dimension) once, here, so
+  /// the resolved value is part of the store's identity.
+  WmhOptions sketch;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// One (id, sketch) element of a store snapshot.
+struct StoreEntry {
+  uint64_t id = 0;
+  WmhSketch sketch;
+};
+
+/// The sharded concurrent map. All public methods are thread-safe.
+class SketchStore {
+ public:
+  /// Validates options (resolving L) and builds an empty store.
+  static Result<SketchStore> Make(const SketchStoreOptions& options);
+
+  SketchStore(SketchStore&&) = default;
+  SketchStore& operator=(SketchStore&&) = default;
+
+  /// The store's options with L resolved.
+  const SketchStoreOptions& options() const { return options_; }
+
+  /// Number of shards.
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Total number of stored sketches.
+  size_t size() const;
+
+  /// Inserts (or replaces) a pre-built sketch. Fails with InvalidArgument
+  /// if the sketch's (m, seed, L, dimension) do not match the store's.
+  Status Insert(uint64_t id, WmhSketch sketch);
+
+  /// Sketches `vec` with the store's parameters and inserts it under `id`.
+  /// Callers on a hot path that already hold a WmhSketcher should sketch
+  /// themselves and call Insert; this is the convenient serial form.
+  Status BuildAndInsert(uint64_t id, const SparseVector& vec);
+
+  /// Sketches and inserts a whole batch, fanning the sketching work across
+  /// `pool` (one WmhSketcher per worker; nullptr = sketch serially on the
+  /// calling thread). Later batch entries win on duplicate ids. Returns the
+  /// first error encountered; entries after an error in the same batch may
+  /// or may not be inserted.
+  Status BuildAndInsertBatch(
+      const std::vector<std::pair<uint64_t, SparseVector>>& batch,
+      ThreadPool* pool);
+
+  /// True iff `id` is present.
+  bool Contains(uint64_t id) const;
+
+  /// Copies out the sketch stored under `id`; NotFound if absent.
+  Result<WmhSketch> Lookup(uint64_t id) const;
+
+  /// Removes `id`. NotFound if absent.
+  Status Erase(uint64_t id);
+
+  /// Copies out one shard's contents, sorted by id. Each shard snapshot is
+  /// internally consistent (taken under the shard lock); a full-store
+  /// iteration built from per-shard snapshots is *not* a point-in-time view
+  /// across shards — concurrent writers may land between shard copies.
+  std::vector<StoreEntry> ShardSnapshot(size_t shard) const;
+
+  /// Invokes fn(id, sketch) for every entry of one shard, *under that
+  /// shard's lock*, in unspecified order; returns false iff `fn` ever did
+  /// (which stops the scan early). The allocation-free scan path used by
+  /// query scans: nothing is copied, at the price that writers to this
+  /// shard block until the scan finishes — keep `fn` read-only and cheap,
+  /// and never touch the store from inside it (the lock is held).
+  bool ForEachInShard(
+      size_t shard,
+      const std::function<bool(uint64_t, const WmhSketch&)>& fn) const;
+
+  /// All (id, sketch) pairs, sorted by id: the per-shard snapshots merged.
+  std::vector<StoreEntry> Snapshot() const;
+
+  /// All ids, sorted.
+  std::vector<uint64_t> Ids() const;
+
+  /// The shard an id maps to (stable across runs — persistence relies on a
+  /// load with equal num_shards reproducing the layout).
+  size_t ShardOf(uint64_t id) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, WmhSketch> map;
+  };
+
+  explicit SketchStore(const SketchStoreOptions& options);
+
+  Status CheckCompatible(const WmhSketch& sketch) const;
+
+  SketchStoreOptions options_;
+  // unique_ptrs because Shard (mutex) is immovable but the store is not.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SERVICE_SKETCH_STORE_H_

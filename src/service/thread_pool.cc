@@ -1,0 +1,89 @@
+#include "service/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ipsketch {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  IPS_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    IPS_CHECK(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: Submit is rejected after stop,
+      // so this terminates, and destruction never drops accepted work.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  // One task per worker, each pulling the next index from a shared counter:
+  // self-balancing when iterations have uneven cost (skewed shards, vectors
+  // with very different nnz) without any tuning parameter.
+  struct Sync {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> live;
+    std::mutex mu;
+    std::condition_variable done;
+    explicit Sync(size_t tasks) : live(tasks) {}
+  };
+  const size_t tasks = std::min(n, num_threads());
+  auto sync = std::make_shared<Sync>(tasks);
+  for (size_t t = 0; t < tasks; ++t) {
+    Submit([sync, n, &fn] {
+      for (;;) {
+        const size_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+      if (sync->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::unique_lock<std::mutex> lock(sync->mu);
+        sync->done.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->done.wait(lock, [&] { return sync->live.load() == 0; });
+}
+
+}  // namespace ipsketch

@@ -1,0 +1,66 @@
+// A fixed-size worker pool with a FIFO task queue — the execution substrate
+// of the service layer. SketchStore fans batch ingest across it and
+// QueryEngine fans shard scans across it; both also run correctly with no
+// pool at all (serial fallback), so the pool is a pure throughput knob.
+//
+// Deliberately minimal: std::function tasks, one mutex, one condition
+// variable. The service workloads hand the pool coarse chunks (hundreds of
+// vectors to sketch, whole shards to scan), so per-task overhead is noise
+// and work stealing would buy nothing.
+
+#ifndef IPSKETCH_SERVICE_THREAD_POOL_H_
+#define IPSKETCH_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ipsketch {
+
+/// Fixed-size thread pool. Construction spawns the workers; destruction
+/// drains every task already submitted, then joins them.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Finishes all queued tasks, then stops and joins the workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker. Tasks must not throw —
+  /// the service layer reports failures through Status captured in the
+  /// closure, never through exceptions.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n), spread across the workers, and
+  /// returns when all calls have finished. The calling thread blocks but
+  /// does not execute tasks; callers that want full utilisation size the
+  /// pool to the hardware, not to the hardware minus one.
+  ///
+  /// Safe to call from multiple threads at once; must not be called from
+  /// inside a pool task (the wait would deadlock a worker).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_SERVICE_THREAD_POOL_H_

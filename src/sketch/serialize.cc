@@ -3,6 +3,89 @@
 #include <cstring>
 
 namespace ipsketch {
+
+// --- wire primitives --------------------------------------------------------
+
+namespace wire {
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendDouble(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendBytes(std::string* out, std::string_view bytes) {
+  AppendU64(out, bytes.size());
+  out->append(bytes);
+}
+
+namespace {
+Status Truncated() { return Status::InvalidArgument("truncated sketch bytes"); }
+}  // namespace
+
+Status Reader::ReadU8(uint8_t* v) {
+  if (pos_ + 1 > bytes_.size()) return Truncated();
+  *v = static_cast<uint8_t>(bytes_[pos_++]);
+  return Status::Ok();
+}
+
+Status Reader::ReadU32(uint32_t* v) {
+  if (pos_ + 4 > bytes_.size()) return Truncated();
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+          << (8 * i);
+  }
+  return Status::Ok();
+}
+
+Status Reader::ReadU64(uint64_t* v) {
+  if (pos_ + 8 > bytes_.size()) return Truncated();
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+          << (8 * i);
+  }
+  return Status::Ok();
+}
+
+Status Reader::ReadDouble(double* v) {
+  uint64_t bits = 0;
+  IPS_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::Ok();
+}
+
+Status Reader::ReadBytes(std::string_view* bytes) {
+  uint64_t n = 0;
+  IPS_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > Remaining()) return Truncated();
+  *bytes = bytes_.substr(pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status Reader::ExpectEnd() const {
+  if (pos_ != bytes_.size()) {
+    return Status::InvalidArgument("trailing bytes after sketch payload");
+  }
+  return Status::Ok();
+}
+
+}  // namespace wire
+
 namespace {
 
 constexpr uint32_t kMagic = 0x49505348;  // "IPSH"
@@ -10,21 +93,15 @@ constexpr uint8_t kVersion = 1;
 
 // --- encoding ---------------------------------------------------------------
 
-void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+using wire::AppendDouble;
+using wire::AppendU32;
+using wire::AppendU64;
+using wire::AppendU8;
 
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutDouble(std::string* out, double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
-}
+void PutU8(std::string* out, uint8_t v) { AppendU8(out, v); }
+void PutU32(std::string* out, uint32_t v) { AppendU32(out, v); }
+void PutU64(std::string* out, uint64_t v) { AppendU64(out, v); }
+void PutDouble(std::string* out, double v) { AppendDouble(out, v); }
 
 void PutDoubles(std::string* out, const std::vector<double>& xs) {
   PutU64(out, xs.size());
@@ -44,45 +121,14 @@ void PutHeader(std::string* out, SketchTypeTag tag) {
 
 // --- decoding ---------------------------------------------------------------
 
-class Reader {
+// Extends the shared wire decoder with the vector and header framing that is
+// specific to sketch payloads.
+class Reader : public wire::Reader {
  public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  Status ReadU8(uint8_t* v) {
-    if (pos_ + 1 > bytes_.size()) return Truncated();
-    *v = static_cast<uint8_t>(bytes_[pos_++]);
-    return Status::Ok();
-  }
-
-  Status ReadU32(uint32_t* v) {
-    if (pos_ + 4 > bytes_.size()) return Truncated();
-    *v = 0;
-    for (int i = 0; i < 4; ++i) {
-      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
-            << (8 * i);
-    }
-    return Status::Ok();
-  }
-
-  Status ReadU64(uint64_t* v) {
-    if (pos_ + 8 > bytes_.size()) return Truncated();
-    *v = 0;
-    for (int i = 0; i < 8; ++i) {
-      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
-            << (8 * i);
-    }
-    return Status::Ok();
-  }
-
-  Status ReadDouble(double* v) {
-    uint64_t bits;
-    IPS_RETURN_IF_ERROR(ReadU64(&bits));
-    std::memcpy(v, &bits, sizeof(*v));
-    return Status::Ok();
-  }
+  using wire::Reader::Reader;
 
   Status ReadDoubles(std::vector<double>* xs) {
-    uint64_t n;
+    uint64_t n = 0;
     IPS_RETURN_IF_ERROR(ReadU64(&n));
     if (n > Remaining() / 8) return Truncated();  // cheap bound before alloc
     xs->resize(n);
@@ -91,7 +137,7 @@ class Reader {
   }
 
   Status ReadU64s(std::vector<uint64_t>* xs) {
-    uint64_t n;
+    uint64_t n = 0;
     IPS_RETURN_IF_ERROR(ReadU64(&n));
     if (n > Remaining() / 8) return Truncated();
     xs->resize(n);
@@ -100,7 +146,7 @@ class Reader {
   }
 
   Status ExpectHeader(SketchTypeTag tag) {
-    uint32_t magic;
+    uint32_t magic = 0;
     IPS_RETURN_IF_ERROR(ReadU32(&magic));
     if (magic != kMagic) return Status::InvalidArgument("bad sketch magic");
     uint8_t version = 0;
@@ -117,22 +163,10 @@ class Reader {
     return Status::Ok();
   }
 
-  Status ExpectEnd() const {
-    if (pos_ != bytes_.size()) {
-      return Status::InvalidArgument("trailing bytes after sketch payload");
-    }
-    return Status::Ok();
-  }
-
-  size_t Remaining() const { return bytes_.size() - pos_; }
-
  private:
   static Status Truncated() {
     return Status::InvalidArgument("truncated sketch bytes");
   }
-
-  std::string_view bytes_;
-  size_t pos_ = 0;
 };
 
 }  // namespace
@@ -225,7 +259,7 @@ Result<KmvSketch> DeserializeKmv(std::string_view bytes) {
   KmvSketch s;
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
-  uint64_t k;
+  uint64_t k = 0;
   IPS_RETURN_IF_ERROR(r.ReadU64(&k));
   s.k = static_cast<size_t>(k);
   uint8_t kind = 0;
@@ -234,7 +268,7 @@ Result<KmvSketch> DeserializeKmv(std::string_view bytes) {
     return Status::InvalidArgument("unknown hash kind");
   }
   s.hash_kind = static_cast<HashKind>(kind);
-  uint64_t n;
+  uint64_t n = 0;
   IPS_RETURN_IF_ERROR(r.ReadU64(&n));
   if (n > s.k || n > r.Remaining() / 16) {
     return Status::InvalidArgument("KMV sample count out of range");
@@ -296,7 +330,7 @@ Result<CountSketch> DeserializeCountSketch(std::string_view bytes) {
   CountSketch s;
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
-  uint64_t reps, width;
+  uint64_t reps = 0, width = 0;
   IPS_RETURN_IF_ERROR(r.ReadU64(&reps));
   IPS_RETURN_IF_ERROR(r.ReadU64(&width));
   if (reps * width > r.Remaining() / 8) {
@@ -358,7 +392,7 @@ Result<SimHashSketch> DeserializeSimHash(std::string_view bytes) {
   SimHashSketch s;
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
-  uint64_t num_bits;
+  uint64_t num_bits = 0;
   IPS_RETURN_IF_ERROR(r.ReadU64(&num_bits));
   s.num_bits = static_cast<size_t>(num_bits);
   IPS_RETURN_IF_ERROR(r.ReadDouble(&s.norm));
@@ -372,7 +406,7 @@ Result<SimHashSketch> DeserializeSimHash(std::string_view bytes) {
 
 Result<SketchTypeTag> PeekSketchType(std::string_view bytes) {
   Reader r(bytes);
-  uint32_t magic;
+  uint32_t magic = 0;
   Status st = r.ReadU32(&magic);
   if (!st.ok() || magic != kMagic) {
     return Status::NotFound("not a serialized sketch");

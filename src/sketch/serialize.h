@@ -31,6 +31,43 @@
 #include "sketch/simhash.h"
 
 namespace ipsketch {
+namespace wire {
+
+/// Little-endian wire primitives shared by the sketch serializers below and
+/// by higher-level container formats (service/persistence.cc frames whole
+/// stores with them). Integers are little-endian; doubles are IEEE-754 bit
+/// patterns; byte strings are u64-length-prefixed.
+void AppendU8(std::string* out, uint8_t v);
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+void AppendDouble(std::string* out, double v);
+void AppendBytes(std::string* out, std::string_view bytes);
+
+/// Bounds-checked sequential decoder over a byte view. Every read returns
+/// InvalidArgument instead of walking off the end, so corrupted or truncated
+/// input is always a recoverable error.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadDouble(double* v);
+  /// Reads a u64-length-prefixed byte string as a view into the input.
+  Status ReadBytes(std::string_view* bytes);
+
+  /// InvalidArgument unless the input is fully consumed.
+  Status ExpectEnd() const;
+  /// Bytes not yet consumed.
+  size_t Remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
 
 /// Serializes a Weighted MinHash sketch.
 std::string SerializeWmh(const WmhSketch& sketch);

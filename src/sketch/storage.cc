@@ -1,13 +1,15 @@
 #include "sketch/storage.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/status.h"
 
 namespace ipsketch {
 
 size_t SamplesForStorageWords(double storage_words, SketchFamily family) {
-  if (storage_words <= 0.0) return 0;
+  // NaN and non-positive budgets fit nothing.
+  if (std::isnan(storage_words) || storage_words <= 0.0) return 0;
   double m = 0.0;
   switch (family) {
     case SketchFamily::kLinear:
@@ -17,13 +19,24 @@ size_t SamplesForStorageWords(double storage_words, SketchFamily family) {
       m = storage_words / 1.5;
       break;
     case SketchFamily::kSamplingWithNorm:
+      // Budgets below the one-word norm overhead make this negative; the
+      // m < 1 guard below maps them to 0 instead of wrapping in the cast.
       m = (storage_words - 1.0) / 1.5;
       break;
     case SketchFamily::kBits:
-      m = storage_words * 64.0;
+      // Bits are charged in whole 64-bit words (StorageWordsForSamples uses
+      // ceil), so a fractional budget holds no partial word: floor first, or
+      // the round-trip through StorageWordsForSamples would exceed budget.
+      m = std::floor(storage_words) * 64.0;
       break;
   }
   if (m < 1.0) return 0;
+  // Budgets beyond the representable sample count (including +inf) saturate:
+  // casting such a double to size_t is undefined behavior, and an unbounded
+  // budget fits the largest sketch we can express, not none.
+  constexpr double kMaxSamples =
+      static_cast<double>(std::numeric_limits<size_t>::max());
+  if (m >= kMaxSamples) return std::numeric_limits<size_t>::max();
   return static_cast<size_t>(m);
 }
 

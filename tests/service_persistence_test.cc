@@ -1,0 +1,138 @@
+#include "service/persistence.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "service/query_engine.h"
+
+namespace ipsketch {
+namespace {
+
+constexpr uint64_t kDim = 512;
+
+SparseVector RandomVector(uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t index : SampleDistinctIndices(kDim, 24, seed)) {
+    entries.push_back({index, rng.NextUnit() * 2.0 - 1.0});
+  }
+  return SparseVector::MakeOrDie(kDim, std::move(entries));
+}
+
+SketchStore MakePopulatedStore(size_t count) {
+  SketchStoreOptions opts;
+  opts.dimension = kDim;
+  opts.num_shards = 8;
+  opts.sketch.num_samples = 64;
+  opts.sketch.seed = 42;
+  auto store = SketchStore::Make(opts).value();
+  for (uint64_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(store.BuildAndInsert(i * 11, RandomVector(i)).ok());
+  }
+  return store;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(StorePersistenceTest, SaveLoadPreservesOptionsAndContents) {
+  const auto store = MakePopulatedStore(60);
+  const std::string path = TempPath("store_roundtrip.bin");
+  ASSERT_TRUE(SaveSketchStore(store, path).ok());
+
+  auto loaded = LoadSketchStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SketchStore& reloaded = loaded.value();
+
+  EXPECT_EQ(reloaded.options().dimension, store.options().dimension);
+  EXPECT_EQ(reloaded.options().num_shards, store.options().num_shards);
+  EXPECT_EQ(reloaded.options().sketch.num_samples,
+            store.options().sketch.num_samples);
+  EXPECT_EQ(reloaded.options().sketch.seed, store.options().sketch.seed);
+  EXPECT_EQ(reloaded.options().sketch.L, store.options().sketch.L);
+  EXPECT_EQ(reloaded.size(), store.size());
+  EXPECT_EQ(reloaded.Ids(), store.Ids());
+  std::remove(path.c_str());
+}
+
+TEST(StorePersistenceTest, ReloadedEstimatesAreByteIdentical) {
+  const auto store = MakePopulatedStore(60);
+  const std::string path = TempPath("store_estimates.bin");
+  ASSERT_TRUE(SaveSketchStore(store, path).ok());
+  auto loaded = LoadSketchStore(path);
+  ASSERT_TRUE(loaded.ok());
+
+  QueryEngine before(&store);
+  QueryEngine after(&loaded.value());
+  const auto ids = store.Ids();
+  Xoshiro256StarStar rng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint64_t a = ids[rng.NextBounded(ids.size())];
+    const uint64_t b = ids[rng.NextBounded(ids.size())];
+    const double x = before.EstimateInnerProduct(a, b).value();
+    const double y = after.EstimateInnerProduct(a, b).value();
+    // Exact double equality: serialization stores IEEE-754 bit patterns, so
+    // the reloaded estimate must be the same to the last bit.
+    EXPECT_EQ(x, y) << "pair (" << a << ", " << b << ")";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StorePersistenceTest, EncodingIsDeterministic) {
+  const auto store = MakePopulatedStore(30);
+  const std::string bytes = EncodeSketchStore(store);
+  EXPECT_EQ(bytes, EncodeSketchStore(store));
+
+  auto reloaded = DecodeSketchStore(bytes);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(EncodeSketchStore(reloaded.value()), bytes);
+}
+
+TEST(StorePersistenceTest, EmptyStoreRoundTrips) {
+  const auto store = MakePopulatedStore(0);
+  auto reloaded = DecodeSketchStore(EncodeSketchStore(store));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().size(), 0u);
+}
+
+TEST(StorePersistenceTest, RejectsCorruptedBytes) {
+  const auto store = MakePopulatedStore(10);
+  std::string bytes = EncodeSketchStore(store);
+
+  EXPECT_FALSE(DecodeSketchStore("").ok());
+  EXPECT_FALSE(DecodeSketchStore("IPSX junk").ok());
+  // Truncation anywhere inside the entry stream must be detected.
+  EXPECT_FALSE(DecodeSketchStore(
+                   std::string_view(bytes).substr(0, bytes.size() - 3))
+                   .ok());
+  EXPECT_FALSE(DecodeSketchStore(
+                   std::string_view(bytes).substr(0, bytes.size() / 2))
+                   .ok());
+  // Trailing garbage after the last entry must be detected.
+  EXPECT_FALSE(DecodeSketchStore(bytes + "x").ok());
+  // A flipped magic byte must be detected.
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(DecodeSketchStore(bad_magic).ok());
+  // A flipped byte *inside a sketch payload* is structurally valid wire
+  // data; the checksum trailer must catch it at every position.
+  for (size_t pos = 0; pos < bytes.size(); pos += 7) {
+    std::string flipped = bytes;
+    flipped[pos] ^= 0x41;
+    EXPECT_FALSE(DecodeSketchStore(flipped).ok()) << "flip at " << pos;
+  }
+}
+
+TEST(StorePersistenceTest, LoadMissingFileIsNotFound) {
+  EXPECT_EQ(LoadSketchStore(TempPath("does_not_exist.bin")).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ipsketch

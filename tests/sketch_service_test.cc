@@ -1,0 +1,324 @@
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "service/query_engine.h"
+#include "service/sketch_store.h"
+#include "service/thread_pool.h"
+
+namespace ipsketch {
+namespace {
+
+constexpr uint64_t kDim = 512;
+
+SketchStoreOptions SmallStoreOptions() {
+  SketchStoreOptions opts;
+  opts.dimension = kDim;
+  opts.num_shards = 8;
+  opts.sketch.num_samples = 64;
+  opts.sketch.seed = 42;
+  return opts;
+}
+
+// A deterministic random sparse vector with ~24 non-zeros.
+SparseVector RandomVector(uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t index : SampleDistinctIndices(kDim, 24, seed)) {
+    entries.push_back({index, rng.NextUnit() * 2.0 - 1.0});
+  }
+  return SparseVector::MakeOrDie(kDim, std::move(entries));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(counts.size(), [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRun) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) pool.Submit([&] { ran.fetch_add(1); });
+    // Destruction drains the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotInterfere) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      pool.ParallelFor(100, [&](size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(SketchStoreTest, ValidatesOptions) {
+  SketchStoreOptions opts = SmallStoreOptions();
+  opts.dimension = 0;
+  EXPECT_FALSE(SketchStore::Make(opts).ok());
+  opts = SmallStoreOptions();
+  opts.num_shards = 0;
+  EXPECT_FALSE(SketchStore::Make(opts).ok());
+  opts = SmallStoreOptions();
+  opts.sketch.num_samples = 0;
+  EXPECT_FALSE(SketchStore::Make(opts).ok());
+}
+
+TEST(SketchStoreTest, ResolvesDefaultLOnce) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  EXPECT_EQ(store.options().sketch.L, DefaultL(kDim));
+}
+
+TEST(SketchStoreTest, InsertLookupEraseRoundTrip) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  ASSERT_TRUE(store.BuildAndInsert(7, RandomVector(1)).ok());
+  EXPECT_TRUE(store.Contains(7));
+  EXPECT_FALSE(store.Contains(8));
+  EXPECT_EQ(store.size(), 1u);
+
+  auto sketch = store.Lookup(7);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch.value().num_samples(), 64u);
+  EXPECT_EQ(store.Lookup(8).status().code(), StatusCode::kNotFound);
+
+  EXPECT_TRUE(store.Erase(7).ok());
+  EXPECT_FALSE(store.Contains(7));
+  EXPECT_EQ(store.Erase(7).code(), StatusCode::kNotFound);
+}
+
+TEST(SketchStoreTest, RejectsIncompatibleSketchesAndVectors) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+
+  WmhOptions other = SmallStoreOptions().sketch;
+  other.seed = 99;  // different seed → not comparable
+  other.L = store.options().sketch.L;
+  auto sketch = SketchWmh(RandomVector(1), other).value();
+  EXPECT_EQ(store.Insert(1, sketch).code(), StatusCode::kInvalidArgument);
+
+  const SparseVector wrong_dim =
+      SparseVector::MakeOrDie(kDim * 2, {{3, 1.0}});
+  EXPECT_EQ(store.BuildAndInsert(1, wrong_dim).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SketchStoreTest, BatchIngestMatchesSerialIngest) {
+  std::vector<std::pair<uint64_t, SparseVector>> batch;
+  for (uint64_t i = 0; i < 64; ++i) batch.push_back({i, RandomVector(i)});
+
+  auto serial = SketchStore::Make(SmallStoreOptions()).value();
+  ASSERT_TRUE(serial.BuildAndInsertBatch(batch, nullptr).ok());
+
+  ThreadPool pool(4);
+  auto parallel = SketchStore::Make(SmallStoreOptions()).value();
+  ASSERT_TRUE(parallel.BuildAndInsertBatch(batch, &pool).ok());
+
+  ASSERT_EQ(serial.size(), batch.size());
+  ASSERT_EQ(parallel.size(), batch.size());
+  // Engines are deterministic in (seed, sample, block), so parallel and
+  // serial ingest must produce bit-identical sketches.
+  const auto a = serial.Snapshot();
+  const auto b = parallel.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].sketch.hashes, b[i].sketch.hashes);
+    EXPECT_EQ(a[i].sketch.values, b[i].sketch.values);
+    EXPECT_EQ(a[i].sketch.norm, b[i].sketch.norm);
+  }
+}
+
+TEST(SketchStoreTest, DuplicateIdsLastWriteWins) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  ASSERT_TRUE(store.BuildAndInsert(5, RandomVector(1)).ok());
+  ASSERT_TRUE(store.BuildAndInsert(5, RandomVector(2)).ok());
+  EXPECT_EQ(store.size(), 1u);
+  const auto expected = SketchWmh(RandomVector(2), store.options().sketch);
+  EXPECT_EQ(store.Lookup(5).value().hashes, expected.value().hashes);
+}
+
+TEST(QueryEngineTest, EstimateInnerProductMatchesDirectEstimator) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  ASSERT_TRUE(store.BuildAndInsert(1, RandomVector(1)).ok());
+  ASSERT_TRUE(store.BuildAndInsert(2, RandomVector(2)).ok());
+
+  QueryEngine engine(&store);
+  const auto direct = EstimateWmhInnerProduct(store.Lookup(1).value(),
+                                              store.Lookup(2).value());
+  EXPECT_EQ(engine.EstimateInnerProduct(1, 2).value(), direct.value());
+  EXPECT_EQ(engine.EstimateInnerProduct(1, 99).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(QueryEngineTest, EstimateAgainstQueryCoversWholeStoreSortedById) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(store.BuildAndInsert(i * 3, RandomVector(i)).ok());
+  }
+  ThreadPool pool(4);
+  QueryEngine engine(&store, &pool);
+  const auto hits = engine.EstimateAgainstQuery(RandomVector(1000)).value();
+  ASSERT_EQ(hits.size(), 40u);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].id, i * 3);
+    if (i > 0) {
+      EXPECT_LT(hits[i - 1].id, hits[i].id);
+    }
+  }
+}
+
+TEST(QueryEngineTest, ParallelTopKMatchesSerialTopK) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store.BuildAndInsert(i, RandomVector(i)).ok());
+  }
+  const SparseVector query = RandomVector(5000);
+
+  QueryEngine serial(&store, nullptr);
+  ThreadPool pool(4);
+  QueryEngine parallel(&store, &pool);
+
+  for (size_t k : {1u, 7u, 50u, 500u}) {
+    const auto a = serial.TopK(query, k).value();
+    const auto b = parallel.TopK(query, k).value();
+    ASSERT_EQ(a.size(), b.size()) << "k=" << k;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "k=" << k << " i=" << i;
+      EXPECT_EQ(a[i].estimate, b[i].estimate);
+    }
+  }
+}
+
+TEST(QueryEngineTest, TopKRanksByEstimate) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.BuildAndInsert(i, RandomVector(i)).ok());
+  }
+  QueryEngine engine(&store);
+  const SparseVector query = RandomVector(3);  // id 3 holds the same vector
+  const auto hits = engine.TopK(query, 10).value();
+  ASSERT_EQ(hits.size(), 10u);
+  EXPECT_EQ(hits[0].id, 3u);  // self-similarity dominates
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].estimate, hits[i].estimate);
+  }
+  // Every estimate agrees with the full scan.
+  const auto all = engine.EstimateAgainstQuery(query).value();
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.estimate, all[hit.id].estimate);
+  }
+}
+
+TEST(QueryEngineTest, RejectsMismatchedQueries) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  ASSERT_TRUE(store.BuildAndInsert(1, RandomVector(1)).ok());
+  QueryEngine engine(&store);
+
+  EXPECT_EQ(engine
+                .TopK(SparseVector::MakeOrDie(kDim * 2, {{0, 1.0}}), 3)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  WmhOptions other = store.options().sketch;
+  other.seed ^= 1;
+  const auto foreign = SketchWmh(RandomVector(9), other).value();
+  EXPECT_EQ(engine.TopKSketch(foreign, 3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The satellite stress test: 8 writer threads ingest disjoint id ranges
+// while 4 reader threads hammer TopK / lookups. Afterwards, nothing may be
+// lost and a concurrent-pool TopK must match a from-scratch serial
+// recompute.
+TEST(SketchServiceStressTest, ConcurrentIngestAndQuery) {
+  constexpr size_t kWriters = 8;
+  constexpr size_t kReaders = 4;
+  constexpr size_t kPerWriter = 40;
+
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  ThreadPool pool(4);
+  QueryEngine engine(&store, &pool);
+  const SparseVector query = RandomVector(777);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> insert_failures{0};
+  std::atomic<size_t> reader_errors{0};
+
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t i = 0; i < kPerWriter; ++i) {
+        const uint64_t id = w * kPerWriter + i;
+        if (!store.BuildAndInsert(id, RandomVector(id)).ok()) {
+          insert_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      size_t rounds = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Serial engines only inside reader threads: the shared pool is for
+        // the final parallel checks (ParallelFor must not nest in workers).
+        QueryEngine local(&store, nullptr);
+        auto hits = local.TopK(query, 5);
+        if (!hits.ok()) reader_errors.fetch_add(1);
+        auto lookup = store.Lookup(r);  // may be NotFound early; not an error
+        if (!lookup.ok() &&
+            lookup.status().code() != StatusCode::kNotFound) {
+          reader_errors.fetch_add(1);
+        }
+        ++rounds;
+      }
+      EXPECT_GT(rounds, 0u);
+    });
+  }
+
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+
+  // No lost inserts: every id present, exactly once.
+  EXPECT_EQ(insert_failures.load(), 0u);
+  EXPECT_EQ(reader_errors.load(), 0u);
+  ASSERT_EQ(store.size(), kWriters * kPerWriter);
+  const auto ids = store.Ids();
+  ASSERT_EQ(ids.size(), kWriters * kPerWriter);
+  for (size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+
+  // Concurrent-pool TopK over the finished store matches a single-threaded
+  // recompute done entirely from scratch via the core brute-force path.
+  const auto parallel_hits = engine.TopK(query, 10).value();
+  const auto query_sketch =
+      SketchWmh(query, store.options().sketch).value();
+  std::vector<WmhSketch> all;
+  std::vector<uint64_t> all_ids;
+  for (const auto& entry : store.Snapshot()) {
+    all_ids.push_back(entry.id);
+    all.push_back(entry.sketch);
+  }
+  const auto expected = TopKByInnerProduct(query_sketch, all, 10).value();
+  ASSERT_EQ(parallel_hits.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(parallel_hits[i].id, all_ids[expected[i].index]);
+    EXPECT_EQ(parallel_hits[i].estimate, expected[i].estimate);
+  }
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -1,5 +1,8 @@
 #include "sketch/storage.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace ipsketch {
@@ -51,6 +54,64 @@ TEST(StorageTest, TinyBudgetsYieldZeroSamples) {
   EXPECT_EQ(SamplesForStorageWords(-5.0, SketchFamily::kLinear), 0u);
   EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kSampling), 0u);
   EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kSamplingWithNorm), 0u);
+}
+
+TEST(StorageTest, OneSampleBoundaryPerFamily) {
+  // One sample costs exactly 1 word (linear), 1.5 (sampling), 2.5 (sampling
+  // + norm); one word holds 64 bits. Just under fits nothing; exactly at
+  // fits the first sample.
+  EXPECT_EQ(SamplesForStorageWords(0.999, SketchFamily::kLinear), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kLinear), 1u);
+  EXPECT_EQ(SamplesForStorageWords(1.499, SketchFamily::kSampling), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.5, SketchFamily::kSampling), 1u);
+  EXPECT_EQ(SamplesForStorageWords(2.499, SketchFamily::kSamplingWithNorm),
+            0u);
+  EXPECT_EQ(SamplesForStorageWords(2.5, SketchFamily::kSamplingWithNorm), 1u);
+  EXPECT_EQ(SamplesForStorageWords(0.999, SketchFamily::kBits), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kBits), 64u);
+}
+
+TEST(StorageTest, SubSampleBudgetsNeverUnderflow) {
+  for (auto family :
+       {SketchFamily::kLinear, SketchFamily::kSampling,
+        SketchFamily::kSamplingWithNorm, SketchFamily::kBits}) {
+    for (double words : {-1.0, 0.0, 0.25, 0.5, 0.9}) {
+      EXPECT_EQ(SamplesForStorageWords(words, family), 0u)
+          << "words=" << words << " family=" << static_cast<int>(family);
+    }
+  }
+}
+
+TEST(StorageTest, FractionalBitsBudgetStaysWithinBudget) {
+  // ceil-based accounting charges whole words, so a 1.5-word budget holds
+  // only one word of bits — 96 samples would round-trip to 2 words.
+  EXPECT_EQ(SamplesForStorageWords(1.5, SketchFamily::kBits), 64u);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(64, SketchFamily::kBits), 1.0);
+  EXPECT_LE(StorageWordsForSamples(
+                SamplesForStorageWords(1.5, SketchFamily::kBits),
+                SketchFamily::kBits),
+            1.5);
+}
+
+TEST(StorageTest, NanBudgetsYieldZero) {
+  for (auto family :
+       {SketchFamily::kLinear, SketchFamily::kSampling,
+        SketchFamily::kSamplingWithNorm, SketchFamily::kBits}) {
+    EXPECT_EQ(SamplesForStorageWords(std::nan(""), family), 0u);
+  }
+}
+
+TEST(StorageTest, UnrepresentablyLargeBudgetsSaturate) {
+  constexpr size_t kMax = std::numeric_limits<size_t>::max();
+  for (auto family :
+       {SketchFamily::kLinear, SketchFamily::kSampling,
+        SketchFamily::kSamplingWithNorm, SketchFamily::kBits}) {
+    // Casting a double >= 2^64 to size_t is UB; these must clamp instead.
+    EXPECT_EQ(SamplesForStorageWords(1e30, family), kMax);
+    EXPECT_EQ(SamplesForStorageWords(
+                  std::numeric_limits<double>::infinity(), family),
+              kMax);
+  }
 }
 
 }  // namespace
