@@ -3,12 +3,17 @@
 //
 //   build/bench_service_throughput [scale]
 //
-// Ingest parallelizes over vectors (one WmhSketcher per worker); queries
-// parallelize over shards. Speedups track the machine's core count —
-// hardware_concurrency is printed so single-core results read correctly.
+// Ingest parallelizes over vectors (one family Sketcher per worker);
+// queries parallelize over shards. Speedups track the machine's core count
+// — hardware_concurrency is printed so single-core results read correctly.
+//
+// Besides the human-readable table, the bench writes BENCH_service.json to
+// the working directory (machine-readable rates per thread count) so CI can
+// track the perf trajectory across commits.
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,6 +31,7 @@ namespace {
 constexpr uint64_t kDimension = 100000;
 constexpr size_t kNnz = 300;
 constexpr size_t kNumSamples = 256;
+constexpr char kFamily[] = "wmh";
 
 SparseVector CorpusVector(uint64_t seed) {
   Xoshiro256StarStar rng(seed);
@@ -38,10 +44,11 @@ SparseVector CorpusVector(uint64_t seed) {
 
 SketchStoreOptions StoreOptions() {
   SketchStoreOptions options;
-  options.dimension = kDimension;
-  options.num_shards = 32;
+  options.family = kFamily;
+  options.sketch.dimension = kDimension;
   options.sketch.num_samples = kNumSamples;
   options.sketch.seed = 7;
+  options.num_shards = 32;
   return options;
 }
 
@@ -49,6 +56,25 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// One measured (threads, rate) point.
+struct RatePoint {
+  size_t threads = 0;
+  double per_sec = 0.0;
+};
+
+void AppendRatesJson(std::string* out, const char* key,
+                     const std::vector<RatePoint>& rates) {
+  *out += std::string("  \"") + key + "\": [";
+  for (size_t i = 0; i < rates.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"threads\": %zu, \"per_sec\": %.1f}",
+                  i == 0 ? "" : ", ", rates[i].threads, rates[i].per_sec);
+    *out += buf;
+  }
+  *out += "]";
 }
 
 }  // namespace
@@ -68,10 +94,12 @@ int main(int argc, char** argv) {
   for (uint64_t id = 0; id < corpus; ++id) {
     batch.push_back({id, CorpusVector(id)});
   }
-  std::printf("corpus: %zu vectors, dim %llu, %zu nnz, m = %zu\n\n", corpus,
-              static_cast<unsigned long long>(kDimension), kNnz, kNumSamples);
+  std::printf("corpus: %zu vectors, dim %llu, %zu nnz, family %s, m = %zu\n\n",
+              corpus, static_cast<unsigned long long>(kDimension), kNnz,
+              kFamily, kNumSamples);
 
   // --- ingest ---------------------------------------------------------------
+  std::vector<RatePoint> ingest_rates;
   std::printf("%-10s %14s %10s\n", "ingest", "vectors/sec", "speedup");
   double base_rate = 0.0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
@@ -86,6 +114,7 @@ int main(int argc, char** argv) {
     }
     const double rate = static_cast<double>(corpus) / secs;
     if (threads == 1) base_rate = rate;
+    ingest_rates.push_back({threads, rate});
     std::printf("%zu threads  %14.0f %9.2fx\n", threads, rate,
                 rate / base_rate);
   }
@@ -102,6 +131,7 @@ int main(int argc, char** argv) {
     queries.push_back(CorpusVector(1000000 + q));
   }
 
+  std::vector<RatePoint> query_rates;
   std::printf("\n%-10s %14s %10s\n", "top-10", "queries/sec", "speedup");
   base_rate = 0.0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
@@ -114,8 +144,36 @@ int main(int argc, char** argv) {
     const double secs = SecondsSince(start);
     const double rate = static_cast<double>(num_queries) / secs;
     if (threads == 1) base_rate = rate;
+    query_rates.push_back({threads, rate});
     std::printf("%zu threads  %14.1f %9.2fx\n", threads, rate,
                 rate / base_rate);
+  }
+
+  // --- machine-readable record ---------------------------------------------
+  std::string json = "{\n";
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  \"bench\": \"service_throughput\",\n"
+                "  \"family\": \"%s\",\n"
+                "  \"hardware_concurrency\": %u,\n"
+                "  \"scale\": %zu,\n"
+                "  \"corpus\": %zu,\n"
+                "  \"num_samples\": %zu,\n",
+                kFamily, std::thread::hardware_concurrency(), scale, corpus,
+                kNumSamples);
+  json += line;
+  AppendRatesJson(&json, "ingest_vectors_per_sec", ingest_rates);
+  json += ",\n";
+  AppendRatesJson(&json, "topk_queries_per_sec", query_rates);
+  json += "\n}\n";
+  const char* json_path = "BENCH_service.json";
+  if (std::FILE* f = std::fopen(json_path, "wb")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  } else {
+    std::printf("\ncould not write %s\n", json_path);
+    return 1;
   }
   return 0;
 }

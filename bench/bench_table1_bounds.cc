@@ -59,7 +59,7 @@ int Run(size_t scale) {
     for (int seed = 0; seed < kSeeds; ++seed) {
       {
         JlOptions o;
-        o.num_rows = SamplesForStorageWords(storage, SketchFamily::kLinear);
+        o.num_rows = SamplesForStorageWords(storage, StorageClass::kLinear);
         o.seed = seed;
         jl_err.push_back(std::fabs(
             EstimateJlInnerProduct(SketchJl(pair.a, o).value(),
@@ -70,7 +70,7 @@ int Run(size_t scale) {
       {
         CountSketchOptions o;
         o.total_counters =
-            SamplesForStorageWords(storage, SketchFamily::kLinear);
+            SamplesForStorageWords(storage, StorageClass::kLinear);
         o.seed = seed;
         cs_err.push_back(std::fabs(
             EstimateCountSketchInnerProduct(SketchCount(pair.a, o).value(),
@@ -81,7 +81,7 @@ int Run(size_t scale) {
       {
         MhOptions o;
         o.num_samples =
-            SamplesForStorageWords(storage, SketchFamily::kSampling);
+            SamplesForStorageWords(storage, StorageClass::kSampling);
         o.seed = seed;
         mh_err.push_back(std::fabs(
             EstimateMhInnerProduct(SketchMh(pair.a, o).value(),
@@ -91,7 +91,7 @@ int Run(size_t scale) {
       }
       {
         KmvOptions o;
-        o.k = SamplesForStorageWords(storage, SketchFamily::kSampling);
+        o.k = SamplesForStorageWords(storage, StorageClass::kSampling);
         o.seed = seed;
         kmv_err.push_back(std::fabs(
             EstimateKmvInnerProduct(SketchKmv(pair.a, o).value(),
@@ -102,7 +102,7 @@ int Run(size_t scale) {
       {
         WmhOptions o;
         o.num_samples =
-            SamplesForStorageWords(storage, SketchFamily::kSamplingWithNorm);
+            SamplesForStorageWords(storage, StorageClass::kSamplingWithNorm);
         o.seed = seed;
         wmh_err.push_back(std::fabs(
             EstimateWmhInnerProduct(SketchWmh(pair.a, o).value(),

@@ -1,14 +1,18 @@
 // Quickstart: sketch two sparse vectors independently, then estimate their
 // inner product from the sketches alone — the core workflow of the paper.
 //
+// Sketching goes through the SketchFamily registry (sketch/family.h): the
+// method is picked *by name*, so swapping Weighted MinHash for CountSketch
+// (or JL, MH, KMV, ICWS) is a one-line change.
+//
 //   build/examples/example_quickstart
 
+#include <cmath>
 #include <cstdio>
 
-#include "core/wmh_estimator.h"
-#include "core/wmh_sketch.h"
 #include "data/synthetic.h"
 #include "sketch/estimator_registry.h"
+#include "sketch/family.h"
 #include "vector/vector_ops.h"
 
 using namespace ipsketch;
@@ -29,37 +33,52 @@ int main() {
   const double truth = Dot(pair.a, pair.b);
   std::printf("exact <a,b> = %.4f\n\n", truth);
 
-  // 2. Sketch each vector INDEPENDENTLY. Only (num_samples, seed, L) must
-  //    match; the vectors never meet until estimation time.
-  WmhOptions options;
+  // 2. Pick a sketch family from the registry BY NAME. This is the only
+  //    line that changes to swap methods — try "cs" for CountSketch.
+  const char* kFamilyName = "wmh";  // one-line swap: "wmh" <-> "cs"
+  FamilyOptions options;
+  options.dimension = gen.dimension;
   options.num_samples = 256;  // m: error decays as 1/sqrt(m)
   options.seed = 42;          // sketches are comparable iff seeds match
-  const WmhSketch sketch_a = SketchWmh(pair.a, options).value();
-  const WmhSketch sketch_b = SketchWmh(pair.b, options).value();
-  std::printf("each sketch: m = %zu samples, %.1f x 64-bit words\n",
-              sketch_a.num_samples(), sketch_a.StorageWords());
+  auto family = MakeFamily(kFamilyName, options).value();
 
-  // 3. Estimate the inner product from the sketches (Algorithm 5).
-  const double estimate = EstimateWmhInnerProduct(sketch_a, sketch_b).value();
-  std::printf("WMH estimate  = %.4f\n", estimate);
+  // 3. Sketch each vector INDEPENDENTLY — the vectors never meet until
+  //    estimation time — and estimate from the sketches alone.
+  auto sketcher = family->MakeSketcher().value();
+  auto sketch_a = family->NewSketch();
+  auto sketch_b = family->NewSketch();
+  if (!sketcher->Sketch(pair.a, sketch_a.get()).ok() ||
+      !sketcher->Sketch(pair.b, sketch_b.get()).ok()) {
+    std::printf("sketching failed\n");
+    return 1;
+  }
+  std::printf("family %-4s (%s): %.1f x 64-bit words per sketch, merge %s\n",
+              family->name().c_str(), family->display_name().c_str(),
+              family->StorageWords(*sketch_a).value(),
+              family->supports_merge() ? "yes" : "no");
+
+  const double estimate = family->Estimate(*sketch_a, *sketch_b).value();
+  std::printf("%s estimate  = %.4f\n", family->display_name().c_str(),
+              estimate);
   std::printf("scaled error  = %.5f  (error / ||a||/||b|| scale)\n\n",
               std::abs(estimate - truth) / (pair.a.Norm() * pair.b.Norm()));
 
-  // 4. Why Weighted MinHash? Compare every method at the same 400-word
-  //    storage budget. With 5% overlap, Theorem 2's error scale is far
-  //    smaller than Fact 1's, and the sampling methods win.
-  std::printf("all methods at a 400-word budget (scaled error, 5 trials):\n");
+  // 4. Why Weighted MinHash? Compare every registered family at the same
+  //    400-word storage budget. With 5% overlap, Theorem 2's error scale is
+  //    far smaller than Fact 1's, and the sampling methods win.
+  std::printf("all families at a 400-word budget (scaled error, 5 trials):\n");
   std::printf("  theoretical scales: Fact-1 = 1.0, Theorem-2 = %.3f\n",
               Theorem2Bound(pair.a, pair.b) / Fact1Bound(pair.a, pair.b));
-  for (auto& method : MakeExtendedEvaluators()) {
+  for (const FamilyInfo& info : RegisteredFamilies()) {
+    auto method = MakeFamilyEvaluator(info.name).value();
     double err = 0.0;
     for (uint64_t trial = 0; trial < 5; ++trial) {
       method->Prepare(pair.a, pair.b, 400, 100 + trial);
       err += std::abs(method->Estimate(400).value() - truth) /
              (pair.a.Norm() * pair.b.Norm());
     }
-    std::printf("  %-5s mean scaled error = %.5f\n", method->name().c_str(),
-                err / 5.0);
+    std::printf("  %-5s mean scaled error = %.5f\n",
+                method->name().c_str(), err / 5.0);
   }
   return 0;
 }

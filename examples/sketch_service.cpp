@@ -3,6 +3,11 @@
 // retrieval through a QueryEngine, and persist/reload the whole catalog —
 // the dataset-search deployment shape the paper motivates (§1.2).
 //
+// The service is family-generic: the store is configured with a *family
+// name* from the sketch/family.h registry, and the identical QueryEngine
+// code serves a Weighted MinHash catalog and a CountSketch catalog side by
+// side below.
+//
 //   build/example_sketch_service
 
 #include <cstdio>
@@ -21,6 +26,9 @@ using namespace ipsketch;
 
 namespace {
 
+constexpr uint64_t kDimension = 100000;
+constexpr size_t kCorpusSize = 400;
+
 // A corpus member: a random sparse vector over a large domain.
 SparseVector CorpusVector(uint64_t dimension, uint64_t seed) {
   Xoshiro256StarStar rng(seed);
@@ -31,22 +39,26 @@ SparseVector CorpusVector(uint64_t dimension, uint64_t seed) {
   return SparseVector::MakeOrDie(dimension, std::move(entries));
 }
 
+SketchStoreOptions StoreOptions(const std::string& family) {
+  SketchStoreOptions options;
+  options.family = family;  // one-line swap: "wmh" <-> "cs" <-> "kmv" ...
+  options.sketch.dimension = kDimension;
+  options.sketch.num_samples = 256;
+  options.sketch.seed = 7;
+  options.num_shards = 16;
+  return options;
+}
+
 }  // namespace
 
 int main() {
-  constexpr uint64_t kDimension = 100000;
-  constexpr size_t kCorpusSize = 400;
-
-  // 1. A store: 16 shards, every sketch built with the same (m, seed, L).
-  SketchStoreOptions options;
-  options.dimension = kDimension;
-  options.num_shards = 16;
-  options.sketch.num_samples = 256;
-  options.sketch.seed = 7;
-  SketchStore store = SketchStore::Make(options).value();
-  std::printf("store: %zu shards, m = %zu, L = %llu\n", store.num_shards(),
+  // 1. A store: 16 shards, a family picked by name from the registry,
+  //    every sketch built with the same resolved options.
+  SketchStore store = SketchStore::Make(StoreOptions("wmh")).value();
+  std::printf("store: family %s, %zu shards, m = %zu, resolved options {%s}\n",
+              store.family().name().c_str(), store.num_shards(),
               store.options().sketch.num_samples,
-              static_cast<unsigned long long>(store.options().sketch.L));
+              FamilyOptionsToString(store.options().sketch).c_str());
 
   // 2. Batch ingest across a thread pool. Sketching dominates the cost and
   //    parallelizes across workers; shard locks are touched only to insert.
@@ -76,20 +88,40 @@ int main() {
                 Dot(query, batch[hit.id].second));
   }
 
-  // 5. Persist the whole catalog and reload it; estimates are
+  // 5. The SAME service code, a different family: a CountSketch catalog.
+  //    Only the family name in the options changed.
+  SketchStore cs_store = SketchStore::Make(StoreOptions("cs")).value();
+  if (!cs_store.BuildAndInsertBatch(batch, &pool).ok()) return 1;
+  QueryEngine cs_engine(&cs_store, &pool);
+  std::printf("\nsame corpus through a '%s' store (mergeable: %s):\n",
+              cs_store.family().name().c_str(),
+              cs_store.family().supports_merge() ? "yes" : "no");
+  const std::vector<QueryHit> cs_top3 = cs_engine.TopK(query, 3).value();
+  for (const auto& hit : cs_top3) {
+    std::printf("  id %-4llu estimate %8.4f  (exact %8.4f)\n",
+                static_cast<unsigned long long>(hit.id), hit.estimate,
+                Dot(query, batch[hit.id].second));
+  }
+
+  // 6. Persist the whole catalog and reload it; estimates are
   //    byte-identical because sketches serialize as IEEE-754 bit patterns.
+  //    LoadSketchStoreAs re-verifies the family tag and options, so a file
+  //    from a differently-configured catalog is rejected, not mis-served.
   const std::string path = "/tmp/ipsketch_service_demo.store";
   if (!SaveSketchStore(store, path).ok()) {
     std::printf("\nsave failed\n");
     return 1;
   }
-  SketchStore reloaded = LoadSketchStore(path).value();
+  SketchStore reloaded = LoadSketchStoreAs(path, StoreOptions("wmh")).value();
   QueryEngine engine2(&reloaded, &pool);
   std::printf("\nreloaded %zu sketches from %s\n", reloaded.size(),
               path.c_str());
   std::printf("<v17, v42> after reload: %.17g (before: %.17g)\n",
               engine2.EstimateInnerProduct(17, 42).value(),
               engine.EstimateInnerProduct(17, 42).value());
+  const Status wrong = LoadSketchStoreAs(path, StoreOptions("cs")).status();
+  std::printf("opening the file as a 'cs' store is refused: %s\n",
+              wrong.ToString().c_str());
   std::remove(path.c_str());
   return 0;
 }

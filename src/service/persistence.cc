@@ -8,7 +8,15 @@ namespace ipsketch {
 namespace {
 
 constexpr uint32_t kStoreMagic = 0x49505354;  // "IPST"
-constexpr uint8_t kStoreVersion = 1;
+constexpr uint8_t kStoreVersion = 2;
+// The pre-SketchFamily format: WMH-only, fixed header
+// [dimension u64][num_shards u64][num_samples u64][seed u64][L u64]
+// [engine u8], entries framed with SerializeWmh.
+constexpr uint8_t kStoreVersionV1 = 1;
+// Decode-time sanity cap: shards are allocated up front, so an absurd
+// header value must become InvalidArgument, not a giant allocation. Real
+// stores use dozens of shards; 2^16 is far beyond any sane deployment.
+constexpr uint64_t kMaxDecodedShards = 1u << 16;
 
 // FNV-1a over the encoded payload, stored as an 8-byte trailer. The wire
 // framing alone only catches *structural* corruption; a flipped byte inside
@@ -22,6 +30,38 @@ uint64_t Checksum(std::string_view bytes) {
   return h;
 }
 
+// Reads the v1 header into family-generic store options.
+Status ReadV1Header(wire::Reader* r, SketchStoreOptions* opts) {
+  uint64_t num_shards = 0, num_samples = 0, L = 0;
+  uint8_t engine = 0;
+  IPS_RETURN_IF_ERROR(r->ReadU64(&opts->sketch.dimension));
+  IPS_RETURN_IF_ERROR(r->ReadU64(&num_shards));
+  IPS_RETURN_IF_ERROR(r->ReadU64(&num_samples));
+  IPS_RETURN_IF_ERROR(r->ReadU64(&opts->sketch.seed));
+  IPS_RETURN_IF_ERROR(r->ReadU64(&L));
+  IPS_RETURN_IF_ERROR(r->ReadU8(&engine));
+  if (engine > 1) {
+    return Status::InvalidArgument("unknown sketch engine in v1 store file");
+  }
+  opts->family = "wmh";
+  opts->num_shards = static_cast<size_t>(num_shards);
+  opts->sketch.num_samples = static_cast<size_t>(num_samples);
+  opts->sketch.params["L"] = std::to_string(L);
+  opts->sketch.params["engine"] =
+      engine == 0 ? "active_index" : "expanded_reference";
+  return Status::Ok();
+}
+
+Status ReadV2Header(wire::Reader* r, SketchStoreOptions* opts) {
+  std::string_view family;
+  IPS_RETURN_IF_ERROR(r->ReadBytes(&family));
+  opts->family = std::string(family);
+  uint64_t num_shards = 0;
+  IPS_RETURN_IF_ERROR(r->ReadU64(&num_shards));
+  opts->num_shards = static_cast<size_t>(num_shards);
+  return ReadFamilyOptions(r, &opts->sketch);
+}
+
 }  // namespace
 
 std::string EncodeSketchStore(const SketchStore& store) {
@@ -29,12 +69,9 @@ std::string EncodeSketchStore(const SketchStore& store) {
   std::string out;
   wire::AppendU32(&out, kStoreMagic);
   wire::AppendU8(&out, kStoreVersion);
-  wire::AppendU64(&out, opts.dimension);
+  wire::AppendBytes(&out, opts.family);
   wire::AppendU64(&out, opts.num_shards);
-  wire::AppendU64(&out, opts.sketch.num_samples);
-  wire::AppendU64(&out, opts.sketch.seed);
-  wire::AppendU64(&out, opts.sketch.L);
-  wire::AppendU8(&out, static_cast<uint8_t>(opts.sketch.engine));
+  AppendFamilyOptions(&out, opts.sketch);
 
   // Count first, then entries in (shard, id) order. Snapshots are taken per
   // shard, so a concurrently-written store encodes *some* consistent-per-
@@ -50,7 +87,9 @@ std::string EncodeSketchStore(const SketchStore& store) {
   for (const auto& entries : shards) {
     for (const StoreEntry& e : entries) {
       wire::AppendU64(&out, e.id);
-      wire::AppendBytes(&out, SerializeWmh(e.sketch));
+      // Serialize cannot fail here: every stored sketch passed the family's
+      // CheckCompatible on insert, so it is of the family's concrete type.
+      wire::AppendBytes(&out, store.family().Serialize(*e.sketch).value());
     }
   }
   wire::AppendU64(&out, Checksum(out));
@@ -78,28 +117,20 @@ Result<SketchStore> DecodeSketchStore(std::string_view bytes) {
   }
   uint8_t version = 0;
   IPS_RETURN_IF_ERROR(r.ReadU8(&version));
-  if (version != kStoreVersion) {
+
+  SketchStoreOptions opts;
+  if (version == kStoreVersionV1) {
+    IPS_RETURN_IF_ERROR(ReadV1Header(&r, &opts));
+  } else if (version == kStoreVersion) {
+    IPS_RETURN_IF_ERROR(ReadV2Header(&r, &opts));
+  } else {
     return Status::InvalidArgument("unsupported sketch-store version " +
                                    std::to_string(version));
   }
 
-  SketchStoreOptions opts;
-  uint64_t num_shards = 0;
-  uint8_t engine = 0;
-  IPS_RETURN_IF_ERROR(r.ReadU64(&opts.dimension));
-  IPS_RETURN_IF_ERROR(r.ReadU64(&num_shards));
-  uint64_t num_samples = 0;
-  IPS_RETURN_IF_ERROR(r.ReadU64(&num_samples));
-  IPS_RETURN_IF_ERROR(r.ReadU64(&opts.sketch.seed));
-  IPS_RETURN_IF_ERROR(r.ReadU64(&opts.sketch.L));
-  IPS_RETURN_IF_ERROR(r.ReadU8(&engine));
-  opts.num_shards = static_cast<size_t>(num_shards);
-  opts.sketch.num_samples = static_cast<size_t>(num_samples);
-  if (engine > static_cast<uint8_t>(WmhEngine::kExpandedReference)) {
-    return Status::InvalidArgument("unknown sketch engine in store file");
+  if (opts.num_shards == 0 || opts.num_shards > kMaxDecodedShards) {
+    return Status::InvalidArgument("sketch-store shard count out of range");
   }
-  opts.sketch.engine = static_cast<WmhEngine>(engine);
-
   auto made = SketchStore::Make(opts);
   IPS_RETURN_IF_ERROR(made.status());
   SketchStore store = std::move(made).value();
@@ -116,14 +147,39 @@ Result<SketchStore> DecodeSketchStore(std::string_view bytes) {
     IPS_RETURN_IF_ERROR(r.ReadU64(&id));
     std::string_view blob;
     IPS_RETURN_IF_ERROR(r.ReadBytes(&blob));
-    auto sketch = DeserializeWmh(blob);
+    auto sketch = store.family().Deserialize(blob);
     IPS_RETURN_IF_ERROR(sketch.status());
-    // Insert re-validates (m, seed, L, dimension) against the decoded
-    // options, so a file with internally inconsistent sketches is rejected.
+    // Insert re-validates against the family's resolved options, so a file
+    // whose entries disagree with its own header is rejected.
     IPS_RETURN_IF_ERROR(store.Insert(id, std::move(sketch).value()));
   }
   IPS_RETURN_IF_ERROR(r.ExpectEnd());
   return store;
+}
+
+Status CheckStoreMatches(const SketchStore& store,
+                         const SketchStoreOptions& expected) {
+  if (store.options().family != expected.family) {
+    return Status::FailedPrecondition(
+        "store family mismatch: file holds '" + store.options().family +
+        "', expected '" + expected.family + "'");
+  }
+  // Resolve the expectation through the registry so defaults (e.g. WMH's
+  // L = 0 → DefaultL) compare against the file's resolved values.
+  auto family = MakeFamily(expected.family, expected.sketch);
+  if (!family.ok()) {
+    return Status::FailedPrecondition("expected options are invalid: " +
+                                      family.status().message());
+  }
+  const FamilyOptions& want = family.value()->options();
+  const FamilyOptions& got = store.options().sketch;
+  if (!(got == want)) {
+    return Status::FailedPrecondition(
+        "store options mismatch for family '" + expected.family +
+        "': file has {" + FamilyOptionsToString(got) + "}, expected {" +
+        FamilyOptionsToString(want) + "}");
+  }
+  return Status::Ok();
 }
 
 Status SaveSketchStore(const SketchStore& store, const std::string& path) {
@@ -157,6 +213,14 @@ Result<SketchStore> LoadSketchStore(const std::string& path) {
     return Status::Internal("read error on " + path);
   }
   return DecodeSketchStore(bytes);
+}
+
+Result<SketchStore> LoadSketchStoreAs(const std::string& path,
+                                      const SketchStoreOptions& expected) {
+  auto loaded = LoadSketchStore(path);
+  IPS_RETURN_IF_ERROR(loaded.status());
+  IPS_RETURN_IF_ERROR(CheckStoreMatches(loaded.value(), expected));
+  return loaded;
 }
 
 }  // namespace ipsketch

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "core/similarity_search.h"
+
 namespace ipsketch {
 
 // Heap entries carry store ids in SimilarityHit::index.
@@ -20,15 +22,16 @@ Result<double> QueryEngine::EstimateInnerProduct(uint64_t id_a,
   IPS_RETURN_IF_ERROR(a.status());
   auto b = store_->Lookup(id_b);
   IPS_RETURN_IF_ERROR(b.status());
-  return EstimateWmhInnerProduct(a.value(), b.value());
+  return store_->family().Estimate(*a.value(), *b.value());
 }
 
-Result<WmhSketch> QueryEngine::SketchQuery(const SparseVector& query) const {
-  if (query.dimension() != store_->options().dimension) {
-    return Status::InvalidArgument(
-        "query dimension does not match the store");
-  }
-  return SketchWmh(query, store_->options().sketch);
+Result<std::unique_ptr<AnySketch>> QueryEngine::SketchQuery(
+    const SparseVector& query) const {
+  auto sketcher = store_->family().MakeSketcher();
+  IPS_RETURN_IF_ERROR(sketcher.status());
+  std::unique_ptr<AnySketch> sketch = store_->family().NewSketch();
+  IPS_RETURN_IF_ERROR(sketcher.value()->Sketch(query, sketch.get()));
+  return sketch;
 }
 
 void QueryEngine::ForEachShard(const std::function<void(size_t)>& fn) const {
@@ -44,7 +47,8 @@ Result<std::vector<QueryHit>> QueryEngine::EstimateAgainstQuery(
     const SparseVector& query) const {
   auto sketched = SketchQuery(query);
   IPS_RETURN_IF_ERROR(sketched.status());
-  const WmhSketch& qs = sketched.value();
+  const AnySketch& qs = *sketched.value();
+  const SketchFamily& family = store_->family();
 
   std::vector<std::vector<QueryHit>> per_shard(store_->num_shards());
   std::mutex error_mu;
@@ -53,8 +57,8 @@ Result<std::vector<QueryHit>> QueryEngine::EstimateAgainstQuery(
     // Estimation runs under the shard lock (ForEachInShard): copying whole
     // shards out per query would cost far more than briefly blocking that
     // shard's writers — the estimator is O(m) per entry and read-only.
-    store_->ForEachInShard(s, [&](uint64_t id, const WmhSketch& sketch) {
-      auto est = EstimateWmhInnerProduct(qs, sketch);
+    store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
+      auto est = family.Estimate(qs, sketch);
       if (!est.ok()) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (first_error.ok()) first_error = est.status();
@@ -79,17 +83,19 @@ Result<std::vector<QueryHit>> QueryEngine::TopK(const SparseVector& query,
                                                 size_t k) const {
   auto sketched = SketchQuery(query);
   IPS_RETURN_IF_ERROR(sketched.status());
-  return TopKSketch(sketched.value(), k);
+  return TopKSketch(*sketched.value(), k);
 }
 
-Result<std::vector<QueryHit>> QueryEngine::TopKSketch(const WmhSketch& query,
+Result<std::vector<QueryHit>> QueryEngine::TopKSketch(const AnySketch& query,
                                                       size_t k) const {
-  const SketchStoreOptions& opts = store_->options();
-  if (query.num_samples() != opts.sketch.num_samples ||
-      query.seed != opts.sketch.seed || query.L != opts.sketch.L ||
-      query.dimension != opts.dimension) {
-    return Status::InvalidArgument(
-        "query sketch parameters do not match the store's");
+  const SketchFamily& family = store_->family();
+  {
+    Status compatible = family.CheckCompatible(query);
+    if (!compatible.ok()) {
+      return Status::InvalidArgument(
+          "query sketch does not match the store's family: " +
+          compatible.message());
+    }
   }
 
   // One private heap per shard; each shard is scanned by exactly one worker,
@@ -101,8 +107,8 @@ Result<std::vector<QueryHit>> QueryEngine::TopKSketch(const WmhSketch& query,
   std::mutex error_mu;
   Status first_error;
   ForEachShard([&](size_t s) {
-    store_->ForEachInShard(s, [&](uint64_t id, const WmhSketch& sketch) {
-      auto est = EstimateWmhInnerProduct(query, sketch);
+    store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
+      auto est = family.Estimate(query, sketch);
       if (!est.ok()) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (first_error.ok()) first_error = est.status();

@@ -1,6 +1,7 @@
 // Estimation and retrieval queries over a SketchStore — the read side of
-// the service. All estimates are Algorithm 5 on stored sketches; the engine
-// never touches raw vectors except to sketch an incoming query exactly once.
+// the service. All estimates go through the store's SketchFamily on stored
+// sketches, whatever the family is; the engine never touches raw vectors
+// except to sketch an incoming query exactly once.
 //
 // Parallelism: scans decompose by shard. Each worker thread walks whole
 // shards in place under the shard lock (SketchStore::ForEachInShard — no
@@ -14,14 +15,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
-#include "core/similarity_search.h"
-#include "core/wmh_estimator.h"
-#include "core/wmh_sketch.h"
 #include "service/sketch_store.h"
 #include "service/thread_pool.h"
+#include "sketch/family.h"
 #include "vector/sparse_vector.h"
 
 namespace ipsketch {
@@ -46,9 +47,9 @@ class QueryEngine {
   /// absent.
   Result<double> EstimateInnerProduct(uint64_t id_a, uint64_t id_b) const;
 
-  /// Sketches `query` once with the store's parameters, then scans every
-  /// shard (in parallel when a pool is present) and returns an estimate for
-  /// every stored vector, sorted by id.
+  /// Sketches `query` once with the store's family, then scans every shard
+  /// (in parallel when a pool is present) and returns an estimate for every
+  /// stored vector, sorted by id.
   Result<std::vector<QueryHit>> EstimateAgainstQuery(
       const SparseVector& query) const;
 
@@ -58,15 +59,16 @@ class QueryEngine {
   Result<std::vector<QueryHit>> TopK(const SparseVector& query,
                                      size_t k) const;
 
-  /// TopK against a pre-built query sketch (must match the store's
-  /// parameters) — the path for queries that arrive already sketched, e.g.
-  /// from a remote catalog shard.
-  Result<std::vector<QueryHit>> TopKSketch(const WmhSketch& query,
+  /// TopK against a pre-built query sketch (must be compatible with the
+  /// store's family options) — the path for queries that arrive already
+  /// sketched, e.g. from a remote catalog shard.
+  Result<std::vector<QueryHit>> TopKSketch(const AnySketch& query,
                                            size_t k) const;
 
  private:
-  /// Sketches a raw query vector with the store's parameters.
-  Result<WmhSketch> SketchQuery(const SparseVector& query) const;
+  /// Sketches a raw query vector with the store's family.
+  Result<std::unique_ptr<AnySketch>> SketchQuery(
+      const SparseVector& query) const;
 
   /// Runs fn(shard_index) over all shards, on the pool when available.
   void ForEachShard(const std::function<void(size_t)>& fn) const;

@@ -3,22 +3,25 @@
 #include <algorithm>
 
 #include "common/rng.h"
-#include "core/rounding.h"
 
 namespace ipsketch {
 
 Status SketchStoreOptions::Validate() const {
-  if (dimension == 0) {
+  if (family.empty()) {
+    return Status::InvalidArgument("store family name must be non-empty");
+  }
+  if (sketch.dimension == 0) {
     return Status::InvalidArgument("store dimension must be positive");
   }
   if (num_shards == 0) {
     return Status::InvalidArgument("num_shards must be positive");
   }
-  return sketch.Validate();
+  return Status::Ok();
 }
 
-SketchStore::SketchStore(const SketchStoreOptions& options)
-    : options_(options) {
+SketchStore::SketchStore(SketchStoreOptions options,
+                         std::shared_ptr<const SketchFamily> family)
+    : options_(std::move(options)), family_(std::move(family)) {
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -27,32 +30,21 @@ SketchStore::SketchStore(const SketchStoreOptions& options)
 
 Result<SketchStore> SketchStore::Make(const SketchStoreOptions& options) {
   IPS_RETURN_IF_ERROR(options.Validate());
+  auto family = MakeFamily(options.family, options.sketch);
+  IPS_RETURN_IF_ERROR(family.status());
   SketchStoreOptions resolved = options;
-  // Resolve L here so every sketch — including ones built by callers from
-  // options() — agrees on it, and so it survives persistence verbatim.
-  if (resolved.sketch.L == 0) {
-    resolved.sketch.L = DefaultL(resolved.dimension);
-  }
-  return SketchStore(resolved);
+  // The family resolves option defaults (e.g. WMH's L); echo the resolved
+  // identity back into the store options so every sketch — including ones
+  // built by callers from options() — agrees on it, and so it survives
+  // persistence verbatim.
+  resolved.sketch = family.value()->options();
+  return SketchStore(std::move(resolved), std::move(family).value());
 }
 
 size_t SketchStore::ShardOf(uint64_t id) const {
   // Mix first: sequential ids would otherwise all land in shard id % N for
   // small N and defeat the sharding.
   return static_cast<size_t>(Mix64(id) % shards_.size());
-}
-
-Status SketchStore::CheckCompatible(const WmhSketch& sketch) const {
-  if (sketch.num_samples() != options_.sketch.num_samples ||
-      sketch.seed != options_.sketch.seed || sketch.L != options_.sketch.L ||
-      sketch.dimension != options_.dimension) {
-    return Status::InvalidArgument(
-        "sketch parameters do not match the store's (m, seed, L, dimension)");
-  }
-  if (sketch.hashes.size() != sketch.values.size()) {
-    return Status::InvalidArgument("sketch hash/value length mismatch");
-  }
-  return Status::Ok();
 }
 
 size_t SketchStore::size() const {
@@ -64,8 +56,11 @@ size_t SketchStore::size() const {
   return total;
 }
 
-Status SketchStore::Insert(uint64_t id, WmhSketch sketch) {
-  IPS_RETURN_IF_ERROR(CheckCompatible(sketch));
+Status SketchStore::Insert(uint64_t id, std::unique_ptr<AnySketch> sketch) {
+  if (sketch == nullptr) {
+    return Status::InvalidArgument("cannot insert a null sketch");
+  }
+  IPS_RETURN_IF_ERROR(family_->CheckCompatible(*sketch));
   Shard& shard = *shards_[ShardOf(id)];
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.map.insert_or_assign(id, std::move(sketch));
@@ -73,14 +68,10 @@ Status SketchStore::Insert(uint64_t id, WmhSketch sketch) {
 }
 
 Status SketchStore::BuildAndInsert(uint64_t id, const SparseVector& vec) {
-  if (vec.dimension() != options_.dimension) {
-    return Status::InvalidArgument("vector dimension does not match store");
-  }
-  auto made = WmhSketcher::Make(options_.sketch);
+  auto made = family_->MakeSketcher();
   IPS_RETURN_IF_ERROR(made.status());
-  WmhSketcher sketcher = std::move(made).value();
-  WmhSketch sketch;
-  IPS_RETURN_IF_ERROR(sketcher.Sketch(vec, &sketch));
+  std::unique_ptr<AnySketch> sketch = family_->NewSketch();
+  IPS_RETURN_IF_ERROR(made.value()->Sketch(vec, sketch.get()));
   return Insert(id, std::move(sketch));
 }
 
@@ -90,23 +81,20 @@ Status SketchStore::BuildAndInsertBatch(
   if (pool == nullptr || pool->num_threads() == 1 || batch.size() <= 1) {
     // One sketcher for the whole batch — the same scratch reuse the chunked
     // path gets, so serial and parallel ingest differ only in parallelism.
-    auto made = WmhSketcher::Make(options_.sketch);
+    auto made = family_->MakeSketcher();
     IPS_RETURN_IF_ERROR(made.status());
-    WmhSketcher sketcher = std::move(made).value();
-    WmhSketch sketch;
+    std::unique_ptr<AnySketch> sketch = family_->NewSketch();
     for (const auto& [id, vec] : batch) {
-      if (vec.dimension() != options_.dimension) {
-        return Status::InvalidArgument("vector dimension does not match store");
-      }
-      IPS_RETURN_IF_ERROR(sketcher.Sketch(vec, &sketch));
+      IPS_RETURN_IF_ERROR(made.value()->Sketch(vec, sketch.get()));
       IPS_RETURN_IF_ERROR(Insert(id, std::move(sketch)));
+      sketch = family_->NewSketch();
     }
     return Status::Ok();
   }
 
   // Carve the batch into one contiguous chunk per worker: each chunk gets
-  // its own WmhSketcher (scratch reuse across its vectors) and inserts as
-  // it goes, so sketching — the expensive part — runs fully in parallel and
+  // its own Sketcher (scratch reuse across its vectors) and inserts as it
+  // goes, so sketching — the expensive part — runs fully in parallel and
   // shard locks are held only for map writes. Chunks share no state except
   // the first-error slot.
   const size_t chunks = std::min(batch.size(), pool->num_threads());
@@ -116,23 +104,17 @@ Status SketchStore::BuildAndInsertBatch(
   pool->ParallelFor(chunks, [&](size_t c) {
     const size_t begin = c * per_chunk;
     const size_t end = std::min(begin + per_chunk, batch.size());
-    auto made = WmhSketcher::Make(options_.sketch);
+    auto made = family_->MakeSketcher();
     if (!made.ok()) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (first_error.ok()) first_error = made.status();
       return;
     }
-    WmhSketcher sketcher = std::move(made).value();
-    WmhSketch sketch;
     for (size_t i = begin; i < end; ++i) {
       const auto& [id, vec] = batch[i];
-      Status st;
-      if (vec.dimension() != options_.dimension) {
-        st = Status::InvalidArgument("vector dimension does not match store");
-      } else {
-        st = sketcher.Sketch(vec, &sketch);
-        if (st.ok()) st = Insert(id, std::move(sketch));
-      }
+      std::unique_ptr<AnySketch> sketch = family_->NewSketch();
+      Status st = made.value()->Sketch(vec, sketch.get());
+      if (st.ok()) st = Insert(id, std::move(sketch));
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (first_error.ok()) first_error = st;
@@ -149,14 +131,14 @@ bool SketchStore::Contains(uint64_t id) const {
   return shard.map.find(id) != shard.map.end();
 }
 
-Result<WmhSketch> SketchStore::Lookup(uint64_t id) const {
+Result<std::unique_ptr<AnySketch>> SketchStore::Lookup(uint64_t id) const {
   const Shard& shard = *shards_[ShardOf(id)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(id);
   if (it == shard.map.end()) {
     return Status::NotFound("no sketch stored under id " + std::to_string(id));
   }
-  return it->second;
+  return it->second->Clone();
 }
 
 Status SketchStore::Erase(uint64_t id) {
@@ -170,12 +152,12 @@ Status SketchStore::Erase(uint64_t id) {
 
 bool SketchStore::ForEachInShard(
     size_t shard_index,
-    const std::function<bool(uint64_t, const WmhSketch&)>& fn) const {
+    const std::function<bool(uint64_t, const AnySketch&)>& fn) const {
   IPS_CHECK(shard_index < shards_.size());
   const Shard& shard = *shards_[shard_index];
   std::lock_guard<std::mutex> lock(shard.mu);
   for (const auto& [id, sketch] : shard.map) {
-    if (!fn(id, sketch)) return false;
+    if (!fn(id, *sketch)) return false;
   }
   return true;
 }
@@ -187,7 +169,9 @@ std::vector<StoreEntry> SketchStore::ShardSnapshot(size_t shard_index) const {
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     out.reserve(shard.map.size());
-    for (const auto& [id, sketch] : shard.map) out.push_back({id, sketch});
+    for (const auto& [id, sketch] : shard.map) {
+      out.push_back({id, sketch->Clone()});
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const StoreEntry& a, const StoreEntry& b) { return a.id < b.id; });

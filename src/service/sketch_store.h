@@ -1,18 +1,24 @@
-// A sharded, thread-safe collection of Weighted MinHash sketches keyed by
-// vector id — the catalog side of the dataset-search workload (§1.2): every
-// dataset in the corpus is sketched once at ingest time and queries later
-// run against sketches only.
+// A sharded, thread-safe collection of sketches keyed by vector id — the
+// catalog side of the dataset-search workload (§1.2): every dataset in the
+// corpus is sketched once at ingest time and queries later run against
+// sketches only.
+//
+// The store is *family-generic*: it is built from a family name ("wmh",
+// "cs", ...) plus FamilyOptions through the sketch/family.h registry and
+// handles sketches only through the polymorphic SketchFamily interface, so
+// a CountSketch catalog and a Weighted MinHash catalog run through exactly
+// the same code.
 //
 // Concurrency model: N shards (hash-on-id), one mutex per shard. Writers to
 // different shards never contend; readers either copy sketches out under
 // the shard lock (Lookup, Snapshot) or scan in place while holding it
-// (ForEachInShard). Batch ingest sketches
-// *outside* any lock (sketching is the expensive part, O(nnz·m·log L) per
-// vector) with one WmhSketcher per worker thread, then takes each shard
-// lock only for the map insert.
+// (ForEachInShard). Batch ingest sketches *outside* any lock (sketching is
+// the expensive part) with one family Sketcher per worker thread, then
+// takes each shard lock only for the map insert.
 //
-// Every sketch in a store shares (m, seed, L, dimension) — the estimator's
-// compatibility requirement — enforced at construction and on every insert.
+// Every sketch in a store shares the family's resolved options — the
+// estimator's compatibility requirement — enforced at construction and on
+// every insert through SketchFamily::CheckCompatible.
 
 #ifndef IPSKETCH_SERVICE_SKETCH_STORE_H_
 #define IPSKETCH_SERVICE_SKETCH_STORE_H_
@@ -22,51 +28,57 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
-#include "core/wmh_sketch.h"
 #include "service/thread_pool.h"
+#include "sketch/family.h"
 #include "vector/sparse_vector.h"
 
 namespace ipsketch {
 
 /// Configuration for `SketchStore::Make`.
 struct SketchStoreOptions {
-  /// Logical dimension every ingested vector must have. Required (> 0):
-  /// sketches of different dimensions are not comparable (Algorithm 5).
-  uint64_t dimension = 0;
+  /// Registry key of the sketch family every entry is built with.
+  std::string family = "wmh";
+  /// Family options. `sketch.dimension` is required (> 0): sketches of
+  /// different dimensions are not comparable. Family defaults (e.g. WMH's
+  /// L = DefaultL(dimension)) are resolved once, at Make, so the resolved
+  /// values are part of the store's identity and survive persistence.
+  FamilyOptions sketch;
   /// Shard count. More shards = less write contention; 16 is plenty below
   /// a few dozen threads. Must be positive.
   size_t num_shards = 16;
-  /// Sketching parameters shared by every vector in the store. If
-  /// `sketch.L` is 0 it is resolved to DefaultL(dimension) once, here, so
-  /// the resolved value is part of the store's identity.
-  WmhOptions sketch;
 
-  /// Validates field ranges.
+  /// Validates field ranges (family-specific checks happen in Make).
   Status Validate() const;
 };
 
 /// One (id, sketch) element of a store snapshot.
 struct StoreEntry {
   uint64_t id = 0;
-  WmhSketch sketch;
+  std::unique_ptr<AnySketch> sketch;
 };
 
 /// The sharded concurrent map. All public methods are thread-safe.
 class SketchStore {
  public:
-  /// Validates options (resolving L) and builds an empty store.
+  /// Builds the family from the registry (resolving option defaults) and an
+  /// empty store around it.
   static Result<SketchStore> Make(const SketchStoreOptions& options);
 
   SketchStore(SketchStore&&) = default;
   SketchStore& operator=(SketchStore&&) = default;
 
-  /// The store's options with L resolved.
+  /// The store's options with family defaults resolved.
   const SketchStoreOptions& options() const { return options_; }
+
+  /// The sketch family every entry belongs to. Valid for the store's
+  /// lifetime; query engines estimate through it.
+  const SketchFamily& family() const { return *family_; }
 
   /// Number of shards.
   size_t num_shards() const { return shards_.size(); }
@@ -75,16 +87,16 @@ class SketchStore {
   size_t size() const;
 
   /// Inserts (or replaces) a pre-built sketch. Fails with InvalidArgument
-  /// if the sketch's (m, seed, L, dimension) do not match the store's.
-  Status Insert(uint64_t id, WmhSketch sketch);
+  /// if the sketch is not compatible with the store's family options.
+  Status Insert(uint64_t id, std::unique_ptr<AnySketch> sketch);
 
-  /// Sketches `vec` with the store's parameters and inserts it under `id`.
-  /// Callers on a hot path that already hold a WmhSketcher should sketch
+  /// Sketches `vec` with the store's family and inserts it under `id`.
+  /// Callers on a hot path that already hold a Sketcher should sketch
   /// themselves and call Insert; this is the convenient serial form.
   Status BuildAndInsert(uint64_t id, const SparseVector& vec);
 
   /// Sketches and inserts a whole batch, fanning the sketching work across
-  /// `pool` (one WmhSketcher per worker; nullptr = sketch serially on the
+  /// `pool` (one Sketcher per worker; nullptr = sketch serially on the
   /// calling thread). Later batch entries win on duplicate ids. Returns the
   /// first error encountered; entries after an error in the same batch may
   /// or may not be inserted.
@@ -96,7 +108,7 @@ class SketchStore {
   bool Contains(uint64_t id) const;
 
   /// Copies out the sketch stored under `id`; NotFound if absent.
-  Result<WmhSketch> Lookup(uint64_t id) const;
+  Result<std::unique_ptr<AnySketch>> Lookup(uint64_t id) const;
 
   /// Removes `id`. NotFound if absent.
   Status Erase(uint64_t id);
@@ -115,7 +127,7 @@ class SketchStore {
   /// and never touch the store from inside it (the lock is held).
   bool ForEachInShard(
       size_t shard,
-      const std::function<bool(uint64_t, const WmhSketch&)>& fn) const;
+      const std::function<bool(uint64_t, const AnySketch&)>& fn) const;
 
   /// All (id, sketch) pairs, sorted by id: the per-shard snapshots merged.
   std::vector<StoreEntry> Snapshot() const;
@@ -130,14 +142,14 @@ class SketchStore {
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<uint64_t, WmhSketch> map;
+    std::unordered_map<uint64_t, std::unique_ptr<AnySketch>> map;
   };
 
-  explicit SketchStore(const SketchStoreOptions& options);
-
-  Status CheckCompatible(const WmhSketch& sketch) const;
+  SketchStore(SketchStoreOptions options,
+              std::shared_ptr<const SketchFamily> family);
 
   SketchStoreOptions options_;
+  std::shared_ptr<const SketchFamily> family_;
   // unique_ptrs because Shard (mutex) is immovable but the store is not.
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -2,246 +2,135 @@
 
 #include <utility>
 
-#include "core/icws.h"
-#include "core/wmh_estimator.h"
-#include "sketch/count_sketch.h"
-#include "sketch/jl_sketch.h"
-#include "sketch/kmv.h"
-#include "sketch/minhash.h"
+#include "sketch/family.h"
 #include "sketch/storage.h"
 
 namespace ipsketch {
 namespace {
 
-class JlEvaluator final : public MethodEvaluator {
+/// The single evaluator implementation: everything method-specific lives
+/// behind the family vtable. Families that support truncation are sketched
+/// once at the prepared budget and evaluated by prefix; the rest (CS, whose
+/// bucket layout changes with the width) keep the raw vectors and re-sketch
+/// per budget through a family resized to that budget.
+class FamilyEvaluator final : public MethodEvaluator {
  public:
-  const std::string& name() const override { return name_; }
+  FamilyEvaluator(FamilyInfo info, std::map<std::string, std::string> params)
+      : info_(std::move(info)), params_(std::move(params)) {}
+
+  const std::string& name() const override { return info_.display_name; }
 
   Status Prepare(const SparseVector& a, const SparseVector& b,
                  double max_storage_words, uint64_t seed) override {
-    JlOptions options;
-    options.num_rows = SamplesForStorageWords(max_storage_words,
-                                              SketchFamily::kLinear);
+    FamilyOptions options;
+    options.dimension = a.dimension();
+    options.num_samples = SamplesForStorageWords(max_storage_words,
+                                                info_.storage);
     options.seed = seed;
-    auto sa = SketchJl(a, options);
-    IPS_RETURN_IF_ERROR(sa.status());
-    auto sb = SketchJl(b, options);
-    IPS_RETURN_IF_ERROR(sb.status());
-    a_ = std::move(sa).value();
-    b_ = std::move(sb).value();
-    return Status::Ok();
-  }
-
-  Result<double> Estimate(double storage_words) override {
-    const size_t m = SamplesForStorageWords(storage_words,
-                                            SketchFamily::kLinear);
-    if (m == 0 || m > a_.num_rows()) {
-      return Status::OutOfRange("storage budget outside prepared range");
-    }
-    return EstimateJlInnerProduct(TruncatedJl(a_, m), TruncatedJl(b_, m));
-  }
-
- private:
-  std::string name_ = "JL";
-  JlSketch a_, b_;
-};
-
-class CountSketchEvaluator final : public MethodEvaluator {
- public:
-  const std::string& name() const override { return name_; }
-
-  Status Prepare(const SparseVector& a, const SparseVector& b,
-                 double max_storage_words, uint64_t seed) override {
-    // CountSketch bucket layouts change with the width, so the vectors are
-    // kept and re-bucketed per budget (one cheap pass over non-zeros each).
-    a_ = a;
-    b_ = b;
-    seed_ = seed;
+    options.params = params_;
+    auto family = MakeFamily(info_.name, options);
+    IPS_RETURN_IF_ERROR(family.status());
+    family_ = std::move(family).value();
     max_words_ = max_storage_words;
+
+    if (info_.supports_truncation) {
+      auto sketcher = family_->MakeSketcher();
+      IPS_RETURN_IF_ERROR(sketcher.status());
+      a_ = family_->NewSketch();
+      b_ = family_->NewSketch();
+      IPS_RETURN_IF_ERROR(sketcher.value()->Sketch(a, a_.get()));
+      IPS_RETURN_IF_ERROR(sketcher.value()->Sketch(b, b_.get()));
+    } else {
+      // Kept raw; re-sketched per budget in Estimate (one cheap pass over
+      // the non-zeros each).
+      raw_a_ = a;
+      raw_b_ = b;
+    }
     return Status::Ok();
   }
 
   Result<double> Estimate(double storage_words) override {
+    if (family_ == nullptr) {
+      return Status::FailedPrecondition("Prepare before Estimate");
+    }
+    const size_t m = SamplesForStorageWords(storage_words, info_.storage);
+    if (info_.supports_truncation) {
+      if (m == 0 || m > family_->options().num_samples) {
+        return Status::OutOfRange("storage budget outside prepared range");
+      }
+      auto ta = family_->Truncate(*a_, m);
+      IPS_RETURN_IF_ERROR(ta.status());
+      auto tb = family_->Truncate(*b_, m);
+      IPS_RETURN_IF_ERROR(tb.status());
+      return family_->Estimate(*ta.value(), *tb.value());
+    }
+
     if (storage_words > max_words_) {
       return Status::OutOfRange("storage budget outside prepared range");
     }
-    CountSketchOptions options;
-    options.total_counters =
-        SamplesForStorageWords(storage_words, SketchFamily::kLinear);
-    options.seed = seed_;
-    auto sa = SketchCount(a_, options);
-    IPS_RETURN_IF_ERROR(sa.status());
-    auto sb = SketchCount(b_, options);
-    IPS_RETURN_IF_ERROR(sb.status());
-    return EstimateCountSketchInnerProduct(sa.value(), sb.value());
+    FamilyOptions options = family_->options();
+    options.num_samples = m;
+    auto resized = MakeFamily(info_.name, options);
+    IPS_RETURN_IF_ERROR(resized.status());
+    auto sketcher = resized.value()->MakeSketcher();
+    IPS_RETURN_IF_ERROR(sketcher.status());
+    auto sa = resized.value()->NewSketch();
+    auto sb = resized.value()->NewSketch();
+    IPS_RETURN_IF_ERROR(sketcher.value()->Sketch(raw_a_, sa.get()));
+    IPS_RETURN_IF_ERROR(sketcher.value()->Sketch(raw_b_, sb.get()));
+    return resized.value()->Estimate(*sa, *sb);
   }
 
  private:
-  std::string name_ = "CS";
-  SparseVector a_, b_;
-  uint64_t seed_ = 0;
+  FamilyInfo info_;
+  std::map<std::string, std::string> params_;
+  std::shared_ptr<const SketchFamily> family_;
   double max_words_ = 0.0;
+  // Truncation families: the pair sketched at the prepared budget.
+  std::unique_ptr<AnySketch> a_, b_;
+  // Re-sketching families: the raw pair.
+  SparseVector raw_a_, raw_b_;
 };
 
-class MhEvaluator final : public MethodEvaluator {
- public:
-  const std::string& name() const override { return name_; }
-
-  Status Prepare(const SparseVector& a, const SparseVector& b,
-                 double max_storage_words, uint64_t seed) override {
-    MhOptions options;
-    options.num_samples =
-        SamplesForStorageWords(max_storage_words, SketchFamily::kSampling);
-    options.seed = seed;
-    auto sa = SketchMh(a, options);
-    IPS_RETURN_IF_ERROR(sa.status());
-    auto sb = SketchMh(b, options);
-    IPS_RETURN_IF_ERROR(sb.status());
-    a_ = std::move(sa).value();
-    b_ = std::move(sb).value();
-    return Status::Ok();
-  }
-
-  Result<double> Estimate(double storage_words) override {
-    const size_t m =
-        SamplesForStorageWords(storage_words, SketchFamily::kSampling);
-    if (m == 0 || m > a_.num_samples()) {
-      return Status::OutOfRange("storage budget outside prepared range");
-    }
-    return EstimateMhInnerProduct(TruncatedMh(a_, m), TruncatedMh(b_, m));
-  }
-
- private:
-  std::string name_ = "MH";
-  MhSketch a_, b_;
-};
-
-class KmvEvaluator final : public MethodEvaluator {
- public:
-  const std::string& name() const override { return name_; }
-
-  Status Prepare(const SparseVector& a, const SparseVector& b,
-                 double max_storage_words, uint64_t seed) override {
-    KmvOptions options;
-    options.k =
-        SamplesForStorageWords(max_storage_words, SketchFamily::kSampling);
-    options.seed = seed;
-    auto sa = SketchKmv(a, options);
-    IPS_RETURN_IF_ERROR(sa.status());
-    auto sb = SketchKmv(b, options);
-    IPS_RETURN_IF_ERROR(sb.status());
-    a_ = std::move(sa).value();
-    b_ = std::move(sb).value();
-    return Status::Ok();
-  }
-
-  Result<double> Estimate(double storage_words) override {
-    const size_t k =
-        SamplesForStorageWords(storage_words, SketchFamily::kSampling);
-    if (k == 0 || k > a_.k) {
-      return Status::OutOfRange("storage budget outside prepared range");
-    }
-    return EstimateKmvInnerProduct(TruncatedKmv(a_, k), TruncatedKmv(b_, k));
-  }
-
- private:
-  std::string name_ = "KMV";
-  KmvSketch a_, b_;
-};
-
-class WmhEvaluator final : public MethodEvaluator {
- public:
-  WmhEvaluator(WmhEngine engine, uint64_t L) : engine_(engine), L_(L) {}
-
-  const std::string& name() const override { return name_; }
-
-  Status Prepare(const SparseVector& a, const SparseVector& b,
-                 double max_storage_words, uint64_t seed) override {
-    WmhOptions options;
-    options.num_samples = SamplesForStorageWords(
-        max_storage_words, SketchFamily::kSamplingWithNorm);
-    options.seed = seed;
-    options.L = L_;
-    options.engine = engine_;
-    auto sa = SketchWmh(a, options);
-    IPS_RETURN_IF_ERROR(sa.status());
-    auto sb = SketchWmh(b, options);
-    IPS_RETURN_IF_ERROR(sb.status());
-    a_ = std::move(sa).value();
-    b_ = std::move(sb).value();
-    return Status::Ok();
-  }
-
-  Result<double> Estimate(double storage_words) override {
-    const size_t m = SamplesForStorageWords(storage_words,
-                                            SketchFamily::kSamplingWithNorm);
-    if (m == 0 || m > a_.num_samples()) {
-      return Status::OutOfRange("storage budget outside prepared range");
-    }
-    return EstimateWmhInnerProduct(TruncatedWmh(a_, m), TruncatedWmh(b_, m));
-  }
-
- private:
-  std::string name_ = "WMH";
-  WmhEngine engine_;
-  uint64_t L_;
-  WmhSketch a_, b_;
-};
-
-class IcwsEvaluator final : public MethodEvaluator {
- public:
-  const std::string& name() const override { return name_; }
-
-  Status Prepare(const SparseVector& a, const SparseVector& b,
-                 double max_storage_words, uint64_t seed) override {
-    IcwsOptions options;
-    options.num_samples = SamplesForStorageWords(
-        max_storage_words, SketchFamily::kSamplingWithNorm);
-    options.seed = seed;
-    auto sa = SketchIcws(a, options);
-    IPS_RETURN_IF_ERROR(sa.status());
-    auto sb = SketchIcws(b, options);
-    IPS_RETURN_IF_ERROR(sb.status());
-    a_ = std::move(sa).value();
-    b_ = std::move(sb).value();
-    return Status::Ok();
-  }
-
-  Result<double> Estimate(double storage_words) override {
-    const size_t m = SamplesForStorageWords(storage_words,
-                                            SketchFamily::kSamplingWithNorm);
-    if (m == 0 || m > a_.num_samples()) {
-      return Status::OutOfRange("storage budget outside prepared range");
-    }
-    return EstimateIcwsInnerProduct(TruncatedIcws(a_, m),
-                                    TruncatedIcws(b_, m));
-  }
-
- private:
-  std::string name_ = "ICWS";
-  IcwsSketch a_, b_;
-};
+std::unique_ptr<MethodEvaluator> MakeKnownFamilyEvaluator(
+    const std::string& family, std::map<std::string, std::string> params) {
+  auto made = MakeFamilyEvaluator(family, std::move(params));
+  IPS_CHECK(made.ok());
+  return std::move(made).value();
+}
 
 }  // namespace
 
+Result<std::unique_ptr<MethodEvaluator>> MakeFamilyEvaluator(
+    const std::string& family, std::map<std::string, std::string> params) {
+  auto info = GetFamilyInfo(family);
+  IPS_RETURN_IF_ERROR(info.status());
+  return std::unique_ptr<MethodEvaluator>(
+      new FamilyEvaluator(std::move(info).value(), std::move(params)));
+}
+
 std::unique_ptr<MethodEvaluator> MakeJlEvaluator() {
-  return std::make_unique<JlEvaluator>();
+  return MakeKnownFamilyEvaluator("jl", {});
 }
 std::unique_ptr<MethodEvaluator> MakeCountSketchEvaluator() {
-  return std::make_unique<CountSketchEvaluator>();
+  return MakeKnownFamilyEvaluator("cs", {});
 }
 std::unique_ptr<MethodEvaluator> MakeMhEvaluator() {
-  return std::make_unique<MhEvaluator>();
+  return MakeKnownFamilyEvaluator("mh", {});
 }
 std::unique_ptr<MethodEvaluator> MakeKmvEvaluator() {
-  return std::make_unique<KmvEvaluator>();
+  return MakeKnownFamilyEvaluator("kmv", {});
 }
 std::unique_ptr<MethodEvaluator> MakeWmhEvaluator(WmhEngine engine,
                                                   uint64_t L) {
-  return std::make_unique<WmhEvaluator>(engine, L);
+  std::map<std::string, std::string> params;
+  params["engine"] = engine == WmhEngine::kActiveIndex ? "active_index"
+                                                       : "expanded_reference";
+  if (L != 0) params["L"] = std::to_string(L);
+  return MakeKnownFamilyEvaluator("wmh", std::move(params));
 }
 std::unique_ptr<MethodEvaluator> MakeIcwsEvaluator() {
-  return std::make_unique<IcwsEvaluator>();
+  return MakeKnownFamilyEvaluator("icws", {});
 }
 
 std::vector<std::unique_ptr<MethodEvaluator>> MakeStandardEvaluators() {

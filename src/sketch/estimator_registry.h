@@ -3,13 +3,18 @@
 //
 // A `MethodEvaluator` is prepared once per vector pair at the *largest*
 // storage budget under study and can then produce estimates at any smaller
-// budget. For sampling sketches and JL, a smaller budget is a prefix of the
-// large sketch, so an entire storage sweep costs one sketching pass;
-// CountSketch re-buckets per budget (cheap — one pass over non-zeros).
+// budget. Every evaluator is a thin wrapper over the sketch/family.h
+// registry — the same polymorphic code path the service layer runs — so a
+// harness sweep and a production store exercise identical sketching and
+// estimation code. For families with `supports_truncation()` (sampling
+// sketches and JL), a smaller budget is a prefix of the large sketch, so an
+// entire storage sweep costs one sketching pass; CountSketch re-buckets per
+// budget (cheap — one pass over non-zeros).
 
 #ifndef IPSKETCH_SKETCH_ESTIMATOR_REGISTRY_H_
 #define IPSKETCH_SKETCH_ESTIMATOR_REGISTRY_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,7 +42,16 @@ class MethodEvaluator {
   virtual Result<double> Estimate(double storage_words) = 0;
 };
 
-/// Factories for individual methods.
+/// An evaluator for any registered family, keyed by the family.h registry
+/// name ("wmh", "icws", "mh", "kmv", "cs", "jl"), with optional
+/// family-specific params (e.g. {{"L", "2048"}} for WMH).
+/// InvalidArgument for unknown names or bad params.
+Result<std::unique_ptr<MethodEvaluator>> MakeFamilyEvaluator(
+    const std::string& family,
+    std::map<std::string, std::string> params = {});
+
+/// Factories for individual methods (fixed registry names, so they cannot
+/// fail).
 std::unique_ptr<MethodEvaluator> MakeJlEvaluator();
 std::unique_ptr<MethodEvaluator> MakeCountSketchEvaluator();
 std::unique_ptr<MethodEvaluator> MakeMhEvaluator();

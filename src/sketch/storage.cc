@@ -7,23 +7,23 @@
 
 namespace ipsketch {
 
-size_t SamplesForStorageWords(double storage_words, SketchFamily family) {
+size_t SamplesForStorageWords(double storage_words, StorageClass storage_class) {
   // NaN and non-positive budgets fit nothing.
   if (std::isnan(storage_words) || storage_words <= 0.0) return 0;
   double m = 0.0;
-  switch (family) {
-    case SketchFamily::kLinear:
+  switch (storage_class) {
+    case StorageClass::kLinear:
       m = storage_words;
       break;
-    case SketchFamily::kSampling:
+    case StorageClass::kSampling:
       m = storage_words / 1.5;
       break;
-    case SketchFamily::kSamplingWithNorm:
+    case StorageClass::kSamplingWithNorm:
       // Budgets below the one-word norm overhead make this negative; the
       // m < 1 guard below maps them to 0 instead of wrapping in the cast.
       m = (storage_words - 1.0) / 1.5;
       break;
-    case SketchFamily::kBits:
+    case StorageClass::kBits:
       // Bits are charged in whole 64-bit words (StorageWordsForSamples uses
       // ceil), so a fractional budget holds no partial word: floor first, or
       // the round-trip through StorageWordsForSamples would exceed budget.
@@ -40,16 +40,16 @@ size_t SamplesForStorageWords(double storage_words, SketchFamily family) {
   return static_cast<size_t>(m);
 }
 
-double StorageWordsForSamples(size_t m, SketchFamily family) {
+double StorageWordsForSamples(size_t m, StorageClass storage_class) {
   const double md = static_cast<double>(m);
-  switch (family) {
-    case SketchFamily::kLinear:
+  switch (storage_class) {
+    case StorageClass::kLinear:
       return md;
-    case SketchFamily::kSampling:
+    case StorageClass::kSampling:
       return 1.5 * md;
-    case SketchFamily::kSamplingWithNorm:
+    case StorageClass::kSamplingWithNorm:
       return 1.5 * md + 1.0;
-    case SketchFamily::kBits:
+    case StorageClass::kBits:
       return std::ceil(md / 64.0);
   }
   IPS_CHECK(false);

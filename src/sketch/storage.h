@@ -15,8 +15,8 @@
 
 namespace ipsketch {
 
-/// Storage family of a sketching method.
-enum class SketchFamily {
+/// Storage class of a sketching method.
+enum class StorageClass {
   kLinear = 0,    ///< m doubles (JL, CountSketch)
   kSampling = 1,  ///< m (double value, 32-bit hash) pairs (MH, KMV)
   kSamplingWithNorm = 2,  ///< sampling + one norm scalar (WMH, ICWS)
@@ -25,10 +25,10 @@ enum class SketchFamily {
 
 /// Largest sample count m whose sketch fits in `storage_words` 64-bit words.
 /// Returns 0 if the budget cannot fit even one sample.
-size_t SamplesForStorageWords(double storage_words, SketchFamily family);
+size_t SamplesForStorageWords(double storage_words, StorageClass storage_class);
 
-/// Exact storage in 64-bit words of an m-sample sketch of `family`.
-double StorageWordsForSamples(size_t m, SketchFamily family);
+/// Exact storage in 64-bit words of an m-sample sketch of `storage_class`.
+double StorageWordsForSamples(size_t m, StorageClass storage_class);
 
 }  // namespace ipsketch
 

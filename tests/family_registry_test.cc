@@ -1,0 +1,284 @@
+#include "sketch/family.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rounding.h"
+#include "data/synthetic.h"
+#include "sketch/serialize.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+constexpr uint64_t kDim = 512;
+
+SparseVector RandomVector(uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t index : SampleDistinctIndices(kDim, 24, seed)) {
+    entries.push_back({index, rng.NextUnit() * 2.0 - 1.0});
+  }
+  return SparseVector::MakeOrDie(kDim, std::move(entries));
+}
+
+FamilyOptions SmallOptions() {
+  FamilyOptions options;
+  options.dimension = kDim;
+  options.num_samples = 64;
+  options.seed = 42;
+  return options;
+}
+
+/// A value-parameterized fixture running every registered family through
+/// the same assertions.
+class FamilyRegistryTest : public ::testing::TestWithParam<FamilyInfo> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyRegistryTest,
+    ::testing::ValuesIn(RegisteredFamilies()),
+    [](const ::testing::TestParamInfo<FamilyInfo>& info) {
+      return info.param.name;
+    });
+
+TEST_P(FamilyRegistryTest, MetadataIsConsistent) {
+  const FamilyInfo& info = GetParam();
+  auto family = MakeFamily(info.name, SmallOptions()).value();
+  EXPECT_EQ(family->name(), info.name);
+  EXPECT_EQ(family->display_name(), info.display_name);
+  EXPECT_EQ(family->storage_class(), info.storage);
+  EXPECT_EQ(family->supports_merge(), info.supports_merge);
+  EXPECT_EQ(family->supports_truncation(), info.supports_truncation);
+  EXPECT_EQ(family->options().dimension, kDim);
+  EXPECT_EQ(family->options().num_samples, 64u);
+  EXPECT_EQ(family->options().seed, 42u);
+}
+
+TEST_P(FamilyRegistryTest, SketchEstimateIsFiniteAndCompatible) {
+  auto family = MakeFamily(GetParam().name, SmallOptions()).value();
+  auto sketcher = family->MakeSketcher().value();
+  auto a = family->NewSketch();
+  auto b = family->NewSketch();
+  ASSERT_TRUE(sketcher->Sketch(RandomVector(1), a.get()).ok());
+  ASSERT_TRUE(sketcher->Sketch(RandomVector(2), b.get()).ok());
+
+  EXPECT_TRUE(family->CheckCompatible(*a).ok());
+  EXPECT_TRUE(family->CheckCompatible(*b).ok());
+  EXPECT_GT(family->StorageWords(*a).value(), 0.0);
+
+  const auto estimate = family->Estimate(*a, *b);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_TRUE(std::isfinite(estimate.value()));
+
+  // Sketching is deterministic in (seed, vector): a second pass must agree.
+  auto a2 = family->NewSketch();
+  ASSERT_TRUE(sketcher->Sketch(RandomVector(1), a2.get()).ok());
+  EXPECT_EQ(family->Serialize(*a).value(), family->Serialize(*a2).value());
+
+  // Clone preserves the payload exactly.
+  EXPECT_EQ(family->Serialize(*a->Clone()).value(),
+            family->Serialize(*a).value());
+}
+
+TEST_P(FamilyRegistryTest, SerializeDeserializeRoundTripIsByteIdentical) {
+  auto family = MakeFamily(GetParam().name, SmallOptions()).value();
+  auto sketcher = family->MakeSketcher().value();
+  auto a = family->NewSketch();
+  auto b = family->NewSketch();
+  ASSERT_TRUE(sketcher->Sketch(RandomVector(3), a.get()).ok());
+  ASSERT_TRUE(sketcher->Sketch(RandomVector(4), b.get()).ok());
+  const double in_memory = family->Estimate(*a, *b).value();
+
+  const std::string bytes_a = family->Serialize(*a).value();
+  const std::string bytes_b = family->Serialize(*b).value();
+  auto ra = family->Deserialize(bytes_a);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  auto rb = family->Deserialize(bytes_b);
+  ASSERT_TRUE(rb.ok());
+
+  // Decoded sketches are compatible, re-encode byte-identically, and
+  // estimate to the exact same double (IEEE-754 bit patterns survive).
+  EXPECT_TRUE(family->CheckCompatible(*ra.value()).ok());
+  EXPECT_EQ(family->Serialize(*ra.value()).value(), bytes_a);
+  EXPECT_EQ(family->Estimate(*ra.value(), *rb.value()).value(), in_memory);
+
+  // Malformed bytes are rejected, never misparsed.
+  EXPECT_FALSE(family->Deserialize("").ok());
+  EXPECT_FALSE(family->Deserialize("not a sketch").ok());
+  EXPECT_FALSE(
+      family->Deserialize(std::string_view(bytes_a).substr(0, 9)).ok());
+}
+
+TEST_P(FamilyRegistryTest, MergeMatchesCapabilityFlag) {
+  auto family = MakeFamily(GetParam().name, SmallOptions()).value();
+  auto sketcher = family->MakeSketcher().value();
+  auto a = family->NewSketch();
+  auto b = family->NewSketch();
+  ASSERT_TRUE(sketcher->Sketch(RandomVector(5), a.get()).ok());
+  ASSERT_TRUE(sketcher->Sketch(RandomVector(6), b.get()).ok());
+
+  auto merged = family->Merge(*a, *b);
+  if (family->supports_merge()) {
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    // The merged sketch estimates against family members like any other.
+    EXPECT_TRUE(
+        std::isfinite(family->Estimate(*merged.value(), *a).value()));
+  } else {
+    EXPECT_EQ(merged.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_P(FamilyRegistryTest, TruncateMatchesCapabilityFlag) {
+  auto family = MakeFamily(GetParam().name, SmallOptions()).value();
+  auto sketcher = family->MakeSketcher().value();
+  auto a = family->NewSketch();
+  auto b = family->NewSketch();
+  ASSERT_TRUE(sketcher->Sketch(RandomVector(7), a.get()).ok());
+  ASSERT_TRUE(sketcher->Sketch(RandomVector(8), b.get()).ok());
+
+  auto truncated = family->Truncate(*a, 16);
+  if (family->supports_truncation()) {
+    ASSERT_TRUE(truncated.ok()) << truncated.status().ToString();
+    auto tb = family->Truncate(*b, 16).value();
+    EXPECT_TRUE(std::isfinite(
+        family->Estimate(*truncated.value(), *tb).value()));
+    // Beyond the sketch's own size is out of range.
+    EXPECT_EQ(family->Truncate(*a, 1000).status().code(),
+              StatusCode::kOutOfRange);
+  } else {
+    EXPECT_EQ(truncated.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_P(FamilyRegistryTest, RejectsSketchesOfOtherFamilies) {
+  const FamilyInfo& info = GetParam();
+  auto family = MakeFamily(info.name, SmallOptions()).value();
+  // A sketch from some *other* family.
+  const std::string other_name = info.name == "wmh" ? "jl" : "wmh";
+  auto other = MakeFamily(other_name, SmallOptions()).value();
+  auto foreign = other->NewSketch();
+  ASSERT_TRUE(
+      other->MakeSketcher().value()->Sketch(RandomVector(9), foreign.get())
+          .ok());
+
+  EXPECT_EQ(family->CheckCompatible(*foreign).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(family->Estimate(*foreign, *foreign).ok());
+  EXPECT_FALSE(family->StorageWords(*foreign).ok());
+  EXPECT_FALSE(family->Serialize(*foreign).ok());
+  // Another family's wire bytes carry the wrong type tag.
+  EXPECT_FALSE(
+      family->Deserialize(other->Serialize(*foreign).value()).ok());
+  // Sketching into a foreign output sketch is rejected too.
+  EXPECT_FALSE(
+      family->MakeSketcher().value()->Sketch(RandomVector(1), foreign.get())
+          .ok());
+}
+
+TEST_P(FamilyRegistryTest, ValidatesCommonOptions) {
+  const std::string& name = GetParam().name;
+
+  FamilyOptions no_dimension = SmallOptions();
+  no_dimension.dimension = 0;
+  EXPECT_EQ(MakeFamily(name, no_dimension).status().code(),
+            StatusCode::kInvalidArgument);
+
+  FamilyOptions zero_samples = SmallOptions();
+  zero_samples.num_samples = 0;
+  EXPECT_FALSE(MakeFamily(name, zero_samples).ok());
+
+  FamilyOptions unknown_param = SmallOptions();
+  unknown_param.params["definitely_not_a_knob"] = "1";
+  auto made = MakeFamily(name, unknown_param);
+  EXPECT_EQ(made.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(made.status().message().find("definitely_not_a_knob"),
+            std::string::npos);
+}
+
+TEST(FamilyRegistryErrorTest, UnknownFamilyNameIsDescriptive) {
+  auto made = MakeFamily("simhash_but_wrong", SmallOptions());
+  EXPECT_EQ(made.status().code(), StatusCode::kInvalidArgument);
+  // The error lists what IS registered.
+  EXPECT_NE(made.status().message().find("wmh"), std::string::npos);
+  EXPECT_EQ(GetFamilyInfo("").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FamilyRegistryErrorTest, RegistryListsExactlySixFamilies) {
+  const auto& families = RegisteredFamilies();
+  ASSERT_EQ(families.size(), 6u);
+  for (const char* name : {"wmh", "icws", "mh", "kmv", "cs", "jl"}) {
+    EXPECT_TRUE(GetFamilyInfo(name).ok()) << name;
+  }
+}
+
+TEST(FamilyRegistryErrorTest, FamilySpecificParamsAreValidated) {
+  // WMH: malformed L, unknown engine.
+  FamilyOptions bad_l = SmallOptions();
+  bad_l.params["L"] = "not_a_number";
+  EXPECT_EQ(MakeFamily("wmh", bad_l).status().code(),
+            StatusCode::kInvalidArgument);
+  FamilyOptions bad_engine = SmallOptions();
+  bad_engine.params["engine"] = "quantum";
+  EXPECT_EQ(MakeFamily("wmh", bad_engine).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // MH/KMV: unknown hash kind.
+  FamilyOptions bad_hash = SmallOptions();
+  bad_hash.params["hash"] = "md5";
+  EXPECT_EQ(MakeFamily("mh", bad_hash).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeFamily("kmv", bad_hash).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // CS: more repetitions than counters leaves zero-width tables.
+  FamilyOptions bad_reps = SmallOptions();
+  bad_reps.params["repetitions"] = "1000";
+  EXPECT_EQ(MakeFamily("cs", bad_reps).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FamilyRegistryErrorTest, WmhResolvesDefaultsIntoItsIdentity) {
+  auto family = MakeFamily("wmh", SmallOptions()).value();
+  EXPECT_EQ(family->options().params.at("L"),
+            std::to_string(DefaultL(kDim)));
+  EXPECT_EQ(family->options().params.at("engine"), "active_index");
+
+  // An explicit L is honored verbatim.
+  FamilyOptions with_l = SmallOptions();
+  with_l.params["L"] = "2048";
+  EXPECT_EQ(MakeFamily("wmh", with_l).value()->options().params.at("L"),
+            "2048");
+}
+
+TEST(FamilyOptionsWireTest, EncodeDecodeRoundTrips) {
+  FamilyOptions options = SmallOptions();
+  options.params["L"] = "4096";
+  options.params["engine"] = "active_index";
+  std::string bytes;
+  AppendFamilyOptions(&bytes, options);
+
+  // Decode through the public reader path used by persistence.
+  FamilyOptions decoded;
+  {
+    wire::Reader r(bytes);
+    ASSERT_TRUE(ReadFamilyOptions(&r, &decoded).ok());
+    ASSERT_TRUE(r.ExpectEnd().ok());
+  }
+  EXPECT_EQ(decoded, options);
+
+  // Truncated options bytes are rejected.
+  {
+    wire::Reader r(std::string_view(bytes).substr(0, bytes.size() - 2));
+    FamilyOptions scratch;
+    EXPECT_FALSE(ReadFamilyOptions(&r, &scratch).ok());
+  }
+
+  EXPECT_NE(FamilyOptionsToString(options).find("L=4096"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/wmh_sketch.h"
 #include "data/synthetic.h"
 #include "service/query_engine.h"
+#include "sketch/serialize.h"
 
 namespace ipsketch {
 namespace {
@@ -24,13 +26,19 @@ SparseVector RandomVector(uint64_t seed) {
   return SparseVector::MakeOrDie(kDim, std::move(entries));
 }
 
-SketchStore MakePopulatedStore(size_t count) {
+SketchStoreOptions SmallStoreOptions(const std::string& family = "wmh") {
   SketchStoreOptions opts;
-  opts.dimension = kDim;
-  opts.num_shards = 8;
+  opts.family = family;
+  opts.sketch.dimension = kDim;
   opts.sketch.num_samples = 64;
   opts.sketch.seed = 42;
-  auto store = SketchStore::Make(opts).value();
+  opts.num_shards = 8;
+  return opts;
+}
+
+SketchStore MakePopulatedStore(size_t count,
+                               const std::string& family = "wmh") {
+  auto store = SketchStore::Make(SmallStoreOptions(family)).value();
   for (uint64_t i = 0; i < count; ++i) {
     EXPECT_TRUE(store.BuildAndInsert(i * 11, RandomVector(i)).ok());
   }
@@ -39,6 +47,17 @@ SketchStore MakePopulatedStore(size_t count) {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+// FNV-1a, mirroring the persistence trailer — used to hand-build legacy
+// v1 files.
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 TEST(StorePersistenceTest, SaveLoadPreservesOptionsAndContents) {
@@ -50,12 +69,11 @@ TEST(StorePersistenceTest, SaveLoadPreservesOptionsAndContents) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const SketchStore& reloaded = loaded.value();
 
-  EXPECT_EQ(reloaded.options().dimension, store.options().dimension);
+  EXPECT_EQ(reloaded.options().family, store.options().family);
   EXPECT_EQ(reloaded.options().num_shards, store.options().num_shards);
-  EXPECT_EQ(reloaded.options().sketch.num_samples,
-            store.options().sketch.num_samples);
-  EXPECT_EQ(reloaded.options().sketch.seed, store.options().sketch.seed);
-  EXPECT_EQ(reloaded.options().sketch.L, store.options().sketch.L);
+  // Resolved family options (including materialized defaults like WMH's L)
+  // survive verbatim.
+  EXPECT_EQ(reloaded.options().sketch, store.options().sketch);
   EXPECT_EQ(reloaded.size(), store.size());
   EXPECT_EQ(reloaded.Ids(), store.Ids());
   std::remove(path.c_str());
@@ -84,6 +102,29 @@ TEST(StorePersistenceTest, ReloadedEstimatesAreByteIdentical) {
   std::remove(path.c_str());
 }
 
+// The family-generic persistence round trip: every registered family's
+// store must encode, decode, and reproduce byte-identical estimates.
+TEST(StorePersistenceTest, EveryFamilyRoundTripsWithIdenticalEstimates) {
+  for (const FamilyInfo& info : RegisteredFamilies()) {
+    const auto store = MakePopulatedStore(20, info.name);
+    auto reloaded = DecodeSketchStore(EncodeSketchStore(store));
+    ASSERT_TRUE(reloaded.ok())
+        << info.name << ": " << reloaded.status().ToString();
+    EXPECT_EQ(reloaded.value().options().family, info.name);
+    EXPECT_EQ(reloaded.value().options().sketch, store.options().sketch);
+    ASSERT_EQ(reloaded.value().Ids(), store.Ids()) << info.name;
+
+    QueryEngine before(&store);
+    QueryEngine after(&reloaded.value());
+    const auto ids = store.Ids();
+    for (size_t i = 1; i < ids.size(); ++i) {
+      EXPECT_EQ(before.EstimateInnerProduct(ids[0], ids[i]).value(),
+                after.EstimateInnerProduct(ids[0], ids[i]).value())
+          << info.name << " pair (" << ids[0] << ", " << ids[i] << ")";
+    }
+  }
+}
+
 TEST(StorePersistenceTest, EncodingIsDeterministic) {
   const auto store = MakePopulatedStore(30);
   const std::string bytes = EncodeSketchStore(store);
@@ -99,6 +140,100 @@ TEST(StorePersistenceTest, EmptyStoreRoundTrips) {
   auto reloaded = DecodeSketchStore(EncodeSketchStore(store));
   ASSERT_TRUE(reloaded.ok());
   EXPECT_EQ(reloaded.value().size(), 0u);
+}
+
+// A legacy version-1 file — the WMH-only format written before the
+// SketchFamily redesign — must still load, as a "wmh" store with identical
+// estimates. The v1 bytes are built by hand here, field for field.
+TEST(StorePersistenceTest, ReadsLegacyV1WmhFile) {
+  const auto store = MakePopulatedStore(25);
+  const WmhOptions wmh_options = [&] {
+    WmhOptions o;
+    o.num_samples = store.options().sketch.num_samples;
+    o.seed = store.options().sketch.seed;
+    o.L = std::stoull(store.options().sketch.params.at("L"));
+    return o;
+  }();
+
+  // v1 layout: [magic][version=1][dimension][num_shards][num_samples]
+  // [seed][L][engine u8][count][id, SerializeWmh bytes]*[fnv1a].
+  std::string v1;
+  wire::AppendU32(&v1, 0x49505354);  // "IPST"
+  wire::AppendU8(&v1, 1);
+  wire::AppendU64(&v1, kDim);
+  wire::AppendU64(&v1, store.options().num_shards);
+  wire::AppendU64(&v1, wmh_options.num_samples);
+  wire::AppendU64(&v1, wmh_options.seed);
+  wire::AppendU64(&v1, wmh_options.L);
+  wire::AppendU8(&v1, 0);  // kActiveIndex
+  const auto entries = store.Snapshot();
+  wire::AppendU64(&v1, entries.size());
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    for (const auto& entry : store.ShardSnapshot(s)) {
+      const WmhSketch* wmh = GetSketchAs<WmhSketch>(*entry.sketch);
+      ASSERT_NE(wmh, nullptr);
+      wire::AppendU64(&v1, entry.id);
+      wire::AppendBytes(&v1, SerializeWmh(*wmh));
+    }
+  }
+  wire::AppendU64(&v1, Fnv1a(v1));
+
+  auto loaded = DecodeSketchStore(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().options().family, "wmh");
+  EXPECT_EQ(loaded.value().options().sketch, store.options().sketch);
+  EXPECT_EQ(loaded.value().Ids(), store.Ids());
+
+  QueryEngine before(&store);
+  QueryEngine after(&loaded.value());
+  const auto ids = store.Ids();
+  for (size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_EQ(before.EstimateInnerProduct(ids[0], ids[i]).value(),
+              after.EstimateInnerProduct(ids[0], ids[i]).value());
+  }
+
+  // Re-encoding a v1-loaded store produces a v2 file that round-trips.
+  auto reencoded = DecodeSketchStore(EncodeSketchStore(loaded.value()));
+  ASSERT_TRUE(reencoded.ok());
+  EXPECT_EQ(reencoded.value().Ids(), store.Ids());
+}
+
+// Opening a file with the wrong expectations must fail loudly, not load
+// into silently incompatible estimates.
+TEST(StorePersistenceTest, LoadAsRejectsMismatchedFamilyOrOptions) {
+  const auto store = MakePopulatedStore(10);
+  const std::string path = TempPath("store_mismatch.bin");
+  ASSERT_TRUE(SaveSketchStore(store, path).ok());
+
+  // The honest expectation loads (including with unresolved defaults:
+  // no L param at all resolves to the same DefaultL the file holds).
+  EXPECT_TRUE(LoadSketchStoreAs(path, SmallStoreOptions()).ok());
+
+  // Wrong family.
+  auto wrong_family = LoadSketchStoreAs(path, SmallStoreOptions("cs"));
+  EXPECT_EQ(wrong_family.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(wrong_family.status().message().find("family"),
+            std::string::npos);
+
+  // Wrong seed.
+  SketchStoreOptions wrong_seed = SmallStoreOptions();
+  wrong_seed.sketch.seed = 43;
+  EXPECT_EQ(LoadSketchStoreAs(path, wrong_seed).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Wrong sample count.
+  SketchStoreOptions wrong_m = SmallStoreOptions();
+  wrong_m.sketch.num_samples = 128;
+  EXPECT_EQ(LoadSketchStoreAs(path, wrong_m).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Wrong family param (L).
+  SketchStoreOptions wrong_l = SmallStoreOptions();
+  wrong_l.sketch.params["L"] = "12345";
+  EXPECT_EQ(LoadSketchStoreAs(path, wrong_l).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  std::remove(path.c_str());
 }
 
 TEST(StorePersistenceTest, RejectsCorruptedBytes) {
@@ -127,6 +262,22 @@ TEST(StorePersistenceTest, RejectsCorruptedBytes) {
     flipped[pos] ^= 0x41;
     EXPECT_FALSE(DecodeSketchStore(flipped).ok()) << "flip at " << pos;
   }
+}
+
+TEST(StorePersistenceTest, RejectsAbsurdShardCounts) {
+  const auto store = MakePopulatedStore(3);
+  const std::string bytes = EncodeSketchStore(store);
+  // num_shards sits right after [magic u32][version u8][len u64]["wmh"];
+  // blow it up to 2^64-1 and re-seal the checksum so only the shard-count
+  // guard can reject the file (not the corruption trailer).
+  const size_t offset = 4 + 1 + 8 + 3;
+  std::string patched = bytes.substr(0, bytes.size() - 8);
+  for (size_t i = 0; i < 8; ++i) patched[offset + i] = '\xff';
+  wire::AppendU64(&patched, Fnv1a(patched));
+  auto decoded = DecodeSketchStore(patched);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("shard count"),
+            std::string::npos);
 }
 
 TEST(StorePersistenceTest, LoadMissingFileIsNotFound) {

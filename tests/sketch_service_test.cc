@@ -1,27 +1,44 @@
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/rounding.h"
+#include "core/similarity_search.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
 #include "data/synthetic.h"
 #include "service/query_engine.h"
 #include "service/sketch_store.h"
 #include "service/thread_pool.h"
+#include "sketch/count_sketch.h"
 
 namespace ipsketch {
 namespace {
 
 constexpr uint64_t kDim = 512;
 
-SketchStoreOptions SmallStoreOptions() {
+SketchStoreOptions SmallStoreOptions(const std::string& family = "wmh") {
   SketchStoreOptions opts;
-  opts.dimension = kDim;
-  opts.num_shards = 8;
+  opts.family = family;
+  opts.sketch.dimension = kDim;
   opts.sketch.num_samples = 64;
   opts.sketch.seed = 42;
+  opts.num_shards = 8;
   return opts;
+}
+
+// The concrete WMH options a "wmh" store resolves to — used to rebuild
+// store-compatible sketches through the core API for equivalence checks.
+WmhOptions StoreWmhOptions(const SketchStore& store) {
+  WmhOptions options;
+  options.num_samples = store.options().sketch.num_samples;
+  options.seed = store.options().sketch.seed;
+  options.L = std::stoull(store.options().sketch.params.at("L"));
+  return options;
 }
 
 // A deterministic random sparse vector with ~24 non-zeros.
@@ -66,7 +83,7 @@ TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotInterfere) {
 
 TEST(SketchStoreTest, ValidatesOptions) {
   SketchStoreOptions opts = SmallStoreOptions();
-  opts.dimension = 0;
+  opts.sketch.dimension = 0;
   EXPECT_FALSE(SketchStore::Make(opts).ok());
   opts = SmallStoreOptions();
   opts.num_shards = 0;
@@ -74,11 +91,19 @@ TEST(SketchStoreTest, ValidatesOptions) {
   opts = SmallStoreOptions();
   opts.sketch.num_samples = 0;
   EXPECT_FALSE(SketchStore::Make(opts).ok());
+  opts = SmallStoreOptions();
+  opts.family = "no_such_family";
+  EXPECT_FALSE(SketchStore::Make(opts).ok());
+  opts = SmallStoreOptions();
+  opts.sketch.params["unknown_knob"] = "3";
+  EXPECT_FALSE(SketchStore::Make(opts).ok());
 }
 
 TEST(SketchStoreTest, ResolvesDefaultLOnce) {
   auto store = SketchStore::Make(SmallStoreOptions()).value();
-  EXPECT_EQ(store.options().sketch.L, DefaultL(kDim));
+  EXPECT_EQ(store.options().sketch.params.at("L"),
+            std::to_string(DefaultL(kDim)));
+  EXPECT_EQ(StoreWmhOptions(store).L, DefaultL(kDim));
 }
 
 TEST(SketchStoreTest, InsertLookupEraseRoundTrip) {
@@ -90,7 +115,9 @@ TEST(SketchStoreTest, InsertLookupEraseRoundTrip) {
 
   auto sketch = store.Lookup(7);
   ASSERT_TRUE(sketch.ok());
-  EXPECT_EQ(sketch.value().num_samples(), 64u);
+  const WmhSketch* wmh = GetSketchAs<WmhSketch>(*sketch.value());
+  ASSERT_NE(wmh, nullptr);
+  EXPECT_EQ(wmh->num_samples(), 64u);
   EXPECT_EQ(store.Lookup(8).status().code(), StatusCode::kNotFound);
 
   EXPECT_TRUE(store.Erase(7).ok());
@@ -101,11 +128,19 @@ TEST(SketchStoreTest, InsertLookupEraseRoundTrip) {
 TEST(SketchStoreTest, RejectsIncompatibleSketchesAndVectors) {
   auto store = SketchStore::Make(SmallStoreOptions()).value();
 
-  WmhOptions other = SmallStoreOptions().sketch;
+  WmhOptions other = StoreWmhOptions(store);
   other.seed = 99;  // different seed → not comparable
-  other.L = store.options().sketch.L;
   auto sketch = SketchWmh(RandomVector(1), other).value();
-  EXPECT_EQ(store.Insert(1, sketch).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store
+                .Insert(1, std::make_unique<TypedSketch<WmhSketch>>(
+                               std::move(sketch)))
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // A sketch of a different family entirely.
+  EXPECT_EQ(store.Insert(1, std::make_unique<TypedSketch<CountSketch>>())
+                .code(),
+            StatusCode::kInvalidArgument);
 
   const SparseVector wrong_dim =
       SparseVector::MakeOrDie(kDim * 2, {{3, 1.0}});
@@ -133,9 +168,13 @@ TEST(SketchStoreTest, BatchIngestMatchesSerialIngest) {
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].id, b[i].id);
-    EXPECT_EQ(a[i].sketch.hashes, b[i].sketch.hashes);
-    EXPECT_EQ(a[i].sketch.values, b[i].sketch.values);
-    EXPECT_EQ(a[i].sketch.norm, b[i].sketch.norm);
+    const WmhSketch* sa = GetSketchAs<WmhSketch>(*a[i].sketch);
+    const WmhSketch* sb = GetSketchAs<WmhSketch>(*b[i].sketch);
+    ASSERT_NE(sa, nullptr);
+    ASSERT_NE(sb, nullptr);
+    EXPECT_EQ(sa->hashes, sb->hashes);
+    EXPECT_EQ(sa->values, sb->values);
+    EXPECT_EQ(sa->norm, sb->norm);
   }
 }
 
@@ -144,8 +183,11 @@ TEST(SketchStoreTest, DuplicateIdsLastWriteWins) {
   ASSERT_TRUE(store.BuildAndInsert(5, RandomVector(1)).ok());
   ASSERT_TRUE(store.BuildAndInsert(5, RandomVector(2)).ok());
   EXPECT_EQ(store.size(), 1u);
-  const auto expected = SketchWmh(RandomVector(2), store.options().sketch);
-  EXPECT_EQ(store.Lookup(5).value().hashes, expected.value().hashes);
+  const auto expected = SketchWmh(RandomVector(2), StoreWmhOptions(store));
+  const auto looked_up = store.Lookup(5).value();
+  const WmhSketch* wmh = GetSketchAs<WmhSketch>(*looked_up);
+  ASSERT_NE(wmh, nullptr);
+  EXPECT_EQ(wmh->hashes, expected.value().hashes);
 }
 
 TEST(QueryEngineTest, EstimateInnerProductMatchesDirectEstimator) {
@@ -154,8 +196,12 @@ TEST(QueryEngineTest, EstimateInnerProductMatchesDirectEstimator) {
   ASSERT_TRUE(store.BuildAndInsert(2, RandomVector(2)).ok());
 
   QueryEngine engine(&store);
-  const auto direct = EstimateWmhInnerProduct(store.Lookup(1).value(),
-                                              store.Lookup(2).value());
+  // The service path must agree exactly with the core WMH estimator on
+  // sketches built directly through the core API.
+  const WmhOptions core_options = StoreWmhOptions(store);
+  const auto direct = EstimateWmhInnerProduct(
+      SketchWmh(RandomVector(1), core_options).value(),
+      SketchWmh(RandomVector(2), core_options).value());
   EXPECT_EQ(engine.EstimateInnerProduct(1, 2).value(), direct.value());
   EXPECT_EQ(engine.EstimateInnerProduct(1, 99).status().code(),
             StatusCode::kNotFound);
@@ -231,11 +277,58 @@ TEST(QueryEngineTest, RejectsMismatchedQueries) {
                 .code(),
             StatusCode::kInvalidArgument);
 
-  WmhOptions other = store.options().sketch;
+  WmhOptions other = StoreWmhOptions(store);
   other.seed ^= 1;
-  const auto foreign = SketchWmh(RandomVector(9), other).value();
+  const TypedSketch<WmhSketch> foreign(
+      SketchWmh(RandomVector(9), other).value());
   EXPECT_EQ(engine.TopKSketch(foreign, 3).status().code(),
             StatusCode::kInvalidArgument);
+
+  // A query sketch of the wrong family is rejected, not mis-estimated.
+  EXPECT_EQ(engine.TopKSketch(TypedSketch<CountSketch>(), 3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The same QueryEngine code serving a different family: a CountSketch store
+// must produce exactly the estimates of the direct CountSketch estimator.
+TEST(QueryEngineTest, CountSketchStoreMatchesDirectEstimator) {
+  auto store = SketchStore::Make(SmallStoreOptions("cs")).value();
+  for (uint64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store.BuildAndInsert(i, RandomVector(i)).ok());
+  }
+  QueryEngine engine(&store);
+
+  CountSketchOptions cs_options;
+  cs_options.total_counters = store.options().sketch.num_samples;
+  cs_options.seed = store.options().sketch.seed;
+  const SparseVector query = RandomVector(900);
+  const auto query_cs = SketchCount(query, cs_options).value();
+
+  const auto hits = engine.EstimateAgainstQuery(query).value();
+  ASSERT_EQ(hits.size(), 30u);
+  for (const auto& hit : hits) {
+    const auto direct = EstimateCountSketchInnerProduct(
+        query_cs, SketchCount(RandomVector(hit.id), cs_options).value());
+    EXPECT_EQ(hit.estimate, direct.value()) << "id " << hit.id;
+  }
+}
+
+// Every registered family must work end to end through the generic store:
+// ingest, point estimates, and top-k retrieval.
+TEST(QueryEngineTest, AllFamiliesServeTopK) {
+  for (const FamilyInfo& info : RegisteredFamilies()) {
+    auto store = SketchStore::Make(SmallStoreOptions(info.name)).value();
+    for (uint64_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(store.BuildAndInsert(i, RandomVector(i)).ok())
+          << info.name;
+    }
+    QueryEngine engine(&store);
+    const auto hits = engine.TopK(RandomVector(7), 5).value();
+    ASSERT_EQ(hits.size(), 5u) << info.name;
+    // id 7 holds the query vector itself; self-similarity dominates for
+    // every method at this sketch size.
+    EXPECT_EQ(hits[0].id, 7u) << info.name;
+  }
 }
 
 // The satellite stress test: 8 writer threads ingest disjoint id ranges
@@ -302,15 +395,19 @@ TEST(SketchServiceStressTest, ConcurrentIngestAndQuery) {
   for (size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
 
   // Concurrent-pool TopK over the finished store matches a single-threaded
-  // recompute done entirely from scratch via the core brute-force path.
+  // recompute done entirely from scratch via the core brute-force path on
+  // concrete WmhSketches — the redesigned, family-generic engine must
+  // return exactly what the pre-redesign WMH-only engine returned.
   const auto parallel_hits = engine.TopK(query, 10).value();
   const auto query_sketch =
-      SketchWmh(query, store.options().sketch).value();
+      SketchWmh(query, StoreWmhOptions(store)).value();
   std::vector<WmhSketch> all;
   std::vector<uint64_t> all_ids;
   for (const auto& entry : store.Snapshot()) {
+    const WmhSketch* wmh = GetSketchAs<WmhSketch>(*entry.sketch);
+    ASSERT_NE(wmh, nullptr);
     all_ids.push_back(entry.id);
-    all.push_back(entry.sketch);
+    all.push_back(*wmh);
   }
   const auto expected = TopKByInnerProduct(query_sketch, all, 10).value();
   ASSERT_EQ(parallel_hits.size(), expected.size());

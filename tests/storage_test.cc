@@ -9,37 +9,37 @@ namespace ipsketch {
 namespace {
 
 TEST(StorageTest, LinearFamilyIsIdentity) {
-  EXPECT_EQ(SamplesForStorageWords(400, SketchFamily::kLinear), 400u);
-  EXPECT_DOUBLE_EQ(StorageWordsForSamples(400, SketchFamily::kLinear), 400.0);
+  EXPECT_EQ(SamplesForStorageWords(400, StorageClass::kLinear), 400u);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(400, StorageClass::kLinear), 400.0);
 }
 
 TEST(StorageTest, SamplingChargesOnePointFiveWords) {
   // §5: "a sampling-based sketch with m samples takes 1.5x as much space as
   // a JL sketch with m rows".
-  EXPECT_EQ(SamplesForStorageWords(400, SketchFamily::kSampling), 266u);
-  EXPECT_DOUBLE_EQ(StorageWordsForSamples(266, SketchFamily::kSampling),
+  EXPECT_EQ(SamplesForStorageWords(400, StorageClass::kSampling), 266u);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(266, StorageClass::kSampling),
                    399.0);
-  EXPECT_EQ(SamplesForStorageWords(3, SketchFamily::kSampling), 2u);
+  EXPECT_EQ(SamplesForStorageWords(3, StorageClass::kSampling), 2u);
 }
 
 TEST(StorageTest, SamplingWithNormReservesOneWord) {
-  EXPECT_EQ(SamplesForStorageWords(400, SketchFamily::kSamplingWithNorm),
+  EXPECT_EQ(SamplesForStorageWords(400, StorageClass::kSamplingWithNorm),
             266u);
   EXPECT_DOUBLE_EQ(
-      StorageWordsForSamples(266, SketchFamily::kSamplingWithNorm), 400.0);
+      StorageWordsForSamples(266, StorageClass::kSamplingWithNorm), 400.0);
 }
 
 TEST(StorageTest, BitsFamilyPacksSixtyFourPerWord) {
-  EXPECT_EQ(SamplesForStorageWords(4, SketchFamily::kBits), 256u);
-  EXPECT_DOUBLE_EQ(StorageWordsForSamples(256, SketchFamily::kBits), 4.0);
-  EXPECT_DOUBLE_EQ(StorageWordsForSamples(70, SketchFamily::kBits), 2.0);
+  EXPECT_EQ(SamplesForStorageWords(4, StorageClass::kBits), 256u);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(256, StorageClass::kBits), 4.0);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(70, StorageClass::kBits), 2.0);
 }
 
 TEST(StorageTest, RoundTripNeverExceedsBudget) {
   for (double words : {2.0, 10.0, 100.0, 400.0, 1000.0}) {
     for (auto family :
-         {SketchFamily::kLinear, SketchFamily::kSampling,
-          SketchFamily::kSamplingWithNorm, SketchFamily::kBits}) {
+         {StorageClass::kLinear, StorageClass::kSampling,
+          StorageClass::kSamplingWithNorm, StorageClass::kBits}) {
       const size_t m = SamplesForStorageWords(words, family);
       if (m > 0) {
         EXPECT_LE(StorageWordsForSamples(m, family), words + 1e-9)
@@ -50,31 +50,31 @@ TEST(StorageTest, RoundTripNeverExceedsBudget) {
 }
 
 TEST(StorageTest, TinyBudgetsYieldZeroSamples) {
-  EXPECT_EQ(SamplesForStorageWords(0.0, SketchFamily::kLinear), 0u);
-  EXPECT_EQ(SamplesForStorageWords(-5.0, SketchFamily::kLinear), 0u);
-  EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kSampling), 0u);
-  EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kSamplingWithNorm), 0u);
+  EXPECT_EQ(SamplesForStorageWords(0.0, StorageClass::kLinear), 0u);
+  EXPECT_EQ(SamplesForStorageWords(-5.0, StorageClass::kLinear), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.0, StorageClass::kSampling), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.0, StorageClass::kSamplingWithNorm), 0u);
 }
 
 TEST(StorageTest, OneSampleBoundaryPerFamily) {
   // One sample costs exactly 1 word (linear), 1.5 (sampling), 2.5 (sampling
   // + norm); one word holds 64 bits. Just under fits nothing; exactly at
   // fits the first sample.
-  EXPECT_EQ(SamplesForStorageWords(0.999, SketchFamily::kLinear), 0u);
-  EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kLinear), 1u);
-  EXPECT_EQ(SamplesForStorageWords(1.499, SketchFamily::kSampling), 0u);
-  EXPECT_EQ(SamplesForStorageWords(1.5, SketchFamily::kSampling), 1u);
-  EXPECT_EQ(SamplesForStorageWords(2.499, SketchFamily::kSamplingWithNorm),
+  EXPECT_EQ(SamplesForStorageWords(0.999, StorageClass::kLinear), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.0, StorageClass::kLinear), 1u);
+  EXPECT_EQ(SamplesForStorageWords(1.499, StorageClass::kSampling), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.5, StorageClass::kSampling), 1u);
+  EXPECT_EQ(SamplesForStorageWords(2.499, StorageClass::kSamplingWithNorm),
             0u);
-  EXPECT_EQ(SamplesForStorageWords(2.5, SketchFamily::kSamplingWithNorm), 1u);
-  EXPECT_EQ(SamplesForStorageWords(0.999, SketchFamily::kBits), 0u);
-  EXPECT_EQ(SamplesForStorageWords(1.0, SketchFamily::kBits), 64u);
+  EXPECT_EQ(SamplesForStorageWords(2.5, StorageClass::kSamplingWithNorm), 1u);
+  EXPECT_EQ(SamplesForStorageWords(0.999, StorageClass::kBits), 0u);
+  EXPECT_EQ(SamplesForStorageWords(1.0, StorageClass::kBits), 64u);
 }
 
 TEST(StorageTest, SubSampleBudgetsNeverUnderflow) {
   for (auto family :
-       {SketchFamily::kLinear, SketchFamily::kSampling,
-        SketchFamily::kSamplingWithNorm, SketchFamily::kBits}) {
+       {StorageClass::kLinear, StorageClass::kSampling,
+        StorageClass::kSamplingWithNorm, StorageClass::kBits}) {
     for (double words : {-1.0, 0.0, 0.25, 0.5, 0.9}) {
       EXPECT_EQ(SamplesForStorageWords(words, family), 0u)
           << "words=" << words << " family=" << static_cast<int>(family);
@@ -85,18 +85,18 @@ TEST(StorageTest, SubSampleBudgetsNeverUnderflow) {
 TEST(StorageTest, FractionalBitsBudgetStaysWithinBudget) {
   // ceil-based accounting charges whole words, so a 1.5-word budget holds
   // only one word of bits — 96 samples would round-trip to 2 words.
-  EXPECT_EQ(SamplesForStorageWords(1.5, SketchFamily::kBits), 64u);
-  EXPECT_DOUBLE_EQ(StorageWordsForSamples(64, SketchFamily::kBits), 1.0);
+  EXPECT_EQ(SamplesForStorageWords(1.5, StorageClass::kBits), 64u);
+  EXPECT_DOUBLE_EQ(StorageWordsForSamples(64, StorageClass::kBits), 1.0);
   EXPECT_LE(StorageWordsForSamples(
-                SamplesForStorageWords(1.5, SketchFamily::kBits),
-                SketchFamily::kBits),
+                SamplesForStorageWords(1.5, StorageClass::kBits),
+                StorageClass::kBits),
             1.5);
 }
 
 TEST(StorageTest, NanBudgetsYieldZero) {
   for (auto family :
-       {SketchFamily::kLinear, SketchFamily::kSampling,
-        SketchFamily::kSamplingWithNorm, SketchFamily::kBits}) {
+       {StorageClass::kLinear, StorageClass::kSampling,
+        StorageClass::kSamplingWithNorm, StorageClass::kBits}) {
     EXPECT_EQ(SamplesForStorageWords(std::nan(""), family), 0u);
   }
 }
@@ -104,8 +104,8 @@ TEST(StorageTest, NanBudgetsYieldZero) {
 TEST(StorageTest, UnrepresentablyLargeBudgetsSaturate) {
   constexpr size_t kMax = std::numeric_limits<size_t>::max();
   for (auto family :
-       {SketchFamily::kLinear, SketchFamily::kSampling,
-        SketchFamily::kSamplingWithNorm, SketchFamily::kBits}) {
+       {StorageClass::kLinear, StorageClass::kSampling,
+        StorageClass::kSamplingWithNorm, StorageClass::kBits}) {
     // Casting a double >= 2^64 to size_t is UB; these must clamp instead.
     EXPECT_EQ(SamplesForStorageWords(1e30, family), kMax);
     EXPECT_EQ(SamplesForStorageWords(
