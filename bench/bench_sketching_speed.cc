@@ -1,6 +1,11 @@
 // Throughput benchmarks (google-benchmark) for §5's "Efficient Weighted
-// Hashing": the active-index engine's O(nnz·m·log L) vs the expanded
-// reference's O(m·L), ICWS's O(nnz·m), and the baseline sketches.
+// Hashing": the dart engine's expected O(nnz + m·log m) vs the active-index
+// engine's O(nnz·m·log L) vs the expanded reference's O(m·L), ICWS's
+// O(nnz·m) (and its dart variant), and the baseline sketches.
+//
+// The BM_WmhIngest_* group is the per-engine ingest head-to-head at the
+// service configuration (m = 128, L = 4096): kDart must beat kActiveIndex
+// by ≥5× on this workload.
 
 #include <benchmark/benchmark.h>
 
@@ -55,6 +60,63 @@ BENCHMARK(BM_WmhActiveIndex)
     ->Args({1024, 1 << 18})
     ->Args({4096, 1 << 18});
 
+void BM_WmhDart(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  const uint64_t L = static_cast<uint64_t>(state.range(1));
+  const auto v = MakeVector(1 << 20, nnz, 1);
+  WmhOptions o;
+  o.num_samples = 64;
+  o.L = L;
+  o.engine = WmhEngine::kDart;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SketchWmh(v, o).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * nnz *
+                          o.num_samples);
+}
+// Runtime should be flat along BOTH axes beyond the O(nnz) rounding term:
+// the dart count is m·(ln m + 4) regardless of L and of nnz.
+BENCHMARK(BM_WmhDart)
+    ->Args({256, 1 << 12})
+    ->Args({256, 1 << 18})
+    ->Args({256, 1 << 24})
+    ->Args({256, 1ll << 32})
+    ->Args({1024, 1 << 18})
+    ->Args({4096, 1 << 18});
+
+// The per-engine ingest head-to-head at the service configuration: one
+// sketcher context reused across vectors, exactly like SketchStore batch
+// ingest. items_processed counts vectors, so "items_per_second" is ingest
+// vectors/sec for each engine.
+void BM_WmhIngest(benchmark::State& state) {
+  const size_t kBatch = 32;
+  const size_t nnz = 256;
+  std::vector<SparseVector> batch;
+  for (size_t i = 0; i < kBatch; ++i) {
+    batch.push_back(MakeVector(1 << 20, nnz, i + 1));
+  }
+  WmhOptions o;
+  o.num_samples = 128;
+  o.L = 4096;
+  o.engine = static_cast<WmhEngine>(state.range(0));
+  auto sketcher = WmhSketcher::Make(o).value();
+  WmhSketch sketch;
+  for (auto _ : state) {
+    for (const SparseVector& v : batch) {
+      if (!sketcher.Sketch(v, &sketch).ok()) {
+        state.SkipWithError("sketch");
+        return;
+      }
+      benchmark::DoNotOptimize(sketch);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+  state.SetLabel(o.engine == WmhEngine::kDart ? "dart" : "active_index");
+}
+BENCHMARK(BM_WmhIngest)
+    ->Arg(static_cast<int>(WmhEngine::kActiveIndex))
+    ->Arg(static_cast<int>(WmhEngine::kDart));
+
 void BM_WmhExpandedReference(benchmark::State& state) {
   const uint64_t L = static_cast<uint64_t>(state.range(0));
   const auto v = MakeVector(1 << 20, 256, 1);
@@ -83,6 +145,26 @@ void BM_Icws(benchmark::State& state) {
                           o.num_samples);
 }
 BENCHMARK(BM_Icws)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_IcwsDart(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  const auto v = MakeVector(1 << 20, nnz, 1);
+  IcwsOptions o;
+  o.num_samples = 64;
+  o.engine = IcwsEngine::kDart;
+  auto sketcher = IcwsSketcher::Make(o).value();
+  IcwsSketch sketch;
+  for (auto _ : state) {
+    if (!sketcher.Sketch(v, &sketch).ok()) {
+      state.SkipWithError("sketch");
+      return;
+    }
+    benchmark::DoNotOptimize(sketch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * nnz *
+                          o.num_samples);
+}
+BENCHMARK(BM_IcwsDart)->Arg(256)->Arg(1024)->Arg(4096);
 
 // --- Baselines -------------------------------------------------------------
 

@@ -1,0 +1,81 @@
+// Fast Weighted MinHash engine via dart throwing (DartMinHash, Christiani
+// 2020, adapted to the paper's discretized expanded-vector semantics).
+//
+// The active-index engine (core/active_index.h) walks one prefix-minimum
+// stream per (sample, block) pair: O(nnz · m · log L) per vector, which makes
+// *ingest* — not estimation — the dominant cost of a sketch service. The
+// dart engine inverts the loop: instead of asking "what is block b's minimum
+// for sample s?" m·nnz times, it generates, per block, the sparse set of
+// *darts* — slot hashes that fall below a threshold θ — jointly for all m
+// samples, in one pass over a Bernoulli(θ) skip-walk of the block's
+// (slot, sample) grid.
+//
+// Conceptually, every occupied slot of the expanded vector ā carries one
+// uniform hash per sample, split into two independent layers:
+//
+//   h(s, slot) = θ · U(s, slot)                  if (slot, s) is a dart hit
+//              = θ + (1 − θ) · V(s, slot)        otherwise
+//
+// with hits i.i.d. Bernoulli(θ). Both branches are deterministic functions
+// of (seed, sample, block, slot), so h is a proper hash function and two
+// vectors sketched independently read the *same* values on shared slots —
+// the coordination property the estimator's match test and the
+// Flajolet–Martin union estimator rely on. The marginal of h is exactly
+// U(0, 1]: uniform on (0, θ] with probability θ, uniform on (θ, 1]
+// otherwise. Sketches are therefore drawn from the same distribution as the
+// other engines' (a different hash function, not a different estimator).
+//
+//   * Dart layer: per block, hits are enumerated by geometric skips over
+//     the slot-major linearization p = slot·m + s of the block's grid, from
+//     a stream keyed by (seed, block) only. Truncating a block at t slots
+//     truncates the walk at p < t·m — a *prefix* of the stream — so vectors
+//     with different repetition counts stay coordinated exactly as in the
+//     active-index engine.
+//   * Fallback layer: a sample with no dart in any of its L slots (its
+//     true minimum exceeds θ) falls back to the prefix-minimum walk of the
+//     V stream, keyed by (seed, sample, block) — the active-index recursion
+//     under a domain-separated seed, mapped through θ + (1 − θ)·v. Because
+//     an uncovered sample by definition has no hit on any of its slots, the
+//     V minimum over the whole prefix is the exact minimum of h.
+//
+// With θ = (ln m + slack)/L, the expected dart count is Σ_blocks t·m·θ =
+// m·(ln m + slack) and the expected number of uncovered samples is
+// m·(1−θ)^L ≈ e^(−slack) ≪ 1, so sketching costs expected
+// O(nnz + m · log m) — independent of L except for the rare fallback.
+
+#ifndef IPSKETCH_CORE_DART_MINHASH_H_
+#define IPSKETCH_CORE_DART_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rounding.h"
+
+namespace ipsketch {
+
+/// The dart threshold θ used by `SketchWithDart`: min(1, (ln m + slack)/L)
+/// with slack = 4. θ is a pure function of (m, L), so every vector sketched
+/// with equal parameters uses the same two-layer hash function — required
+/// for coordination. Exposed for tests and documentation.
+double DartThreshold(size_t num_samples, uint64_t L);
+
+/// Fills hashes/values (each pre-sized to num_samples) with the Weighted
+/// MinHash of `dv` using the dart engine at an explicit threshold `theta`
+/// in (0, 1]. Sketches are only comparable across equal thresholds; the
+/// production entry point below derives θ from (m, L). Exposed so tests can
+/// force the fallback layer (tiny θ) and the dense walk (θ = 1).
+void SketchWithDartThreshold(const DiscretizedVector& dv, uint64_t seed,
+                             size_t num_samples, double theta,
+                             std::vector<double>* hashes,
+                             std::vector<double>* values);
+
+/// Production entry point: `SketchWithDartThreshold` at
+/// `DartThreshold(num_samples, dv.L)`.
+void SketchWithDart(const DiscretizedVector& dv, uint64_t seed,
+                    size_t num_samples, std::vector<double>* hashes,
+                    std::vector<double>* values);
+
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_CORE_DART_MINHASH_H_

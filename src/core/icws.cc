@@ -1,44 +1,24 @@
 #include "core/icws.h"
 
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/rng.h"
+#include "core/dart_minhash.h"
 
 namespace ipsketch {
 namespace {
 
-// Domain-separation tag for ICWS per-(sample, index) streams.
+// Domain-separation tag for ICWS per-(sample, index) streams. Also keys the
+// kDart engine's seed, so an ICWS dart sketch and a WMH dart sketch with
+// equal (seed, L, m) draw independent randomness.
 constexpr uint64_t kIcwsTag = 0xA5C1E771C0DE1234ull;
 
-}  // namespace
-
-Status IcwsOptions::Validate() const {
-  if (num_samples == 0) {
-    return Status::InvalidArgument("num_samples must be positive");
-  }
-  return Status::Ok();
-}
-
-Result<IcwsSketch> SketchIcws(const SparseVector& a,
-                              const IcwsOptions& options) {
-  IPS_RETURN_IF_ERROR(options.Validate());
-
-  IcwsSketch sketch;
-  sketch.seed = options.seed;
-  sketch.dimension = a.dimension();
-  if (a.empty()) {
-    sketch.norm = 0.0;
-    sketch.fingerprints.assign(options.num_samples, 0);
-    sketch.values.assign(options.num_samples, 0.0);
-    return sketch;
-  }
-
-  const double norm = a.Norm();
-  sketch.norm = norm;
-  sketch.fingerprints.resize(options.num_samples);
-  sketch.values.resize(options.num_samples);
-
+// Ioffe's continuous scheme, one sample row at a time.
+void SketchExact(const SparseVector& a, const IcwsOptions& options,
+                 double norm, IcwsSketch* out) {
   for (size_t s = 0; s < options.num_samples; ++s) {
     const uint64_t sample_key = MixCombine(options.seed, kIcwsTag, s);
     double best_a = std::numeric_limits<double>::infinity();
@@ -70,9 +50,74 @@ Result<IcwsSketch> SketchIcws(const SparseVector& a,
         best_value = z;
       }
     }
-    sketch.fingerprints[s] = best_fp;
-    sketch.values[s] = best_value;
+    out->fingerprints[s] = best_fp;
+    out->values[s] = best_value;
   }
+}
+
+}  // namespace
+
+Status IcwsOptions::Validate() const {
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  if (engine != IcwsEngine::kExact && engine != IcwsEngine::kDart) {
+    return Status::InvalidArgument("unknown engine");
+  }
+  return Status::Ok();
+}
+
+Result<IcwsSketcher> IcwsSketcher::Make(const IcwsOptions& options) {
+  IPS_RETURN_IF_ERROR(options.Validate());
+  return IcwsSketcher(options);
+}
+
+Status IcwsSketcher::Sketch(const SparseVector& a, IcwsSketch* out) {
+  out->seed = options_.seed;
+  out->dimension = a.dimension();
+  out->engine = options_.engine;
+  out->L = options_.engine == IcwsEngine::kDart
+               ? (options_.L != 0 ? options_.L : DefaultL(a.dimension()))
+               : 0;
+
+  if (a.empty()) {
+    out->norm = 0.0;
+    out->fingerprints.assign(options_.num_samples, 0);
+    out->values.assign(options_.num_samples, 0.0);
+    return Status::Ok();
+  }
+
+  out->fingerprints.resize(options_.num_samples);
+  out->values.resize(options_.num_samples);
+
+  if (options_.engine == IcwsEngine::kExact) {
+    out->norm = a.Norm();
+    SketchExact(a, options_, out->norm, out);
+    return Status::Ok();
+  }
+
+  // kDart: Algorithm-4 rounding, then the dart kernel over the expanded
+  // blocks. The per-sample minimum hash identifies the sampled expanded
+  // slot, so its bit pattern is the consistency fingerprint: coordinated
+  // sketches share it exactly when they sampled the same slot.
+  IPS_RETURN_IF_ERROR(RoundInto(a, out->L, &scratch_));
+  out->norm = scratch_.original_norm;
+  hash_scratch_.resize(options_.num_samples);
+  SketchWithDart(scratch_, MixCombine(options_.seed, kIcwsTag),
+                 options_.num_samples, &hash_scratch_, &out->values);
+  for (size_t s = 0; s < options_.num_samples; ++s) {
+    out->fingerprints[s] = std::bit_cast<uint64_t>(hash_scratch_[s]);
+  }
+  return Status::Ok();
+}
+
+Result<IcwsSketch> SketchIcws(const SparseVector& a,
+                              const IcwsOptions& options) {
+  auto made = IcwsSketcher::Make(options);
+  IPS_RETURN_IF_ERROR(made.status());
+  IcwsSketcher sketcher = std::move(made).value();
+  IcwsSketch sketch;
+  IPS_RETURN_IF_ERROR(sketcher.Sketch(a, &sketch));
   return sketch;
 }
 
@@ -89,6 +134,12 @@ Result<double> EstimateIcwsInnerProduct(const IcwsSketch& a,
   }
   if (a.dimension != b.dimension) {
     return Status::InvalidArgument("sketch dimensions differ");
+  }
+  if (a.engine != b.engine) {
+    return Status::InvalidArgument("sketch engines differ");
+  }
+  if (a.L != b.L) {
+    return Status::InvalidArgument("sketch discretization parameters differ");
   }
   if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
 

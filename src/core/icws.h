@@ -1,5 +1,5 @@
 // Ioffe's Improved Consistent Weighted Sampling (ICWS, ICDM 2010) adapted to
-// inner product estimation.
+// inner product estimation, plus a DartMinHash-accelerated variant.
 //
 // The paper notes (§5, "Efficient Weighted Hashing") that Consistent
 // Weighted Sampling schemes are essentially equivalent to the expanded
@@ -20,6 +20,22 @@
 // Matches are detected by comparing a 64-bit fingerprint of the sampled
 // (index, "consistent level" t_j) pair, which CWS guarantees is equal for
 // both vectors precisely when they sample consistently.
+//
+// Two engines realize these semantics:
+//
+//   * kExact — Ioffe's scheme verbatim, O(nnz · m) per vector: the
+//     continuous-weight reference.
+//   * kDart — discretizes the weights with Algorithm 4 at a parameter L and
+//     runs the dart engine (core/dart_minhash.h) over the expanded blocks,
+//     expected O(nnz + m · log m) per vector: the default ingest engine.
+//     The fingerprint is the bit pattern of the per-sample minimum hash,
+//     which two coordinated sketches share exactly when they sampled the
+//     same expanded slot; the collision law is the weighted Jaccard of the
+//     *discretized* squared vectors, within O(1/L) of the continuous one.
+//
+// Engines realize different hash functions: sketches are only comparable
+// across equal engines (and, for kDart, equal L) — enforced by the
+// estimator and carried in the sketch.
 
 #ifndef IPSKETCH_CORE_ICWS_H_
 #define IPSKETCH_CORE_ICWS_H_
@@ -29,9 +45,17 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/rounding.h"
 #include "vector/sparse_vector.h"
 
 namespace ipsketch {
+
+/// Which engine realizes the ICWS sampling semantics. Numeric values are
+/// wire-stable (sketch/serialize.cc stores them).
+enum class IcwsEngine {
+  kExact = 0,  ///< Ioffe's continuous scheme, O(nnz·m)
+  kDart = 1,   ///< discretized dart engine, O(nnz + m·log m); default
+};
 
 /// Configuration for `SketchIcws`.
 struct IcwsOptions {
@@ -39,6 +63,11 @@ struct IcwsOptions {
   size_t num_samples = 128;
   /// Random seed; sketches are comparable only with equal seeds.
   uint64_t seed = 0;
+  /// Engine choice; see IcwsEngine.
+  IcwsEngine engine = IcwsEngine::kExact;
+  /// Discretization parameter for the kDart engine (Algorithm 4); 0 selects
+  /// DefaultL(n). Ignored by kExact.
+  uint64_t L = 0;
 
   /// Validates field ranges.
   Status Validate() const;
@@ -49,12 +78,17 @@ struct IcwsSketch {
   /// Fingerprint of the sampled (index, level) pair per sample; 0 for the
   /// empty sketch.
   std::vector<uint64_t> fingerprints;
-  /// Normalized entry ã[j] = a[j]/‖a‖ at the sampled index, per sample.
+  /// Normalized entry ã[j] = a[j]/‖a‖ at the sampled index, per sample (the
+  /// discretized z̃[j] under kDart).
   std::vector<double> values;
   /// Euclidean norm of the original vector.
   double norm = 0.0;
   uint64_t seed = 0;
   uint64_t dimension = 0;
+  /// Engine the sketch was built by; estimation requires equality.
+  IcwsEngine engine = IcwsEngine::kExact;
+  /// Resolved discretization parameter (kDart only; 0 under kExact).
+  uint64_t L = 0;
 
   /// Number of samples m.
   size_t num_samples() const { return fingerprints.size(); }
@@ -71,6 +105,28 @@ struct IcwsSketch {
 /// Computes the ICWS sketch of `a`. The zero vector yields an empty sketch
 /// (norm 0) that estimates 0 against anything.
 Result<IcwsSketch> SketchIcws(const SparseVector& a, const IcwsOptions& options);
+
+/// Reusable sketching context mirroring WmhSketcher: options validated
+/// once, discretization scratch recycled across calls (kDart). NOT
+/// thread-safe; concurrent ingest uses one sketcher per worker.
+class IcwsSketcher {
+ public:
+  /// Validates `options` and builds a context. Fails like SketchIcws.
+  static Result<IcwsSketcher> Make(const IcwsOptions& options);
+
+  /// The options this context sketches with.
+  const IcwsOptions& options() const { return options_; }
+
+  /// Sketches `a` into `*out`, reusing its vectors' capacity.
+  Status Sketch(const SparseVector& a, IcwsSketch* out);
+
+ private:
+  explicit IcwsSketcher(const IcwsOptions& options) : options_(options) {}
+
+  IcwsOptions options_;
+  DiscretizedVector scratch_;
+  std::vector<double> hash_scratch_;
+};
 
 /// Estimates ⟨a, b⟩ from two ICWS sketches; see the module comment.
 Result<double> EstimateIcwsInnerProduct(const IcwsSketch& a,

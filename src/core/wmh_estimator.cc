@@ -18,6 +18,11 @@ Status CheckCompatible(const WmhSketch& a, const WmhSketch& b) {
   if (a.L != b.L) {
     return Status::InvalidArgument("sketch discretization parameters differ");
   }
+  if (a.engine != b.engine) {
+    // Engines are distributionally equivalent but realize different hash
+    // functions; a cross-engine pair would estimate silently wrong.
+    return Status::InvalidArgument("sketch engines differ");
+  }
   if (a.dimension != b.dimension) {
     return Status::InvalidArgument("sketch dimensions differ");
   }

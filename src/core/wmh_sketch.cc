@@ -3,17 +3,28 @@
 #include <utility>
 
 #include "core/active_index.h"
+#include "core/dart_minhash.h"
 #include "core/expanded_reference.h"
 #include "core/rounding.h"
 
 namespace ipsketch {
+
+const char* WmhEngineName(WmhEngine engine) {
+  switch (engine) {
+    case WmhEngine::kActiveIndex: return "active_index";
+    case WmhEngine::kExpandedReference: return "expanded_reference";
+    case WmhEngine::kDart: return "dart";
+  }
+  return "dart";
+}
 
 Status WmhOptions::Validate() const {
   if (num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");
   }
   if (engine != WmhEngine::kActiveIndex &&
-      engine != WmhEngine::kExpandedReference) {
+      engine != WmhEngine::kExpandedReference &&
+      engine != WmhEngine::kDart) {
     return Status::InvalidArgument("unknown engine");
   }
   return Status::Ok();
@@ -29,6 +40,7 @@ Status WmhSketcher::Sketch(const SparseVector& a, WmhSketch* out) {
   out->seed = options_.seed;
   out->L = L;
   out->dimension = a.dimension();
+  out->engine = options_.engine;
 
   if (a.empty()) {
     // The zero vector has no direction to sketch. Represent it with the
@@ -55,6 +67,10 @@ Status WmhSketcher::Sketch(const SparseVector& a, WmhSketch* out) {
       SketchWithExpandedReference(scratch_, options_.seed,
                                   options_.num_samples, &out->hashes,
                                   &out->values);
+      break;
+    case WmhEngine::kDart:
+      SketchWithDart(scratch_, options_.seed, options_.num_samples,
+                     &out->hashes, &out->values);
       break;
   }
   return Status::Ok();

@@ -4,8 +4,8 @@
 // the scalar ‖a‖. Conceptually, the vector is normalized, discretized
 // (Algorithm 4), expanded into a length n·L binary-occupancy vector ā whose
 // block i holds t[i] = ã[i]²·L occupied slots, and an unweighted MinHash of
-// ā is taken with m independent hash functions. Two engines implement these
-// semantics:
+// ā is taken with m independent hash functions. Three engines implement
+// these semantics:
 //
 //   * kExpandedReference — literally hashes every occupied slot of ā with a
 //     Carter–Wegman hash over the n·L domain. O(m·L) per vector: the test
@@ -13,11 +13,19 @@
 //   * kActiveIndex — generates, per (sample, block), only the O(log L)
 //     "active indices" (prefix minima) of the block's hash sequence using
 //     geometric jumps (Gollapudi & Panigrahy 2006; §5 of the paper).
-//     O(nnz·m·log L) per vector: the production engine.
+//     O(nnz·m·log L) per vector.
+//   * kDart — generates only the sub-threshold slot hashes ("darts") for
+//     all m samples jointly, per block (DartMinHash, Christiani 2020;
+//     core/dart_minhash.h). Expected O(nnz + m·log m) per vector: the
+//     default ingest engine.
 //
-// Both engines are deterministic in (seed, sample, block), so independently
+// All engines are deterministic in (seed, sample, block), so independently
 // computed sketches of different vectors are coordinated — the property the
-// estimator's match test relies on.
+// estimator's match test relies on. Different engines realize *different*
+// hash functions with the same distribution: sketches are only comparable
+// across equal engines (the estimator and the family registry enforce
+// this), which is why the engine is part of the sketch and of a store's
+// resolved identity.
 
 #ifndef IPSKETCH_CORE_WMH_SKETCH_H_
 #define IPSKETCH_CORE_WMH_SKETCH_H_
@@ -32,11 +40,18 @@
 
 namespace ipsketch {
 
-/// Which sketching engine realizes the Algorithm-3 semantics.
+/// Which sketching engine realizes the Algorithm-3 semantics. The numeric
+/// values are wire-stable (sketch/serialize.cc stores them).
 enum class WmhEngine {
-  kActiveIndex = 0,         ///< fast production engine, O(nnz·m·log L)
+  kActiveIndex = 0,         ///< prefix-minima walk, O(nnz·m·log L)
   kExpandedReference = 1,   ///< slot-by-slot oracle, O(m·L); tests only
+  kDart = 2,                ///< dart generation, O(nnz + m·log m); default
 };
+
+/// The engine's registry/options name: "active_index",
+/// "expanded_reference", or "dart" — the single mapping shared by the
+/// family registry, the evaluators, and persistence.
+const char* WmhEngineName(WmhEngine engine);
 
 /// Configuration for `SketchWmh`.
 struct WmhOptions {
@@ -48,7 +63,7 @@ struct WmhOptions {
   /// Larger L costs only log(L) sketching time and no sketch space.
   uint64_t L = 0;
   /// Engine choice; see WmhEngine.
-  WmhEngine engine = WmhEngine::kActiveIndex;
+  WmhEngine engine = WmhEngine::kDart;
 
   /// Validates field ranges.
   Status Validate() const;
@@ -67,6 +82,9 @@ struct WmhSketch {
   uint64_t seed = 0;
   uint64_t L = 0;
   uint64_t dimension = 0;
+  /// Engine the sketch was built by. Engines realize different hash
+  /// functions, so estimation also requires engine equality.
+  WmhEngine engine = WmhEngine::kDart;
 
   /// Number of samples m.
   size_t num_samples() const { return hashes.size(); }

@@ -59,7 +59,17 @@ Status ReadV2Header(wire::Reader* r, SketchStoreOptions* opts) {
   uint64_t num_shards = 0;
   IPS_RETURN_IF_ERROR(r->ReadU64(&num_shards));
   opts->num_shards = static_cast<size_t>(num_shards);
-  return ReadFamilyOptions(r, &opts->sketch);
+  IPS_RETURN_IF_ERROR(ReadFamilyOptions(r, &opts->sketch));
+  // v2 files written before the icws engine param existed carry an empty
+  // params block; every sketch in them was built by the exact engine. The
+  // modern default (dart) must not be substituted — the family would
+  // reject the stored sketches (or, worse, relabel them), so pin the
+  // legacy engine explicitly. (wmh files always carried their engine.)
+  if (opts->family == "icws" &&
+      opts->sketch.params.count("engine") == 0) {
+    opts->sketch.params["engine"] = "icws";
+  }
+  return Status::Ok();
 }
 
 }  // namespace

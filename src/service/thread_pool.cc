@@ -6,6 +6,15 @@
 #include "common/status.h"
 
 namespace ipsketch {
+namespace {
+
+// The pool (if any) whose WorkerLoop owns the current thread. Lets
+// ParallelFor detect reentrancy from its own workers, where queueing the
+// loop and blocking on it would deadlock: this worker cannot drain the
+// queue while it waits, and with every worker doing the same nobody can.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -24,17 +33,22 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   IPS_CHECK(task != nullptr);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    IPS_CHECK(!stopping_);
+    // Rejection, not IPS_CHECK: a task still draining during destruction
+    // may legitimately try to schedule follow-up work; the caller decides
+    // whether to drop it or run it inline.
+    if (stopping_) return false;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -52,8 +66,11 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1) {
-    fn(0);
+  // Reentrant call from one of this pool's own workers: run inline. The
+  // worker cannot block on queued subtasks — they would wait in the queue
+  // behind the very task that is waiting for them.
+  if (n == 1 || tls_worker_pool == this) {
+    for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
@@ -69,18 +86,22 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   };
   const size_t tasks = std::min(n, num_threads());
   auto sync = std::make_shared<Sync>(tasks);
+  const auto body = [sync, n, &fn] {
+    for (;;) {
+      const size_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+    }
+    if (sync->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::unique_lock<std::mutex> lock(sync->mu);
+      sync->done.notify_all();
+    }
+  };
   for (size_t t = 0; t < tasks; ++t) {
-    Submit([sync, n, &fn] {
-      for (;;) {
-        const size_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
-        fn(i);
-      }
-      if (sync->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::unique_lock<std::mutex> lock(sync->mu);
-        sync->done.notify_all();
-      }
-    });
+    // A stopping pool rejects the submission; the loop still completes —
+    // the calling thread runs that share inline (the first inline run
+    // drains the whole counter, later ones exit immediately).
+    if (!Submit(body)) body();
   }
   std::unique_lock<std::mutex> lock(sync->mu);
   sync->done.wait(lock, [&] { return sync->live.load() == 0; });

@@ -37,18 +37,25 @@ class ThreadPool {
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues `task` for execution on some worker. Tasks must not throw —
-  /// the service layer reports failures through Status captured in the
+  /// Enqueues `task` for execution on some worker. Returns true iff the
+  /// task was accepted; false once the pool has begun stopping (work
+  /// submitted from a task that is still draining during destruction is
+  /// rejected, not run and not aborted on). Tasks must not throw — the
+  /// service layer reports failures through Status captured in the
   /// closure, never through exceptions.
-  void Submit(std::function<void()> task);
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   /// Runs fn(i) for every i in [0, n), spread across the workers, and
-  /// returns when all calls have finished. The calling thread blocks but
-  /// does not execute tasks; callers that want full utilisation size the
-  /// pool to the hardware, not to the hardware minus one.
+  /// returns when all calls have finished.
   ///
-  /// Safe to call from multiple threads at once; must not be called from
-  /// inside a pool task (the wait would deadlock a worker).
+  /// Safe to call from multiple threads at once, and — unlike a naive
+  /// submit-and-wait — safe to call from *inside* a pool task: a call from
+  /// one of this pool's own workers runs the whole loop inline on that
+  /// worker (queueing would deadlock: the worker would block on completion
+  /// while its subtasks sit in the queue behind it). From outside the pool
+  /// the calling thread normally blocks without executing tasks; it runs
+  /// iterations itself only when the pool is stopping and rejects the
+  /// submissions.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

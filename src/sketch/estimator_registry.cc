@@ -124,8 +124,7 @@ std::unique_ptr<MethodEvaluator> MakeKmvEvaluator() {
 std::unique_ptr<MethodEvaluator> MakeWmhEvaluator(WmhEngine engine,
                                                   uint64_t L) {
   std::map<std::string, std::string> params;
-  params["engine"] = engine == WmhEngine::kActiveIndex ? "active_index"
-                                                       : "expanded_reference";
+  params["engine"] = WmhEngineName(engine);
   if (L != 0) params["L"] = std::to_string(L);
   return MakeKnownFamilyEvaluator("wmh", std::move(params));
 }

@@ -57,7 +57,7 @@ std::unique_ptr<MethodEvaluator> MakeCountSketchEvaluator();
 std::unique_ptr<MethodEvaluator> MakeMhEvaluator();
 std::unique_ptr<MethodEvaluator> MakeKmvEvaluator();
 std::unique_ptr<MethodEvaluator> MakeWmhEvaluator(
-    WmhEngine engine = WmhEngine::kActiveIndex, uint64_t L = 0);
+    WmhEngine engine = WmhEngine::kDart, uint64_t L = 0);
 std::unique_ptr<MethodEvaluator> MakeIcwsEvaluator();
 
 /// The paper's §5 baseline set, in its plotting order:

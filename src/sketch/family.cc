@@ -245,10 +245,11 @@ class WmhFamily final : public SketchFamily {
     const WmhSketch& s = *typed.value();
     if (s.num_samples() != concrete_.num_samples ||
         s.seed != concrete_.seed || s.L != concrete_.L ||
+        s.engine != concrete_.engine ||
         s.dimension != options().dimension) {
       return Status::InvalidArgument(
           "wmh sketch parameters do not match the family's "
-          "(m, seed, L, dimension)");
+          "(m, seed, L, engine, dimension)");
     }
     if (s.hashes.size() != s.values.size()) {
       return Status::InvalidArgument("wmh sketch hash/value length mismatch");
@@ -289,9 +290,19 @@ class WmhFamily final : public SketchFamily {
 
   Result<std::unique_ptr<AnySketch>> Deserialize(
       std::string_view bytes) const override {
-    auto parsed = DeserializeWmh(bytes);
+    bool v1_payload = false;
+    auto parsed = DeserializeWmh(bytes, &v1_payload);
     IPS_RETURN_IF_ERROR(parsed.status());
-    return Wrap(std::move(parsed).value());
+    WmhSketch sketch = std::move(parsed).value();
+    // Engine-less v1 payloads were built by whichever v1-era engine this
+    // family resolves to (the store header is authoritative) — adopt it so
+    // legacy expanded_reference catalogs keep loading. A dart family never
+    // adopts: no v1 producer existed for it.
+    if (v1_payload && (concrete_.engine == WmhEngine::kActiveIndex ||
+                       concrete_.engine == WmhEngine::kExpandedReference)) {
+      sketch.engine = concrete_.engine;
+    }
+    return Wrap(std::move(sketch));
   }
 
  private:
@@ -299,6 +310,29 @@ class WmhFamily final : public SketchFamily {
 };
 
 // --- ICWS --------------------------------------------------------------------
+
+/// Wraps the scratch-reusing IcwsSketcher context.
+class IcwsFamilySketcher final : public Sketcher {
+ public:
+  IcwsFamilySketcher(IcwsSketcher sketcher, uint64_t dimension)
+      : sketcher_(std::move(sketcher)), dimension_(dimension) {}
+
+  Status Sketch(const SparseVector& a, AnySketch* out) override {
+    if (a.dimension() != dimension_) {
+      return Status::InvalidArgument(
+          "vector dimension does not match the family's");
+    }
+    IcwsSketch* typed = GetMutableSketchAs<IcwsSketch>(out);
+    if (typed == nullptr) {
+      return Status::InvalidArgument("output sketch is not of family 'icws'");
+    }
+    return sketcher_.Sketch(a, typed);
+  }
+
+ private:
+  IcwsSketcher sketcher_;
+  uint64_t dimension_;
+};
 
 class IcwsFamily final : public SketchFamily {
  public:
@@ -311,9 +345,10 @@ class IcwsFamily final : public SketchFamily {
   }
 
   Result<std::unique_ptr<Sketcher>> MakeSketcher() const override {
-    return std::unique_ptr<Sketcher>(
-        new FnSketcher<IcwsSketch, IcwsOptions, &SketchIcws>(
-            name(), concrete_, options().dimension));
+    auto made = IcwsSketcher::Make(concrete_);
+    IPS_RETURN_IF_ERROR(made.status());
+    return std::unique_ptr<Sketcher>(new IcwsFamilySketcher(
+        std::move(made).value(), options().dimension));
   }
 
   Status CheckCompatible(const AnySketch& sketch) const override {
@@ -321,10 +356,11 @@ class IcwsFamily final : public SketchFamily {
     IPS_RETURN_IF_ERROR(typed.status());
     const IcwsSketch& s = *typed.value();
     if (s.num_samples() != concrete_.num_samples ||
-        s.seed != concrete_.seed || s.dimension != options().dimension) {
+        s.seed != concrete_.seed || s.engine != concrete_.engine ||
+        s.L != concrete_.L || s.dimension != options().dimension) {
       return Status::InvalidArgument(
           "icws sketch parameters do not match the family's "
-          "(m, seed, dimension)");
+          "(m, seed, engine, L, dimension)");
     }
     if (s.fingerprints.size() != s.values.size()) {
       return Status::InvalidArgument(
@@ -720,30 +756,60 @@ Result<std::shared_ptr<const SketchFamily>> MakeWmh(const FamilyInfo& info,
       concrete.engine = WmhEngine::kActiveIndex;
     } else if (engine_it->second == "expanded_reference") {
       concrete.engine = WmhEngine::kExpandedReference;
+    } else if (engine_it->second == "dart") {
+      concrete.engine = WmhEngine::kDart;
     } else {
       return Status::InvalidArgument(
-          "option 'engine' must be active_index or expanded_reference; got " +
+          "option 'engine' must be dart, active_index, or "
+          "expanded_reference; got " +
           engine_it->second);
     }
   }
-  // Resolve L here, as the store always has: every sketch built through this
-  // family — and every later reopening of a persisted store — agrees on it.
+  // Resolve L and the engine here, as the store always has: every sketch
+  // built through this family — and every later reopening of a persisted
+  // store — agrees on them.
   if (concrete.L == 0) concrete.L = DefaultL(options.dimension);
   IPS_RETURN_IF_ERROR(concrete.Validate());
   options.params["L"] = std::to_string(concrete.L);
-  options.params["engine"] = concrete.engine == WmhEngine::kActiveIndex
-                                 ? "active_index"
-                                 : "expanded_reference";
+  options.params["engine"] = WmhEngineName(concrete.engine);
   return std::shared_ptr<const SketchFamily>(
       new WmhFamily(info, std::move(options), concrete));
 }
 
 Result<std::shared_ptr<const SketchFamily>> MakeIcws(const FamilyInfo& info,
                                                      FamilyOptions options) {
-  IPS_RETURN_IF_ERROR(CheckKnownParams("icws", options, {}));
+  IPS_RETURN_IF_ERROR(CheckKnownParams("icws", options, {"L", "engine"}));
   IcwsOptions concrete;
   concrete.num_samples = options.num_samples;
   concrete.seed = options.seed;
+  // The family default is the fast ingest engine; the core IcwsOptions
+  // default stays kExact (the continuous reference for direct callers).
+  concrete.engine = IcwsEngine::kDart;
+  auto engine_it = options.params.find("engine");
+  if (engine_it != options.params.end()) {
+    if (engine_it->second == "icws") {
+      concrete.engine = IcwsEngine::kExact;
+    } else if (engine_it->second == "dart") {
+      concrete.engine = IcwsEngine::kDart;
+    } else {
+      return Status::InvalidArgument(
+          "option 'engine' must be dart or icws; got " + engine_it->second);
+    }
+  }
+  IPS_RETURN_IF_ERROR(ParseU64Param(options, "L", &concrete.L));
+  if (concrete.engine == IcwsEngine::kExact) {
+    if (options.params.count("L") != 0) {
+      return Status::InvalidArgument(
+          "option 'L' requires engine=dart (the exact ICWS engine has no "
+          "discretization parameter)");
+    }
+    concrete.L = 0;
+    options.params["engine"] = "icws";
+  } else {
+    if (concrete.L == 0) concrete.L = DefaultL(options.dimension);
+    options.params["engine"] = "dart";
+    options.params["L"] = std::to_string(concrete.L);
+  }
   IPS_RETURN_IF_ERROR(concrete.Validate());
   return std::shared_ptr<const SketchFamily>(
       new IcwsFamily(info, std::move(options), concrete));

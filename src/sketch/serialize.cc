@@ -89,7 +89,13 @@ Status Reader::ExpectEnd() const {
 namespace {
 
 constexpr uint32_t kMagic = 0x49505348;  // "IPSH"
-constexpr uint8_t kVersion = 1;
+// Version 2 added the engine byte to WMH payloads and the engine byte + L
+// to ICWS payloads; every other payload is unchanged. Version-1 bytes still
+// parse: they predate the dart engines, so their sketches were by
+// definition built by the legacy engines (WMH kActiveIndex, ICWS kExact) —
+// that is what the missing fields decode to.
+constexpr uint8_t kVersion = 2;
+constexpr uint8_t kVersionV1 = 1;
 
 // --- encoding ---------------------------------------------------------------
 
@@ -145,15 +151,23 @@ class Reader : public wire::Reader {
     return Status::Ok();
   }
 
+  /// Header check for payloads that are identical across accepted format
+  /// versions (everything except WMH and ICWS).
   Status ExpectHeader(SketchTypeTag tag) {
+    uint8_t version = 0;
+    return ExpectHeader(tag, &version);
+  }
+
+  /// Reads and validates the header; `*version` reports which accepted
+  /// format version (1 or 2) the payload uses.
+  Status ExpectHeader(SketchTypeTag tag, uint8_t* version) {
     uint32_t magic = 0;
     IPS_RETURN_IF_ERROR(ReadU32(&magic));
     if (magic != kMagic) return Status::InvalidArgument("bad sketch magic");
-    uint8_t version = 0;
-    IPS_RETURN_IF_ERROR(ReadU8(&version));
-    if (version != kVersion) {
+    IPS_RETURN_IF_ERROR(ReadU8(version));
+    if (*version != kVersion && *version != kVersionV1) {
       return Status::InvalidArgument("unsupported sketch version " +
-                                     std::to_string(version));
+                                     std::to_string(*version));
     }
     uint8_t got = 0;
     IPS_RETURN_IF_ERROR(ReadU8(&got));
@@ -179,19 +193,32 @@ std::string SerializeWmh(const WmhSketch& sketch) {
   PutU64(&out, sketch.seed);
   PutU64(&out, sketch.L);
   PutU64(&out, sketch.dimension);
+  PutU8(&out, static_cast<uint8_t>(sketch.engine));
   PutDouble(&out, sketch.norm);
   PutDoubles(&out, sketch.hashes);
   PutDoubles(&out, sketch.values);
   return out;
 }
 
-Result<WmhSketch> DeserializeWmh(std::string_view bytes) {
+Result<WmhSketch> DeserializeWmh(std::string_view bytes, bool* v1_payload) {
   Reader r(bytes);
-  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kWmh));
+  uint8_t version = 0;
+  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kWmh, &version));
+  if (v1_payload != nullptr) *v1_payload = version < 2;
   WmhSketch s;
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.L));
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  if (version >= 2) {
+    uint8_t engine = 0;
+    IPS_RETURN_IF_ERROR(r.ReadU8(&engine));
+    if (engine > static_cast<uint8_t>(WmhEngine::kDart)) {
+      return Status::InvalidArgument("unknown WMH engine");
+    }
+    s.engine = static_cast<WmhEngine>(engine);
+  } else {
+    s.engine = WmhEngine::kActiveIndex;  // the only v1 production engine
+  }
   IPS_RETURN_IF_ERROR(r.ReadDouble(&s.norm));
   IPS_RETURN_IF_ERROR(r.ReadDoubles(&s.hashes));
   IPS_RETURN_IF_ERROR(r.ReadDoubles(&s.values));
@@ -351,6 +378,8 @@ std::string SerializeIcws(const IcwsSketch& sketch) {
   PutHeader(&out, SketchTypeTag::kIcws);
   PutU64(&out, sketch.seed);
   PutU64(&out, sketch.dimension);
+  PutU8(&out, static_cast<uint8_t>(sketch.engine));
+  PutU64(&out, sketch.L);
   PutDouble(&out, sketch.norm);
   PutU64s(&out, sketch.fingerprints);
   PutDoubles(&out, sketch.values);
@@ -359,10 +388,23 @@ std::string SerializeIcws(const IcwsSketch& sketch) {
 
 Result<IcwsSketch> DeserializeIcws(std::string_view bytes) {
   Reader r(bytes);
-  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kIcws));
+  uint8_t version = 0;
+  IPS_RETURN_IF_ERROR(r.ExpectHeader(SketchTypeTag::kIcws, &version));
   IcwsSketch s;
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  if (version >= 2) {
+    uint8_t engine = 0;
+    IPS_RETURN_IF_ERROR(r.ReadU8(&engine));
+    if (engine > static_cast<uint8_t>(IcwsEngine::kDart)) {
+      return Status::InvalidArgument("unknown ICWS engine");
+    }
+    s.engine = static_cast<IcwsEngine>(engine);
+    IPS_RETURN_IF_ERROR(r.ReadU64(&s.L));
+  } else {
+    s.engine = IcwsEngine::kExact;  // v1 predates the dart variant
+    s.L = 0;
+  }
   IPS_RETURN_IF_ERROR(r.ReadDouble(&s.norm));
   IPS_RETURN_IF_ERROR(r.ReadU64s(&s.fingerprints));
   IPS_RETURN_IF_ERROR(r.ReadDoubles(&s.values));

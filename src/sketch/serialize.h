@@ -72,7 +72,13 @@ class Reader {
 /// Serializes a Weighted MinHash sketch.
 std::string SerializeWmh(const WmhSketch& sketch);
 /// Parses a Weighted MinHash sketch; InvalidArgument on malformed input.
-Result<WmhSketch> DeserializeWmh(std::string_view bytes);
+/// Version-1 payloads predate the engine field and decode with
+/// `engine = kActiveIndex`; `*v1_payload` (when non-null) reports that the
+/// payload was engine-less, so a caller that knows the true v1-era engine
+/// (e.g. a store file's header) can adopt it instead — see
+/// WmhFamily::Deserialize.
+Result<WmhSketch> DeserializeWmh(std::string_view bytes,
+                                 bool* v1_payload = nullptr);
 
 std::string SerializeMh(const MhSketch& sketch);
 Result<MhSketch> DeserializeMh(std::string_view bytes);

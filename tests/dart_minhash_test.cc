@@ -1,0 +1,409 @@
+// The kDart engine's contract: exactly the Algorithm-3 semantics of the
+// other engines — coordinated per-slot hashing of the expanded vector —
+// under a different, faster hash function. The tests here check the three
+// layers of that claim:
+//
+//   1. exact structural properties (union-min coordination, prefix
+//      truncation, fallback consistency) that must hold bit-for-bit;
+//   2. statistical equivalence with the kExpandedReference oracle at small
+//      L (match rate against the closed-form weighted Jaccard, estimator
+//      error distribution);
+//   3. the same checks at production-scale L, where only kDart and
+//      kActiveIndex can run, plus the fast-ICWS variant built on the same
+//      kernel.
+
+#include "core/dart_minhash.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/icws.h"
+#include "core/rounding.h"
+#include "core/wmh_estimator.h"
+#include "core/wmh_sketch.h"
+#include "vector/vector_ops.h"
+
+namespace ipsketch {
+namespace {
+
+SparseVector RandomVector(uint64_t dim, size_t nnz, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < nnz; ++i) {
+    double v = rng.NextGaussian();
+    if (v == 0.0) v = 0.5;
+    entries.push_back({i * (dim / nnz), v});
+  }
+  return SparseVector::MakeOrDie(dim, std::move(entries));
+}
+
+// A pair with substantial overlap: the first `shared` coordinates carry
+// identical values, the rest are independent — so the true inner product is
+// well away from zero and the match test has something to match.
+std::pair<SparseVector, SparseVector> OverlappingPair(uint64_t dim,
+                                                      size_t nnz,
+                                                      size_t shared,
+                                                      uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> ea, eb;
+  for (size_t i = 0; i < nnz; ++i) {
+    const uint64_t index = i * (dim / nnz);
+    const double va = rng.NextGaussian() + 0.1;
+    const double vb = rng.NextGaussian() + 0.1;
+    ea.push_back({index, va});
+    eb.push_back({index, i < shared ? va : vb});
+  }
+  return {SparseVector::MakeOrDie(dim, std::move(ea)),
+          SparseVector::MakeOrDie(dim, std::move(eb))};
+}
+
+// --- exact structural properties -------------------------------------------
+
+// Hand-built discretized vectors (the kernel reads entries only; reps need
+// not sum to L here).
+DiscretizedVector MakeDv(std::vector<DiscretizedEntry> entries) {
+  DiscretizedVector dv;
+  dv.dimension = 64;
+  dv.L = 1024;
+  dv.original_norm = 1.0;
+  dv.entries = std::move(entries);
+  return dv;
+}
+
+std::vector<double> DartHashes(const DiscretizedVector& dv, uint64_t seed,
+                               size_t m, double theta,
+                               std::vector<double>* values = nullptr) {
+  std::vector<double> hashes(m), vals(m);
+  SketchWithDartThreshold(dv, seed, m, theta, &hashes, &vals);
+  if (values != nullptr) *values = vals;
+  return hashes;
+}
+
+// The property the whole estimator rests on: the per-sample minimum of the
+// union of two expanded vectors equals min of the two sketches' minima,
+// exactly, because every slot hash is a pure function of
+// (seed, sample, block, slot). Checked across thresholds that exercise the
+// dart layer, the fallback layer, and the dense θ = 1 walk.
+TEST(DartKernelTest, UnionMinIsExactlyElementwiseMin) {
+  const auto dv_a = MakeDv({{3, 5, 0.5}, {10, 2, -0.25}});
+  const auto dv_b = MakeDv({{3, 2, 0.5}, {10, 7, -0.25}, {20, 4, 0.125}});
+  const auto dv_u = MakeDv({{3, 5, 0.5}, {10, 7, -0.25}, {20, 4, 0.125}});
+  const size_t m = 128;
+  for (double theta : {1.0, 0.25, 0.01, 1e-4}) {
+    for (uint64_t seed : {0u, 7u, 99u}) {
+      const auto ha = DartHashes(dv_a, seed, m, theta);
+      const auto hb = DartHashes(dv_b, seed, m, theta);
+      const auto hu = DartHashes(dv_u, seed, m, theta);
+      for (size_t s = 0; s < m; ++s) {
+        EXPECT_EQ(hu[s], std::min(ha[s], hb[s]))
+            << "theta " << theta << " seed " << seed << " sample " << s;
+      }
+    }
+  }
+}
+
+// Growing a block's repetition count only ever lowers its contribution
+// (more occupied slots), and a changed minimum means the argmin moved into
+// the extension — the truncation-coordination property that keeps sketches
+// of different vectors comparable.
+TEST(DartKernelTest, BlockPrefixTruncationIsCoordinated) {
+  const size_t m = 64;
+  for (double theta : {0.3, 0.02, 1e-4}) {
+    std::vector<double> prev =
+        DartHashes(MakeDv({{5, 1, 1.0}}), 42, m, theta);
+    for (uint64_t reps : {2u, 3u, 8u, 64u, 1024u}) {
+      const auto cur = DartHashes(MakeDv({{5, reps, 1.0}}), 42, m, theta);
+      for (size_t s = 0; s < m; ++s) {
+        EXPECT_LE(cur[s], prev[s]) << "reps " << reps << " sample " << s;
+      }
+      prev = cur;
+    }
+  }
+}
+
+TEST(DartKernelTest, HashesAreInUnitIntervalEvenUnderFallback) {
+  // θ = 1e-4 leaves nearly every sample uncovered, forcing the fallback
+  // layer; every hash must stay in (0, 1] and map above θ.
+  const auto dv = MakeDv({{1, 3, 1.0}, {9, 2, -0.5}});
+  const auto hashes = DartHashes(dv, 3, 256, 1e-4);
+  size_t fallback = 0;
+  for (double h : hashes) {
+    EXPECT_GT(h, 0.0);
+    EXPECT_LE(h, 1.0);
+    if (h > 1e-4) ++fallback;
+  }
+  EXPECT_GT(fallback, 200u);  // the tiny threshold covers almost nothing
+}
+
+TEST(DartKernelTest, ThresholdFormula) {
+  // θ = (ln m + 4)/L, clamped to 1.
+  EXPECT_NEAR(DartThreshold(128, 4096),
+              (std::log(128.0) + 4.0) / 4096.0, 1e-15);
+  EXPECT_EQ(DartThreshold(128, 2), 1.0);
+  // Production-scale L drives θ — and with it the dart count — down.
+  EXPECT_LT(DartThreshold(256, 1 << 20) * (1 << 20) * 256.0, 3000.0);
+}
+
+TEST(DartEngineTest, CrossEngineEstimationIsRejected) {
+  const auto v = RandomVector(512, 32, 1);
+  WmhOptions dart, active;
+  dart.num_samples = active.num_samples = 16;
+  dart.L = active.L = 4096;
+  dart.engine = WmhEngine::kDart;
+  active.engine = WmhEngine::kActiveIndex;
+  const auto sd = SketchWmh(v, dart).value();
+  const auto sa = SketchWmh(v, active).value();
+  EXPECT_EQ(EstimateWmhInnerProduct(sd, sa).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sd.engine, WmhEngine::kDart);
+  EXPECT_EQ(sa.engine, WmhEngine::kActiveIndex);
+}
+
+// --- statistical equivalence with the oracle at small L ---------------------
+
+// Match rate: for coordinated Weighted MinHash, P[hash_a[s] == hash_b[s]]
+// is the weighted Jaccard similarity of the discretized vectors (Fact 5).
+// Both the oracle and the dart engine must concentrate on the same exact
+// value, computed in integer arithmetic by rounding.h.
+TEST(DartEquivalenceTest, MatchRateMatchesExactWeightedJaccardSmallL) {
+  const uint64_t kL = 512;
+  const auto [a, b] = OverlappingPair(4096, 48, 24, 5);
+  const double exact_j =
+      WeightedJaccard(Round(a, kL).value(), Round(b, kL).value()).value();
+
+  const size_t m = 64;
+  const int kSeeds = 150;
+  size_t matches_dart = 0, matches_ref = 0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    WmhOptions o;
+    o.num_samples = m;
+    o.seed = static_cast<uint64_t>(seed);
+    o.L = kL;
+    o.engine = WmhEngine::kDart;
+    const auto da = SketchWmh(a, o).value();
+    const auto db = SketchWmh(b, o).value();
+    o.engine = WmhEngine::kExpandedReference;
+    const auto ra = SketchWmh(a, o).value();
+    const auto rb = SketchWmh(b, o).value();
+    for (size_t s = 0; s < m; ++s) {
+      matches_dart += (da.hashes[s] == db.hashes[s]);
+      matches_ref += (ra.hashes[s] == rb.hashes[s]);
+    }
+  }
+  const double n = static_cast<double>(m) * kSeeds;
+  const double rate_dart = static_cast<double>(matches_dart) / n;
+  const double rate_ref = static_cast<double>(matches_ref) / n;
+  // 5σ of a Bernoulli(J) mean over n trials.
+  const double tol = 5.0 * std::sqrt(exact_j * (1.0 - exact_j) / n);
+  EXPECT_NEAR(rate_dart, exact_j, tol);
+  EXPECT_NEAR(rate_ref, exact_j, tol);
+}
+
+// Estimator error: across many seeds, the dart engine's inner product
+// estimates must be unbiased around the true value and carry the same
+// error scale as the oracle's — the engines differ in hash function, not
+// in distribution.
+TEST(DartEquivalenceTest, EstimatorErrorIndistinguishableFromOracleSmallL) {
+  const uint64_t kL = 512;
+  const auto [a, b] = OverlappingPair(4096, 48, 28, 11);
+  const double truth = Dot(a, b);
+  ASSERT_GT(std::fabs(truth), 1e-6);
+
+  const size_t m = 64;
+  const int kSeeds = 200;
+  double sum_dart = 0.0, sum_sq_dart = 0.0;
+  double sum_ref = 0.0, sum_sq_ref = 0.0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    WmhOptions o;
+    o.num_samples = m;
+    o.seed = static_cast<uint64_t>(seed);
+    o.L = kL;
+    o.engine = WmhEngine::kDart;
+    const double err_dart =
+        EstimateWmhInnerProduct(SketchWmh(a, o).value(),
+                                SketchWmh(b, o).value())
+            .value() -
+        truth;
+    o.engine = WmhEngine::kExpandedReference;
+    const double err_ref =
+        EstimateWmhInnerProduct(SketchWmh(a, o).value(),
+                                SketchWmh(b, o).value())
+            .value() -
+        truth;
+    sum_dart += err_dart;
+    sum_sq_dart += err_dart * err_dart;
+    sum_ref += err_ref;
+    sum_sq_ref += err_ref * err_ref;
+  }
+  const double mean_dart = sum_dart / kSeeds;
+  const double mean_ref = sum_ref / kSeeds;
+  const double rmse_dart = std::sqrt(sum_sq_dart / kSeeds);
+  const double rmse_ref = std::sqrt(sum_sq_ref / kSeeds);
+
+  // Means within 5 standard errors of zero (Theorem 2: nearly unbiased).
+  EXPECT_LT(std::fabs(mean_dart), 5.0 * rmse_dart / std::sqrt(1.0 * kSeeds));
+  EXPECT_LT(std::fabs(mean_ref), 5.0 * rmse_ref / std::sqrt(1.0 * kSeeds));
+  // Error scales agree: the RMSE ratio concentrates at 1 with ~10%
+  // sampling noise at 200 trials; 1.35 is a >5σ band.
+  EXPECT_LT(rmse_dart / rmse_ref, 1.35);
+  EXPECT_LT(rmse_ref / rmse_dart, 1.35);
+}
+
+// --- production L -----------------------------------------------------------
+
+// At L = 2^20 the oracle cannot run; the dart engine must agree with the
+// active-index engine (and with the exact weighted Jaccard) instead.
+TEST(DartEquivalenceTest, ProductionLMatchRateAndErrorAgreeWithActiveIndex) {
+  const uint64_t kL = 1 << 20;
+  const auto [a, b] = OverlappingPair(1 << 16, 64, 32, 17);
+  const double truth = Dot(a, b);
+  const double exact_j =
+      WeightedJaccard(Round(a, kL).value(), Round(b, kL).value()).value();
+
+  const size_t m = 256;
+  const int kSeeds = 50;
+  size_t matches_dart = 0, matches_active = 0;
+  double sum_sq_dart = 0.0, sum_sq_active = 0.0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    WmhOptions o;
+    o.num_samples = m;
+    o.seed = static_cast<uint64_t>(seed);
+    o.L = kL;
+    o.engine = WmhEngine::kDart;
+    const auto da = SketchWmh(a, o).value();
+    const auto db = SketchWmh(b, o).value();
+    o.engine = WmhEngine::kActiveIndex;
+    const auto aa = SketchWmh(a, o).value();
+    const auto ab = SketchWmh(b, o).value();
+    for (size_t s = 0; s < m; ++s) {
+      matches_dart += (da.hashes[s] == db.hashes[s]);
+      matches_active += (aa.hashes[s] == ab.hashes[s]);
+    }
+    const double ed = EstimateWmhInnerProduct(da, db).value() - truth;
+    const double ea = EstimateWmhInnerProduct(aa, ab).value() - truth;
+    sum_sq_dart += ed * ed;
+    sum_sq_active += ea * ea;
+  }
+  const double n = static_cast<double>(m) * kSeeds;
+  const double tol = 5.0 * std::sqrt(exact_j * (1.0 - exact_j) / n);
+  EXPECT_NEAR(static_cast<double>(matches_dart) / n, exact_j, tol);
+  EXPECT_NEAR(static_cast<double>(matches_active) / n, exact_j, tol);
+  const double rmse_ratio =
+      std::sqrt(sum_sq_dart / sum_sq_active);
+  EXPECT_LT(rmse_ratio, 1.5);
+  EXPECT_GT(rmse_ratio, 1.0 / 1.5);
+}
+
+// --- the fast-ICWS variant ---------------------------------------------------
+
+TEST(IcwsDartTest, DeterministicAndCarriesEngineIdentity) {
+  const auto v = RandomVector(512, 32, 3);
+  IcwsOptions o;
+  o.num_samples = 32;
+  o.seed = 9;
+  o.engine = IcwsEngine::kDart;
+  o.L = 4096;
+  const auto s1 = SketchIcws(v, o).value();
+  const auto s2 = SketchIcws(v, o).value();
+  EXPECT_EQ(s1.fingerprints, s2.fingerprints);
+  EXPECT_EQ(s1.values, s2.values);
+  EXPECT_EQ(s1.engine, IcwsEngine::kDart);
+  EXPECT_EQ(s1.L, 4096u);
+
+  // Values come from the discretized support.
+  const auto dv = Round(v, 4096).value();
+  for (double value : s1.values) {
+    bool found = false;
+    for (const auto& e : dv.entries) {
+      if (std::fabs(e.value - value) < 1e-15) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+
+  // The sketcher context produces bit-identical sketches to the one-shot
+  // entry point (scratch reuse must not change results).
+  auto sketcher = IcwsSketcher::Make(o).value();
+  IcwsSketch via_sketcher;
+  ASSERT_TRUE(sketcher.Sketch(v, &via_sketcher).ok());
+  EXPECT_EQ(via_sketcher.fingerprints, s1.fingerprints);
+  EXPECT_EQ(via_sketcher.values, s1.values);
+}
+
+TEST(IcwsDartTest, CrossEngineAndCrossLEstimationIsRejected) {
+  const auto v = RandomVector(512, 32, 4);
+  IcwsOptions exact;
+  exact.num_samples = 16;
+  IcwsOptions dart = exact;
+  dart.engine = IcwsEngine::kDart;
+  dart.L = 4096;
+  const auto se = SketchIcws(v, exact).value();
+  const auto sd = SketchIcws(v, dart).value();
+  EXPECT_EQ(EstimateIcwsInnerProduct(se, sd).status().code(),
+            StatusCode::kInvalidArgument);
+  dart.L = 8192;
+  const auto sd2 = SketchIcws(v, dart).value();
+  EXPECT_EQ(EstimateIcwsInnerProduct(sd, sd2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IcwsDartTest, EstimatesAgreeWithExactIcwsStatistically) {
+  const auto [a, b] = OverlappingPair(4096, 48, 28, 23);
+  const double truth = Dot(a, b);
+  ASSERT_GT(std::fabs(truth), 1e-6);
+
+  const int kSeeds = 150;
+  double sum_dart = 0.0, sum_sq_dart = 0.0;
+  double sum_exact = 0.0, sum_sq_exact = 0.0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    IcwsOptions o;
+    o.num_samples = 64;
+    o.seed = static_cast<uint64_t>(seed);
+    o.engine = IcwsEngine::kDart;
+    o.L = 1 << 16;
+    const double err_dart =
+        EstimateIcwsInnerProduct(SketchIcws(a, o).value(),
+                                 SketchIcws(b, o).value())
+            .value() -
+        truth;
+    o.engine = IcwsEngine::kExact;
+    o.L = 0;
+    const double err_exact =
+        EstimateIcwsInnerProduct(SketchIcws(a, o).value(),
+                                 SketchIcws(b, o).value())
+            .value() -
+        truth;
+    sum_dart += err_dart;
+    sum_sq_dart += err_dart * err_dart;
+    sum_exact += err_exact;
+    sum_sq_exact += err_exact * err_exact;
+  }
+  const double rmse_dart = std::sqrt(sum_sq_dart / kSeeds);
+  const double rmse_exact = std::sqrt(sum_sq_exact / kSeeds);
+  EXPECT_LT(std::fabs(sum_dart / kSeeds),
+            5.0 * rmse_dart / std::sqrt(1.0 * kSeeds));
+  EXPECT_LT(rmse_dart / rmse_exact, 1.5);
+  EXPECT_LT(rmse_exact / rmse_dart, 1.5);
+}
+
+TEST(IcwsDartTest, EmptyVectorAndTruncation) {
+  IcwsOptions o;
+  o.num_samples = 8;
+  o.engine = IcwsEngine::kDart;
+  const SparseVector zero = SparseVector::FromDense(std::vector<double>(8, 0.0));
+  const auto s = SketchIcws(zero, o).value();
+  EXPECT_EQ(s.norm, 0.0);
+  for (uint64_t fp : s.fingerprints) EXPECT_EQ(fp, 0u);
+
+  const auto v = RandomVector(512, 16, 6);
+  const auto full = SketchIcws(v, o).value();
+  const auto half = TruncatedIcws(full, 4);
+  EXPECT_EQ(half.num_samples(), 4u);
+  EXPECT_EQ(half.engine, full.engine);
+  EXPECT_EQ(half.L, full.L);
+}
+
+}  // namespace
+}  // namespace ipsketch

@@ -244,13 +244,57 @@ TEST(FamilyRegistryErrorTest, WmhResolvesDefaultsIntoItsIdentity) {
   auto family = MakeFamily("wmh", SmallOptions()).value();
   EXPECT_EQ(family->options().params.at("L"),
             std::to_string(DefaultL(kDim)));
-  EXPECT_EQ(family->options().params.at("engine"), "active_index");
+  // The fast ingest engine is the default; it is part of the identity.
+  EXPECT_EQ(family->options().params.at("engine"), "dart");
 
   // An explicit L is honored verbatim.
   FamilyOptions with_l = SmallOptions();
   with_l.params["L"] = "2048";
   EXPECT_EQ(MakeFamily("wmh", with_l).value()->options().params.at("L"),
             "2048");
+
+  // Explicit engines are honored and resolved into the identity.
+  FamilyOptions with_engine = SmallOptions();
+  with_engine.params["engine"] = "active_index";
+  EXPECT_EQ(MakeFamily("wmh", with_engine)
+                .value()
+                ->options()
+                .params.at("engine"),
+            "active_index");
+}
+
+TEST(FamilyRegistryErrorTest, IcwsResolvesEngineAndLIntoItsIdentity) {
+  // Default: the dart engine with a resolved L.
+  auto family = MakeFamily("icws", SmallOptions()).value();
+  EXPECT_EQ(family->options().params.at("engine"), "dart");
+  EXPECT_EQ(family->options().params.at("L"),
+            std::to_string(DefaultL(kDim)));
+
+  // The exact engine carries no L in its identity and rejects one.
+  FamilyOptions exact = SmallOptions();
+  exact.params["engine"] = "icws";
+  auto exact_family = MakeFamily("icws", exact).value();
+  EXPECT_EQ(exact_family->options().params.at("engine"), "icws");
+  EXPECT_EQ(exact_family->options().params.count("L"), 0u);
+  exact.params["L"] = "2048";
+  EXPECT_EQ(MakeFamily("icws", exact).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Unknown engines are rejected, never silently defaulted.
+  FamilyOptions bad = SmallOptions();
+  bad.params["engine"] = "quantum";
+  EXPECT_EQ(MakeFamily("icws", bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Sketches from families with different engines are mutually
+  // incompatible even at equal (m, seed, dimension).
+  auto dart_sketch = family->NewSketch();
+  ASSERT_TRUE(family->MakeSketcher()
+                  .value()
+                  ->Sketch(RandomVector(1), dart_sketch.get())
+                  .ok());
+  EXPECT_EQ(exact_family->CheckCompatible(*dart_sketch).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(FamilyOptionsWireTest, EncodeDecodeRoundTrips) {

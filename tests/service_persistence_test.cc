@@ -60,6 +60,25 @@ uint64_t Fnv1a(std::string_view bytes) {
   return h;
 }
 
+// The per-sketch *v1* WMH payload — same fields as today's v2 minus the
+// engine byte. Legacy store files contain exactly these bytes; building
+// them by hand keeps the legacy tests faithful to what v1 writers emitted.
+std::string V1WmhPayload(const WmhSketch& wmh) {
+  std::string blob;
+  wire::AppendU32(&blob, 0x49505348);  // "IPSH"
+  wire::AppendU8(&blob, 1);
+  wire::AppendU8(&blob, 1);  // kWmh
+  wire::AppendU64(&blob, wmh.seed);
+  wire::AppendU64(&blob, wmh.L);
+  wire::AppendU64(&blob, wmh.dimension);
+  wire::AppendDouble(&blob, wmh.norm);
+  wire::AppendU64(&blob, wmh.hashes.size());
+  for (double h : wmh.hashes) wire::AppendDouble(&blob, h);
+  wire::AppendU64(&blob, wmh.values.size());
+  for (double v : wmh.values) wire::AppendDouble(&blob, v);
+  return blob;
+}
+
 TEST(StorePersistenceTest, SaveLoadPreservesOptionsAndContents) {
   const auto store = MakePopulatedStore(60);
   const std::string path = TempPath("store_roundtrip.bin");
@@ -146,7 +165,15 @@ TEST(StorePersistenceTest, EmptyStoreRoundTrips) {
 // SketchFamily redesign — must still load, as a "wmh" store with identical
 // estimates. The v1 bytes are built by hand here, field for field.
 TEST(StorePersistenceTest, ReadsLegacyV1WmhFile) {
-  const auto store = MakePopulatedStore(25);
+  // v1 files predate the dart engine: their header can only declare
+  // active_index or expanded_reference, so the comparison store is pinned
+  // to active_index rather than the current default.
+  auto v1_options = SmallStoreOptions();
+  v1_options.sketch.params["engine"] = "active_index";
+  auto store = SketchStore::Make(v1_options).value();
+  for (uint64_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(store.BuildAndInsert(i * 11, RandomVector(i)).ok());
+  }
   const WmhOptions wmh_options = [&] {
     WmhOptions o;
     o.num_samples = store.options().sketch.num_samples;
@@ -173,7 +200,7 @@ TEST(StorePersistenceTest, ReadsLegacyV1WmhFile) {
       const WmhSketch* wmh = GetSketchAs<WmhSketch>(*entry.sketch);
       ASSERT_NE(wmh, nullptr);
       wire::AppendU64(&v1, entry.id);
-      wire::AppendBytes(&v1, SerializeWmh(*wmh));
+      wire::AppendBytes(&v1, V1WmhPayload(*wmh));
     }
   }
   wire::AppendU64(&v1, Fnv1a(v1));
@@ -196,6 +223,113 @@ TEST(StorePersistenceTest, ReadsLegacyV1WmhFile) {
   auto reencoded = DecodeSketchStore(EncodeSketchStore(loaded.value()));
   ASSERT_TRUE(reencoded.ok());
   EXPECT_EQ(reencoded.value().Ids(), store.Ids());
+}
+
+// Per-sketch v1 payloads carry no engine byte; their engine comes from the
+// store header. A v1 file declaring expanded_reference must load with its
+// sketches adopted to that engine — not rejected as active_index.
+TEST(StorePersistenceTest, ReadsLegacyV1ExpandedReferenceFile) {
+  auto options = SmallStoreOptions();
+  options.sketch.params["engine"] = "expanded_reference";
+  options.sketch.params["L"] = "2048";  // small enough for the oracle
+  auto store = SketchStore::Make(options).value();
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.BuildAndInsert(i * 7, RandomVector(i)).ok());
+  }
+
+  std::string v1;
+  wire::AppendU32(&v1, 0x49505354);  // "IPST"
+  wire::AppendU8(&v1, 1);
+  wire::AppendU64(&v1, kDim);
+  wire::AppendU64(&v1, store.options().num_shards);
+  wire::AppendU64(&v1, store.options().sketch.num_samples);
+  wire::AppendU64(&v1, store.options().sketch.seed);
+  wire::AppendU64(&v1, 2048);
+  wire::AppendU8(&v1, 1);  // kExpandedReference
+  const auto entries = store.Snapshot();
+  wire::AppendU64(&v1, entries.size());
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    for (const auto& entry : store.ShardSnapshot(s)) {
+      const WmhSketch* wmh = GetSketchAs<WmhSketch>(*entry.sketch);
+      ASSERT_NE(wmh, nullptr);
+      wire::AppendU64(&v1, entry.id);
+      wire::AppendBytes(&v1, V1WmhPayload(*wmh));
+    }
+  }
+  wire::AppendU64(&v1, Fnv1a(v1));
+
+  auto loaded = DecodeSketchStore(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().options().sketch.params.at("engine"),
+            "expanded_reference");
+  EXPECT_EQ(loaded.value().Ids(), store.Ids());
+  QueryEngine before(&store);
+  QueryEngine after(&loaded.value());
+  const auto ids = store.Ids();
+  for (size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_EQ(before.EstimateInnerProduct(ids[0], ids[i]).value(),
+              after.EstimateInnerProduct(ids[0], ids[i]).value());
+  }
+}
+
+// v2 icws store files written before the engine/L params existed carry an
+// empty params block and exact-engine sketches; they must keep loading as
+// the exact engine, not resolve to the modern dart default (which would
+// reject every stored sketch).
+TEST(StorePersistenceTest, ReadsEnginelessV2IcwsFile) {
+  auto exact_options = SmallStoreOptions("icws");
+  exact_options.sketch.params["engine"] = "icws";
+  auto store = SketchStore::Make(exact_options).value();
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.BuildAndInsert(i * 5, RandomVector(i)).ok());
+  }
+
+  // Hand-build the old file: v2 store header with NO params, per-sketch v1
+  // payloads (no engine/L fields) — exactly what the pre-dart writer
+  // produced.
+  std::string old_file;
+  wire::AppendU32(&old_file, 0x49505354);  // "IPST"
+  wire::AppendU8(&old_file, 2);
+  wire::AppendBytes(&old_file, "icws");
+  wire::AppendU64(&old_file, store.options().num_shards);
+  wire::AppendU64(&old_file, kDim);
+  wire::AppendU64(&old_file, store.options().sketch.num_samples);
+  wire::AppendU64(&old_file, store.options().sketch.seed);
+  wire::AppendU64(&old_file, 0);  // param count: engine-less era
+  const auto entries = store.Snapshot();
+  wire::AppendU64(&old_file, entries.size());
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    for (const auto& entry : store.ShardSnapshot(s)) {
+      const IcwsSketch* icws = GetSketchAs<IcwsSketch>(*entry.sketch);
+      ASSERT_NE(icws, nullptr);
+      std::string blob;
+      wire::AppendU32(&blob, 0x49505348);  // "IPSH"
+      wire::AppendU8(&blob, 1);
+      wire::AppendU8(&blob, 6);  // kIcws
+      wire::AppendU64(&blob, icws->seed);
+      wire::AppendU64(&blob, icws->dimension);
+      wire::AppendDouble(&blob, icws->norm);
+      wire::AppendU64(&blob, icws->fingerprints.size());
+      for (uint64_t fp : icws->fingerprints) wire::AppendU64(&blob, fp);
+      wire::AppendU64(&blob, icws->values.size());
+      for (double v : icws->values) wire::AppendDouble(&blob, v);
+      wire::AppendU64(&old_file, entry.id);
+      wire::AppendBytes(&old_file, blob);
+    }
+  }
+  wire::AppendU64(&old_file, Fnv1a(old_file));
+
+  auto loaded = DecodeSketchStore(old_file);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().options().sketch.params.at("engine"), "icws");
+  EXPECT_EQ(loaded.value().Ids(), store.Ids());
+  QueryEngine before(&store);
+  QueryEngine after(&loaded.value());
+  const auto ids = store.Ids();
+  for (size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_EQ(before.EstimateInnerProduct(ids[0], ids[i]).value(),
+              after.EstimateInnerProduct(ids[0], ids[i]).value());
+  }
 }
 
 // Opening a file with the wrong expectations must fail loudly, not load

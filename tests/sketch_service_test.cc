@@ -62,10 +62,87 @@ TEST(ThreadPoolTest, SubmittedTasksAllRun) {
   std::atomic<int> ran{0};
   {
     ThreadPool pool(3);
-    for (int i = 0; i < 100; ++i) pool.Submit([&] { ran.fetch_add(1); });
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+    }
     // Destruction drains the queue before joining.
   }
   EXPECT_EQ(ran.load(), 100);
+}
+
+// Regression: ParallelFor called from inside a pool task used to deadlock —
+// the worker blocked on completion while its subtasks waited in the queue
+// behind it. Reentrant calls now run inline on the worker.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> counts(64);
+  std::atomic<int> outer_done{0};
+  ASSERT_TRUE(pool.Submit([&] {
+    pool.ParallelFor(counts.size(), [&](size_t i) { counts[i].fetch_add(1); });
+    outer_done.fetch_add(1);
+  }));
+  // Deeper nesting: ParallelFor bodies (which run on workers) calling
+  // ParallelFor again.
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(counts.size(), [&](size_t i) { counts[i].fetch_add(1); });
+  });
+  pool.ParallelFor(0, [&](size_t) {});  // degenerate sizes stay safe
+  // Quiesce the submitted task (destruction drains, but assert before).
+  while (outer_done.load() == 0) std::this_thread::yield();
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 5);
+}
+
+// Regression: Submit used to IPS_CHECK-abort the process when a task still
+// draining during destruction submitted follow-up work. It must reject
+// (return false) instead, while every *accepted* task still runs.
+TEST(ThreadPoolTest, SubmitDuringShutdownIsRejectedNotFatal) {
+  std::atomic<bool> rejected{false};
+  std::atomic<int> accepted_ran{0};
+  {
+    ThreadPool pool(1);
+    ASSERT_TRUE(pool.Submit([&] {
+      // Keep resubmitting until the destructor (running concurrently on
+      // the main thread) flips the pool to stopping. Accepted follow-ups
+      // are legitimate pre-stop work and must all run during the drain.
+      while (pool.Submit([&] { accepted_ran.fetch_add(1); })) {
+        std::this_thread::yield();
+      }
+      rejected.store(true);
+    }));
+    // Leaving the scope destroys the pool while the task above still runs.
+  }
+  EXPECT_TRUE(rejected.load());
+  EXPECT_GE(accepted_ran.load(), 0);
+}
+
+// A pool mid-shutdown must still complete a ParallelFor instead of hanging
+// on rejected submissions: the caller runs the iterations inline.
+TEST(ThreadPoolTest, ParallelForDuringShutdownCompletesInline) {
+  std::atomic<int> total{0};
+  std::atomic<bool> parallel_for_done{false};
+  std::thread caller;
+  {
+    ThreadPool pool(2);
+    std::atomic<bool> draining{false};
+    // This task pins one worker — and with it the destructor's join, so the
+    // pool provably outlives the concurrent ParallelFor — until that
+    // ParallelFor has completed. Its submissions race the stop flag: either
+    // accepted (the second worker runs them) or rejected (the caller runs
+    // the iterations inline); both must complete the loop.
+    ASSERT_TRUE(pool.Submit([&] {
+      draining.store(true);
+      while (!parallel_for_done.load()) std::this_thread::yield();
+    }));
+    caller = std::thread([&] {
+      while (!draining.load()) std::this_thread::yield();
+      pool.ParallelFor(100, [&](size_t) { total.fetch_add(1); });
+      parallel_for_done.store(true);
+    });
+    while (!draining.load()) std::this_thread::yield();
+  }
+  caller.join();
+  EXPECT_TRUE(parallel_for_done.load());
+  EXPECT_EQ(total.load(), 100);
 }
 
 TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotInterfere) {

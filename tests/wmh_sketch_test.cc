@@ -131,9 +131,10 @@ TEST_P(WmhEngineTest, HeavyEntrySampledProportionallyToSquare) {
   EXPECT_NEAR(static_cast<double>(heavy) / 4000.0, 0.8, 0.03);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothEngines, WmhEngineTest,
+INSTANTIATE_TEST_SUITE_P(AllEngines, WmhEngineTest,
                          ::testing::Values(WmhEngine::kActiveIndex,
-                                           WmhEngine::kExpandedReference));
+                                           WmhEngine::kExpandedReference,
+                                           WmhEngine::kDart));
 
 TEST(WmhDefaultLTest, AutoSelectsDefaultL) {
   const auto v = RandomVector(512, 16, 1);
@@ -148,7 +149,7 @@ TEST(WmhEngineAgreementTest, EnginesAgreeStatistically) {
   // hash (a fine-grained functional of the sketch distribution) across many
   // seeds. Both should estimate 1/(L'+1)-style means identically.
   const auto v = RandomVector(256, 20, 21);
-  double mean_active = 0.0, mean_reference = 0.0;
+  double mean_active = 0.0, mean_reference = 0.0, mean_dart = 0.0;
   const int kSeeds = 300;
   for (int seed = 0; seed < kSeeds; ++seed) {
     WmhOptions o;
@@ -159,16 +160,21 @@ TEST(WmhEngineAgreementTest, EnginesAgreeStatistically) {
     const auto sa = SketchWmh(v, o).value();
     o.engine = WmhEngine::kExpandedReference;
     const auto sr = SketchWmh(v, o).value();
+    o.engine = WmhEngine::kDart;
+    const auto sd = SketchWmh(v, o).value();
     for (size_t i = 0; i < 8; ++i) {
       mean_active += sa.hashes[i];
       mean_reference += sr.hashes[i];
+      mean_dart += sd.hashes[i];
     }
   }
   mean_active /= kSeeds * 8;
   mean_reference /= kSeeds * 8;
-  // Both ≈ 1/(L+1) since the expanded vector occupies exactly L slots.
+  mean_dart /= kSeeds * 8;
+  // All ≈ 1/(L+1) since the expanded vector occupies exactly L slots.
   EXPECT_NEAR(mean_active, 1.0 / 1025.0, 0.15 / 1025.0);
   EXPECT_NEAR(mean_reference, 1.0 / 1025.0, 0.15 / 1025.0);
+  EXPECT_NEAR(mean_dart, 1.0 / 1025.0, 0.15 / 1025.0);
 }
 
 }  // namespace
