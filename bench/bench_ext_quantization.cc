@@ -9,6 +9,11 @@
 //   b-bit 8  — 32-bit value +  8-bit fingerprint → m = ⌊(W−1)·8/5⌋
 // This bench measures whether the extra samples buy accuracy on the §5.1
 // synthetic workload.
+//
+// Besides the human-readable table, the bench writes
+// BENCH_quantization.json to the working directory (mean scaled error per
+// encoding per storage budget) so CI can track the accuracy trade-off
+// across commits, like bench_service_throughput's BENCH_service.json.
 
 #include <cmath>
 #include <cstdio>
@@ -31,12 +36,22 @@ size_t SamplesFor(double words, double words_per_sample) {
   return m < 1.0 ? 1 : static_cast<size_t>(m);
 }
 
+/// One measured storage budget: mean scaled error per encoding.
+struct BudgetRow {
+  double words = 0.0;
+  double err_full = 0.0;
+  double err_compact = 0.0;
+  double err_b16 = 0.0;
+  double err_b8 = 0.0;
+};
+
 int Run(size_t scale) {
   SyntheticPairOptions gen;  // §5.1 defaults
   gen.overlap = 0.1;
   const size_t kPairs = 2 * scale;
   const int kSeeds = static_cast<int>(6 * scale);
 
+  std::vector<BudgetRow> measured;
   std::vector<std::vector<std::string>> rows;
   for (double words : {100.0, 200.0, 400.0}) {
     double err_full = 0.0, err_compact = 0.0, err_b16 = 0.0, err_b8 = 0.0;
@@ -79,6 +94,8 @@ int Run(size_t scale) {
       }
     }
     const double c = static_cast<double>(cells);
+    measured.push_back({words, err_full / c, err_compact / c, err_b16 / c,
+                        err_b8 / c});
     rows.push_back({FormatG(words, 4), FormatG(err_full / c, 4),
                     FormatG(err_compact / c, 4), FormatG(err_b16 / c, 4),
                     FormatG(err_b8 / c, 4)});
@@ -95,6 +112,38 @@ int Run(size_t scale) {
       "hashes lose nothing, extra samples help); b-bit variants trade\n"
       "spurious-match noise for even more samples and win at small budgets\n"
       "— the trend the paper anticipated from the quantized-JL literature.\n");
+
+  // --- machine-readable record ---------------------------------------------
+  std::string json = "{\n";
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "  \"bench\": \"quantization\",\n"
+                "  \"scale\": %zu,\n"
+                "  \"pairs\": %zu,\n"
+                "  \"seeds\": %d,\n"
+                "  \"rows\": [",
+                scale, kPairs, kSeeds);
+  json += line;
+  for (size_t i = 0; i < measured.size(); ++i) {
+    const BudgetRow& r = measured[i];
+    std::snprintf(line, sizeof(line),
+                  "%s\n    {\"storage_words\": %.0f, \"err_full\": %.6g, "
+                  "\"err_compact\": %.6g, \"err_b16\": %.6g, "
+                  "\"err_b8\": %.6g}",
+                  i == 0 ? "" : ",", r.words, r.err_full, r.err_compact,
+                  r.err_b16, r.err_b8);
+    json += line;
+  }
+  json += "\n  ]\n}\n";
+  const char* json_path = "BENCH_quantization.json";
+  if (std::FILE* f = std::fopen(json_path, "wb")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  } else {
+    std::printf("\ncould not write %s\n", json_path);
+    return 1;
+  }
   return 0;
 }
 

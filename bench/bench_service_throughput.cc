@@ -168,7 +168,7 @@ int main(int argc, char** argv) {
 
   // --- machine-readable record ---------------------------------------------
   std::string json = "{\n";
-  char line[160];
+  char line[192];
   std::snprintf(line, sizeof(line),
                 "  \"bench\": \"service_throughput\",\n"
                 "  \"family\": \"%s\",\n"

@@ -200,4 +200,135 @@ std::vector<uint64_t> SketchStore::Ids() const {
   return out;
 }
 
+double SketchStore::TotalStorageWords() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, sketch] : shard->map) {
+      // Every stored sketch passed CheckCompatible on insert, so the
+      // family-side cast cannot fail.
+      total += family_->StorageWords(*sketch).value();
+    }
+  }
+  return total;
+}
+
+double SketchStore::TotalResidentWords() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, sketch] : shard->map) {
+      total += family_->ResidentWords(*sketch).value();
+    }
+  }
+  return total;
+}
+
+namespace {
+
+/// Ok iff `family` is one of the quantized WMH encodings — identified by
+/// storage class, so the check stays registry-driven.
+Status CheckQuantizedTarget(const SketchFamily& family) {
+  const StorageClass sc = family.storage_class();
+  if (sc != StorageClass::kCompactSamplingWithNorm &&
+      sc != StorageClass::kBbitSamplingWithNorm) {
+    return Status::InvalidArgument(
+        "target family '" + family.name() +
+        "' is not a quantized WMH encoding (expected wmh_compact or "
+        "wmh_bbit)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SketchStore::CompactifyInPlace(
+    const std::string& target_family,
+    const std::map<std::string, std::string>& extra_params) {
+  if (family_->name() != "wmh") {
+    return Status::FailedPrecondition(
+        "CompactifyInPlace requires a full-precision 'wmh' store; this "
+        "store holds '" +
+        family_->name() + "'");
+  }
+  // The target inherits this store's fully resolved sketch options (seed,
+  // L, engine, ...) so the quantized sketches land on the same identity.
+  FamilyOptions target_options = options_.sketch;
+  for (const auto& [key, value] : extra_params) {
+    target_options.params[key] = value;
+  }
+  auto made = MakeFamily(target_family, target_options);
+  IPS_RETURN_IF_ERROR(made.status());
+  IPS_RETURN_IF_ERROR(CheckQuantizedTarget(*made.value()));
+
+  // Stage every conversion first so any failure leaves the store unchanged,
+  // then commit. Callers quiesce writers, so nothing lands between the two
+  // passes (see the header contract).
+  std::vector<std::vector<std::pair<uint64_t, std::unique_ptr<AnySketch>>>>
+      staged(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    staged[s].reserve(shard.map.size());
+    for (const auto& [id, sketch] : shard.map) {
+      auto quantized = QuantizeWmhSketch(*made.value(), *sketch);
+      IPS_RETURN_IF_ERROR(quantized.status());
+      staged[s].emplace_back(id, std::move(quantized).value());
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    for (auto& [id, sketch] : staged[s]) {
+      shard.map.emplace(id, std::move(sketch));
+    }
+  }
+  family_ = std::move(made).value();
+  options_.family = family_->name();
+  options_.sketch = family_->options();
+  return Status::Ok();
+}
+
+Result<SketchStore> QuantizeStore(
+    const SketchStore& source, const std::string& target_family,
+    const std::map<std::string, std::string>& extra_params) {
+  if (source.family().name() != "wmh") {
+    return Status::FailedPrecondition(
+        "QuantizeStore requires a full-precision 'wmh' store; the source "
+        "holds '" +
+        source.family().name() + "'");
+  }
+  SketchStoreOptions target_options = source.options();
+  target_options.family = target_family;
+  for (const auto& [key, value] : extra_params) {
+    target_options.sketch.params[key] = value;
+  }
+  auto made = SketchStore::Make(target_options);
+  IPS_RETURN_IF_ERROR(made.status());
+  SketchStore out = std::move(made).value();
+  IPS_RETURN_IF_ERROR(CheckQuantizedTarget(out.family()));
+  // Quantize in place over the allocation-free shard scan: each source
+  // sketch is read once under its shard lock and only the compact form is
+  // materialized, so peak memory is source + compact copy, never a second
+  // full-precision clone. Inserting into `out` (a distinct, local store)
+  // from inside the scan is safe — only the source shard's lock is held.
+  Status first_error;
+  for (size_t s = 0; s < source.num_shards(); ++s) {
+    source.ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
+      auto quantized = QuantizeWmhSketch(out.family(), sketch);
+      Status st = quantized.ok()
+                      ? out.Insert(id, std::move(quantized).value())
+                      : quantized.status();
+      if (!st.ok()) {
+        first_error = st;
+        return false;  // stop this shard's scan
+      }
+      return true;
+    });
+    IPS_RETURN_IF_ERROR(first_error);
+  }
+  return out;
+}
+
 }  // namespace ipsketch

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -139,6 +140,32 @@ class SketchStore {
   /// load with equal num_shards reproducing the layout).
   size_t ShardOf(uint64_t id) const;
 
+  /// Sum of family().StorageWords over every stored sketch — the catalog's
+  /// size under the paper's §5 accounting model.
+  double TotalStorageWords() const;
+
+  /// Sum of family().ResidentWords over every stored sketch — the actual
+  /// in-memory catalog footprint in 64-bit words. For a full-precision
+  /// "wmh" store this is ~2 words/sample; CompactifyInPlace halves it.
+  double TotalResidentWords() const;
+
+  /// Converts this full-precision "wmh" catalog to a compact one in place:
+  /// every stored sketch is quantized (a cheap post-pass — ingest stays on
+  /// the fast kDart path) and the store's family becomes `target_family`
+  /// ("wmh_compact" or "wmh_bbit"; `extra_params` adds quantizer knobs such
+  /// as {"bits", "8"}). The target inherits this store's resolved sketch
+  /// options, so a reopened compact catalog matches field for field.
+  ///
+  /// One-shot and NOT concurrency-safe: the family identity swaps at the
+  /// end, so callers must quiesce all readers and writers for the duration
+  /// (the intended shape is load → compactify → serve). All-or-nothing: on
+  /// any error the store is left unchanged. FailedPrecondition if the store
+  /// does not hold full-precision "wmh" sketches; InvalidArgument for a
+  /// non-quantized target family or bad params.
+  Status CompactifyInPlace(
+      const std::string& target_family,
+      const std::map<std::string, std::string>& extra_params = {});
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -153,6 +180,16 @@ class SketchStore {
   // unique_ptrs because Shard (mutex) is immovable but the store is not.
   std::vector<std::unique_ptr<Shard>> shards_;
 };
+
+/// Out-of-place variant of SketchStore::CompactifyInPlace: builds a new
+/// compact store holding the quantized form of every sketch in `source`
+/// (which must be a full-precision "wmh" store and is left untouched). The
+/// result has the same ids, shard layout, seed, L, and engine, so
+/// estimates flow through QueryEngine unchanged. Same error contract as
+/// CompactifyInPlace.
+Result<SketchStore> QuantizeStore(
+    const SketchStore& source, const std::string& target_family,
+    const std::map<std::string, std::string>& extra_params = {});
 
 }  // namespace ipsketch
 

@@ -24,10 +24,21 @@ class FamilyEvaluator final : public MethodEvaluator {
                  double max_storage_words, uint64_t seed) override {
     FamilyOptions options;
     options.dimension = a.dimension();
-    options.num_samples = SamplesForStorageWords(max_storage_words,
-                                                info_.storage);
     options.seed = seed;
     options.params = params_;
+    if (info_.name == "wmh_bbit") {
+      // Resolve the width through the registry first (a probe construction
+      // at m = 1), so the budget mapping reads the same validated 'bits'
+      // the family itself resolves — the registry stays the single
+      // parser/validator for the knob.
+      options.num_samples = 1;
+      auto probe = MakeFamily(info_.name, options);
+      IPS_RETURN_IF_ERROR(probe.status());
+      // Guaranteed "1".."32" after resolution; stoul is mere conversion.
+      bbit_bits_ = static_cast<uint32_t>(
+          std::stoul(probe.value()->options().params.at("bits")));
+    }
+    options.num_samples = SamplesForBudget(max_storage_words);
     auto family = MakeFamily(info_.name, options);
     IPS_RETURN_IF_ERROR(family.status());
     family_ = std::move(family).value();
@@ -53,7 +64,7 @@ class FamilyEvaluator final : public MethodEvaluator {
     if (family_ == nullptr) {
       return Status::FailedPrecondition("Prepare before Estimate");
     }
-    const size_t m = SamplesForStorageWords(storage_words, info_.storage);
+    const size_t m = SamplesForBudget(storage_words);
     if (info_.supports_truncation) {
       if (m == 0 || m > family_->options().num_samples) {
         return Status::OutOfRange("storage budget outside prepared range");
@@ -82,8 +93,22 @@ class FamilyEvaluator final : public MethodEvaluator {
   }
 
  private:
+  /// Budget→samples. The static storage-class table charges wmh_bbit at
+  /// the default b = 16; this evaluator follows the family's *resolved*
+  /// width (set in Prepare), or a b > 16 sweep would silently exceed its
+  /// storage budget (and a b < 16 one waste it).
+  size_t SamplesForBudget(double storage_words) const {
+    if (bbit_bits_ != 0) {
+      return SamplesForBbitStorageWords(storage_words, bbit_bits_);
+    }
+    return SamplesForStorageWords(storage_words, info_.storage);
+  }
+
   FamilyInfo info_;
   std::map<std::string, std::string> params_;
+  // Resolved fingerprint width for "wmh_bbit" evaluators; 0 for every
+  // other family (use the static storage-class table).
+  uint32_t bbit_bits_ = 0;
   std::shared_ptr<const SketchFamily> family_;
   double max_words_ = 0.0;
   // Truncation families: the pair sketched at the prepared budget.

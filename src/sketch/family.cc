@@ -11,6 +11,7 @@
 #include "sketch/kmv.h"
 #include "sketch/merge.h"
 #include "sketch/minhash.h"
+#include "sketch/quantize.h"
 #include "sketch/serialize.h"
 
 namespace ipsketch {
@@ -72,6 +73,13 @@ Result<std::unique_ptr<AnySketch>> SketchFamily::Truncate(
     const AnySketch& /*sketch*/, size_t /*m*/) const {
   return Status::FailedPrecondition(name() +
                                     " sketches do not support truncation");
+}
+
+Result<double> SketchFamily::ResidentWords(const AnySketch& sketch) const {
+  // For most families the resident layout matches the §5 accounting;
+  // families that store 64-bit doubles where the accounting charges 32 bits
+  // override.
+  return StorageWords(sketch);
 }
 
 namespace {
@@ -282,6 +290,14 @@ class WmhFamily final : public SketchFamily {
     return typed.value()->StorageWords();
   }
 
+  Result<double> ResidentWords(const AnySketch& sketch) const override {
+    auto typed = Cast<WmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    // Two resident doubles per sample (hash + value) + the norm; the §5
+    // accounting charges only 1.5 words because it assumes a 32-bit hash.
+    return 2.0 * static_cast<double>(typed.value()->num_samples()) + 1.0;
+  }
+
   Result<std::string> Serialize(const AnySketch& sketch) const override {
     auto typed = Cast<WmhSketch>(name(), sketch);
     IPS_RETURN_IF_ERROR(typed.status());
@@ -394,6 +410,13 @@ class IcwsFamily final : public SketchFamily {
     return typed.value()->StorageWords();
   }
 
+  Result<double> ResidentWords(const AnySketch& sketch) const override {
+    auto typed = Cast<IcwsSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    // A 64-bit fingerprint + a double value per sample + the norm.
+    return 2.0 * static_cast<double>(typed.value()->num_samples()) + 1.0;
+  }
+
   Result<std::string> Serialize(const AnySketch& sketch) const override {
     auto typed = Cast<IcwsSketch>(name(), sketch);
     IPS_RETURN_IF_ERROR(typed.status());
@@ -469,6 +492,13 @@ class MhFamily final : public SketchFamily {
     auto typed = Cast<MhSketch>(name(), sketch);
     IPS_RETURN_IF_ERROR(typed.status());
     return typed.value()->StorageWords();
+  }
+
+  Result<double> ResidentWords(const AnySketch& sketch) const override {
+    auto typed = Cast<MhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    // Two resident doubles per sample (hash + value).
+    return 2.0 * static_cast<double>(typed.value()->num_samples());
   }
 
   Result<std::string> Serialize(const AnySketch& sketch) const override {
@@ -557,6 +587,13 @@ class KmvFamily final : public SketchFamily {
     auto typed = Cast<KmvSketch>(name(), sketch);
     IPS_RETURN_IF_ERROR(typed.status());
     return typed.value()->StorageWords();
+  }
+
+  Result<double> ResidentWords(const AnySketch& sketch) const override {
+    auto typed = Cast<KmvSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    // Two resident doubles per retained sample (hash + value).
+    return 2.0 * static_cast<double>(typed.value()->samples.size());
   }
 
   Result<std::string> Serialize(const AnySketch& sketch) const override {
@@ -741,23 +778,270 @@ class JlFamily final : public SketchFamily {
   JlOptions concrete_;
 };
 
+// --- quantized WMH encodings -------------------------------------------------
+
+/// Mixin implemented by the compact catalog families: the conversion from a
+/// resident full-precision WmhSketch that QuantizeWmhSketch (and through
+/// it, the service layer's CompactifyInPlace/QuantizeStore) dispatches on.
+class WmhQuantizingFamily {
+ public:
+  virtual ~WmhQuantizingFamily() = default;
+
+  /// The quantized form of `full`, wrapped for this family.
+  virtual Result<std::unique_ptr<AnySketch>> QuantizeFrom(
+      const WmhSketch& full) const = 0;
+};
+
+/// Sketcher shared by both quantized families: sketches full-precision into
+/// a reusable scratch sketch with the kDart-or-configured engine (the hot
+/// path is unchanged), then quantizes as a cheap post-pass.
+template <typename CompactT>
+class QuantizingFamilySketcher final : public Sketcher {
+ public:
+  QuantizingFamilySketcher(std::string family, WmhSketcher sketcher,
+                           uint64_t dimension, uint32_t bits)
+      : family_(std::move(family)),
+        sketcher_(std::move(sketcher)),
+        dimension_(dimension),
+        bits_(bits) {}
+
+  Status Sketch(const SparseVector& a, AnySketch* out) override {
+    if (a.dimension() != dimension_) {
+      return Status::InvalidArgument(
+          "vector dimension does not match the family's");
+    }
+    CompactT* typed = GetMutableSketchAs<CompactT>(out);
+    if (typed == nullptr) {
+      return Status::InvalidArgument("output sketch is not of family '" +
+                                     family_ + "'");
+    }
+    IPS_RETURN_IF_ERROR(sketcher_.Sketch(a, &scratch_));
+    return Quantize(typed);
+  }
+
+ private:
+  Status Quantize(CompactWmhSketch* out) {
+    CompactFromWmh(scratch_, out);
+    return Status::Ok();
+  }
+  Status Quantize(BbitWmhSketch* out) {
+    return BbitFromWmh(scratch_, bits_, out);
+  }
+
+  std::string family_;
+  WmhSketcher sketcher_;
+  WmhSketch scratch_;
+  uint64_t dimension_;
+  uint32_t bits_;  // unused by the compact encoding
+};
+
+class CompactWmhFamily final : public SketchFamily,
+                               public WmhQuantizingFamily {
+ public:
+  CompactWmhFamily(FamilyInfo info, FamilyOptions resolved,
+                   WmhOptions concrete)
+      : SketchFamily(std::move(info), std::move(resolved)),
+        concrete_(concrete) {}
+
+  std::unique_ptr<AnySketch> NewSketch() const override {
+    return std::make_unique<TypedSketch<CompactWmhSketch>>();
+  }
+
+  Result<std::unique_ptr<Sketcher>> MakeSketcher() const override {
+    auto made = WmhSketcher::Make(concrete_);
+    IPS_RETURN_IF_ERROR(made.status());
+    return std::unique_ptr<Sketcher>(
+        new QuantizingFamilySketcher<CompactWmhSketch>(
+            name(), std::move(made).value(), options().dimension,
+            /*bits=*/0));
+  }
+
+  Status CheckCompatible(const AnySketch& sketch) const override {
+    auto typed = Cast<CompactWmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    const CompactWmhSketch& s = *typed.value();
+    if (s.num_samples() != concrete_.num_samples ||
+        s.seed != concrete_.seed || s.L != concrete_.L ||
+        s.engine != concrete_.engine ||
+        s.dimension != options().dimension) {
+      return Status::InvalidArgument(
+          "wmh_compact sketch parameters do not match the family's "
+          "(m, seed, L, engine, dimension)");
+    }
+    if (s.hashes.size() != s.values.size()) {
+      return Status::InvalidArgument(
+          "wmh_compact sketch hash/value length mismatch");
+    }
+    return Status::Ok();
+  }
+
+  Result<double> Estimate(const AnySketch& a,
+                          const AnySketch& b) const override {
+    auto ta = Cast<CompactWmhSketch>(name(), a);
+    IPS_RETURN_IF_ERROR(ta.status());
+    auto tb = Cast<CompactWmhSketch>(name(), b);
+    IPS_RETURN_IF_ERROR(tb.status());
+    return EstimateCompactWmhInnerProduct(*ta.value(), *tb.value());
+  }
+
+  Result<std::unique_ptr<AnySketch>> Truncate(const AnySketch& sketch,
+                                              size_t m) const override {
+    auto typed = Cast<CompactWmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    if (m > typed.value()->num_samples()) {
+      return Status::OutOfRange("truncation beyond the sketch's samples");
+    }
+    // Compact sketches are coordinate-wise, so prefix slicing is exact:
+    // truncation commutes with quantization.
+    return Wrap(TruncatedCompactWmh(*typed.value(), m));
+  }
+
+  Result<double> StorageWords(const AnySketch& sketch) const override {
+    auto typed = Cast<CompactWmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    return typed.value()->StorageWords();
+  }
+
+  Result<std::string> Serialize(const AnySketch& sketch) const override {
+    auto typed = Cast<CompactWmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    return SerializeCompactWmh(*typed.value());
+  }
+
+  Result<std::unique_ptr<AnySketch>> Deserialize(
+      std::string_view bytes) const override {
+    auto parsed = DeserializeCompactWmh(bytes);
+    IPS_RETURN_IF_ERROR(parsed.status());
+    return Wrap(std::move(parsed).value());
+  }
+
+  Result<std::unique_ptr<AnySketch>> QuantizeFrom(
+      const WmhSketch& full) const override {
+    return Wrap(CompactFromWmh(full));
+  }
+
+ private:
+  WmhOptions concrete_;
+};
+
+class BbitWmhFamily final : public SketchFamily, public WmhQuantizingFamily {
+ public:
+  BbitWmhFamily(FamilyInfo info, FamilyOptions resolved, WmhOptions concrete,
+                uint32_t bits)
+      : SketchFamily(std::move(info), std::move(resolved)),
+        concrete_(concrete),
+        bits_(bits) {}
+
+  std::unique_ptr<AnySketch> NewSketch() const override {
+    return std::make_unique<TypedSketch<BbitWmhSketch>>();
+  }
+
+  Result<std::unique_ptr<Sketcher>> MakeSketcher() const override {
+    auto made = WmhSketcher::Make(concrete_);
+    IPS_RETURN_IF_ERROR(made.status());
+    return std::unique_ptr<Sketcher>(
+        new QuantizingFamilySketcher<BbitWmhSketch>(
+            name(), std::move(made).value(), options().dimension, bits_));
+  }
+
+  Status CheckCompatible(const AnySketch& sketch) const override {
+    auto typed = Cast<BbitWmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    const BbitWmhSketch& s = *typed.value();
+    if (s.num_samples() != concrete_.num_samples ||
+        s.seed != concrete_.seed || s.L != concrete_.L ||
+        s.engine != concrete_.engine || s.bits != bits_ ||
+        s.dimension != options().dimension) {
+      return Status::InvalidArgument(
+          "wmh_bbit sketch parameters do not match the family's "
+          "(m, seed, L, engine, bits, dimension)");
+    }
+    if (s.fingerprints.size() != s.values.size()) {
+      return Status::InvalidArgument(
+          "wmh_bbit sketch fingerprint/value length mismatch");
+    }
+    // The same declared-width invariant the wire decoder enforces on load
+    // — otherwise a store could persist a file its own decoder refuses to
+    // reopen.
+    return CheckBbitFingerprintWidths(s);
+  }
+
+  Result<double> Estimate(const AnySketch& a,
+                          const AnySketch& b) const override {
+    auto ta = Cast<BbitWmhSketch>(name(), a);
+    IPS_RETURN_IF_ERROR(ta.status());
+    auto tb = Cast<BbitWmhSketch>(name(), b);
+    IPS_RETURN_IF_ERROR(tb.status());
+    return EstimateBbitWmhInnerProduct(*ta.value(), *tb.value());
+  }
+
+  Result<std::unique_ptr<AnySketch>> Truncate(const AnySketch& sketch,
+                                              size_t m) const override {
+    auto typed = Cast<BbitWmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    if (m > typed.value()->num_samples()) {
+      return Status::OutOfRange("truncation beyond the sketch's samples");
+    }
+    return Wrap(TruncatedBbitWmh(*typed.value(), m));
+  }
+
+  Result<double> StorageWords(const AnySketch& sketch) const override {
+    auto typed = Cast<BbitWmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    return typed.value()->StorageWords();
+  }
+
+  Result<double> ResidentWords(const AnySketch& sketch) const override {
+    auto typed = Cast<BbitWmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    // Fingerprints live in uint32_t slots regardless of b, so the resident
+    // footprint is one word per sample + the norm (the §5 accounting
+    // charges only (b + 32)/64 per sample).
+    return static_cast<double>(typed.value()->num_samples()) + 1.0;
+  }
+
+  Result<std::string> Serialize(const AnySketch& sketch) const override {
+    auto typed = Cast<BbitWmhSketch>(name(), sketch);
+    IPS_RETURN_IF_ERROR(typed.status());
+    return SerializeBbitWmh(*typed.value());
+  }
+
+  Result<std::unique_ptr<AnySketch>> Deserialize(
+      std::string_view bytes) const override {
+    auto parsed = DeserializeBbitWmh(bytes);
+    IPS_RETURN_IF_ERROR(parsed.status());
+    return Wrap(std::move(parsed).value());
+  }
+
+  Result<std::unique_ptr<AnySketch>> QuantizeFrom(
+      const WmhSketch& full) const override {
+    auto quantized = BbitFromWmh(full, bits_);
+    IPS_RETURN_IF_ERROR(quantized.status());
+    return Wrap(std::move(quantized).value());
+  }
+
+ private:
+  WmhOptions concrete_;
+  uint32_t bits_;
+};
+
 // --- per-family construction -------------------------------------------------
 
-Result<std::shared_ptr<const SketchFamily>> MakeWmh(const FamilyInfo& info,
-                                                    FamilyOptions options) {
-  IPS_RETURN_IF_ERROR(CheckKnownParams("wmh", options, {"L", "engine"}));
-  WmhOptions concrete;
-  concrete.num_samples = options.num_samples;
-  concrete.seed = options.seed;
-  IPS_RETURN_IF_ERROR(ParseU64Param(options, "L", &concrete.L));
-  auto engine_it = options.params.find("engine");
-  if (engine_it != options.params.end()) {
+/// Parses and resolves the WMH-shaped params {L, engine} shared by "wmh"
+/// and its quantized encodings: defaults are materialized into
+/// `options->params` so the resolved identity is complete and comparable.
+Status ResolveWmhParams(FamilyOptions* options, WmhOptions* concrete) {
+  concrete->num_samples = options->num_samples;
+  concrete->seed = options->seed;
+  IPS_RETURN_IF_ERROR(ParseU64Param(*options, "L", &concrete->L));
+  auto engine_it = options->params.find("engine");
+  if (engine_it != options->params.end()) {
     if (engine_it->second == "active_index") {
-      concrete.engine = WmhEngine::kActiveIndex;
+      concrete->engine = WmhEngine::kActiveIndex;
     } else if (engine_it->second == "expanded_reference") {
-      concrete.engine = WmhEngine::kExpandedReference;
+      concrete->engine = WmhEngine::kExpandedReference;
     } else if (engine_it->second == "dart") {
-      concrete.engine = WmhEngine::kDart;
+      concrete->engine = WmhEngine::kDart;
     } else {
       return Status::InvalidArgument(
           "option 'engine' must be dart, active_index, or "
@@ -768,12 +1052,47 @@ Result<std::shared_ptr<const SketchFamily>> MakeWmh(const FamilyInfo& info,
   // Resolve L and the engine here, as the store always has: every sketch
   // built through this family — and every later reopening of a persisted
   // store — agrees on them.
-  if (concrete.L == 0) concrete.L = DefaultL(options.dimension);
-  IPS_RETURN_IF_ERROR(concrete.Validate());
-  options.params["L"] = std::to_string(concrete.L);
-  options.params["engine"] = WmhEngineName(concrete.engine);
+  if (concrete->L == 0) concrete->L = DefaultL(options->dimension);
+  IPS_RETURN_IF_ERROR(concrete->Validate());
+  options->params["L"] = std::to_string(concrete->L);
+  options->params["engine"] = WmhEngineName(concrete->engine);
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const SketchFamily>> MakeWmh(const FamilyInfo& info,
+                                                    FamilyOptions options) {
+  IPS_RETURN_IF_ERROR(CheckKnownParams("wmh", options, {"L", "engine"}));
+  WmhOptions concrete;
+  IPS_RETURN_IF_ERROR(ResolveWmhParams(&options, &concrete));
   return std::shared_ptr<const SketchFamily>(
       new WmhFamily(info, std::move(options), concrete));
+}
+
+Result<std::shared_ptr<const SketchFamily>> MakeWmhCompact(
+    const FamilyInfo& info, FamilyOptions options) {
+  IPS_RETURN_IF_ERROR(
+      CheckKnownParams("wmh_compact", options, {"L", "engine"}));
+  WmhOptions concrete;
+  IPS_RETURN_IF_ERROR(ResolveWmhParams(&options, &concrete));
+  return std::shared_ptr<const SketchFamily>(
+      new CompactWmhFamily(info, std::move(options), concrete));
+}
+
+Result<std::shared_ptr<const SketchFamily>> MakeWmhBbit(
+    const FamilyInfo& info, FamilyOptions options) {
+  IPS_RETURN_IF_ERROR(
+      CheckKnownParams("wmh_bbit", options, {"L", "engine", "bits"}));
+  uint64_t bits = 16;  // the b-bit literature's default operating point
+  IPS_RETURN_IF_ERROR(ParseU64Param(options, "bits", &bits));
+  if (bits < 1 || bits > 32) {
+    return Status::InvalidArgument("option 'bits' must be in [1, 32]; got " +
+                                   std::to_string(bits));
+  }
+  WmhOptions concrete;
+  IPS_RETURN_IF_ERROR(ResolveWmhParams(&options, &concrete));
+  options.params["bits"] = std::to_string(bits);
+  return std::shared_ptr<const SketchFamily>(new BbitWmhFamily(
+      info, std::move(options), concrete, static_cast<uint32_t>(bits)));
 }
 
 Result<std::shared_ptr<const SketchFamily>> MakeIcws(const FamilyInfo& info,
@@ -881,6 +1200,10 @@ const std::vector<FamilyInfo>& RegisteredFamilies() {
        /*trunc=*/true},
       {"icws", "ICWS", StorageClass::kSamplingWithNorm, /*merge=*/false,
        /*trunc=*/true},
+      {"wmh_compact", "WMH32", StorageClass::kCompactSamplingWithNorm,
+       /*merge=*/false, /*trunc=*/true},
+      {"wmh_bbit", "WMHb", StorageClass::kBbitSamplingWithNorm,
+       /*merge=*/false, /*trunc=*/true},
   };
   return *families;
 }
@@ -904,11 +1227,36 @@ Result<std::shared_ptr<const SketchFamily>> MakeFamily(
   IPS_RETURN_IF_ERROR(info.status());
   IPS_RETURN_IF_ERROR(CommonValidate(options));
   if (name == "wmh") return MakeWmh(info.value(), options);
+  if (name == "wmh_compact") return MakeWmhCompact(info.value(), options);
+  if (name == "wmh_bbit") return MakeWmhBbit(info.value(), options);
   if (name == "icws") return MakeIcws(info.value(), options);
   if (name == "mh") return MakeMh(info.value(), options);
   if (name == "kmv") return MakeKmv(info.value(), options);
   if (name == "cs") return MakeCs(info.value(), options);
   return MakeJl(info.value(), options);
+}
+
+Result<std::unique_ptr<AnySketch>> QuantizeWmhSketch(
+    const SketchFamily& target, const AnySketch& full) {
+  const auto* quantizing = dynamic_cast<const WmhQuantizingFamily*>(&target);
+  if (quantizing == nullptr) {
+    return Status::InvalidArgument(
+        "family '" + target.name() +
+        "' is not a quantized WMH encoding (expected wmh_compact or "
+        "wmh_bbit)");
+  }
+  const WmhSketch* typed = GetSketchAs<WmhSketch>(full);
+  if (typed == nullptr) {
+    return Status::InvalidArgument(
+        "only full-precision wmh sketches can be quantized");
+  }
+  auto out = quantizing->QuantizeFrom(*typed);
+  IPS_RETURN_IF_ERROR(out.status());
+  // The quantized sketch must land exactly on the target's resolved
+  // identity — a full sketch built with different (m, seed, L, engine) is
+  // rejected here, never silently relabeled.
+  IPS_RETURN_IF_ERROR(target.CheckCompatible(*out.value()));
+  return out;
 }
 
 }  // namespace ipsketch

@@ -13,7 +13,12 @@
 // (sketch/estimator_registry.h) are both built on this interface, so a
 // CountSketch store and a WMH store run through the same code.
 //
-// Registry keys: "wmh", "icws", "mh", "kmv", "cs", "jl".
+// Registry keys: "wmh", "icws", "mh", "kmv", "cs", "jl", plus the compact
+// catalog encodings "wmh_compact" (32-bit hash + float32 value) and
+// "wmh_bbit" (b-bit fingerprint + float32 value, option `bits` in [1, 32]).
+// The compact families sketch full-precision WMH internally and quantize as
+// a post-pass, so their sketches are comparable with each other (same seed,
+// L, engine) but never with full-precision "wmh" sketches.
 
 #ifndef IPSKETCH_SKETCH_FAMILY_H_
 #define IPSKETCH_SKETCH_FAMILY_H_
@@ -202,6 +207,14 @@ class SketchFamily {
   /// accounting model.
   virtual Result<double> StorageWords(const AnySketch& sketch) const = 0;
 
+  /// In-memory footprint of `sketch` in 64-bit words — the engineering
+  /// truth, as opposed to the §5 *accounting* model (which charges 32 bits
+  /// per stored hash even when the resident struct holds a 64-bit double).
+  /// Defaults to StorageWords; families whose resident layout is wider than
+  /// the accounting (WMH, ICWS, MH, KMV) override. This is the number the
+  /// compact catalog families halve.
+  virtual Result<double> ResidentWords(const AnySketch& sketch) const;
+
   /// Type-tagged wire encoding (sketch/serialize.h); stable across runs.
   virtual Result<std::string> Serialize(const AnySketch& sketch) const = 0;
 
@@ -222,7 +235,8 @@ class SketchFamily {
 };
 
 /// Metadata for every registered family, in the paper's plotting order
-/// (JL, CS, MH, KMV, WMH) plus the ICWS extension.
+/// (JL, CS, MH, KMV, WMH) plus the ICWS extension and the two compact
+/// catalog encodings (wmh_compact, wmh_bbit).
 const std::vector<FamilyInfo>& RegisteredFamilies();
 
 /// Metadata for one family; InvalidArgument for unknown names.
@@ -233,6 +247,16 @@ Result<FamilyInfo> GetFamilyInfo(const std::string& name);
 /// out-of-range fields, or unrecognized `options.params` keys.
 Result<std::shared_ptr<const SketchFamily>> MakeFamily(
     const std::string& name, const FamilyOptions& options);
+
+/// Quantizes a full-precision WMH sketch into `target`'s compact concrete
+/// type. `target` must be a family made from "wmh_compact" or "wmh_bbit"
+/// (InvalidArgument otherwise), and `full` a WmhSketch whose (m, seed, L,
+/// engine, dimension) match the target's options — the result is verified
+/// with target.CheckCompatible, so a mismatched input is rejected, never
+/// relabeled. This is the one-shot conversion the service layer's
+/// CompactifyInPlace/QuantizeStore run per stored sketch.
+Result<std::unique_ptr<AnySketch>> QuantizeWmhSketch(
+    const SketchFamily& target, const AnySketch& full);
 
 }  // namespace ipsketch
 

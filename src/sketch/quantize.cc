@@ -9,26 +9,41 @@
 namespace ipsketch {
 namespace {
 
+// Quantized form of the empty-slot sentinel h = 1.0.
+constexpr uint32_t kSaturatedHash = ~uint32_t{0};
+
 uint32_t QuantizeHash(double h) {
   // h in [0, 1]; floor to 32-bit fixed point. 1.0 (the empty-sketch
   // sentinel) saturates to the maximum.
-  if (h >= 1.0) return ~uint32_t{0};
+  if (h >= 1.0) return kSaturatedHash;
   return static_cast<uint32_t>(h * 4294967296.0);
 }
 
 double DequantizeHash(uint32_t q) {
+  // The saturated bucket maps back to exactly 1.0: it holds the empty-slot
+  // sentinel, and mid-point mapping it below 1.0 would bias the FM union
+  // estimate upward on sparse catalogs (and make it nonzero for all-empty
+  // sketches).
+  if (q == kSaturatedHash) return 1.0;
   // Mid-point dequantization halves the floor bias of the FM estimator.
   return (static_cast<double>(q) + 0.5) / 4294967296.0;
 }
 
 Status CheckCompatible(uint64_t seed_a, uint64_t seed_b, uint64_t la,
-                       uint64_t lb, uint64_t dim_a, uint64_t dim_b, size_t ma,
+                       uint64_t lb, uint64_t dim_a, uint64_t dim_b,
+                       WmhEngine engine_a, WmhEngine engine_b, size_t ma,
                        size_t mb) {
   if (ma != mb) return Status::InvalidArgument("sketch sample counts differ");
   if (ma == 0) return Status::InvalidArgument("sketches are empty");
   if (seed_a != seed_b) return Status::InvalidArgument("sketch seeds differ");
   if (la != lb) {
     return Status::InvalidArgument("sketch discretization parameters differ");
+  }
+  if (engine_a != engine_b) {
+    // Engines are distributionally equivalent but realize different hash
+    // functions; a cross-engine pair would estimate silently wrong. Same
+    // rule as the full-precision estimator (core/wmh_estimator.cc).
+    return Status::InvalidArgument("sketch engines differ");
   }
   if (dim_a != dim_b) {
     return Status::InvalidArgument("sketch dimensions differ");
@@ -40,24 +55,40 @@ Status CheckCompatible(uint64_t seed_a, uint64_t seed_b, uint64_t la,
 
 CompactWmhSketch CompactFromWmh(const WmhSketch& sketch) {
   CompactWmhSketch out;
-  out.norm = sketch.norm;
-  out.seed = sketch.seed;
-  out.L = sketch.L;
-  out.dimension = sketch.dimension;
-  out.hashes.reserve(sketch.num_samples());
-  out.values.reserve(sketch.num_samples());
+  CompactFromWmh(sketch, &out);
+  return out;
+}
+
+void CompactFromWmh(const WmhSketch& sketch, CompactWmhSketch* out) {
+  out->norm = sketch.norm;
+  out->seed = sketch.seed;
+  out->L = sketch.L;
+  out->dimension = sketch.dimension;
+  out->engine = sketch.engine;
+  out->hashes.clear();
+  out->values.clear();
+  out->hashes.reserve(sketch.num_samples());
+  out->values.reserve(sketch.num_samples());
   for (size_t i = 0; i < sketch.num_samples(); ++i) {
-    out.hashes.push_back(QuantizeHash(sketch.hashes[i]));
-    out.values.push_back(static_cast<float>(sketch.values[i]));
+    out->hashes.push_back(QuantizeHash(sketch.hashes[i]));
+    out->values.push_back(static_cast<float>(sketch.values[i]));
   }
+}
+
+CompactWmhSketch TruncatedCompactWmh(const CompactWmhSketch& sketch,
+                                     size_t m) {
+  IPS_CHECK(m > 0 && m <= sketch.num_samples());
+  CompactWmhSketch out = sketch;
+  out.hashes.resize(m);
+  out.values.resize(m);
   return out;
 }
 
 Result<double> EstimateCompactWmhInnerProduct(const CompactWmhSketch& a,
                                               const CompactWmhSketch& b) {
   IPS_RETURN_IF_ERROR(CheckCompatible(a.seed, b.seed, a.L, b.L, a.dimension,
-                                      b.dimension, a.num_samples(),
-                                      b.num_samples()));
+                                      b.dimension, a.engine, b.engine,
+                                      a.num_samples(), b.num_samples()));
   if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
 
   const size_t m = a.num_samples();
@@ -76,42 +107,74 @@ Result<double> EstimateCompactWmhInnerProduct(const CompactWmhSketch& a,
   if (min_hash_sum <= 0.0) {
     return Status::Internal("degenerate minimum-hash sum");
   }
-  const double m_tilde =
-      (md / min_hash_sum - 1.0) / static_cast<double>(a.L);
+  // Clamp at 0: with every slot at the empty sentinel, min_hash_sum = m and
+  // the FM expression lands on exactly 0; float rounding must not push a
+  // near-empty catalog's union size negative.
+  const double m_tilde = std::max(
+      0.0, (md / min_hash_sum - 1.0) / static_cast<double>(a.L));
   return a.norm * b.norm * (m_tilde / md) * weighted_match_sum;
 }
 
 Result<BbitWmhSketch> BbitFromWmh(const WmhSketch& sketch, uint32_t bits) {
+  BbitWmhSketch out;
+  IPS_RETURN_IF_ERROR(BbitFromWmh(sketch, bits, &out));
+  return out;
+}
+
+Status BbitFromWmh(const WmhSketch& sketch, uint32_t bits,
+                   BbitWmhSketch* out) {
   if (bits < 1 || bits > 32) {
     return Status::InvalidArgument("bits must be in [1, 32]");
   }
-  BbitWmhSketch out;
-  out.bits = bits;
-  out.norm = sketch.norm;
-  out.seed = sketch.seed;
-  out.L = sketch.L;
-  out.dimension = sketch.dimension;
+  out->bits = bits;
+  out->norm = sketch.norm;
+  out->seed = sketch.seed;
+  out->L = sketch.L;
+  out->dimension = sketch.dimension;
+  out->engine = sketch.engine;
   const uint32_t mask =
       bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1);
-  out.fingerprints.reserve(sketch.num_samples());
-  out.values.reserve(sketch.num_samples());
+  out->fingerprints.clear();
+  out->values.clear();
+  out->fingerprints.reserve(sketch.num_samples());
+  out->values.reserve(sketch.num_samples());
   for (size_t i = 0; i < sketch.num_samples(); ++i) {
     // Mix the double's bit pattern so the kept b bits are uniform even
     // though minimum hashes cluster near zero.
     uint64_t pattern;
     static_assert(sizeof(pattern) == sizeof(double));
     std::memcpy(&pattern, &sketch.hashes[i], sizeof(pattern));
-    out.fingerprints.push_back(static_cast<uint32_t>(Mix64(pattern)) & mask);
-    out.values.push_back(static_cast<float>(sketch.values[i]));
+    out->fingerprints.push_back(static_cast<uint32_t>(Mix64(pattern)) & mask);
+    out->values.push_back(static_cast<float>(sketch.values[i]));
   }
+  return Status::Ok();
+}
+
+BbitWmhSketch TruncatedBbitWmh(const BbitWmhSketch& sketch, size_t m) {
+  IPS_CHECK(m > 0 && m <= sketch.num_samples());
+  BbitWmhSketch out = sketch;
+  out.fingerprints.resize(m);
+  out.values.resize(m);
   return out;
+}
+
+Status CheckBbitFingerprintWidths(const BbitWmhSketch& sketch) {
+  const uint32_t mask =
+      sketch.bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << sketch.bits) - 1);
+  for (uint32_t fp : sketch.fingerprints) {
+    if ((fp & ~mask) != 0) {
+      return Status::InvalidArgument(
+          "b-bit WMH fingerprint exceeds the declared width");
+    }
+  }
+  return Status::Ok();
 }
 
 Result<double> EstimateBbitWmhInnerProduct(const BbitWmhSketch& a,
                                            const BbitWmhSketch& b) {
   IPS_RETURN_IF_ERROR(CheckCompatible(a.seed, b.seed, a.L, b.L, a.dimension,
-                                      b.dimension, a.num_samples(),
-                                      b.num_samples()));
+                                      b.dimension, a.engine, b.engine,
+                                      a.num_samples(), b.num_samples()));
   if (a.bits != b.bits) {
     return Status::InvalidArgument("fingerprint widths differ");
   }

@@ -119,6 +119,20 @@ void PutU64s(std::string* out, const std::vector<uint64_t>& xs) {
   for (uint64_t x : xs) PutU64(out, x);
 }
 
+void PutU32s(std::string* out, const std::vector<uint32_t>& xs) {
+  PutU64(out, xs.size());
+  for (uint32_t x : xs) PutU32(out, x);
+}
+
+void PutF32s(std::string* out, const std::vector<float>& xs) {
+  PutU64(out, xs.size());
+  for (float x : xs) {
+    uint32_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    PutU32(out, bits);
+  }
+}
+
 void PutHeader(std::string* out, SketchTypeTag tag) {
   PutU32(out, kMagic);
   PutU8(out, kVersion);
@@ -148,6 +162,28 @@ class Reader : public wire::Reader {
     if (n > Remaining() / 8) return Truncated();
     xs->resize(n);
     for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadU64(&x));
+    return Status::Ok();
+  }
+
+  Status ReadU32s(std::vector<uint32_t>* xs) {
+    uint64_t n = 0;
+    IPS_RETURN_IF_ERROR(ReadU64(&n));
+    if (n > Remaining() / 4) return Truncated();
+    xs->resize(n);
+    for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadU32(&x));
+    return Status::Ok();
+  }
+
+  Status ReadF32s(std::vector<float>* xs) {
+    uint64_t n = 0;
+    IPS_RETURN_IF_ERROR(ReadU64(&n));
+    if (n > Remaining() / 4) return Truncated();
+    xs->resize(n);
+    for (auto& x : *xs) {
+      uint32_t bits = 0;
+      IPS_RETURN_IF_ERROR(ReadU32(&bits));
+      std::memcpy(&x, &bits, sizeof(x));
+    }
     return Status::Ok();
   }
 
@@ -183,6 +219,19 @@ class Reader : public wire::Reader {
   }
 };
 
+// Reads and validates the engine byte shared by the full-precision WMH
+// payload and both quantized encodings — one bounds check, so a new engine
+// enumerator cannot be accepted by one decoder and rejected by another.
+Status ReadWmhEngine(Reader* r, WmhEngine* engine) {
+  uint8_t byte = 0;
+  IPS_RETURN_IF_ERROR(r->ReadU8(&byte));
+  if (byte > static_cast<uint8_t>(WmhEngine::kDart)) {
+    return Status::InvalidArgument("unknown WMH engine");
+  }
+  *engine = static_cast<WmhEngine>(byte);
+  return Status::Ok();
+}
+
 }  // namespace
 
 // --- WMH ---------------------------------------------------------------------
@@ -210,12 +259,7 @@ Result<WmhSketch> DeserializeWmh(std::string_view bytes, bool* v1_payload) {
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.L));
   IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
   if (version >= 2) {
-    uint8_t engine = 0;
-    IPS_RETURN_IF_ERROR(r.ReadU8(&engine));
-    if (engine > static_cast<uint8_t>(WmhEngine::kDart)) {
-      return Status::InvalidArgument("unknown WMH engine");
-    }
-    s.engine = static_cast<WmhEngine>(engine);
+    IPS_RETURN_IF_ERROR(ReadWmhEngine(&r, &s.engine));
   } else {
     s.engine = WmhEngine::kActiveIndex;  // the only v1 production engine
   }
@@ -446,6 +490,97 @@ Result<SimHashSketch> DeserializeSimHash(std::string_view bytes) {
   return s;
 }
 
+// --- compact / b-bit WMH -------------------------------------------------------
+
+namespace {
+
+// The quantized payloads are new in wire version 2: no version-1 producer
+// ever existed for these tags, so unlike WMH/ICWS there is no legacy
+// decode path — a version-1 header on them is corruption, not history.
+Status ExpectQuantizedHeader(Reader* r, SketchTypeTag tag) {
+  uint8_t version = 0;
+  IPS_RETURN_IF_ERROR(r->ExpectHeader(tag, &version));
+  if (version < 2) {
+    return Status::InvalidArgument(
+        "quantized WMH payloads require wire version 2");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeCompactWmh(const CompactWmhSketch& sketch) {
+  std::string out;
+  PutHeader(&out, SketchTypeTag::kCompactWmh);
+  PutU64(&out, sketch.seed);
+  PutU64(&out, sketch.L);
+  PutU64(&out, sketch.dimension);
+  PutU8(&out, static_cast<uint8_t>(sketch.engine));
+  PutDouble(&out, sketch.norm);
+  PutU32s(&out, sketch.hashes);
+  PutF32s(&out, sketch.values);
+  return out;
+}
+
+Result<CompactWmhSketch> DeserializeCompactWmh(std::string_view bytes) {
+  Reader r(bytes);
+  IPS_RETURN_IF_ERROR(
+      ExpectQuantizedHeader(&r, SketchTypeTag::kCompactWmh));
+  CompactWmhSketch s;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.L));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  IPS_RETURN_IF_ERROR(ReadWmhEngine(&r, &s.engine));
+  IPS_RETURN_IF_ERROR(r.ReadDouble(&s.norm));
+  IPS_RETURN_IF_ERROR(r.ReadU32s(&s.hashes));
+  IPS_RETURN_IF_ERROR(r.ReadF32s(&s.values));
+  if (s.hashes.size() != s.values.size()) {
+    return Status::InvalidArgument(
+        "compact WMH hash/value length mismatch");
+  }
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
+std::string SerializeBbitWmh(const BbitWmhSketch& sketch) {
+  std::string out;
+  PutHeader(&out, SketchTypeTag::kBbitWmh);
+  PutU64(&out, sketch.seed);
+  PutU64(&out, sketch.L);
+  PutU64(&out, sketch.dimension);
+  PutU8(&out, static_cast<uint8_t>(sketch.engine));
+  PutU32(&out, sketch.bits);
+  PutDouble(&out, sketch.norm);
+  PutU32s(&out, sketch.fingerprints);
+  PutF32s(&out, sketch.values);
+  return out;
+}
+
+Result<BbitWmhSketch> DeserializeBbitWmh(std::string_view bytes) {
+  Reader r(bytes);
+  IPS_RETURN_IF_ERROR(ExpectQuantizedHeader(&r, SketchTypeTag::kBbitWmh));
+  BbitWmhSketch s;
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.seed));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.L));
+  IPS_RETURN_IF_ERROR(r.ReadU64(&s.dimension));
+  IPS_RETURN_IF_ERROR(ReadWmhEngine(&r, &s.engine));
+  IPS_RETURN_IF_ERROR(r.ReadU32(&s.bits));
+  if (s.bits < 1 || s.bits > 32) {
+    return Status::InvalidArgument(
+        "b-bit WMH fingerprint width out of range");
+  }
+  IPS_RETURN_IF_ERROR(r.ReadDouble(&s.norm));
+  IPS_RETURN_IF_ERROR(r.ReadU32s(&s.fingerprints));
+  IPS_RETURN_IF_ERROR(r.ReadF32s(&s.values));
+  if (s.fingerprints.size() != s.values.size()) {
+    return Status::InvalidArgument(
+        "b-bit WMH fingerprint/value length mismatch");
+  }
+  IPS_RETURN_IF_ERROR(CheckBbitFingerprintWidths(s));
+  IPS_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
 Result<SketchTypeTag> PeekSketchType(std::string_view bytes) {
   Reader r(bytes);
   uint32_t magic = 0;
@@ -457,7 +592,7 @@ Result<SketchTypeTag> PeekSketchType(std::string_view bytes) {
   uint8_t tag = 0;
   IPS_RETURN_IF_ERROR(r.ReadU8(&version));
   IPS_RETURN_IF_ERROR(r.ReadU8(&tag));
-  if (tag < 1 || tag > static_cast<uint8_t>(SketchTypeTag::kSimHash)) {
+  if (tag < 1 || tag > static_cast<uint8_t>(SketchTypeTag::kBbitWmh)) {
     return Status::NotFound("unknown sketch type tag");
   }
   return static_cast<SketchTypeTag>(tag);

@@ -28,6 +28,7 @@
 #include "sketch/jl_sketch.h"
 #include "sketch/kmv.h"
 #include "sketch/minhash.h"
+#include "sketch/quantize.h"
 #include "sketch/simhash.h"
 
 namespace ipsketch {
@@ -98,6 +99,19 @@ Result<IcwsSketch> DeserializeIcws(std::string_view bytes);
 std::string SerializeSimHash(const SimHashSketch& sketch);
 Result<SimHashSketch> DeserializeSimHash(std::string_view bytes);
 
+/// Serializes a compact (32-bit hash, float32 value) WMH sketch. The wire
+/// form carries the engine byte, exactly as full-precision WMH payloads do:
+/// compact sketches are only comparable across equal engines. These tags
+/// are new in wire version 2, so no version-1 payload exists for them and
+/// none is accepted.
+std::string SerializeCompactWmh(const CompactWmhSketch& sketch);
+Result<CompactWmhSketch> DeserializeCompactWmh(std::string_view bytes);
+
+/// Serializes a b-bit fingerprint WMH sketch (bits validated to [1, 32] on
+/// decode; fingerprints must fit the declared width).
+std::string SerializeBbitWmh(const BbitWmhSketch& sketch);
+Result<BbitWmhSketch> DeserializeBbitWmh(std::string_view bytes);
+
 /// Identifies which sketch type a serialized blob holds without parsing the
 /// payload. Returns NotFound for non-sketch bytes.
 enum class SketchTypeTag : uint8_t {
@@ -108,6 +122,8 @@ enum class SketchTypeTag : uint8_t {
   kCountSketch = 5,
   kIcws = 6,
   kSimHash = 7,
+  kCompactWmh = 8,
+  kBbitWmh = 9,
 };
 Result<SketchTypeTag> PeekSketchType(std::string_view bytes);
 

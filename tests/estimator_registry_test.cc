@@ -106,6 +106,34 @@ TEST(RegistryTest, PrepareIsRepeatable) {
   EXPECT_DOUBLE_EQ(method->Estimate(300).value(), est1);
 }
 
+TEST(RegistryTest, QuantizedEvaluatorsFollowExplicitBits) {
+  const auto pair = TestPair(0.2, 3);
+  const double truth = Dot(pair.a, pair.b);
+  const double scale = pair.a.Norm() * pair.b.Norm();
+  // The compact and b-bit evaluators run through the same registry path;
+  // an explicit non-default width must still prepare and estimate (the
+  // budget mapping follows the resolved width, not the b = 16 default).
+  for (auto& [family, params] :
+       std::vector<std::pair<std::string, std::map<std::string, std::string>>>{
+           {"wmh_compact", {}},
+           {"wmh_bbit", {}},
+           {"wmh_bbit", {{"bits", "32"}}},
+           {"wmh_bbit", {{"bits", "8"}}}}) {
+    auto method = MakeFamilyEvaluator(family, params).value();
+    ASSERT_TRUE(method->Prepare(pair.a, pair.b, 400, 7).ok())
+        << family;
+    const auto estimate = method->Estimate(400);
+    ASSERT_TRUE(estimate.ok()) << family << ": "
+                               << estimate.status().ToString();
+    EXPECT_TRUE(std::isfinite(estimate.value())) << family;
+    EXPECT_LT(std::fabs(estimate.value() - truth) / scale, 0.5) << family;
+  }
+  // Malformed widths surface as Prepare errors through the registry's
+  // validator — the evaluator never silently falls back.
+  auto bad = MakeFamilyEvaluator("wmh_bbit", {{"bits", "64"}}).value();
+  EXPECT_FALSE(bad->Prepare(pair.a, pair.b, 400, 7).ok());
+}
+
 TEST(RegistryTest, WmhEvaluatorSupportsReferenceEngine) {
   SyntheticPairOptions opt;
   opt.dimension = 200;

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "core/rounding.h"
 #include "data/synthetic.h"
+#include "sketch/quantize.h"
 #include "sketch/serialize.h"
 #include "vector/vector_ops.h"
 
@@ -206,10 +207,11 @@ TEST(FamilyRegistryErrorTest, UnknownFamilyNameIsDescriptive) {
   EXPECT_EQ(GetFamilyInfo("").status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(FamilyRegistryErrorTest, RegistryListsExactlySixFamilies) {
+TEST(FamilyRegistryErrorTest, RegistryListsExactlyEightFamilies) {
   const auto& families = RegisteredFamilies();
-  ASSERT_EQ(families.size(), 6u);
-  for (const char* name : {"wmh", "icws", "mh", "kmv", "cs", "jl"}) {
+  ASSERT_EQ(families.size(), 8u);
+  for (const char* name : {"wmh", "icws", "mh", "kmv", "cs", "jl",
+                           "wmh_compact", "wmh_bbit"}) {
     EXPECT_TRUE(GetFamilyInfo(name).ok()) << name;
   }
 }
@@ -295,6 +297,162 @@ TEST(FamilyRegistryErrorTest, IcwsResolvesEngineAndLIntoItsIdentity) {
                   .ok());
   EXPECT_EQ(exact_family->CheckCompatible(*dart_sketch).code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(QuantizedFamilyTest, CompactFamiliesResolveWmhIdentity) {
+  // Both quantized encodings resolve the same {L, engine} identity as the
+  // full-precision family they shadow, so a compactified catalog's options
+  // line up field for field with its source.
+  for (const char* name : {"wmh_compact", "wmh_bbit"}) {
+    auto family = MakeFamily(name, SmallOptions()).value();
+    EXPECT_EQ(family->options().params.at("L"),
+              std::to_string(DefaultL(kDim)))
+        << name;
+    EXPECT_EQ(family->options().params.at("engine"), "dart") << name;
+  }
+  // The b-bit width defaults to 16 and is resolved into the identity.
+  auto bbit = MakeFamily("wmh_bbit", SmallOptions()).value();
+  EXPECT_EQ(bbit->options().params.at("bits"), "16");
+
+  FamilyOptions eight = SmallOptions();
+  eight.params["bits"] = "8";
+  EXPECT_EQ(MakeFamily("wmh_bbit", eight).value()->options().params.at(
+                "bits"),
+            "8");
+}
+
+TEST(QuantizedFamilyTest, BbitWidthOutsideRangeIsRejected) {
+  for (const char* bad : {"0", "33", "not_a_number", ""}) {
+    FamilyOptions options = SmallOptions();
+    options.params["bits"] = bad;
+    EXPECT_EQ(MakeFamily("wmh_bbit", options).status().code(),
+              StatusCode::kInvalidArgument)
+        << "bits=" << bad;
+  }
+  // 'bits' is not a knob of the 32-bit compact encoding (or of wmh).
+  FamilyOptions stray = SmallOptions();
+  stray.params["bits"] = "16";
+  EXPECT_EQ(MakeFamily("wmh_compact", stray).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeFamily("wmh", stray).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuantizedFamilyTest, CrossEngineCompactSketchesAreRejected) {
+  // The headline regression: quantization must carry the engine, and the
+  // family must enforce engine equality exactly as full-precision WMH does.
+  FamilyOptions dart = SmallOptions();
+  dart.params["engine"] = "dart";
+  FamilyOptions active = SmallOptions();
+  active.params["engine"] = "active_index";
+  for (const char* name : {"wmh_compact", "wmh_bbit"}) {
+    auto dart_family = MakeFamily(name, dart).value();
+    auto active_family = MakeFamily(name, active).value();
+    auto from_dart = dart_family->NewSketch();
+    auto from_active = active_family->NewSketch();
+    ASSERT_TRUE(dart_family->MakeSketcher()
+                    .value()
+                    ->Sketch(RandomVector(1), from_dart.get())
+                    .ok());
+    ASSERT_TRUE(active_family->MakeSketcher()
+                    .value()
+                    ->Sketch(RandomVector(1), from_active.get())
+                    .ok());
+    // Same vector, same seed/L/m — only the engine differs. Both the
+    // insert-time guard and the estimator must reject the pair.
+    EXPECT_EQ(dart_family->CheckCompatible(*from_active).code(),
+              StatusCode::kInvalidArgument)
+        << name;
+    const auto estimate = dart_family->Estimate(*from_dart, *from_active);
+    EXPECT_EQ(estimate.status().code(), StatusCode::kInvalidArgument)
+        << name;
+    EXPECT_NE(estimate.status().message().find("engine"), std::string::npos)
+        << name;
+  }
+}
+
+TEST(QuantizedFamilyTest, OversizeFingerprintsAreRejectedAtInsertTime) {
+  // The wire decoder rejects fingerprints wider than the declared b; the
+  // insert-time guard must enforce the same invariant, or a store could
+  // persist a file its own decoder refuses to reopen.
+  auto family = MakeFamily("wmh_bbit", SmallOptions()).value();
+  auto sketch = family->NewSketch();
+  ASSERT_TRUE(family->MakeSketcher()
+                  .value()
+                  ->Sketch(RandomVector(1), sketch.get())
+                  .ok());
+  ASSERT_TRUE(family->CheckCompatible(*sketch).ok());
+  auto* typed = GetMutableSketchAs<BbitWmhSketch>(sketch.get());
+  ASSERT_NE(typed, nullptr);
+  typed->fingerprints[0] = 0x10000u;  // bits 16..: outside b = 16
+  const Status st = family->CheckCompatible(*sketch);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("width"), std::string::npos);
+}
+
+TEST(QuantizedFamilyTest, QuantizeWmhSketchConvertsAndValidates) {
+  auto wmh = MakeFamily("wmh", SmallOptions()).value();
+  auto compact = MakeFamily("wmh_compact", SmallOptions()).value();
+  auto full = wmh->NewSketch();
+  ASSERT_TRUE(
+      wmh->MakeSketcher().value()->Sketch(RandomVector(3), full.get()).ok());
+
+  auto quantized = QuantizeWmhSketch(*compact, *full);
+  ASSERT_TRUE(quantized.ok()) << quantized.status().ToString();
+  EXPECT_TRUE(compact->CheckCompatible(*quantized.value()).ok());
+  // The conversion is exactly what the family's own sketcher produces.
+  auto direct = compact->NewSketch();
+  ASSERT_TRUE(compact->MakeSketcher()
+                  .value()
+                  ->Sketch(RandomVector(3), direct.get())
+                  .ok());
+  EXPECT_EQ(compact->Serialize(*quantized.value()).value(),
+            compact->Serialize(*direct).value());
+
+  // A full sketch with a different identity is rejected, never relabeled.
+  FamilyOptions other_seed = SmallOptions();
+  other_seed.seed = 99;
+  auto wmh99 = MakeFamily("wmh", other_seed).value();
+  auto full99 = wmh99->NewSketch();
+  ASSERT_TRUE(wmh99->MakeSketcher()
+                  .value()
+                  ->Sketch(RandomVector(3), full99.get())
+                  .ok());
+  EXPECT_EQ(QuantizeWmhSketch(*compact, *full99).status().code(),
+            StatusCode::kInvalidArgument);
+  // Non-quantized targets and non-WMH inputs are rejected.
+  EXPECT_EQ(QuantizeWmhSketch(*wmh, *full).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QuantizeWmhSketch(*compact, *quantized.value()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuantizedFamilyTest, ResidentWordsHalveUnderCompaction) {
+  auto wmh = MakeFamily("wmh", SmallOptions()).value();
+  auto compact = MakeFamily("wmh_compact", SmallOptions()).value();
+  auto bbit = MakeFamily("wmh_bbit", SmallOptions()).value();
+  auto full = wmh->NewSketch();
+  ASSERT_TRUE(
+      wmh->MakeSketcher().value()->Sketch(RandomVector(5), full.get()).ok());
+  auto small = QuantizeWmhSketch(*compact, *full).value();
+  auto tiny = QuantizeWmhSketch(*bbit, *full).value();
+
+  // m = 64: full-precision resident = 2m+1 = 129 words (the §5 accounting
+  // charges 1.5m+1 = 97); compact resident = accounting = m+1 = 65.
+  EXPECT_DOUBLE_EQ(wmh->StorageWords(*full).value(), 97.0);
+  EXPECT_DOUBLE_EQ(wmh->ResidentWords(*full).value(), 129.0);
+  EXPECT_DOUBLE_EQ(compact->StorageWords(*small).value(), 65.0);
+  EXPECT_DOUBLE_EQ(compact->ResidentWords(*small).value(), 65.0);
+  // b = 16: accounting (16+32)/64·m+1 = 49; resident stays one u32+f32
+  // word per sample.
+  EXPECT_DOUBLE_EQ(bbit->StorageWords(*tiny).value(), 49.0);
+  EXPECT_DOUBLE_EQ(bbit->ResidentWords(*tiny).value(), 65.0);
+
+  // The acceptance ratio: a compact catalog is at most 0.52× the resident
+  // footprint of the full-precision one.
+  EXPECT_LE(compact->ResidentWords(*small).value() /
+                wmh->ResidentWords(*full).value(),
+            0.52);
 }
 
 TEST(FamilyOptionsWireTest, EncodeDecodeRoundTrips) {

@@ -98,6 +98,65 @@ TEST(GoldenBytesTest, Icws) {
   EXPECT_EQ(parsed.value().fingerprints, s.fingerprints);
 }
 
+constexpr char kGoldenCompactWmh[] =
+    "4853504902080700000000000000001000000000000000020000000000000200000000"
+    "000004400200000000000000000000800000004002000000000000000000403f000000"
+    "bf";
+
+TEST(GoldenBytesTest, CompactWmh) {
+  CompactWmhSketch s;
+  s.seed = 7;
+  s.L = 4096;
+  s.dimension = 512;
+  s.engine = WmhEngine::kDart;
+  s.norm = 2.5;
+  s.hashes = {0x80000000u, 0x40000000u};  // QuantizeHash(0.5), (0.25)
+  s.values = {0.75f, -0.5f};
+  EXPECT_EQ(ToHex(SerializeCompactWmh(s)), kGoldenCompactWmh);
+
+  const auto parsed = DeserializeCompactWmh(FromHex(kGoldenCompactWmh));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().engine, WmhEngine::kDart);
+  EXPECT_EQ(parsed.value().L, 4096u);
+  EXPECT_EQ(parsed.value().hashes, s.hashes);
+  EXPECT_EQ(parsed.value().values, s.values);
+  // Re-encode is byte-identical (float32 values survive as bit patterns).
+  EXPECT_EQ(ToHex(SerializeCompactWmh(parsed.value())), kGoldenCompactWmh);
+}
+
+constexpr char kGoldenBbitWmh[] =
+    "4853504902090700000000000000001000000000000000020000000000000210000000"
+    "0000000000000440020000000000000034120000efbe00000200000000000000000040"
+    "3f000000bf";
+
+TEST(GoldenBytesTest, BbitWmh) {
+  BbitWmhSketch s;
+  s.seed = 7;
+  s.L = 4096;
+  s.dimension = 512;
+  s.engine = WmhEngine::kDart;
+  s.bits = 16;
+  s.norm = 2.5;
+  s.fingerprints = {0x1234u, 0xbeefu};
+  s.values = {0.75f, -0.5f};
+  EXPECT_EQ(ToHex(SerializeBbitWmh(s)), kGoldenBbitWmh);
+
+  const auto parsed = DeserializeBbitWmh(FromHex(kGoldenBbitWmh));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().engine, WmhEngine::kDart);
+  EXPECT_EQ(parsed.value().bits, 16u);
+  EXPECT_EQ(parsed.value().fingerprints, s.fingerprints);
+  EXPECT_EQ(ToHex(SerializeBbitWmh(parsed.value())), kGoldenBbitWmh);
+
+  // Declared-width violations are corruption, not data: a fingerprint
+  // above 2ᵇ − 1 must be rejected.
+  std::string wide = FromHex(kGoldenBbitWmh);
+  // Third fingerprint byte (bits 16..23 of the first fingerprint) is at
+  // offset 4+1+1 + 24 + 1 + 4 + 8 + 8 + 2 = 53.
+  wide[53] = 0x01;
+  EXPECT_FALSE(DeserializeBbitWmh(wide).ok());
+}
+
 constexpr char kGoldenMh[] =
     "4853504902020700000000000000000200000000000000020000000000000000000000"
     "0000e03f000000000000d03f0200000000000000000000000000f03f00000000000000"
@@ -188,6 +247,33 @@ TEST(GoldenBytesTest, PersistenceV2Header) {
   EXPECT_EQ(decoded.value().options().sketch, store.options().sketch);
 }
 
+// A compact-catalog store file: same v2 container, family "wmh_compact",
+// the resolved {L, engine} identity in the params block.
+constexpr char kGoldenStoreCompactEmpty[] =
+    "54535049020b00000000000000776d685f636f6d706163740200000000000000000200"
+    "000000000040000000000000002a000000000000000200000000000000010000000000"
+    "00004c0400000000000000343039360600000000000000656e67696e65040000000000"
+    "00006461727400000000000000005b962bedaca8d44b";
+
+TEST(GoldenBytesTest, PersistenceCompactStoreHeader) {
+  SketchStoreOptions opts;
+  opts.family = "wmh_compact";
+  opts.sketch.dimension = 512;
+  opts.sketch.num_samples = 64;
+  opts.sketch.seed = 42;
+  opts.sketch.params["L"] = "4096";
+  opts.sketch.params["engine"] = "dart";
+  opts.num_shards = 2;
+  auto store = SketchStore::Make(opts).value();
+  const std::string bytes = EncodeSketchStore(store);
+  EXPECT_EQ(ToHex(bytes), kGoldenStoreCompactEmpty);
+
+  auto decoded = DecodeSketchStore(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().options().family, "wmh_compact");
+  EXPECT_EQ(decoded.value().options().sketch, store.options().sketch);
+}
+
 // --- legacy v1 per-sketch bytes ---------------------------------------------
 
 // Version-1 payloads predate the engine fields; they must keep decoding,
@@ -242,6 +328,22 @@ TEST(GoldenBytesTest, UnknownVersionsAndEnginesAreRejected) {
   std::string bad_engine = FromHex(kGoldenWmh);
   bad_engine[4 + 1 + 1 + 24] = 9;  // engine byte after seed/L/dimension
   EXPECT_FALSE(DeserializeWmh(bad_engine).ok());
+}
+
+TEST(GoldenBytesTest, QuantizedPayloadsRejectVersionOne) {
+  // The quantized tags are new in wire version 2: no v1 producer ever
+  // existed, so a v1 header on them is corruption, never legacy data.
+  for (const char* golden : {kGoldenCompactWmh, kGoldenBbitWmh}) {
+    std::string v1 = FromHex(golden);
+    v1[4] = 1;  // version byte
+    const bool compact = golden == kGoldenCompactWmh;
+    EXPECT_FALSE(compact ? DeserializeCompactWmh(v1).ok()
+                         : DeserializeBbitWmh(v1).ok());
+  }
+  // The engine byte is validated exactly as for full-precision WMH.
+  std::string bad_engine = FromHex(kGoldenCompactWmh);
+  bad_engine[4 + 1 + 1 + 24] = 9;
+  EXPECT_FALSE(DeserializeCompactWmh(bad_engine).ok());
 }
 
 }  // namespace

@@ -20,11 +20,13 @@ SparseVector TestVector(uint64_t seed, uint64_t lo, uint64_t hi) {
   return SparseVector::MakeOrDie(1024, std::move(entries));
 }
 
-WmhSketch Sketch(const SparseVector& v, size_t m, uint64_t seed) {
+WmhSketch Sketch(const SparseVector& v, size_t m, uint64_t seed,
+                 WmhEngine engine = WmhEngine::kDart) {
   WmhOptions o;
   o.num_samples = m;
   o.seed = seed;
   o.L = 1 << 16;
+  o.engine = engine;
   return SketchWmh(v, o).value();
 }
 
@@ -81,6 +83,46 @@ TEST(CompactWmhTest, CompatibilityChecks) {
   const auto s1 = CompactFromWmh(Sketch(v, 16, 1));
   const auto s2 = CompactFromWmh(Sketch(v, 16, 2));
   EXPECT_FALSE(EstimateCompactWmhInnerProduct(s1, s2).ok());
+}
+
+TEST(CompactWmhTest, QuantizationCarriesTheEngine) {
+  const auto v = TestVector(6, 0, 64);
+  for (WmhEngine engine : {WmhEngine::kDart, WmhEngine::kActiveIndex,
+                           WmhEngine::kExpandedReference}) {
+    EXPECT_EQ(CompactFromWmh(Sketch(v, 16, 1, engine)).engine, engine);
+    EXPECT_EQ(BbitFromWmh(Sketch(v, 16, 1, engine), 16).value().engine,
+              engine);
+  }
+}
+
+// Regression for the silent cross-engine acceptance bug: engines realize
+// different hash functions, so — mirroring wmh_estimator_test — a kDart
+// compact sketch against a kActiveIndex compact sketch must be
+// InvalidArgument, not a silently wrong estimate.
+TEST(CompactWmhTest, CrossEngineEstimationIsRejected) {
+  const auto v = TestVector(6, 0, 64);
+  const auto dart = CompactFromWmh(Sketch(v, 16, 1, WmhEngine::kDart));
+  const auto active =
+      CompactFromWmh(Sketch(v, 16, 1, WmhEngine::kActiveIndex));
+  const auto estimate = EstimateCompactWmhInnerProduct(dart, active);
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(estimate.status().message().find("engine"), std::string::npos);
+  // Same-engine pairs keep estimating.
+  EXPECT_TRUE(EstimateCompactWmhInnerProduct(dart, dart).ok());
+}
+
+TEST(BbitWmhTest, CrossEngineEstimationIsRejected) {
+  const auto v = TestVector(6, 0, 64);
+  const auto dart = BbitFromWmh(Sketch(v, 16, 1, WmhEngine::kDart), 16)
+                        .value();
+  const auto active =
+      BbitFromWmh(Sketch(v, 16, 1, WmhEngine::kActiveIndex), 16).value();
+  const auto estimate = EstimateBbitWmhInnerProduct(dart, active);
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(estimate.status().message().find("engine"), std::string::npos);
+  EXPECT_TRUE(EstimateBbitWmhInnerProduct(dart, dart).ok());
 }
 
 TEST(CompactWmhTest, ZeroVectorEstimatesZero) {
@@ -163,6 +205,72 @@ TEST(BbitWmhTest, EstimateReasonableAtSixteenBits) {
            scale;
   }
   EXPECT_LT(err / kSeeds, 0.1);
+}
+
+// Regression for the saturated-sentinel bias: the empty-slot sentinel
+// h = 1.0 quantizes to ~0u, and dequantization must map that bucket back to
+// exactly 1.0 — the mid-point rule would put it below 1.0 and bias the FM
+// union estimate on sparse catalogs.
+TEST(CompactWmhTest, SaturatedSentinelRoundTripsToExactlyOne) {
+  // One genuine slot at hash 0.5, the rest empty sentinels. The estimate
+  // must equal the closed form computed with the sentinel at exactly 1.0.
+  const size_t m = 16;
+  CompactWmhSketch s;
+  s.norm = 2.0;
+  s.seed = 1;
+  s.L = 1024;
+  s.dimension = 8;
+  s.hashes.assign(m, ~uint32_t{0});
+  s.values.assign(m, 0.0f);
+  s.hashes[0] = uint32_t{1} << 31;  // QuantizeHash(0.5)
+  s.values[0] = 1.0f;
+
+  const double est = EstimateCompactWmhInnerProduct(s, s).value();
+  const double min_hash_sum =
+      15.0 + (static_cast<double>(uint32_t{1} << 31) + 0.5) / 4294967296.0;
+  const double m_tilde = (16.0 / min_hash_sum - 1.0) / 1024.0;
+  EXPECT_DOUBLE_EQ(est, s.norm * s.norm * (m_tilde / 16.0) * 1.0);
+}
+
+TEST(CompactWmhTest, AllEmptySlotsEstimateExactlyZeroUnion) {
+  // With every slot at the sentinel, min_hash_sum = m exactly, so the FM
+  // union size is 0 — and the clamp keeps m_tilde from going negative
+  // under float rounding. Nonzero norms force the estimator through the FM
+  // path instead of the zero-norm short-circuit.
+  const size_t m = 32;
+  CompactWmhSketch s;
+  s.norm = 3.0;
+  s.seed = 7;
+  s.L = 4096;
+  s.dimension = 16;
+  s.hashes.assign(m, ~uint32_t{0});
+  // Nonzero values make every sentinel slot a "match", so a nonzero
+  // m_tilde (the pre-fix mid-point bias) would surface as a nonzero
+  // estimate instead of being masked by an all-zero weighted sum.
+  s.values.assign(m, 1.0f);
+  const auto est = EstimateCompactWmhInnerProduct(s, s);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_EQ(est.value(), 0.0);
+}
+
+TEST(CompactWmhTest, TruncationCommutesWithQuantization) {
+  // Compact sketches are coordinate-wise, so a truncated compact sketch is
+  // bit-identical to quantizing the truncated full-precision sketch.
+  const auto full = Sketch(TestVector(20, 0, 150), 128, 9);
+  const auto compact = CompactFromWmh(full);
+  for (size_t m : {1u, 17u, 64u, 128u}) {
+    const auto a = TruncatedCompactWmh(compact, m);
+    const auto b = CompactFromWmh(TruncatedWmh(full, m));
+    EXPECT_EQ(a.hashes, b.hashes) << m;
+    EXPECT_EQ(a.values, b.values) << m;
+    EXPECT_EQ(a.engine, b.engine) << m;
+  }
+  const auto bb = BbitFromWmh(full, 12).value();
+  const auto tb = TruncatedBbitWmh(bb, 17);
+  const auto fresh = BbitFromWmh(TruncatedWmh(full, 17), 12).value();
+  EXPECT_EQ(tb.fingerprints, fresh.fingerprints);
+  EXPECT_EQ(tb.values, fresh.values);
+  EXPECT_EQ(tb.bits, fresh.bits);
 }
 
 TEST(BbitWmhTest, MismatchedWidthsRejected) {

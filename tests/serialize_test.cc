@@ -206,7 +206,46 @@ TEST(PeekSketchTypeTest, IdentifiesAllTypes) {
   EXPECT_EQ(PeekSketchType(SerializeKmv(SketchKmv(TestVector(17), ko).value()))
                 .value(),
             SketchTypeTag::kKmv);
+  const auto full = SketchWmh(TestVector(18), wo).value();
+  EXPECT_EQ(PeekSketchType(SerializeCompactWmh(CompactFromWmh(full))).value(),
+            SketchTypeTag::kCompactWmh);
+  EXPECT_EQ(
+      PeekSketchType(SerializeBbitWmh(BbitFromWmh(full, 16).value())).value(),
+      SketchTypeTag::kBbitWmh);
   EXPECT_FALSE(PeekSketchType("nope").ok());
+}
+
+TEST(QuantizedSerializeTest, RoundTripsAndRejectsMalformedBytes) {
+  WmhOptions o;
+  o.num_samples = 8;
+  o.engine = WmhEngine::kActiveIndex;
+  const auto full = SketchWmh(TestVector(19), o).value();
+
+  const auto compact = CompactFromWmh(full);
+  const std::string cb = SerializeCompactWmh(compact);
+  auto cparsed = DeserializeCompactWmh(cb);
+  ASSERT_TRUE(cparsed.ok()) << cparsed.status().ToString();
+  EXPECT_EQ(SerializeCompactWmh(cparsed.value()), cb);
+  EXPECT_EQ(cparsed.value().engine, WmhEngine::kActiveIndex);
+  EXPECT_EQ(cparsed.value().hashes, compact.hashes);
+  EXPECT_EQ(cparsed.value().values, compact.values);
+
+  const auto bbit = BbitFromWmh(full, 12).value();
+  const std::string bb = SerializeBbitWmh(bbit);
+  auto bparsed = DeserializeBbitWmh(bb);
+  ASSERT_TRUE(bparsed.ok()) << bparsed.status().ToString();
+  EXPECT_EQ(SerializeBbitWmh(bparsed.value()), bb);
+  EXPECT_EQ(bparsed.value().bits, 12u);
+  EXPECT_EQ(bparsed.value().fingerprints, bbit.fingerprints);
+
+  // Truncated, type-confused, and empty inputs are all rejected.
+  EXPECT_FALSE(DeserializeCompactWmh(bb).ok());
+  EXPECT_FALSE(DeserializeBbitWmh(cb).ok());
+  EXPECT_FALSE(DeserializeCompactWmh("").ok());
+  for (size_t cut = 1; cut < cb.size(); cut += 7) {
+    EXPECT_FALSE(
+        DeserializeCompactWmh(std::string_view(cb).substr(0, cut)).ok());
+  }
 }
 
 }  // namespace

@@ -161,6 +161,41 @@ TEST(StorePersistenceTest, EmptyStoreRoundTrips) {
   EXPECT_EQ(reloaded.value().size(), 0u);
 }
 
+// The acceptance path for compact catalogs: load-or-build a full-precision
+// WMH store, compactify, save — the compact file round-trips byte-
+// identically, serves identical estimates, and is refused when opened with
+// full-precision expectations.
+TEST(StorePersistenceTest, CompactifiedStoreRoundTripsByteIdentically) {
+  auto store = MakePopulatedStore(40);
+  ASSERT_TRUE(store.CompactifyInPlace("wmh_compact").ok());
+
+  const std::string path = TempPath("compact_catalog.store");
+  ASSERT_TRUE(SaveSketchStore(store, path).ok());
+  // Reopening requires the compact identity — the resolved options of the
+  // source WMH store under family "wmh_compact".
+  auto expected = SmallStoreOptions("wmh_compact");
+  auto reloaded = LoadSketchStoreAs(path, expected);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().options().family, "wmh_compact");
+  EXPECT_EQ(reloaded.value().TotalStorageWords(),
+            store.TotalStorageWords());
+
+  // Byte-identical round trip, byte-identical estimates.
+  EXPECT_EQ(EncodeSketchStore(reloaded.value()), EncodeSketchStore(store));
+  QueryEngine before(&store);
+  QueryEngine after(&reloaded.value());
+  const auto ids = store.Ids();
+  for (size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_EQ(before.EstimateInnerProduct(ids[0], ids[i]).value(),
+              after.EstimateInnerProduct(ids[0], ids[i]).value());
+  }
+
+  // The same file is refused under full-precision "wmh" expectations.
+  EXPECT_EQ(LoadSketchStoreAs(path, SmallStoreOptions()).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
 // A legacy version-1 file — the WMH-only format written before the
 // SketchFamily redesign — must still load, as a "wmh" store with identical
 // estimates. The v1 bytes are built by hand here, field for field.

@@ -408,6 +408,140 @@ TEST(QueryEngineTest, AllFamiliesServeTopK) {
   }
 }
 
+// --- compact catalogs --------------------------------------------------------
+
+TEST(CompactCatalogTest, CompactifyInPlaceHalvesResidentStorage) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  for (uint64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store.BuildAndInsert(i, RandomVector(i)).ok());
+  }
+  const double full_resident = store.TotalResidentWords();
+  const double full_storage = store.TotalStorageWords();
+  std::vector<double> before;
+  {
+    QueryEngine engine(&store);
+    for (uint64_t i = 1; i < 30; ++i) {
+      before.push_back(engine.EstimateInnerProduct(0, i).value());
+    }
+  }
+
+  ASSERT_TRUE(store.CompactifyInPlace("wmh_compact").ok());
+  EXPECT_EQ(store.family().name(), "wmh_compact");
+  EXPECT_EQ(store.options().family, "wmh_compact");
+  // The quantized family inherits the resolved identity of its source.
+  EXPECT_EQ(store.options().sketch.params.at("engine"), "dart");
+  EXPECT_EQ(store.size(), 30u);
+  // The acceptance ratio: the resident catalog is at most 0.52× its
+  // full-precision footprint (§5 accounting shrinks too: 1·m+1 words per
+  // sketch instead of 1.5·m+1).
+  EXPECT_LE(store.TotalResidentWords() / full_resident, 0.52);
+  EXPECT_LT(store.TotalStorageWords(), full_storage);
+
+  // Point and top-k estimates run unchanged through the family interface,
+  // within quantization distance (float32 values, 32-bit hashes) of the
+  // full-precision estimates.
+  QueryEngine engine(&store);
+  for (uint64_t i = 1; i < 30; ++i) {
+    EXPECT_NEAR(engine.EstimateInnerProduct(0, i).value(), before[i - 1],
+                1e-3)
+        << "pair (0, " << i << ")";
+  }
+  const auto hits = engine.TopK(RandomVector(7), 5).value();
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].id, 7u);  // self-similarity survives quantization
+
+  // A second compaction is refused: the store no longer holds "wmh".
+  EXPECT_EQ(store.CompactifyInPlace("wmh_compact").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CompactCatalogTest, QuantizeStoreMatchesInPlaceAndKeepsSource) {
+  auto source = SketchStore::Make(SmallStoreOptions()).value();
+  for (uint64_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(source.BuildAndInsert(i * 3, RandomVector(i)).ok());
+  }
+
+  auto compact = QuantizeStore(source, "wmh_compact");
+  ASSERT_TRUE(compact.ok()) << compact.status().ToString();
+  // The source is untouched; the copy holds the same ids.
+  EXPECT_EQ(source.family().name(), "wmh");
+  EXPECT_EQ(source.size(), 25u);
+  EXPECT_EQ(compact.value().Ids(), source.Ids());
+
+  // Out-of-place and in-place conversions agree sketch for sketch.
+  ASSERT_TRUE(source.CompactifyInPlace("wmh_compact").ok());
+  const auto ids = source.Ids();
+  for (uint64_t id : ids) {
+    EXPECT_EQ(source.family()
+                  .Serialize(*compact.value().Lookup(id).value())
+                  .value(),
+              source.family().Serialize(*source.Lookup(id).value()).value())
+        << "id " << id;
+  }
+}
+
+TEST(CompactCatalogTest, BbitCompactionShrinksAccountingFurther) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  for (uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.BuildAndInsert(i, RandomVector(i)).ok());
+  }
+  const double full_storage = store.TotalStorageWords();
+  ASSERT_TRUE(store.CompactifyInPlace("wmh_bbit", {{"bits", "8"}}).ok());
+  EXPECT_EQ(store.family().name(), "wmh_bbit");
+  EXPECT_EQ(store.options().sketch.params.at("bits"), "8");
+  // (8+32)/64 = 0.625 words/sample vs 1.5: under half the §5 accounting.
+  EXPECT_LT(store.TotalStorageWords() / full_storage, 0.5);
+
+  QueryEngine engine(&store);
+  const auto hits = engine.TopK(RandomVector(3), 5).value();
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].id, 3u);
+}
+
+TEST(CompactCatalogTest, CompactionErrorPaths) {
+  // A non-WMH store cannot be compactified.
+  auto cs_store = SketchStore::Make(SmallStoreOptions("cs")).value();
+  ASSERT_TRUE(cs_store.BuildAndInsert(1, RandomVector(1)).ok());
+  EXPECT_EQ(cs_store.CompactifyInPlace("wmh_compact").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(QuantizeStore(cs_store, "wmh_compact").status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Targets must be quantized WMH encodings, and their params must parse.
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  ASSERT_TRUE(store.BuildAndInsert(1, RandomVector(1)).ok());
+  EXPECT_EQ(store.CompactifyInPlace("wmh").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.CompactifyInPlace("definitely_not_a_family").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.CompactifyInPlace("wmh_bbit", {{"bits", "64"}}).code(),
+            StatusCode::kInvalidArgument);
+  // Every failure left the store unchanged.
+  EXPECT_EQ(store.family().name(), "wmh");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(QueryEngine(&store).EstimateInnerProduct(1, 1).ok());
+}
+
+TEST(CompactCatalogTest, InsertRejectsCrossEngineCompactSketch) {
+  // The insert-time guard inherits the engine check: a compact catalog
+  // resolved to one engine refuses sketches quantized from another.
+  auto opts = SmallStoreOptions("wmh_compact");
+  opts.sketch.params["engine"] = "active_index";
+  auto store = SketchStore::Make(opts).value();
+
+  FamilyOptions dart_options = store.options().sketch;
+  dart_options.params["engine"] = "dart";
+  auto dart_family = MakeFamily("wmh_compact", dart_options).value();
+  auto sketch = dart_family->NewSketch();
+  ASSERT_TRUE(dart_family->MakeSketcher()
+                  .value()
+                  ->Sketch(RandomVector(1), sketch.get())
+                  .ok());
+  EXPECT_EQ(store.Insert(1, std::move(sketch)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.size(), 0u);
+}
+
 // The satellite stress test: 8 writer threads ingest disjoint id ranges
 // while 4 reader threads hammer TopK / lookups. Afterwards, nothing may be
 // lost and a concurrent-pool TopK must match a from-scratch serial

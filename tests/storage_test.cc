@@ -35,11 +35,66 @@ TEST(StorageTest, BitsFamilyPacksSixtyFourPerWord) {
   EXPECT_DOUBLE_EQ(StorageWordsForSamples(70, StorageClass::kBits), 2.0);
 }
 
+TEST(StorageTest, CompactSamplingChargesOneWordPlusNorm) {
+  // The 32-bit compact encoding: (32+32) bits = 1 word per sample + norm.
+  EXPECT_EQ(
+      SamplesForStorageWords(400, StorageClass::kCompactSamplingWithNorm),
+      399u);
+  EXPECT_DOUBLE_EQ(
+      StorageWordsForSamples(399, StorageClass::kCompactSamplingWithNorm),
+      400.0);
+  // One-sample boundary: a sample + the norm needs exactly 2 words.
+  EXPECT_EQ(
+      SamplesForStorageWords(1.999, StorageClass::kCompactSamplingWithNorm),
+      0u);
+  EXPECT_EQ(
+      SamplesForStorageWords(2.0, StorageClass::kCompactSamplingWithNorm),
+      1u);
+}
+
+TEST(StorageTest, BbitSamplingChargesAtDefaultWidth) {
+  // Charged at b = 16: (16+32)/64 = 0.75 words per sample + the norm.
+  EXPECT_EQ(SamplesForStorageWords(400, StorageClass::kBbitSamplingWithNorm),
+            532u);
+  EXPECT_DOUBLE_EQ(
+      StorageWordsForSamples(532, StorageClass::kBbitSamplingWithNorm),
+      400.0);
+  EXPECT_EQ(
+      SamplesForStorageWords(1.749, StorageClass::kBbitSamplingWithNorm),
+      0u);
+  EXPECT_EQ(SamplesForStorageWords(1.75, StorageClass::kBbitSamplingWithNorm),
+            1u);
+}
+
+TEST(StorageTest, ExplicitBbitWidthMappingStaysWithinBudget) {
+  // The enum charges the default b = 16; the explicit-width mapping must
+  // agree there and never exceed budget at any other width — a b = 32
+  // sweep through the default table would overshoot by a third.
+  EXPECT_EQ(SamplesForBbitStorageWords(400, 16),
+            SamplesForStorageWords(400, StorageClass::kBbitSamplingWithNorm));
+  EXPECT_DOUBLE_EQ(StorageWordsForBbitSamples(532, 16), 400.0);
+  for (uint32_t bits : {1u, 8u, 16u, 24u, 32u}) {
+    for (double words : {2.0, 100.0, 400.0}) {
+      const size_t m = SamplesForBbitStorageWords(words, bits);
+      if (m > 0) {
+        EXPECT_LE(StorageWordsForBbitSamples(m, bits), words + 1e-9)
+            << "bits=" << bits << " words=" << words;
+      }
+    }
+  }
+  // b = 32 costs a full word per sample: (words − 1) samples, like compact.
+  EXPECT_EQ(SamplesForBbitStorageWords(400, 32), 399u);
+  EXPECT_EQ(SamplesForBbitStorageWords(0.0, 16), 0u);
+  EXPECT_EQ(SamplesForBbitStorageWords(std::nan(""), 16), 0u);
+}
+
 TEST(StorageTest, RoundTripNeverExceedsBudget) {
   for (double words : {2.0, 10.0, 100.0, 400.0, 1000.0}) {
     for (auto family :
          {StorageClass::kLinear, StorageClass::kSampling,
-          StorageClass::kSamplingWithNorm, StorageClass::kBits}) {
+          StorageClass::kSamplingWithNorm, StorageClass::kBits,
+          StorageClass::kCompactSamplingWithNorm,
+          StorageClass::kBbitSamplingWithNorm}) {
       const size_t m = SamplesForStorageWords(words, family);
       if (m > 0) {
         EXPECT_LE(StorageWordsForSamples(m, family), words + 1e-9)
@@ -74,7 +129,9 @@ TEST(StorageTest, OneSampleBoundaryPerFamily) {
 TEST(StorageTest, SubSampleBudgetsNeverUnderflow) {
   for (auto family :
        {StorageClass::kLinear, StorageClass::kSampling,
-        StorageClass::kSamplingWithNorm, StorageClass::kBits}) {
+        StorageClass::kSamplingWithNorm, StorageClass::kBits,
+        StorageClass::kCompactSamplingWithNorm,
+        StorageClass::kBbitSamplingWithNorm}) {
     for (double words : {-1.0, 0.0, 0.25, 0.5, 0.9}) {
       EXPECT_EQ(SamplesForStorageWords(words, family), 0u)
           << "words=" << words << " family=" << static_cast<int>(family);
@@ -96,7 +153,9 @@ TEST(StorageTest, FractionalBitsBudgetStaysWithinBudget) {
 TEST(StorageTest, NanBudgetsYieldZero) {
   for (auto family :
        {StorageClass::kLinear, StorageClass::kSampling,
-        StorageClass::kSamplingWithNorm, StorageClass::kBits}) {
+        StorageClass::kSamplingWithNorm, StorageClass::kBits,
+        StorageClass::kCompactSamplingWithNorm,
+        StorageClass::kBbitSamplingWithNorm}) {
     EXPECT_EQ(SamplesForStorageWords(std::nan(""), family), 0u);
   }
 }
@@ -105,7 +164,9 @@ TEST(StorageTest, UnrepresentablyLargeBudgetsSaturate) {
   constexpr size_t kMax = std::numeric_limits<size_t>::max();
   for (auto family :
        {StorageClass::kLinear, StorageClass::kSampling,
-        StorageClass::kSamplingWithNorm, StorageClass::kBits}) {
+        StorageClass::kSamplingWithNorm, StorageClass::kBits,
+        StorageClass::kCompactSamplingWithNorm,
+        StorageClass::kBbitSamplingWithNorm}) {
     // Casting a double >= 2^64 to size_t is UB; these must clamp instead.
     EXPECT_EQ(SamplesForStorageWords(1e30, family), kMax);
     EXPECT_EQ(SamplesForStorageWords(
