@@ -1,5 +1,7 @@
-// Service-layer throughput: vectors/sec for batch ingest into a SketchStore
-// and queries/sec for QueryEngine::TopK, each at 1/2/4/8 worker threads.
+// Service-layer throughput: vectors/sec for batch ingest into a SketchStore,
+// queries/sec for QueryEngine::TopK at 1/2/4/8 worker threads, and pairwise
+// estimate throughput per family under the dispatched SIMD kernel vs the
+// scalar tier.
 //
 //   build/bench_service_throughput [scale]
 //
@@ -8,21 +10,26 @@
 // — hardware_concurrency is printed so single-core results read correctly.
 //
 // Besides the human-readable table, the bench writes BENCH_service.json to
-// the working directory (machine-readable rates per thread count) so CI can
-// track the perf trajectory across commits.
+// the working directory (machine-readable rates, the dispatched kernel
+// name, and hardware_concurrency) so CI can track the perf trajectory
+// across commits; tools/check_bench_regression.py diffs the estimate
+// throughput against the committed baseline in bench/baselines/.
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/rng.h"
+#include "core/simd/dispatch.h"
 #include "data/synthetic.h"
 #include "service/query_engine.h"
 #include "service/sketch_store.h"
 #include "service/thread_pool.h"
+#include "sketch/family.h"
 
 using namespace ipsketch;
 
@@ -78,6 +85,117 @@ void AppendRatesJson(std::string* out, const char* key,
   *out += "]";
 }
 
+/// One measured estimate-throughput point: pairwise estimates/sec for a
+/// family at m samples, under the dispatched kernel and the scalar tier.
+struct EstimatePoint {
+  std::string family;
+  size_t m = 0;
+  double per_sec = 0.0;         // dispatched kernel
+  double per_sec_scalar = 0.0;  // forced scalar tier
+};
+
+/// Sustained single-thread pairwise estimate rate of `family` over a
+/// resident catalog, under `forced` (nullptr = dispatched kernel).
+double MeasureEstimateRate(const SketchFamily& family,
+                           const std::vector<std::unique_ptr<AnySketch>>&
+                               catalog,
+                           const AnySketch& query,
+                           const simd::EstimateKernel* forced) {
+  simd::SetActiveKernelForTesting(forced);
+  double sink = 0.0;
+  size_t pairs = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double secs = 0.0;
+  do {
+    for (const auto& sketch : catalog) {
+      auto est = family.Estimate(query, *sketch);
+      if (!est.ok()) {
+        simd::SetActiveKernelForTesting(nullptr);
+        std::printf("estimate failed: %s\n", est.status().ToString().c_str());
+        std::exit(1);
+      }
+      sink += est.value();
+    }
+    pairs += catalog.size();
+    secs = SecondsSince(start);
+  } while (secs < 0.25);
+  simd::SetActiveKernelForTesting(nullptr);
+  // Keep the accumulated estimates observable so the loop cannot be
+  // optimized away.
+  if (sink == 0.12345) std::printf("(unlikely sink value)\n");
+  return static_cast<double>(pairs) / secs;
+}
+
+std::vector<EstimatePoint> MeasureEstimateThroughput() {
+  struct Config {
+    const char* family;
+    size_t m;
+  };
+  // The acceptance configuration is WMH at m = 128; the rest show every
+  // vectorized estimator family plus the m-scaling of the headline one.
+  const std::vector<Config> configs = {
+      {"wmh", 128},        {"wmh", 1024},      {"icws", 128},
+      {"wmh_compact", 128}, {"wmh_bbit", 128}, {"mh", 128},
+  };
+  const size_t kCatalog = 256;
+  std::vector<EstimatePoint> out;
+  std::printf("\n%-18s %6s %16s %16s %9s   (kernel: %s)\n", "estimate",
+              "m", "pairs/sec", "scalar pairs/sec", "speedup",
+              simd::ActiveKernelName());
+  for (const Config& config : configs) {
+    FamilyOptions options;
+    options.dimension = kDimension;
+    options.num_samples = config.m;
+    options.seed = 7;
+    auto family = MakeFamily(config.family, options).value();
+    auto sketcher = family->MakeSketcher().value();
+    std::vector<std::unique_ptr<AnySketch>> catalog;
+    catalog.reserve(kCatalog);
+    for (size_t i = 0; i < kCatalog; ++i) {
+      auto sketch = family->NewSketch();
+      if (!sketcher->Sketch(CorpusVector(i), sketch.get()).ok()) {
+        std::printf("sketch failed\n");
+        std::exit(1);
+      }
+      catalog.push_back(std::move(sketch));
+    }
+    auto query = family->NewSketch();
+    if (!sketcher->Sketch(CorpusVector(1 << 30), query.get()).ok()) {
+      std::printf("sketch failed\n");
+      std::exit(1);
+    }
+    EstimatePoint point;
+    point.family = config.family;
+    point.m = config.m;
+    point.per_sec =
+        MeasureEstimateRate(*family, catalog, *query, /*forced=*/nullptr);
+    point.per_sec_scalar = MeasureEstimateRate(*family, catalog, *query,
+                                               &simd::ScalarKernel());
+    std::printf("%-18s %6zu %16.0f %16.0f %8.2fx\n", config.family, config.m,
+                point.per_sec, point.per_sec_scalar,
+                point.per_sec / point.per_sec_scalar);
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+void AppendEstimateJson(std::string* out,
+                        const std::vector<EstimatePoint>& points) {
+  *out += "  \"estimate_pairs_per_sec\": [";
+  for (size_t i = 0; i < points.size(); ++i) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"family\": \"%s\", \"m\": %zu, "
+                  "\"per_sec\": %.1f, \"per_sec_scalar\": %.1f, "
+                  "\"speedup\": %.3f}",
+                  i == 0 ? "" : ",", points[i].family.c_str(), points[i].m,
+                  points[i].per_sec, points[i].per_sec_scalar,
+                  points[i].per_sec / points[i].per_sec_scalar);
+    *out += buf;
+  }
+  *out += "\n  ]";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,8 +204,9 @@ int main(int argc, char** argv) {
                 "SketchStore batch ingest and QueryEngine::TopK throughput "
                 "at 1/2/4/8 threads",
                 scale);
-  std::printf("hardware_concurrency: %u\n\n",
+  std::printf("hardware_concurrency: %u\n",
               std::thread::hardware_concurrency());
+  std::printf("estimate kernel: %s\n\n", simd::ActiveKernelName());
 
   const size_t corpus = 600 * scale;
   std::vector<std::pair<uint64_t, SparseVector>> batch;
@@ -166,6 +285,10 @@ int main(int argc, char** argv) {
                 rate / base_rate);
   }
 
+  // --- pairwise estimate throughput, dispatched kernel vs scalar ------------
+  const std::vector<EstimatePoint> estimate_points =
+      MeasureEstimateThroughput();
+
   // --- machine-readable record ---------------------------------------------
   std::string json = "{\n";
   char line[192];
@@ -173,11 +296,12 @@ int main(int argc, char** argv) {
                 "  \"bench\": \"service_throughput\",\n"
                 "  \"family\": \"%s\",\n"
                 "  \"hardware_concurrency\": %u,\n"
+                "  \"kernel\": \"%s\",\n"
                 "  \"scale\": %zu,\n"
                 "  \"corpus\": %zu,\n"
                 "  \"num_samples\": %zu,\n",
-                kFamily, std::thread::hardware_concurrency(), scale, corpus,
-                kNumSamples);
+                kFamily, std::thread::hardware_concurrency(),
+                simd::ActiveKernelName(), scale, corpus, kNumSamples);
   json += line;
   AppendRatesJson(&json, "ingest_vectors_per_sec", ingest_rates);
   json += ",\n";
@@ -193,6 +317,8 @@ int main(int argc, char** argv) {
                 dart_vs_active);
   json += line;
   AppendRatesJson(&json, "topk_queries_per_sec", query_rates);
+  json += ",\n";
+  AppendEstimateJson(&json, estimate_points);
   json += "\n}\n";
   const char* json_path = "BENCH_service.json";
   if (std::FILE* f = std::fopen(json_path, "wb")) {

@@ -11,12 +11,14 @@
 
 #include "common/rng.h"
 #include "core/icws.h"
+#include "core/simd/dispatch.h"
 #include "core/wmh_estimator.h"
 #include "core/wmh_sketch.h"
 #include "sketch/count_sketch.h"
 #include "sketch/jl_sketch.h"
 #include "sketch/kmv.h"
 #include "sketch/minhash.h"
+#include "sketch/quantize.h"
 #include "vector/sparse_vector.h"
 
 namespace ipsketch {
@@ -209,6 +211,15 @@ void BM_CountSketch(benchmark::State& state) {
 BENCHMARK(BM_CountSketch)->Arg(256)->Arg(4096);
 
 // --- Estimation ------------------------------------------------------------
+//
+// The BM_*Estimate benchmarks take (m, tier): tier 0 pins the scalar
+// kernel, tier 1 measures the dispatched SIMD tier; the label records which
+// kernel actually ran, so per-kernel estimate throughput lands in the
+// bench output.
+
+const simd::EstimateKernel* TierKernel(int64_t tier) {
+  return tier == 0 ? &simd::ScalarKernel() : nullptr;
+}
 
 void BM_WmhEstimate(benchmark::State& state) {
   const size_t m = static_cast<size_t>(state.range(0));
@@ -218,12 +229,96 @@ void BM_WmhEstimate(benchmark::State& state) {
   o.num_samples = m;
   const auto sa = SketchWmh(a, o).value();
   const auto sb = SketchWmh(b, o).value();
+  simd::SetActiveKernelForTesting(TierKernel(state.range(1)));
+  state.SetLabel(simd::ActiveKernelName());
   for (auto _ : state) {
     benchmark::DoNotOptimize(EstimateWmhInnerProduct(sa, sb).value());
   }
+  simd::SetActiveKernelForTesting(nullptr);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * m);
 }
-BENCHMARK(BM_WmhEstimate)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_WmhEstimate)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
+
+void BM_IcwsEstimate(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto a = MakeVector(1 << 20, 1024, 1);
+  const auto b = MakeVector(1 << 20, 1024, 2);
+  IcwsOptions o;
+  o.num_samples = m;
+  o.engine = IcwsEngine::kDart;
+  const auto sa = SketchIcws(a, o).value();
+  const auto sb = SketchIcws(b, o).value();
+  simd::SetActiveKernelForTesting(TierKernel(state.range(1)));
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateIcwsInnerProduct(sa, sb).value());
+  }
+  simd::SetActiveKernelForTesting(nullptr);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * m);
+}
+BENCHMARK(BM_IcwsEstimate)->Args({128, 0})->Args({128, 1});
+
+void BM_CompactWmhEstimate(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto a = MakeVector(1 << 20, 1024, 1);
+  const auto b = MakeVector(1 << 20, 1024, 2);
+  WmhOptions o;
+  o.num_samples = m;
+  const auto sa = CompactFromWmh(SketchWmh(a, o).value());
+  const auto sb = CompactFromWmh(SketchWmh(b, o).value());
+  simd::SetActiveKernelForTesting(TierKernel(state.range(1)));
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateCompactWmhInnerProduct(sa, sb).value());
+  }
+  simd::SetActiveKernelForTesting(nullptr);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * m);
+}
+BENCHMARK(BM_CompactWmhEstimate)->Args({128, 0})->Args({128, 1});
+
+void BM_BbitWmhEstimate(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto a = MakeVector(1 << 20, 1024, 1);
+  const auto b = MakeVector(1 << 20, 1024, 2);
+  WmhOptions o;
+  o.num_samples = m;
+  const auto sa = BbitFromWmh(SketchWmh(a, o).value(), 16).value();
+  const auto sb = BbitFromWmh(SketchWmh(b, o).value(), 16).value();
+  simd::SetActiveKernelForTesting(TierKernel(state.range(1)));
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateBbitWmhInnerProduct(sa, sb).value());
+  }
+  simd::SetActiveKernelForTesting(nullptr);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * m);
+}
+BENCHMARK(BM_BbitWmhEstimate)->Args({128, 0})->Args({128, 1});
+
+void BM_MhEstimate(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto a = MakeVector(1 << 20, 1024, 1);
+  const auto b = MakeVector(1 << 20, 1024, 2);
+  MhOptions o;
+  o.num_samples = m;
+  const auto sa = SketchMh(a, o).value();
+  const auto sb = SketchMh(b, o).value();
+  simd::SetActiveKernelForTesting(TierKernel(state.range(1)));
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateMhInnerProduct(sa, sb).value());
+  }
+  simd::SetActiveKernelForTesting(nullptr);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * m);
+}
+BENCHMARK(BM_MhEstimate)->Args({128, 0})->Args({128, 1});
 
 }  // namespace
 }  // namespace ipsketch

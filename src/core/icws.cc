@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/dart_minhash.h"
+#include "core/simd/dispatch.h"
 
 namespace ipsketch {
 namespace {
@@ -144,24 +145,16 @@ Result<double> EstimateIcwsInnerProduct(const IcwsSketch& a,
   if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
 
   const size_t m = a.num_samples();
-  double weighted_match_sum = 0.0;
-  size_t match_count = 0;
-  for (size_t i = 0; i < m; ++i) {
-    if (a.fingerprints[i] == b.fingerprints[i]) {
-      const double va = a.values[i];
-      const double vb = b.values[i];
-      const double q = std::min(va * va, vb * vb);
-      if (q > 0.0) {
-        weighted_match_sum += va * vb / q;
-        ++match_count;
-      }
-    }
-  }
+  // The fingerprint-match hot loop, dispatched to the widest kernel tier
+  // the CPU supports (scalar and vector tiers are bit-identical).
+  const simd::MatchStats stats = simd::ActiveKernel().match_u64(
+      a.fingerprints.data(), b.fingerprints.data(), a.values.data(),
+      b.values.data(), m);
   const double md = static_cast<double>(m);
   // Weighted union size via the unit-norm closed form M = 2/(1 + J̄).
-  const double j_hat = static_cast<double>(match_count) / md;
+  const double j_hat = static_cast<double>(stats.match_count) / md;
   const double m_hat = 2.0 / (1.0 + j_hat);
-  return a.norm * b.norm * (m_hat / md) * weighted_match_sum;
+  return a.norm * b.norm * (m_hat / md) * stats.weighted_match_sum;
 }
 
 IcwsSketch TruncatedIcws(const IcwsSketch& sketch, size_t m) {

@@ -1,0 +1,56 @@
+// Runtime kernel dispatch: picks the widest EstimateKernel tier the running
+// CPU supports, once, at first use. One binary runs everywhere — the AVX2
+// tier is compiled into its own translation unit and only ever entered
+// after a cpuid check.
+//
+// Selection order: avx2 (x86-64 with runtime AVX2) → neon (AArch64) → sse2
+// (x86-64 baseline) → scalar. Two overrides force the scalar tier:
+//
+//   * IPSKETCH_FORCE_SCALAR=1 in the environment (read once, at first
+//     resolution) — the CI equivalence matrix and field debugging both use
+//     this; "0", "off", "false", "no" (any case), and empty mean no force.
+//   * -DIPSKETCH_FORCE_SCALAR=ON at configure time — pins Resolve() to the
+//     scalar tier at compile time, ignoring the environment. The vector
+//     TUs are still compiled and listed by AvailableKernels() (the
+//     equivalence tests exercise them even in this configuration); only
+//     dispatch is pinned.
+//
+// All estimators fetch the table per call via ActiveKernel(), so the test
+// override below takes effect everywhere at once.
+
+#ifndef IPSKETCH_CORE_SIMD_DISPATCH_H_
+#define IPSKETCH_CORE_SIMD_DISPATCH_H_
+
+#include <vector>
+
+#include "core/simd/estimate_kernels.h"
+
+namespace ipsketch {
+namespace simd {
+
+/// The dispatched kernel tier: resolved once (thread-safe), then constant
+/// for the life of the process unless overridden for testing.
+const EstimateKernel& ActiveKernel();
+
+/// The dispatched tier's name ("scalar", "sse2", "avx2", "neon") — recorded
+/// in bench artifacts so results are interpretable across runners.
+const char* ActiveKernelName();
+
+/// Every tier this binary can run on this machine, scalar first. The
+/// equivalence tests iterate this list and compare each tier against
+/// scalar bit for bit.
+std::vector<const EstimateKernel*> AvailableKernels();
+
+/// Process-wide kernel override for tests and benches: pass a kernel from
+/// AvailableKernels() to pin it, nullptr to restore dispatch. Not intended
+/// for production code paths.
+void SetActiveKernelForTesting(const EstimateKernel* kernel);
+
+/// True iff `value` (an IPSKETCH_FORCE_SCALAR environment setting; may be
+/// nullptr for unset) requests the scalar tier. Exposed for unit tests.
+bool ParseForceScalarEnv(const char* value);
+
+}  // namespace simd
+}  // namespace ipsketch
+
+#endif  // IPSKETCH_CORE_SIMD_DISPATCH_H_

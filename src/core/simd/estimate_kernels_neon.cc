@@ -1,0 +1,341 @@
+// NEON tier (AArch64): the ARM counterpart of the SSE2 tier. Two 2-wide
+// double accumulators realize the 4-lane contract of estimate_kernels.h
+// (lo holds lanes 0-1, hi holds lanes 2-3); scalar tails continue the lane
+// assignment, so results are bit-identical to the scalar tier. AArch64 NEON
+// has IEEE double min/div natively, so no emulation is needed beyond
+// sign-extending 32-bit comparison masks to per-double width.
+
+#include "core/simd/estimate_kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+
+namespace ipsketch {
+namespace simd {
+namespace {
+
+double Reduce(const double l[4]) { return (l[0] + l[1]) + (l[2] + l[3]); }
+
+uint64_t MaskCount(uint64x2_t mask) {
+  return (vgetq_lane_u64(mask, 0) & 1) + (vgetq_lane_u64(mask, 1) & 1);
+}
+
+/// Sign-extends two 32-bit comparison masks into per-double masks.
+uint64x2_t WidenMask32(uint32x2_t mask32) {
+  return vreinterpretq_u64_s64(vmovl_s32(vreinterpret_s32_u32(mask32)));
+}
+
+float64x2_t MaskedF64(float64x2_t v, uint64x2_t mask) {
+  return vreinterpretq_f64_u64(vandq_u64(vreinterpretq_u64_f64(v), mask));
+}
+
+/// The masked weighted-match term for two lanes: [eq ∧ q>0] va·vb/q, with
+/// masked lanes contributing +0.0 and counted into *count. Matches are the
+/// rare case in a full scan; with no lane matching the term is all +0.0,
+/// so skipping the divide block is both bit-identical and the fast path.
+float64x2_t WeightedTerm(uint64x2_t eq, float64x2_t va, float64x2_t vb,
+                         uint64_t* count) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  if ((vgetq_lane_u64(eq, 0) | vgetq_lane_u64(eq, 1)) == 0) return zero;
+  const float64x2_t ones = vdupq_n_f64(1.0);
+  const float64x2_t q = vminq_f64(vmulq_f64(va, va), vmulq_f64(vb, vb));
+  const uint64x2_t mask = vandq_u64(eq, vcgtq_f64(q, zero));
+  const float64x2_t q_safe = vbslq_f64(mask, q, ones);
+  const float64x2_t term = vdivq_f64(vmulq_f64(va, vb), q_safe);
+  *count += MaskCount(mask);
+  return MaskedF64(term, mask);
+}
+
+WmhPairStats WmhPair(const double* ha, const double* hb, const double* va,
+                     const double* vb, size_t m) {
+  float64x2_t min_lo = vdupq_n_f64(0.0), min_hi = vdupq_n_f64(0.0);
+  float64x2_t w_lo = vdupq_n_f64(0.0), w_hi = vdupq_n_f64(0.0);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float64x2_t ha_lo = vld1q_f64(ha + i);
+    const float64x2_t ha_hi = vld1q_f64(ha + i + 2);
+    const float64x2_t hb_lo = vld1q_f64(hb + i);
+    const float64x2_t hb_hi = vld1q_f64(hb + i + 2);
+    min_lo = vaddq_f64(min_lo, vminq_f64(ha_lo, hb_lo));
+    min_hi = vaddq_f64(min_hi, vminq_f64(ha_hi, hb_hi));
+    w_lo = vaddq_f64(w_lo, WeightedTerm(vceqq_f64(ha_lo, hb_lo),
+                                        vld1q_f64(va + i),
+                                        vld1q_f64(vb + i), &count));
+    w_hi = vaddq_f64(w_hi, WeightedTerm(vceqq_f64(ha_hi, hb_hi),
+                                        vld1q_f64(va + i + 2),
+                                        vld1q_f64(vb + i + 2), &count));
+  }
+  double min_l[4], w_l[4];
+  vst1q_f64(min_l, min_lo);
+  vst1q_f64(min_l + 2, min_hi);
+  vst1q_f64(w_l, w_lo);
+  vst1q_f64(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    min_l[i & 3] += std::min(ha[i], hb[i]);
+    if (ha[i] == hb[i]) {
+      const double q = std::min(va[i] * va[i], vb[i] * vb[i]);
+      if (q > 0.0) {
+        w_l[i & 3] += va[i] * vb[i] / q;
+        ++count;
+      }
+    }
+  }
+  return {Reduce(min_l), Reduce(w_l), count};
+}
+
+MatchStats MatchU64(const uint64_t* fa, const uint64_t* fb, const double* va,
+                    const double* vb, size_t m) {
+  float64x2_t w_lo = vdupq_n_f64(0.0), w_hi = vdupq_n_f64(0.0);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const uint64x2_t eq_lo =
+        vceqq_u64(vld1q_u64(fa + i), vld1q_u64(fb + i));
+    const uint64x2_t eq_hi =
+        vceqq_u64(vld1q_u64(fa + i + 2), vld1q_u64(fb + i + 2));
+    w_lo = vaddq_f64(w_lo, WeightedTerm(eq_lo, vld1q_f64(va + i),
+                                        vld1q_f64(vb + i), &count));
+    w_hi = vaddq_f64(w_hi, WeightedTerm(eq_hi, vld1q_f64(va + i + 2),
+                                        vld1q_f64(vb + i + 2), &count));
+  }
+  double w_l[4];
+  vst1q_f64(w_l, w_lo);
+  vst1q_f64(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    if (fa[i] == fb[i]) {
+      const double q = std::min(va[i] * va[i], vb[i] * vb[i]);
+      if (q > 0.0) {
+        w_l[i & 3] += va[i] * vb[i] / q;
+        ++count;
+      }
+    }
+  }
+  return {Reduce(w_l), count};
+}
+
+CompactPairStats CompactPair(const uint32_t* ha, const uint32_t* hb,
+                             const float* va, const float* vb, size_t m) {
+  const float64x2_t half = vdupq_n_f64(0.5);
+  const float64x2_t two32 = vdupq_n_f64(4294967296.0);
+  const float64x2_t ones = vdupq_n_f64(1.0);
+  float64x2_t min_lo = vdupq_n_f64(0.0), min_hi = vdupq_n_f64(0.0);
+  float64x2_t w_lo = vdupq_n_f64(0.0), w_hi = vdupq_n_f64(0.0);
+  uint64_t count = 0;  // discarded: compact stats carry no count
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const uint32x4_t ha4 = vld1q_u32(ha + i);
+    const uint32x4_t hb4 = vld1q_u32(hb + i);
+    const uint32x4_t minv = vminq_u32(ha4, hb4);
+    const uint32x4_t sent32 = vceqq_u32(minv, vdupq_n_u32(~0u));
+    const uint32x4_t eq32 = vceqq_u32(ha4, hb4);
+    // Exact u32 → f64 (every u32 is representable), then dequantize
+    // (q + 0.5)/2³² with the saturated sentinel pinned to 1.0.
+    float64x2_t deq_lo = vdivq_f64(
+        vaddq_f64(vcvtq_f64_u64(vmovl_u32(vget_low_u32(minv))), half),
+        two32);
+    float64x2_t deq_hi = vdivq_f64(
+        vaddq_f64(vcvtq_f64_u64(vmovl_u32(vget_high_u32(minv))), half),
+        two32);
+    deq_lo = vbslq_f64(WidenMask32(vget_low_u32(sent32)), ones, deq_lo);
+    deq_hi = vbslq_f64(WidenMask32(vget_high_u32(sent32)), ones, deq_hi);
+    min_lo = vaddq_f64(min_lo, deq_lo);
+    min_hi = vaddq_f64(min_hi, deq_hi);
+
+    const float32x4_t vaf = vld1q_f32(va + i);
+    const float32x4_t vbf = vld1q_f32(vb + i);
+    w_lo = vaddq_f64(w_lo, WeightedTerm(WidenMask32(vget_low_u32(eq32)),
+                                        vcvt_f64_f32(vget_low_f32(vaf)),
+                                        vcvt_f64_f32(vget_low_f32(vbf)),
+                                        &count));
+    w_hi = vaddq_f64(w_hi, WeightedTerm(WidenMask32(vget_high_u32(eq32)),
+                                        vcvt_f64_f32(vget_high_f32(vaf)),
+                                        vcvt_f64_f32(vget_high_f32(vbf)),
+                                        &count));
+  }
+  double min_l[4], w_l[4];
+  vst1q_f64(min_l, min_lo);
+  vst1q_f64(min_l + 2, min_hi);
+  vst1q_f64(w_l, w_lo);
+  vst1q_f64(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    min_l[i & 3] += DequantizeHash32(std::min(ha[i], hb[i]));
+    if (ha[i] == hb[i]) {
+      const double da = va[i];
+      const double db = vb[i];
+      const double q = std::min(da * da, db * db);
+      if (q > 0.0) w_l[i & 3] += da * db / q;
+    }
+  }
+  return {Reduce(min_l), Reduce(w_l)};
+}
+
+MatchStats MatchU32(const uint32_t* fa, const uint32_t* fb, const float* va,
+                    const float* vb, size_t m) {
+  float64x2_t w_lo = vdupq_n_f64(0.0), w_hi = vdupq_n_f64(0.0);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const uint32x4_t eq32 = vceqq_u32(vld1q_u32(fa + i), vld1q_u32(fb + i));
+    const float32x4_t vaf = vld1q_f32(va + i);
+    const float32x4_t vbf = vld1q_f32(vb + i);
+    w_lo = vaddq_f64(w_lo, WeightedTerm(WidenMask32(vget_low_u32(eq32)),
+                                        vcvt_f64_f32(vget_low_f32(vaf)),
+                                        vcvt_f64_f32(vget_low_f32(vbf)),
+                                        &count));
+    w_hi = vaddq_f64(w_hi, WeightedTerm(WidenMask32(vget_high_u32(eq32)),
+                                        vcvt_f64_f32(vget_high_f32(vaf)),
+                                        vcvt_f64_f32(vget_high_f32(vbf)),
+                                        &count));
+  }
+  double w_l[4];
+  vst1q_f64(w_l, w_lo);
+  vst1q_f64(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    if (fa[i] == fb[i]) {
+      const double da = va[i];
+      const double db = vb[i];
+      const double q = std::min(da * da, db * db);
+      if (q > 0.0) {
+        w_l[i & 3] += da * db / q;
+        ++count;
+      }
+    }
+  }
+  return {Reduce(w_l), count};
+}
+
+MhPairStats MhPair(const double* ha, const double* hb, const double* va,
+                   const double* vb, size_t m) {
+  const float64x2_t ones = vdupq_n_f64(1.0);
+  float64x2_t min_lo = vdupq_n_f64(0.0), min_hi = vdupq_n_f64(0.0);
+  float64x2_t w_lo = vdupq_n_f64(0.0), w_hi = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float64x2_t ha_lo = vld1q_f64(ha + i);
+    const float64x2_t ha_hi = vld1q_f64(ha + i + 2);
+    const float64x2_t hb_lo = vld1q_f64(hb + i);
+    const float64x2_t hb_hi = vld1q_f64(hb + i + 2);
+    min_lo = vaddq_f64(min_lo, vminq_f64(ha_lo, hb_lo));
+    min_hi = vaddq_f64(min_hi, vminq_f64(ha_hi, hb_hi));
+    const uint64x2_t mask_lo =
+        vandq_u64(vceqq_f64(ha_lo, hb_lo), vcltq_f64(ha_lo, ones));
+    const uint64x2_t mask_hi =
+        vandq_u64(vceqq_f64(ha_hi, hb_hi), vcltq_f64(ha_hi, ones));
+    w_lo = vaddq_f64(
+        w_lo, MaskedF64(vmulq_f64(vld1q_f64(va + i), vld1q_f64(vb + i)),
+                        mask_lo));
+    w_hi = vaddq_f64(
+        w_hi,
+        MaskedF64(vmulq_f64(vld1q_f64(va + i + 2), vld1q_f64(vb + i + 2)),
+                  mask_hi));
+  }
+  double min_l[4], w_l[4];
+  vst1q_f64(min_l, min_lo);
+  vst1q_f64(min_l + 2, min_hi);
+  vst1q_f64(w_l, w_lo);
+  vst1q_f64(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    min_l[i & 3] += std::min(ha[i], hb[i]);
+    if (ha[i] == hb[i] && ha[i] < 1.0) {
+      w_l[i & 3] += va[i] * vb[i];
+    }
+  }
+  return {Reduce(min_l), Reduce(w_l)};
+}
+
+uint64_t CountEqF64(const double* ha, const double* hb, size_t m) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    count += MaskCount(vceqq_f64(vld1q_f64(ha + i), vld1q_f64(hb + i)));
+  }
+  for (; i < m; ++i) count += (ha[i] == hb[i]);
+  return count;
+}
+
+uint64_t CountEqBelow1F64(const double* ha, const double* hb, size_t m) {
+  const float64x2_t ones = vdupq_n_f64(1.0);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const float64x2_t ha2 = vld1q_f64(ha + i);
+    count += MaskCount(vandq_u64(vceqq_f64(ha2, vld1q_f64(hb + i)),
+                                 vcltq_f64(ha2, ones)));
+  }
+  for (; i < m; ++i) count += (ha[i] == hb[i] && ha[i] < 1.0);
+  return count;
+}
+
+double MinSumF64(const double* ha, const double* hb, size_t m) {
+  float64x2_t lo = vdupq_n_f64(0.0), hi = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    lo = vaddq_f64(lo, vminq_f64(vld1q_f64(ha + i), vld1q_f64(hb + i)));
+    hi = vaddq_f64(hi,
+                   vminq_f64(vld1q_f64(ha + i + 2), vld1q_f64(hb + i + 2)));
+  }
+  double l[4];
+  vst1q_f64(l, lo);
+  vst1q_f64(l + 2, hi);
+  for (; i < m; ++i) l[i & 3] += std::min(ha[i], hb[i]);
+  return Reduce(l);
+}
+
+double SumF64(const double* x, size_t m) {
+  float64x2_t lo = vdupq_n_f64(0.0), hi = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    lo = vaddq_f64(lo, vld1q_f64(x + i));
+    hi = vaddq_f64(hi, vld1q_f64(x + i + 2));
+  }
+  double l[4];
+  vst1q_f64(l, lo);
+  vst1q_f64(l + 2, hi);
+  for (; i < m; ++i) l[i & 3] += x[i];
+  return Reduce(l);
+}
+
+double DotF64(const double* x, const double* y, size_t m) {
+  float64x2_t lo = vdupq_n_f64(0.0), hi = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    lo = vaddq_f64(lo, vmulq_f64(vld1q_f64(x + i), vld1q_f64(y + i)));
+    hi = vaddq_f64(hi,
+                   vmulq_f64(vld1q_f64(x + i + 2), vld1q_f64(y + i + 2)));
+  }
+  double l[4];
+  vst1q_f64(l, lo);
+  vst1q_f64(l + 2, hi);
+  for (; i < m; ++i) l[i & 3] += x[i] * y[i];
+  return Reduce(l);
+}
+
+}  // namespace
+
+const EstimateKernel* NeonKernel() {
+  static constexpr EstimateKernel kNeon = {
+      "neon",     &WmhPair,    &MatchU64, &CompactPair, &MatchU32,
+      &MhPair,    &CountEqF64, &CountEqBelow1F64,
+      &MinSumF64, &SumF64,     &DotF64,
+  };
+  return &kNeon;
+}
+
+}  // namespace simd
+}  // namespace ipsketch
+
+#else  // !defined(__aarch64__)
+
+namespace ipsketch {
+namespace simd {
+
+const EstimateKernel* NeonKernel() { return nullptr; }
+
+}  // namespace simd
+}  // namespace ipsketch
+
+#endif

@@ -1,0 +1,374 @@
+// SSE2 tier: the baseline x86-64 fallback for machines without AVX2. Two
+// 2-wide double accumulators realize the 4-lane contract of
+// estimate_kernels.h (lo holds lanes 0-1, hi holds lanes 2-3); scalar tails
+// continue the lane assignment, so results are bit-identical to the scalar
+// and AVX2 tiers.
+//
+// Pure SSE2 only — the few missing integer ops are emulated:
+//   * 64-bit equality: 32-bit cmpeq ANDed with its pair-swapped self.
+//   * unsigned 32-bit min: sign-bias, signed compare, bitwise select.
+//   * blendv: or(and(mask, a), andnot(mask, b)).
+
+#include "core/simd/estimate_kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <bit>
+
+namespace ipsketch {
+namespace simd {
+namespace {
+
+double Reduce(const double l[4]) { return (l[0] + l[1]) + (l[2] + l[3]); }
+
+/// mask ? a : b, lanewise (mask lanes are all-ones or all-zero).
+__m128d Select(__m128d mask, __m128d a, __m128d b) {
+  return _mm_or_pd(_mm_and_pd(mask, a), _mm_andnot_pd(mask, b));
+}
+
+/// All-ones per 64-bit lane iff the u64 lanes are equal.
+__m128i CmpEqU64(__m128i a, __m128i b) {
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(eq32,
+                       _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+/// Unsigned 32-bit minimum (SSE2 has only signed 16-bit flavors).
+__m128i MinU32(__m128i a, __m128i b) {
+  const __m128i sign = _mm_set1_epi32(INT32_MIN);
+  const __m128i a_gt_b =
+      _mm_cmpgt_epi32(_mm_xor_si128(a, sign), _mm_xor_si128(b, sign));
+  return _mm_or_si128(_mm_and_si128(a_gt_b, b), _mm_andnot_si128(a_gt_b, a));
+}
+
+/// Exact u32 → f64 of the two u32 values in the low half of `v`.
+__m128d CvtU32LoToF64(__m128i v) {
+  const __m128i biased = _mm_xor_si128(v, _mm_set1_epi32(INT32_MIN));
+  return _mm_add_pd(_mm_cvtepi32_pd(biased), _mm_set1_pd(2147483648.0));
+}
+
+/// The masked weighted-match term for two lanes: [eq ∧ q>0] va·vb/q, with
+/// masked lanes contributing +0.0 and counted into *count. Matches are the
+/// rare case in a full scan; with no lane matching the term is all +0.0,
+/// so skipping the divide block is both bit-identical and the fast path.
+__m128d WeightedTerm(__m128d eq, __m128d va, __m128d vb, uint64_t* count) {
+  const __m128d zero = _mm_setzero_pd();
+  if (_mm_movemask_pd(eq) == 0) return zero;
+  const __m128d ones = _mm_set1_pd(1.0);
+  const __m128d q = _mm_min_pd(_mm_mul_pd(va, va), _mm_mul_pd(vb, vb));
+  const __m128d mask = _mm_and_pd(eq, _mm_cmpgt_pd(q, zero));
+  const __m128d q_safe = Select(mask, q, ones);
+  const __m128d term = _mm_div_pd(_mm_mul_pd(va, vb), q_safe);
+  *count += std::popcount(static_cast<unsigned>(_mm_movemask_pd(mask)));
+  return _mm_and_pd(term, mask);
+}
+
+WmhPairStats WmhPair(const double* ha, const double* hb, const double* va,
+                     const double* vb, size_t m) {
+  __m128d min_lo = _mm_setzero_pd(), min_hi = _mm_setzero_pd();
+  __m128d w_lo = _mm_setzero_pd(), w_hi = _mm_setzero_pd();
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m128d ha_lo = _mm_loadu_pd(ha + i);
+    const __m128d ha_hi = _mm_loadu_pd(ha + i + 2);
+    const __m128d hb_lo = _mm_loadu_pd(hb + i);
+    const __m128d hb_hi = _mm_loadu_pd(hb + i + 2);
+    min_lo = _mm_add_pd(min_lo, _mm_min_pd(ha_lo, hb_lo));
+    min_hi = _mm_add_pd(min_hi, _mm_min_pd(ha_hi, hb_hi));
+    w_lo = _mm_add_pd(w_lo, WeightedTerm(_mm_cmpeq_pd(ha_lo, hb_lo),
+                                         _mm_loadu_pd(va + i),
+                                         _mm_loadu_pd(vb + i), &count));
+    w_hi = _mm_add_pd(w_hi, WeightedTerm(_mm_cmpeq_pd(ha_hi, hb_hi),
+                                         _mm_loadu_pd(va + i + 2),
+                                         _mm_loadu_pd(vb + i + 2), &count));
+  }
+  double min_l[4], w_l[4];
+  _mm_storeu_pd(min_l, min_lo);
+  _mm_storeu_pd(min_l + 2, min_hi);
+  _mm_storeu_pd(w_l, w_lo);
+  _mm_storeu_pd(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    min_l[i & 3] += std::min(ha[i], hb[i]);
+    if (ha[i] == hb[i]) {
+      const double q = std::min(va[i] * va[i], vb[i] * vb[i]);
+      if (q > 0.0) {
+        w_l[i & 3] += va[i] * vb[i] / q;
+        ++count;
+      }
+    }
+  }
+  return {Reduce(min_l), Reduce(w_l), count};
+}
+
+MatchStats MatchU64(const uint64_t* fa, const uint64_t* fb, const double* va,
+                    const double* vb, size_t m) {
+  __m128d w_lo = _mm_setzero_pd(), w_hi = _mm_setzero_pd();
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m128d eq_lo = _mm_castsi128_pd(CmpEqU64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(fa + i)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(fb + i))));
+    const __m128d eq_hi = _mm_castsi128_pd(CmpEqU64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(fa + i + 2)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(fb + i + 2))));
+    w_lo = _mm_add_pd(w_lo, WeightedTerm(eq_lo, _mm_loadu_pd(va + i),
+                                         _mm_loadu_pd(vb + i), &count));
+    w_hi = _mm_add_pd(w_hi, WeightedTerm(eq_hi, _mm_loadu_pd(va + i + 2),
+                                         _mm_loadu_pd(vb + i + 2), &count));
+  }
+  double w_l[4];
+  _mm_storeu_pd(w_l, w_lo);
+  _mm_storeu_pd(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    if (fa[i] == fb[i]) {
+      const double q = std::min(va[i] * va[i], vb[i] * vb[i]);
+      if (q > 0.0) {
+        w_l[i & 3] += va[i] * vb[i] / q;
+        ++count;
+      }
+    }
+  }
+  return {Reduce(w_l), count};
+}
+
+CompactPairStats CompactPair(const uint32_t* ha, const uint32_t* hb,
+                             const float* va, const float* vb, size_t m) {
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d two32 = _mm_set1_pd(4294967296.0);
+  const __m128d ones = _mm_set1_pd(1.0);
+  __m128d min_lo = _mm_setzero_pd(), min_hi = _mm_setzero_pd();
+  __m128d w_lo = _mm_setzero_pd(), w_hi = _mm_setzero_pd();
+  uint64_t count = 0;  // discarded: compact stats carry no count
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m128i ha4 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ha + i));
+    const __m128i hb4 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hb + i));
+    const __m128i minv = MinU32(ha4, hb4);
+    const __m128i sent32 = _mm_cmpeq_epi32(minv, _mm_set1_epi32(-1));
+    const __m128i eq32 = _mm_cmpeq_epi32(ha4, hb4);
+    const __m128i minv_hi = _mm_shuffle_epi32(minv, _MM_SHUFFLE(3, 2, 3, 2));
+    __m128d deq_lo =
+        _mm_div_pd(_mm_add_pd(CvtU32LoToF64(minv), half), two32);
+    __m128d deq_hi =
+        _mm_div_pd(_mm_add_pd(CvtU32LoToF64(minv_hi), half), two32);
+    // Widen the 32-bit sentinel/equality masks into per-double masks.
+    const __m128d sent_lo = _mm_castsi128_pd(
+        _mm_shuffle_epi32(sent32, _MM_SHUFFLE(1, 1, 0, 0)));
+    const __m128d sent_hi = _mm_castsi128_pd(
+        _mm_shuffle_epi32(sent32, _MM_SHUFFLE(3, 3, 2, 2)));
+    deq_lo = Select(sent_lo, ones, deq_lo);
+    deq_hi = Select(sent_hi, ones, deq_hi);
+    min_lo = _mm_add_pd(min_lo, deq_lo);
+    min_hi = _mm_add_pd(min_hi, deq_hi);
+
+    const __m128d eq_lo = _mm_castsi128_pd(
+        _mm_shuffle_epi32(eq32, _MM_SHUFFLE(1, 1, 0, 0)));
+    const __m128d eq_hi = _mm_castsi128_pd(
+        _mm_shuffle_epi32(eq32, _MM_SHUFFLE(3, 3, 2, 2)));
+    const __m128 vaf = _mm_loadu_ps(va + i);
+    const __m128 vbf = _mm_loadu_ps(vb + i);
+    w_lo = _mm_add_pd(w_lo, WeightedTerm(eq_lo, _mm_cvtps_pd(vaf),
+                                         _mm_cvtps_pd(vbf), &count));
+    w_hi = _mm_add_pd(
+        w_hi, WeightedTerm(eq_hi, _mm_cvtps_pd(_mm_movehl_ps(vaf, vaf)),
+                           _mm_cvtps_pd(_mm_movehl_ps(vbf, vbf)), &count));
+  }
+  double min_l[4], w_l[4];
+  _mm_storeu_pd(min_l, min_lo);
+  _mm_storeu_pd(min_l + 2, min_hi);
+  _mm_storeu_pd(w_l, w_lo);
+  _mm_storeu_pd(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    min_l[i & 3] += DequantizeHash32(std::min(ha[i], hb[i]));
+    if (ha[i] == hb[i]) {
+      const double da = va[i];
+      const double db = vb[i];
+      const double q = std::min(da * da, db * db);
+      if (q > 0.0) w_l[i & 3] += da * db / q;
+    }
+  }
+  return {Reduce(min_l), Reduce(w_l)};
+}
+
+MatchStats MatchU32(const uint32_t* fa, const uint32_t* fb, const float* va,
+                    const float* vb, size_t m) {
+  __m128d w_lo = _mm_setzero_pd(), w_hi = _mm_setzero_pd();
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m128i eq32 = _mm_cmpeq_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(fa + i)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(fb + i)));
+    const __m128d eq_lo = _mm_castsi128_pd(
+        _mm_shuffle_epi32(eq32, _MM_SHUFFLE(1, 1, 0, 0)));
+    const __m128d eq_hi = _mm_castsi128_pd(
+        _mm_shuffle_epi32(eq32, _MM_SHUFFLE(3, 3, 2, 2)));
+    const __m128 vaf = _mm_loadu_ps(va + i);
+    const __m128 vbf = _mm_loadu_ps(vb + i);
+    w_lo = _mm_add_pd(w_lo, WeightedTerm(eq_lo, _mm_cvtps_pd(vaf),
+                                         _mm_cvtps_pd(vbf), &count));
+    w_hi = _mm_add_pd(
+        w_hi, WeightedTerm(eq_hi, _mm_cvtps_pd(_mm_movehl_ps(vaf, vaf)),
+                           _mm_cvtps_pd(_mm_movehl_ps(vbf, vbf)), &count));
+  }
+  double w_l[4];
+  _mm_storeu_pd(w_l, w_lo);
+  _mm_storeu_pd(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    if (fa[i] == fb[i]) {
+      const double da = va[i];
+      const double db = vb[i];
+      const double q = std::min(da * da, db * db);
+      if (q > 0.0) {
+        w_l[i & 3] += da * db / q;
+        ++count;
+      }
+    }
+  }
+  return {Reduce(w_l), count};
+}
+
+MhPairStats MhPair(const double* ha, const double* hb, const double* va,
+                   const double* vb, size_t m) {
+  const __m128d ones = _mm_set1_pd(1.0);
+  __m128d min_lo = _mm_setzero_pd(), min_hi = _mm_setzero_pd();
+  __m128d w_lo = _mm_setzero_pd(), w_hi = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m128d ha_lo = _mm_loadu_pd(ha + i);
+    const __m128d ha_hi = _mm_loadu_pd(ha + i + 2);
+    const __m128d hb_lo = _mm_loadu_pd(hb + i);
+    const __m128d hb_hi = _mm_loadu_pd(hb + i + 2);
+    min_lo = _mm_add_pd(min_lo, _mm_min_pd(ha_lo, hb_lo));
+    min_hi = _mm_add_pd(min_hi, _mm_min_pd(ha_hi, hb_hi));
+    const __m128d mask_lo = _mm_and_pd(_mm_cmpeq_pd(ha_lo, hb_lo),
+                                       _mm_cmplt_pd(ha_lo, ones));
+    const __m128d mask_hi = _mm_and_pd(_mm_cmpeq_pd(ha_hi, hb_hi),
+                                       _mm_cmplt_pd(ha_hi, ones));
+    w_lo = _mm_add_pd(
+        w_lo, _mm_and_pd(_mm_mul_pd(_mm_loadu_pd(va + i),
+                                    _mm_loadu_pd(vb + i)),
+                         mask_lo));
+    w_hi = _mm_add_pd(
+        w_hi, _mm_and_pd(_mm_mul_pd(_mm_loadu_pd(va + i + 2),
+                                    _mm_loadu_pd(vb + i + 2)),
+                         mask_hi));
+  }
+  double min_l[4], w_l[4];
+  _mm_storeu_pd(min_l, min_lo);
+  _mm_storeu_pd(min_l + 2, min_hi);
+  _mm_storeu_pd(w_l, w_lo);
+  _mm_storeu_pd(w_l + 2, w_hi);
+  for (; i < m; ++i) {
+    min_l[i & 3] += std::min(ha[i], hb[i]);
+    if (ha[i] == hb[i] && ha[i] < 1.0) {
+      w_l[i & 3] += va[i] * vb[i];
+    }
+  }
+  return {Reduce(min_l), Reduce(w_l)};
+}
+
+uint64_t CountEqF64(const double* ha, const double* hb, size_t m) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const __m128d eq =
+        _mm_cmpeq_pd(_mm_loadu_pd(ha + i), _mm_loadu_pd(hb + i));
+    count += std::popcount(static_cast<unsigned>(_mm_movemask_pd(eq)));
+  }
+  for (; i < m; ++i) count += (ha[i] == hb[i]);
+  return count;
+}
+
+uint64_t CountEqBelow1F64(const double* ha, const double* hb, size_t m) {
+  const __m128d ones = _mm_set1_pd(1.0);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const __m128d ha2 = _mm_loadu_pd(ha + i);
+    const __m128d mask = _mm_and_pd(
+        _mm_cmpeq_pd(ha2, _mm_loadu_pd(hb + i)), _mm_cmplt_pd(ha2, ones));
+    count += std::popcount(static_cast<unsigned>(_mm_movemask_pd(mask)));
+  }
+  for (; i < m; ++i) count += (ha[i] == hb[i] && ha[i] < 1.0);
+  return count;
+}
+
+double MinSumF64(const double* ha, const double* hb, size_t m) {
+  __m128d lo = _mm_setzero_pd(), hi = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    lo = _mm_add_pd(lo, _mm_min_pd(_mm_loadu_pd(ha + i),
+                                   _mm_loadu_pd(hb + i)));
+    hi = _mm_add_pd(hi, _mm_min_pd(_mm_loadu_pd(ha + i + 2),
+                                   _mm_loadu_pd(hb + i + 2)));
+  }
+  double l[4];
+  _mm_storeu_pd(l, lo);
+  _mm_storeu_pd(l + 2, hi);
+  for (; i < m; ++i) l[i & 3] += std::min(ha[i], hb[i]);
+  return Reduce(l);
+}
+
+double SumF64(const double* x, size_t m) {
+  __m128d lo = _mm_setzero_pd(), hi = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    lo = _mm_add_pd(lo, _mm_loadu_pd(x + i));
+    hi = _mm_add_pd(hi, _mm_loadu_pd(x + i + 2));
+  }
+  double l[4];
+  _mm_storeu_pd(l, lo);
+  _mm_storeu_pd(l + 2, hi);
+  for (; i < m; ++i) l[i & 3] += x[i];
+  return Reduce(l);
+}
+
+double DotF64(const double* x, const double* y, size_t m) {
+  __m128d lo = _mm_setzero_pd(), hi = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    lo = _mm_add_pd(lo, _mm_mul_pd(_mm_loadu_pd(x + i),
+                                   _mm_loadu_pd(y + i)));
+    hi = _mm_add_pd(hi, _mm_mul_pd(_mm_loadu_pd(x + i + 2),
+                                   _mm_loadu_pd(y + i + 2)));
+  }
+  double l[4];
+  _mm_storeu_pd(l, lo);
+  _mm_storeu_pd(l + 2, hi);
+  for (; i < m; ++i) l[i & 3] += x[i] * y[i];
+  return Reduce(l);
+}
+
+}  // namespace
+
+const EstimateKernel* Sse2Kernel() {
+  static constexpr EstimateKernel kSse2 = {
+      "sse2",     &WmhPair,    &MatchU64, &CompactPair, &MatchU32,
+      &MhPair,    &CountEqF64, &CountEqBelow1F64,
+      &MinSumF64, &SumF64,     &DotF64,
+  };
+  return &kSse2;
+}
+
+}  // namespace simd
+}  // namespace ipsketch
+
+#else  // !defined(__SSE2__)
+
+namespace ipsketch {
+namespace simd {
+
+const EstimateKernel* Sse2Kernel() { return nullptr; }
+
+}  // namespace simd
+}  // namespace ipsketch
+
+#endif

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/simd/dispatch.h"
+
 namespace ipsketch {
 namespace {
 
@@ -40,22 +42,13 @@ Result<double> EstimateWmhInnerProduct(const WmhSketch& a, const WmhSketch& b,
   const double md = static_cast<double>(m);
 
   // Line 3 summation and, simultaneously, the ingredients of both union
-  // estimators.
-  double min_hash_sum = 0.0;
-  double weighted_match_sum = 0.0;
-  size_t match_count = 0;
-  for (size_t i = 0; i < m; ++i) {
-    min_hash_sum += std::min(a.hashes[i], b.hashes[i]);
-    if (a.hashes[i] == b.hashes[i]) {
-      const double va = a.values[i];
-      const double vb = b.values[i];
-      const double q = std::min(va * va, vb * vb);
-      if (q > 0.0) {
-        weighted_match_sum += va * vb / q;
-        ++match_count;
-      }
-    }
-  }
+  // estimators — the fused hot loop, dispatched to the widest kernel tier
+  // the CPU supports (scalar and vector tiers are bit-identical).
+  const simd::WmhPairStats stats = simd::ActiveKernel().wmh_pair(
+      a.hashes.data(), b.hashes.data(), a.values.data(), b.values.data(), m);
+  const double min_hash_sum = stats.min_hash_sum;
+  const double weighted_match_sum = stats.weighted_match_sum;
+  const size_t match_count = stats.match_count;
 
   const double Ld = static_cast<double>(a.L);
   double m_tilde = 0.0;
@@ -86,20 +79,16 @@ Result<double> EstimateWeightedJaccard(const WmhSketch& a,
                                        const WmhSketch& b) {
   IPS_RETURN_IF_ERROR(CheckCompatible(a, b));
   if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
-  size_t matches = 0;
-  for (size_t i = 0; i < a.num_samples(); ++i) {
-    matches += (a.hashes[i] == b.hashes[i]);
-  }
+  const uint64_t matches = simd::ActiveKernel().count_eq_f64(
+      a.hashes.data(), b.hashes.data(), a.num_samples());
   return static_cast<double>(matches) /
          static_cast<double>(a.num_samples());
 }
 
 Result<double> EstimateWeightedUnion(const WmhSketch& a, const WmhSketch& b) {
   IPS_RETURN_IF_ERROR(CheckCompatible(a, b));
-  double min_hash_sum = 0.0;
-  for (size_t i = 0; i < a.num_samples(); ++i) {
-    min_hash_sum += std::min(a.hashes[i], b.hashes[i]);
-  }
+  const double min_hash_sum = simd::ActiveKernel().min_sum_f64(
+      a.hashes.data(), b.hashes.data(), a.num_samples());
   if (min_hash_sum <= 0.0) {
     return Status::Internal("degenerate minimum-hash sum");
   }

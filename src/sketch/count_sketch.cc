@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/stats.h"
+#include "core/simd/dispatch.h"
 
 namespace ipsketch {
 
@@ -56,11 +57,8 @@ Result<double> EstimateCountSketchInnerProduct(const CountSketch& a,
   std::vector<double> estimates;
   estimates.reserve(a.tables.size());
   for (size_t r = 0; r < a.tables.size(); ++r) {
-    double dot = 0.0;
-    for (size_t j = 0; j < a.tables[r].size(); ++j) {
-      dot += a.tables[r][j] * b.tables[r][j];
-    }
-    estimates.push_back(dot);
+    estimates.push_back(simd::ActiveKernel().dot_f64(
+        a.tables[r].data(), b.tables[r].data(), a.tables[r].size()));
   }
   return Median(std::move(estimates));
 }

@@ -1,6 +1,7 @@
 #include "sketch/jl_sketch.h"
 
 #include "common/hash.h"
+#include "core/simd/dispatch.h"
 
 namespace ipsketch {
 
@@ -35,10 +36,8 @@ Result<double> EstimateJlInnerProduct(const JlSketch& a, const JlSketch& b) {
   if (a.dimension != b.dimension) {
     return Status::InvalidArgument("sketch dimensions differ");
   }
-  double dot = 0.0;
-  for (size_t r = 0; r < a.num_rows(); ++r) {
-    dot += a.projection[r] * b.projection[r];
-  }
+  const double dot = simd::ActiveKernel().dot_f64(
+      a.projection.data(), b.projection.data(), a.num_rows());
   return dot / static_cast<double>(a.num_rows());
 }
 

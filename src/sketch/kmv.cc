@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "core/simd/dispatch.h"
 
 namespace ipsketch {
 
@@ -54,27 +55,28 @@ Result<double> EstimateKmvInnerProduct(const KmvSketch& a,
 
   // Merge the two ascending hash lists into the distinct union, tracking
   // which hashes are present in both sketches (equal hashes mean equal
-  // indices, up to 2^-61 collision probability).
-  struct Pooled {
-    double hash;
-    bool matched;
-    double product;  // value_a · value_b when matched
-  };
-  std::vector<Pooled> pooled;
-  pooled.reserve(a.samples.size() + b.samples.size());
+  // indices, up to 2^-61 collision probability). The match products are
+  // written into a contiguous array — 0.0 for union-only entries — so the
+  // accumulation below runs through the dispatched sum kernel.
+  std::vector<double> hashes;
+  std::vector<double> products;  // value_a · value_b when matched, else 0.0
+  hashes.reserve(a.samples.size() + b.samples.size());
+  products.reserve(a.samples.size() + b.samples.size());
   size_t i = 0, j = 0;
   while (i < a.samples.size() || j < b.samples.size()) {
     if (j == b.samples.size() ||
         (i < a.samples.size() && a.samples[i].hash < b.samples[j].hash)) {
-      pooled.push_back({a.samples[i].hash, false, 0.0});
+      hashes.push_back(a.samples[i].hash);
+      products.push_back(0.0);
       ++i;
     } else if (i == a.samples.size() ||
                b.samples[j].hash < a.samples[i].hash) {
-      pooled.push_back({b.samples[j].hash, false, 0.0});
+      hashes.push_back(b.samples[j].hash);
+      products.push_back(0.0);
       ++j;
     } else {
-      pooled.push_back({a.samples[i].hash, true,
-                        a.samples[i].value * b.samples[j].value});
+      hashes.push_back(a.samples[i].hash);
+      products.push_back(a.samples[i].value * b.samples[j].value);
       ++i;
       ++j;
     }
@@ -83,24 +85,18 @@ Result<double> EstimateKmvInnerProduct(const KmvSketch& a,
   if (a.exhaustive() && b.exhaustive()) {
     // Both supports were retained whole: the matched products are exactly
     // the non-zero terms of ⟨a, b⟩.
-    double exact = 0.0;
-    for (const Pooled& p : pooled) {
-      if (p.matched) exact += p.product;
-    }
-    return exact;
+    return simd::ActiveKernel().sum_f64(products.data(), products.size());
   }
 
-  const size_t k_prime = std::min(a.k, pooled.size());
+  const size_t k_prime = std::min(a.k, hashes.size());
   if (k_prime < 2) return 0.0;
   // ζ = k'-th smallest union hash; union ≈ (k'−1)/ζ. The k'−1 entries below
   // ζ are a uniform without-replacement sample of the union.
-  const double zeta = pooled[k_prime - 1].hash;
+  const double zeta = hashes[k_prime - 1];
   if (zeta <= 0.0) return Status::Internal("degenerate KMV threshold");
   const double union_est = static_cast<double>(k_prime - 1) / zeta;
-  double match_sum = 0.0;
-  for (size_t t = 0; t + 1 < k_prime; ++t) {
-    if (pooled[t].matched) match_sum += pooled[t].product;
-  }
+  const double match_sum =
+      simd::ActiveKernel().sum_f64(products.data(), k_prime - 1);
   return union_est / static_cast<double>(k_prime - 1) * match_sum;
 }
 

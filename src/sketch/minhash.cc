@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "core/simd/dispatch.h"
 
 namespace ipsketch {
 
@@ -59,20 +60,17 @@ Result<double> EstimateMhInnerProduct(const MhSketch& a, const MhSketch& b) {
   }
 
   const size_t m = a.num_samples();
-  double min_hash_sum = 0.0;
-  double match_sum = 0.0;
-  for (size_t i = 0; i < m; ++i) {
-    min_hash_sum += std::min(a.hashes[i], b.hashes[i]);
-    if (a.hashes[i] == b.hashes[i] && a.hashes[i] < 1.0) {
-      match_sum += a.values[i] * b.values[i];
-    }
-  }
-  if (min_hash_sum <= 0.0) {
+  // Fused min/match hot loop, dispatched to the widest kernel tier the CPU
+  // supports (scalar and vector tiers are bit-identical). The 1.0 sentinel
+  // (empty sketch) never counts as a match.
+  const simd::MhPairStats stats = simd::ActiveKernel().mh_pair(
+      a.hashes.data(), b.hashes.data(), a.values.data(), b.values.data(), m);
+  if (stats.min_hash_sum <= 0.0) {
     return Status::Internal("degenerate minimum-hash sum");
   }
   const double md = static_cast<double>(m);
-  const double u_tilde = md / min_hash_sum - 1.0;
-  return (u_tilde / md) * match_sum;
+  const double u_tilde = md / stats.min_hash_sum - 1.0;
+  return (u_tilde / md) * stats.match_sum;
 }
 
 namespace {
@@ -95,21 +93,17 @@ Status CheckMhCompatible(const MhSketch& a, const MhSketch& b) {
 
 Result<double> EstimateSupportJaccard(const MhSketch& a, const MhSketch& b) {
   IPS_RETURN_IF_ERROR(CheckMhCompatible(a, b));
-  size_t matches = 0;
-  for (size_t i = 0; i < a.num_samples(); ++i) {
-    // The 1.0 sentinel (empty sketch) never counts as a match.
-    matches += (a.hashes[i] == b.hashes[i] && a.hashes[i] < 1.0);
-  }
+  // The 1.0 sentinel (empty sketch) never counts as a match.
+  const uint64_t matches = simd::ActiveKernel().count_eq_below1_f64(
+      a.hashes.data(), b.hashes.data(), a.num_samples());
   return static_cast<double>(matches) /
          static_cast<double>(a.num_samples());
 }
 
 Result<double> EstimateSupportUnion(const MhSketch& a, const MhSketch& b) {
   IPS_RETURN_IF_ERROR(CheckMhCompatible(a, b));
-  double min_hash_sum = 0.0;
-  for (size_t i = 0; i < a.num_samples(); ++i) {
-    min_hash_sum += std::min(a.hashes[i], b.hashes[i]);
-  }
+  const double min_hash_sum = simd::ActiveKernel().min_sum_f64(
+      a.hashes.data(), b.hashes.data(), a.num_samples());
   if (min_hash_sum <= 0.0) {
     return Status::Internal("degenerate minimum-hash sum");
   }

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/rng.h"
+#include "core/simd/dispatch.h"
 
 namespace ipsketch {
 namespace {
@@ -14,19 +15,13 @@ constexpr uint32_t kSaturatedHash = ~uint32_t{0};
 
 uint32_t QuantizeHash(double h) {
   // h in [0, 1]; floor to 32-bit fixed point. 1.0 (the empty-sketch
-  // sentinel) saturates to the maximum.
+  // sentinel) saturates to the maximum. The inverse mapping — mid-point
+  // (q + 0.5)/2³² with the saturated bucket pinned back to exactly 1.0 so
+  // the FM union estimate stays unbiased on sparse catalogs — lives in the
+  // estimation kernels (core/simd/estimate_kernels.h), which fuse it into
+  // the integer-domain min pass.
   if (h >= 1.0) return kSaturatedHash;
   return static_cast<uint32_t>(h * 4294967296.0);
-}
-
-double DequantizeHash(uint32_t q) {
-  // The saturated bucket maps back to exactly 1.0: it holds the empty-slot
-  // sentinel, and mid-point mapping it below 1.0 would bias the FM union
-  // estimate upward on sparse catalogs (and make it nonzero for all-empty
-  // sketches).
-  if (q == kSaturatedHash) return 1.0;
-  // Mid-point dequantization halves the floor bias of the FM estimator.
-  return (static_cast<double>(q) + 0.5) / 4294967296.0;
 }
 
 Status CheckCompatible(uint64_t seed_a, uint64_t seed_b, uint64_t la,
@@ -49,6 +44,13 @@ Status CheckCompatible(uint64_t seed_a, uint64_t seed_b, uint64_t la,
     return Status::InvalidArgument("sketch dimensions differ");
   }
   return Status::Ok();
+}
+
+// The b-bit width mask — the single invariant shared by the encoder
+// (BbitFromWmh) and the validator (CheckBbitFingerprintWidths, and through
+// it the wire decoder and insert-time guard). Precondition: bits in [1, 32].
+uint32_t BbitMask(uint32_t bits) {
+  return bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1);
 }
 
 }  // namespace
@@ -93,26 +95,19 @@ Result<double> EstimateCompactWmhInnerProduct(const CompactWmhSketch& a,
 
   const size_t m = a.num_samples();
   const double md = static_cast<double>(m);
-  double min_hash_sum = 0.0;
-  double weighted_match_sum = 0.0;
-  for (size_t i = 0; i < m; ++i) {
-    min_hash_sum += DequantizeHash(std::min(a.hashes[i], b.hashes[i]));
-    if (a.hashes[i] == b.hashes[i]) {
-      const double va = a.values[i];
-      const double vb = b.values[i];
-      const double q = std::min(va * va, vb * vb);
-      if (q > 0.0) weighted_match_sum += va * vb / q;
-    }
-  }
-  if (min_hash_sum <= 0.0) {
+  // Integer-domain min + dequantize + match accumulation in one dispatched
+  // pass (scalar and vector tiers are bit-identical).
+  const simd::CompactPairStats stats = simd::ActiveKernel().compact_pair(
+      a.hashes.data(), b.hashes.data(), a.values.data(), b.values.data(), m);
+  if (stats.min_hash_sum <= 0.0) {
     return Status::Internal("degenerate minimum-hash sum");
   }
   // Clamp at 0: with every slot at the empty sentinel, min_hash_sum = m and
   // the FM expression lands on exactly 0; float rounding must not push a
   // near-empty catalog's union size negative.
   const double m_tilde = std::max(
-      0.0, (md / min_hash_sum - 1.0) / static_cast<double>(a.L));
-  return a.norm * b.norm * (m_tilde / md) * weighted_match_sum;
+      0.0, (md / stats.min_hash_sum - 1.0) / static_cast<double>(a.L));
+  return a.norm * b.norm * (m_tilde / md) * stats.weighted_match_sum;
 }
 
 Result<BbitWmhSketch> BbitFromWmh(const WmhSketch& sketch, uint32_t bits) {
@@ -132,8 +127,7 @@ Status BbitFromWmh(const WmhSketch& sketch, uint32_t bits,
   out->L = sketch.L;
   out->dimension = sketch.dimension;
   out->engine = sketch.engine;
-  const uint32_t mask =
-      bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1);
+  const uint32_t mask = BbitMask(bits);
   out->fingerprints.clear();
   out->values.clear();
   out->fingerprints.reserve(sketch.num_samples());
@@ -159,8 +153,7 @@ BbitWmhSketch TruncatedBbitWmh(const BbitWmhSketch& sketch, size_t m) {
 }
 
 Status CheckBbitFingerprintWidths(const BbitWmhSketch& sketch) {
-  const uint32_t mask =
-      sketch.bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << sketch.bits) - 1);
+  const uint32_t mask = BbitMask(sketch.bits);
   for (uint32_t fp : sketch.fingerprints) {
     if ((fp & ~mask) != 0) {
       return Status::InvalidArgument(
@@ -182,27 +175,20 @@ Result<double> EstimateBbitWmhInnerProduct(const BbitWmhSketch& a,
 
   const size_t m = a.num_samples();
   const double md = static_cast<double>(m);
-  size_t match_count = 0;
-  double weighted_match_sum = 0.0;
-  for (size_t i = 0; i < m; ++i) {
-    if (a.fingerprints[i] == b.fingerprints[i]) {
-      const double va = a.values[i];
-      const double vb = b.values[i];
-      const double q = std::min(va * va, vb * vb);
-      if (q > 0.0) {
-        weighted_match_sum += va * vb / q;
-        ++match_count;
-      }
-    }
-  }
+  // The b-bit fingerprint-match hot loop, dispatched to the widest kernel
+  // tier the CPU supports (scalar and vector tiers are bit-identical).
+  const simd::MatchStats stats = simd::ActiveKernel().match_u32(
+      a.fingerprints.data(), b.fingerprints.data(), a.values.data(),
+      b.values.data(), m);
+  double weighted_match_sum = stats.weighted_match_sum;
 
   // Observed match rate = J̄ + (1 − J̄)·2⁻ᵇ; invert for J̄, then scale the
   // weighted sum by the fraction of matches expected to be genuine.
   const double fp = std::pow(0.5, static_cast<double>(a.bits));
-  const double observed = static_cast<double>(match_count) / md;
+  const double observed = static_cast<double>(stats.match_count) / md;
   const double j_hat =
       std::clamp((observed - fp) / (1.0 - fp), 0.0, 1.0);
-  if (match_count > 0 && observed > 0.0) {
+  if (stats.match_count > 0 && observed > 0.0) {
     // E[genuine matches]/E[observed matches] = J̄ / (J̄ + (1−J̄)·2⁻ᵇ).
     const double genuine_fraction = j_hat / observed;
     weighted_match_sum *= std::clamp(genuine_fraction, 0.0, 1.0);

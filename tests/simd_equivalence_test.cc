@@ -1,0 +1,203 @@
+// Family-level scalar/vector equivalence: for every registered sketch
+// family (and, where a family has engines, every engine), estimates
+// computed under each available kernel tier must be bit-identical to the
+// scalar tier's — over randomized sketch pairs, zero vectors, and
+// truncated-prefix sketches. This is the assertion the simd-equivalence CI
+// job runs on both gcc and clang.
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/simd/dispatch.h"
+#include "sketch/family.h"
+
+namespace ipsketch {
+namespace {
+
+struct FamilyConfig {
+  std::string family;
+  std::map<std::string, std::string> params;
+};
+
+std::vector<FamilyConfig> AllConfigs() {
+  return {
+      {"wmh", {{"engine", "dart"}, {"L", "4096"}}},
+      {"wmh", {{"engine", "active_index"}, {"L", "4096"}}},
+      {"icws", {{"engine", "dart"}}},
+      {"icws", {{"engine", "icws"}}},
+      {"mh", {}},
+      {"kmv", {}},
+      {"cs", {}},
+      {"jl", {}},
+      {"wmh_compact", {{"engine", "dart"}}},
+      {"wmh_compact", {{"engine", "active_index"}}},
+      {"wmh_bbit", {{"engine", "dart"}, {"bits", "12"}}},
+  };
+}
+
+constexpr uint64_t kDimension = 512;
+
+SparseVector RandomVector(uint64_t seed, size_t target_nnz) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  uint64_t index = rng.NextBounded(3);
+  while (entries.size() < target_nnz && index < kDimension) {
+    double v = rng.NextGaussian();
+    if (v == 0.0) v = 0.5;
+    entries.push_back({index, v});
+    index += 1 + rng.NextBounded(4);
+  }
+  return SparseVector::MakeOrDie(kDimension, std::move(entries));
+}
+
+/// Overlapping pair: b shares a prefix of a's support so matches actually
+/// occur.
+std::pair<SparseVector, SparseVector> RandomPair(uint64_t seed) {
+  const SparseVector a = RandomVector(seed, 90);
+  Xoshiro256StarStar rng(seed ^ 0x9E3779B97F4A7C15ull);
+  std::vector<Entry> entries;
+  for (const Entry& e : a.entries()) {
+    if (rng.NextUnit() < 0.6) {
+      entries.push_back({e.index, e.value * (0.5 + rng.NextUnit())});
+    }
+  }
+  uint64_t index = kDimension / 2;
+  while (index < kDimension) {
+    entries.push_back({index, rng.NextGaussian() + 2.0});
+    index += 3 + rng.NextBounded(5);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& x, const Entry& y) { return x.index < y.index; });
+  std::vector<Entry> dedup;
+  for (const Entry& e : entries) {
+    if (dedup.empty() || dedup.back().index != e.index) dedup.push_back(e);
+  }
+  return {a, SparseVector::MakeOrDie(kDimension, std::move(dedup))};
+}
+
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(const simd::EstimateKernel* kernel) {
+    simd::SetActiveKernelForTesting(kernel);
+  }
+  ~ScopedKernel() { simd::SetActiveKernelForTesting(nullptr); }
+};
+
+/// Estimates a/b under `kernel` (family dispatch included).
+double EstimateUnder(const simd::EstimateKernel* kernel,
+                     const SketchFamily& family, const AnySketch& a,
+                     const AnySketch& b) {
+  ScopedKernel scoped(kernel);
+  auto est = family.Estimate(a, b);
+  EXPECT_TRUE(est.ok()) << est.status().ToString();
+  return est.ok() ? est.value() : 0.0;
+}
+
+TEST(SimdEquivalenceTest, AllFamiliesAllEnginesBitIdenticalAcrossTiers) {
+  // m = 67: not a multiple of any vector width, so every tier runs both
+  // its vector body and its scalar tail.
+  for (const FamilyConfig& config : AllConfigs()) {
+    SCOPED_TRACE(config.family);
+    FamilyOptions options;
+    options.dimension = kDimension;
+    options.num_samples = 67;
+    options.seed = 42;
+    options.params = config.params;
+    auto family = MakeFamily(config.family, options);
+    ASSERT_TRUE(family.ok()) << family.status().ToString();
+    auto sketcher = family.value()->MakeSketcher();
+    ASSERT_TRUE(sketcher.ok());
+
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto [va, vb] = RandomPair(seed * 1000);
+      auto sa = family.value()->NewSketch();
+      auto sb = family.value()->NewSketch();
+      ASSERT_TRUE(sketcher.value()->Sketch(va, sa.get()).ok());
+      ASSERT_TRUE(sketcher.value()->Sketch(vb, sb.get()).ok());
+
+      const double reference =
+          EstimateUnder(&simd::ScalarKernel(), *family.value(), *sa, *sb);
+      for (const simd::EstimateKernel* kernel : simd::AvailableKernels()) {
+        const double got =
+            EstimateUnder(kernel, *family.value(), *sa, *sb);
+        EXPECT_EQ(std::bit_cast<uint64_t>(reference),
+                  std::bit_cast<uint64_t>(got))
+            << config.family << " seed=" << seed << " tier='" << kernel->name
+            << "': " << reference << " vs " << got;
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, TruncatedPrefixSketchesBitIdenticalAcrossTiers) {
+  for (const FamilyConfig& config : AllConfigs()) {
+    FamilyOptions options;
+    options.dimension = kDimension;
+    options.num_samples = 64;
+    options.seed = 9;
+    options.params = config.params;
+    auto family = MakeFamily(config.family, options);
+    ASSERT_TRUE(family.ok()) << family.status().ToString();
+    if (!family.value()->supports_truncation()) continue;
+    SCOPED_TRACE(config.family);
+    auto sketcher = family.value()->MakeSketcher();
+    ASSERT_TRUE(sketcher.ok());
+    const auto [va, vb] = RandomPair(77);
+    auto sa = family.value()->NewSketch();
+    auto sb = family.value()->NewSketch();
+    ASSERT_TRUE(sketcher.value()->Sketch(va, sa.get()).ok());
+    ASSERT_TRUE(sketcher.value()->Sketch(vb, sb.get()).ok());
+    for (size_t m : {1u, 3u, 13u, 31u}) {
+      auto ta = family.value()->Truncate(*sa, m);
+      auto tb = family.value()->Truncate(*sb, m);
+      ASSERT_TRUE(ta.ok() && tb.ok());
+      const double reference = EstimateUnder(
+          &simd::ScalarKernel(), *family.value(), *ta.value(), *tb.value());
+      for (const simd::EstimateKernel* kernel : simd::AvailableKernels()) {
+        const double got = EstimateUnder(kernel, *family.value(),
+                                         *ta.value(), *tb.value());
+        EXPECT_EQ(std::bit_cast<uint64_t>(reference),
+                  std::bit_cast<uint64_t>(got))
+            << config.family << " m=" << m << " tier='" << kernel->name
+            << "'";
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, ZeroVectorPairsBitIdenticalAcrossTiers) {
+  const SparseVector zero = SparseVector::MakeOrDie(kDimension, {});
+  for (const FamilyConfig& config : AllConfigs()) {
+    SCOPED_TRACE(config.family);
+    FamilyOptions options;
+    options.dimension = kDimension;
+    options.num_samples = 33;
+    options.seed = 5;
+    options.params = config.params;
+    auto family = MakeFamily(config.family, options);
+    ASSERT_TRUE(family.ok());
+    auto sketcher = family.value()->MakeSketcher();
+    ASSERT_TRUE(sketcher.ok());
+    auto sz = family.value()->NewSketch();
+    auto sv = family.value()->NewSketch();
+    ASSERT_TRUE(sketcher.value()->Sketch(zero, sz.get()).ok());
+    ASSERT_TRUE(sketcher.value()->Sketch(RandomVector(3, 50), sv.get()).ok());
+    const double reference =
+        EstimateUnder(&simd::ScalarKernel(), *family.value(), *sz, *sv);
+    for (const simd::EstimateKernel* kernel : simd::AvailableKernels()) {
+      const double got = EstimateUnder(kernel, *family.value(), *sz, *sv);
+      EXPECT_EQ(std::bit_cast<uint64_t>(reference),
+                std::bit_cast<uint64_t>(got))
+          << config.family << " tier='" << kernel->name << "'";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipsketch

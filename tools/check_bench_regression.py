@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Fails CI when estimate throughput regresses against the committed baseline.
+
+    tools/check_bench_regression.py BASELINE CURRENT [--threshold 0.25]
+
+Compares the `estimate_pairs_per_sec` records of two BENCH_service.json
+files (bench/bench_service_throughput.cc) keyed by (family, m). The gated
+quantity is each point's *speedup* — the dispatched-kernel rate divided by
+the same-run forced-scalar rate. That ratio is measured on one machine in
+one process, so it is comparable across runner generations, while absolute
+pairs/sec are not (the committed baseline may come from a much slower or
+faster box). A point regresses when its current speedup drops more than
+THRESHOLD below the baseline's; absolute rates are printed for context
+only.
+
+The gate has to tell apart three situations: a genuine kernel regression
+(fail), ordinary spread between the baseline machine and the runner's
+microarchitecture (pass), and measurement noise on families where the SIMD
+win is small (don't gate). Three rules do that:
+
+* --require-kernel NAME (used by CI, where every runner has AVX2) fails
+  when the current record's dispatched kernel differs — a mismatch there
+  means runtime dispatch itself regressed. Without the flag, differing
+  kernels report and exit 0 (speedups across tiers are not comparable,
+  e.g. a scalar-only dev box vs an AVX2 baseline).
+* Points whose BASELINE speedup is below --gate-min (default 1.75) are
+  reported but never gated: a ~1.4x win (icws, wmh_bbit — their scalar
+  loops already skip the division on mismatch) is within shared-runner
+  noise at the bench's 0.25 s measurement windows, and gating it would
+  flake.
+* A gated point fails only when BOTH conditions miss: its speedup ratio
+  vs baseline dropped below 1 - THRESHOLD (catches same-machine
+  regressions tightly), AND its current speedup is below
+  max(2.0, baseline/2) (the cross-machine backstop: 8.6x baseline → fail
+  under 4.3x). Microarchitectural spread (8.6x vs 6.2x) passes; a 4x
+  kernel loss (8.6x → 2.1x) or a dead SIMD path (~1.0x) fails.
+
+Points present on only one side are reported and skipped. Exit status:
+0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def estimate_points(record, path):
+    points = record.get("estimate_pairs_per_sec")
+    if not isinstance(points, list):
+        print(f"error: {path} has no estimate_pairs_per_sec array",
+              file=sys.stderr)
+        sys.exit(2)
+    return {(p["family"], p["m"]): p for p in points}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional speedup drop (default 0.25)")
+    parser.add_argument("--require-kernel", default=None,
+                        help="fail unless the current record's dispatched "
+                             "kernel is NAME (CI: avx2)")
+    parser.add_argument("--gate-min", type=float, default=1.75,
+                        help="points with baseline speedup below this are "
+                             "informational only (default 1.75)")
+    args = parser.parse_args()
+
+    base_record = load(args.baseline)
+    curr_record = load(args.current)
+    base = estimate_points(base_record, args.baseline)
+    curr = estimate_points(curr_record, args.current)
+
+    base_kernel = base_record.get("kernel", "?")
+    curr_kernel = curr_record.get("kernel", "?")
+    print(f"baseline kernel: {base_kernel} "
+          f"(hardware_concurrency {base_record.get('hardware_concurrency', '?')})")
+    print(f"current  kernel: {curr_kernel} "
+          f"(hardware_concurrency {curr_record.get('hardware_concurrency', '?')})")
+
+    if args.require_kernel and curr_kernel != args.require_kernel:
+        print(f"\nFAIL: dispatched kernel is '{curr_kernel}', expected "
+              f"'{args.require_kernel}' — runtime dispatch regressed",
+              file=sys.stderr)
+        return 1
+    if args.require_kernel and base_kernel != args.require_kernel:
+        # A mismatched baseline would otherwise hit the cross-tier skip
+        # below and silently disable the gate on every future run.
+        print(f"\nFAIL: committed baseline was recorded with kernel "
+              f"'{base_kernel}', expected '{args.require_kernel}' — "
+              f"regenerate bench/baselines from a matching machine",
+              file=sys.stderr)
+        return 1
+
+    if base_kernel != curr_kernel:
+        print(f"\nSKIP: dispatched kernels differ ({base_kernel} vs "
+              f"{curr_kernel}); speedups are not comparable across tiers")
+        return 0
+
+    print(f"{'family':<14} {'m':>6} {'current/s':>14} "
+          f"{'base speedup':>13} {'curr speedup':>13} {'ratio':>7}  verdict")
+
+    failed = []
+    for key in sorted(set(base) | set(curr)):
+        family, m = key
+        if key not in curr:
+            print(f"{family:<14} {m:>6} {'—':>14} {'—':>13} {'—':>13} "
+                  f"{'—':>7}  missing from current (skipped)")
+            continue
+        if key not in base:
+            print(f"{family:<14} {m:>6} {curr[key]['per_sec']:>14.0f} "
+                  f"{'—':>13} {curr[key]['speedup']:>12.2f}x {'—':>7}  "
+                  f"new (no baseline)")
+            continue
+        b = base[key]["speedup"]
+        c = curr[key]["speedup"]
+        ratio = c / b if b > 0 else float("inf")
+        if b < args.gate_min:
+            print(f"{family:<14} {m:>6} {curr[key]['per_sec']:>14.0f} "
+                  f"{b:>12.2f}x {c:>12.2f}x {ratio:>6.2f}x  "
+                  f"info only (baseline < {args.gate_min:.2f}x)")
+            continue
+        backstop = max(2.0, b / 2.0)
+        ok = ratio >= 1.0 - args.threshold or c >= backstop
+        print(f"{family:<14} {m:>6} {curr[key]['per_sec']:>14.0f} "
+              f"{b:>12.2f}x {c:>12.2f}x {ratio:>6.2f}x  "
+              f"{'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failed.append((family, m, ratio))
+
+    if failed:
+        drops = ", ".join(f"{f}@m={m} ({r:.2f}x)" for f, m, r in failed)
+        print(f"\nFAIL: estimate speedup dropped >"
+              f"{args.threshold:.0%} vs baseline: {drops}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no estimate-throughput regression beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
