@@ -10,13 +10,39 @@
 namespace ipsketch {
 namespace bench {
 
-/// Workload multiplier: `argv[1]` if present (≥ 1), else 1. All benches
-/// default to a configuration that finishes in tens of seconds; pass 2-10
-/// to approach the paper's full workload sizes.
+/// True iff `--name` appears anywhere in argv.
+inline bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == name) return true;
+  }
+  return false;
+}
+
+/// The operand following `--name` in argv, or `fallback` when the flag is
+/// absent (or has no operand).
+inline std::string FlagValue(int argc, char** argv, const char* name,
+                             const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == name) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Workload multiplier: the first non-flag argument if present (≥ 1), else
+/// 1. All benches default to a configuration that finishes in tens of
+/// seconds; pass 2-10 to approach the paper's full workload sizes. `--flag
+/// value` pairs (e.g. --out PATH) and bare `--flag` switches are skipped.
 inline size_t ScaleFromArgs(int argc, char** argv) {
-  if (argc > 1) {
-    const long v = std::strtol(argv[1], nullptr, 10);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      // Value-taking flags consume their operand too.
+      if (arg == "--out" || arg == "--metrics-out") ++i;
+      continue;
+    }
+    const long v = std::strtol(arg.c_str(), nullptr, 10);
     if (v >= 1) return static_cast<size_t>(v);
+    return 1;
   }
   return 1;
 }

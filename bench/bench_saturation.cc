@@ -1,0 +1,397 @@
+// Saturation behaviour of the sketch service: an open-loop load generator
+// offers a mixed ingest + TopK workload at multiples of the measured
+// single-thread TopK rate and reports the client-observed latency
+// percentiles at each offered-concurrency level — the measurement half of
+// the async-front-door roadmap item. Open loop means arrivals are scheduled
+// on a clock, not gated on completions, so queueing delay is charged to the
+// operations that suffered it (no coordinated omission: latency runs from
+// an op's *scheduled* arrival to its completion).
+//
+//   build/bench_saturation [scale] [--smoke] [--out PATH]
+//                          [--metrics-out PATH]
+//
+//   --smoke        tiny corpus and short windows (CI-sized, a few seconds)
+//   --out          BENCH json path; an existing service_throughput record
+//                  there gains/replaces a "saturation" section, anything
+//                  else is replaced by a standalone record
+//   --metrics-out  also write the post-run metrics::RenderText() snapshot
+//
+// The bench also answers "what does the instrumentation cost?": it measures
+// serial TopK scan throughput with metrics recording enabled vs disabled
+// (SetEnabledForTesting) and reports the ratio, which the README quotes and
+// the ≤3% overhead acceptance gate reads.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "service/metrics.h"
+#include "service/query_engine.h"
+#include "service/sketch_store.h"
+#include "service/thread_pool.h"
+
+using namespace ipsketch;
+
+namespace {
+
+constexpr uint64_t kDimension = 100000;
+constexpr size_t kNnz = 300;
+constexpr size_t kNumSamples = 256;
+constexpr char kFamily[] = "wmh";
+constexpr size_t kTopK = 10;
+// Every kIngestEvery-th offered op is an ingest (1/8 = 12.5% write mix);
+// ingest ids cycle over a small range so the store size — and with it the
+// TopK scan cost — stays constant across levels.
+constexpr size_t kIngestEvery = 8;
+constexpr size_t kIngestIdRange = 64;
+
+SparseVector CorpusVector(uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Entry> entries;
+  for (uint64_t index : SampleDistinctIndices(kDimension, kNnz, seed)) {
+    entries.push_back({index, rng.NextUnit() * 2.0 - 1.0});
+  }
+  return SparseVector::MakeOrDie(kDimension, std::move(entries));
+}
+
+SketchStoreOptions StoreOptions() {
+  SketchStoreOptions options;
+  options.family = kFamily;
+  options.sketch.dimension = kDimension;
+  options.sketch.num_samples = kNumSamples;
+  options.sketch.seed = 7;
+  options.num_shards = 32;
+  return options;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Exact percentile of `values` (sorted in place), nearest-rank. Microsec.
+double PercentileUs(std::vector<uint64_t>* values_ns, double q) {
+  if (values_ns->empty()) return 0.0;
+  std::sort(values_ns->begin(), values_ns->end());
+  const double rank = q / 100.0 * static_cast<double>(values_ns->size());
+  size_t i = static_cast<size_t>(std::ceil(rank));
+  if (i > 0) --i;
+  if (i >= values_ns->size()) i = values_ns->size() - 1;
+  return static_cast<double>((*values_ns)[i]) / 1000.0;
+}
+
+struct LatencyDigest {
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, max_us = 0.0;
+  size_t ops = 0;
+};
+
+LatencyDigest Digest(std::vector<uint64_t>* values_ns) {
+  LatencyDigest d;
+  d.ops = values_ns->size();
+  if (values_ns->empty()) return d;
+  d.p50_us = PercentileUs(values_ns, 50);
+  d.p95_us = PercentileUs(values_ns, 95);
+  d.p99_us = PercentileUs(values_ns, 99);
+  d.max_us = static_cast<double>(values_ns->back()) / 1000.0;  // sorted
+  return d;
+}
+
+/// One offered-concurrency level of the sweep.
+struct LevelResult {
+  double offered_concurrency = 0.0;
+  double offered_per_sec = 0.0;
+  double achieved_per_sec = 0.0;
+  LatencyDigest topk;
+  LatencyDigest ingest;
+};
+
+/// Runs one open-loop level: `num_ops` arrivals at `offered_per_sec`,
+/// every kIngestEvery-th an ingest, the rest TopK, executed on `pool`.
+LevelResult RunLevel(const SketchStore& store, SketchStore* ingest_store,
+                     ThreadPool* pool, const std::vector<SparseVector>& queries,
+                     double offered_per_sec, double offered_concurrency,
+                     size_t num_ops) {
+  // The engine runs serially inside each pool task — concurrency comes from
+  // the open-loop generator keeping several tasks in flight, which is the
+  // front-door shape this bench models.
+  QueryEngine engine(&store, /*pool=*/nullptr);
+
+  std::vector<uint64_t> latency_ns(num_ops, 0);
+  std::vector<uint8_t> is_ingest(num_ops, 0);
+  std::atomic<size_t> remaining{num_ops};
+
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start_ns = metrics::NowNs();
+  for (size_t i = 0; i < num_ops; ++i) {
+    const double offset_secs = static_cast<double>(i) / offered_per_sec;
+    const uint64_t scheduled_ns =
+        start_ns + static_cast<uint64_t>(offset_secs * 1e9);
+    std::this_thread::sleep_until(
+        start + std::chrono::duration<double>(offset_secs));
+    const bool ingest_op = (i % kIngestEvery) == kIngestEvery - 1;
+    is_ingest[i] = ingest_op ? 1 : 0;
+    const auto op = [&, i, scheduled_ns, ingest_op] {
+      const SparseVector& vec = queries[i % queries.size()];
+      if (ingest_op) {
+        const uint64_t id = (1u << 20) | (i % kIngestIdRange);
+        if (!ingest_store->BuildAndInsert(id, vec).ok()) std::exit(1);
+      } else {
+        if (!engine.TopK(vec, kTopK).ok()) std::exit(1);
+      }
+      latency_ns[i] = metrics::NowNs() - scheduled_ns;
+      remaining.fetch_sub(1, std::memory_order_release);
+    };
+    // A stopping pool cannot happen here; run inline if it ever does so the
+    // remaining count still drains.
+    if (!pool->Submit(op)) op();
+  }
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double secs = SecondsSince(start);
+
+  std::vector<uint64_t> topk_ns, ingest_ns;
+  topk_ns.reserve(num_ops);
+  for (size_t i = 0; i < num_ops; ++i) {
+    (is_ingest[i] ? ingest_ns : topk_ns).push_back(latency_ns[i]);
+  }
+  LevelResult result;
+  result.offered_concurrency = offered_concurrency;
+  result.offered_per_sec = offered_per_sec;
+  result.achieved_per_sec = static_cast<double>(num_ops) / secs;
+  result.topk = Digest(&topk_ns);
+  result.ingest = Digest(&ingest_ns);
+  return result;
+}
+
+/// Serial TopK scan throughput in estimated pairs/sec (queries/sec times
+/// catalog size) over a measurement window — the metrics-overhead probe.
+double MeasureTopkPairsPerSec(const SketchStore& store,
+                              const std::vector<SparseVector>& queries,
+                              double window_secs) {
+  QueryEngine engine(&store, /*pool=*/nullptr);
+  size_t done = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double secs = 0.0;
+  do {
+    if (!engine.TopK(queries[done % queries.size()], kTopK).ok()) {
+      std::exit(1);
+    }
+    ++done;
+    secs = SecondsSince(start);
+  } while (secs < window_secs);
+  return static_cast<double>(done) * static_cast<double>(store.size()) / secs;
+}
+
+void AppendLevelJson(std::string* out, const LevelResult& r, bool first) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s\n      {\"offered_concurrency\": %.2f, \"offered_per_sec\": %.1f, "
+      "\"achieved_per_sec\": %.1f, \"ops\": %zu,\n"
+      "       \"topk_p50_us\": %.1f, \"topk_p95_us\": %.1f, "
+      "\"topk_p99_us\": %.1f, \"topk_max_us\": %.1f,\n"
+      "       \"ingest_p50_us\": %.1f, \"ingest_p95_us\": %.1f, "
+      "\"ingest_p99_us\": %.1f, \"ingest_max_us\": %.1f}",
+      first ? "" : ",", r.offered_concurrency, r.offered_per_sec,
+      r.achieved_per_sec, r.topk.ops + r.ingest.ops, r.topk.p50_us,
+      r.topk.p95_us, r.topk.p99_us, r.topk.max_us, r.ingest.p50_us,
+      r.ingest.p95_us, r.ingest.p99_us, r.ingest.max_us);
+  *out += buf;
+}
+
+/// The "saturation" (+ overhead + snapshot) JSON fragment, no enclosing
+/// braces: `"saturation": {...}, "metrics_overhead": {...}, "metrics": ...`.
+std::string SectionsJson(const std::vector<LevelResult>& levels,
+                         size_t corpus, double base_rate, double pairs_on,
+                         double pairs_off) {
+  std::string out = "  \"saturation\": {\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    \"corpus\": %zu,\n"
+                "    \"mix_ingest_fraction\": %.4f,\n"
+                "    \"base_topk_per_sec\": %.1f,\n"
+                "    \"levels\": [",
+                corpus, 1.0 / kIngestEvery, base_rate);
+  out += buf;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    AppendLevelJson(&out, levels[i], i == 0);
+  }
+  out += "\n    ]\n  },\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"metrics_overhead\": {\"topk_pairs_per_sec_on\": %.1f, "
+                "\"topk_pairs_per_sec_off\": %.1f, \"ratio\": %.4f, "
+                "\"compiled_in\": %s},\n",
+                pairs_on, pairs_off, pairs_off > 0 ? pairs_on / pairs_off : 1.0,
+                metrics::kCompiledIn ? "true" : "false");
+  out += buf;
+  out += "  \"metrics\": ";
+  out += metrics::MetricsRegistry::Global().RenderJson();
+  return out;
+}
+
+/// Writes `sections` into the record at `path`: merged into an existing
+/// JSON object there (replacing any previous saturation/overhead/metrics
+/// sections), or as a fresh standalone record.
+bool WriteRecord(const std::string& path, const std::string& sections) {
+  std::string existing;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buffer[1 << 16];
+    size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      existing.append(buffer, got);
+    }
+    std::fclose(f);
+  }
+
+  std::string out;
+  const size_t prev = existing.find(",\n  \"saturation\":");
+  const size_t close = existing.rfind('}');
+  if (prev != std::string::npos) {
+    // Re-run over a record we already extended: drop our old sections.
+    out = existing.substr(0, prev);
+  } else if (close != std::string::npos) {
+    out = existing.substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+      out.pop_back();
+    }
+  }
+  if (out.empty() || out[0] != '{') {
+    // No record to extend (absent or unrecognizable): standalone.
+    out = "{\n  \"bench\": \"saturation\"";
+  }
+  out += ",\n" + sections + "\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fwrite(out.data(), 1, out.size(), f);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t scale = bench::ScaleFromArgs(argc, argv);
+  const bool smoke = bench::HasFlag(argc, argv, "--smoke");
+  bench::Banner("saturation",
+                "Open-loop ingest+TopK load sweep: client-observed latency "
+                "percentiles vs offered concurrency, plus metrics overhead",
+                scale);
+  std::printf("hardware_concurrency: %u%s\n\n",
+              std::thread::hardware_concurrency(), smoke ? "  [smoke]" : "");
+
+  const size_t corpus = smoke ? 120 : 600 * scale;
+  const double level_window_secs = smoke ? 0.25 : 1.5;
+  const size_t max_ops_per_level = smoke ? 300 : 6000;
+  const double overhead_window_secs = smoke ? 0.1 : 0.3;
+
+  auto store = SketchStore::Make(StoreOptions()).value();
+  {
+    std::vector<std::pair<uint64_t, SparseVector>> batch;
+    batch.reserve(corpus);
+    for (uint64_t id = 0; id < corpus; ++id) {
+      batch.push_back({id, CorpusVector(id)});
+    }
+    ThreadPool pool(4);
+    if (!store.BuildAndInsertBatch(batch, &pool).ok()) {
+      std::printf("ingest failed\n");
+      return 1;
+    }
+  }
+  std::vector<SparseVector> queries;
+  for (size_t q = 0; q < 32; ++q) queries.push_back(CorpusVector(1000000 + q));
+  std::printf("corpus: %zu vectors, dim %llu, %zu nnz, family %s, m = %zu\n",
+              corpus, static_cast<unsigned long long>(kDimension), kNnz,
+              kFamily, kNumSamples);
+
+  // --- metrics overhead A/B (serial engine, nothing else in flight) --------
+  // Alternating best-of rounds: on a shared box a single long window per
+  // mode folds scheduler noise into the ratio; interference only ever slows
+  // a round down, so the per-mode maximum is the clean comparison.
+  MeasureTopkPairsPerSec(store, queries, overhead_window_secs);  // warm up
+  double pairs_on = 0.0, pairs_off = 0.0;
+  const int ab_rounds = smoke ? 3 : 5;
+  for (int round = 0; round < ab_rounds; ++round) {
+    metrics::SetEnabledForTesting(true);
+    pairs_on = std::max(
+        pairs_on, MeasureTopkPairsPerSec(store, queries, overhead_window_secs));
+    metrics::SetEnabledForTesting(false);
+    pairs_off = std::max(
+        pairs_off,
+        MeasureTopkPairsPerSec(store, queries, overhead_window_secs));
+  }
+  metrics::SetEnabledForTesting(true);
+  const double ratio = pairs_off > 0 ? pairs_on / pairs_off : 1.0;
+  std::printf("\nmetrics overhead on TopK scan: on %.0f pairs/s, off %.0f "
+              "pairs/s, ratio %.4f%s\n",
+              pairs_on, pairs_off, ratio,
+              metrics::kCompiledIn ? "" : " (metrics compiled out)");
+
+  // --- saturation sweep -----------------------------------------------------
+  // Base rate: sustained serial TopK throughput. Offered load at level c is
+  // c times that — level 1 should keep one worker busy, higher levels queue.
+  const double base_rate =
+      MeasureTopkPairsPerSec(store, queries, overhead_window_secs) /
+      static_cast<double>(store.size());
+  std::printf("base serial TopK rate: %.1f queries/sec\n\n", base_rate);
+
+  const size_t pool_threads =
+      std::min<size_t>(8, std::max(2u, std::thread::hardware_concurrency()));
+  auto ingest_store = SketchStore::Make(StoreOptions()).value();
+  std::vector<LevelResult> levels;
+  std::printf("%-12s %12s %12s %10s %10s %10s %12s\n", "offered_conc",
+              "offered/s", "achieved/s", "topk_p50", "topk_p95", "topk_p99",
+              "ingest_p99");
+  // 0.5 gives an under-saturated anchor point even on a single-core box
+  // (where generator + worker share the core and capacity sits below 1.0).
+  for (double level : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double offered = level * base_rate;
+    const size_t num_ops = std::min(
+        max_ops_per_level,
+        std::max<size_t>(50, static_cast<size_t>(offered *
+                                                 level_window_secs)));
+    ThreadPool pool(pool_threads);
+    LevelResult r = RunLevel(store, &ingest_store, &pool, queries, offered,
+                             level, num_ops);
+    std::printf("%-12.1f %12.1f %12.1f %8.0fus %8.0fus %8.0fus %10.0fus\n",
+                level, r.offered_per_sec, r.achieved_per_sec, r.topk.p50_us,
+                r.topk.p95_us, r.topk.p99_us, r.ingest.p99_us);
+    levels.push_back(r);
+  }
+
+  // --- outputs --------------------------------------------------------------
+  const std::string sections =
+      SectionsJson(levels, corpus, base_rate, pairs_on, pairs_off);
+  const std::string json_path =
+      bench::FlagValue(argc, argv, "--out", "BENCH_service.json");
+  if (!WriteRecord(json_path, sections)) {
+    std::printf("\ncould not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (saturation + metrics_overhead + metrics)\n",
+              json_path.c_str());
+
+  const std::string metrics_path =
+      bench::FlagValue(argc, argv, "--metrics-out");
+  if (!metrics_path.empty()) {
+    const std::string text = metrics::MetricsRegistry::Global().RenderText();
+    if (std::FILE* f = std::fopen(metrics_path.c_str(), "wb")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", metrics_path.c_str());
+    } else {
+      std::printf("could not write %s\n", metrics_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

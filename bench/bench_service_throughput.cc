@@ -3,7 +3,7 @@
 // estimate throughput per family under the dispatched SIMD kernel vs the
 // scalar tier.
 //
-//   build/bench_service_throughput [scale]
+//   build/bench_service_throughput [scale] [--out PATH]
 //
 // Ingest parallelizes over vectors (one family Sketcher per worker);
 // queries parallelize over shards. Speedups track the machine's core count
@@ -320,13 +320,14 @@ int main(int argc, char** argv) {
   json += ",\n";
   AppendEstimateJson(&json, estimate_points);
   json += "\n}\n";
-  const char* json_path = "BENCH_service.json";
-  if (std::FILE* f = std::fopen(json_path, "wb")) {
+  const std::string json_path =
+      bench::FlagValue(argc, argv, "--out", "BENCH_service.json");
+  if (std::FILE* f = std::fopen(json_path.c_str(), "wb")) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
-    std::printf("\nwrote %s\n", json_path);
+    std::printf("\nwrote %s\n", json_path.c_str());
   } else {
-    std::printf("\ncould not write %s\n", json_path);
+    std::printf("\ncould not write %s\n", json_path.c_str());
     return 1;
   }
   return 0;

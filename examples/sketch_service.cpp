@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "data/synthetic.h"
+#include "service/metrics.h"
 #include "service/persistence.h"
 #include "service/query_engine.h"
 #include "service/sketch_store.h"
@@ -156,5 +157,15 @@ int main() {
   std::printf("opening the compact file as a 'wmh' store is refused: %s\n",
               as_full.ToString().c_str());
   std::remove(compact_path.c_str());
+
+  // 8. Observability: ask any query for a per-stage trace, and dump the
+  //    process-wide metrics every component above recorded into — same text
+  //    a /metrics endpoint would serve.
+  metrics::QueryTrace trace;
+  if (!compact_engine.TopK(query, 3, &trace).ok()) return 1;
+  std::printf("\nwhere that top-3 query spent its time:\n  %s\n",
+              trace.ToString().c_str());
+  std::printf("\nmetrics snapshot (Prometheus text exposition):\n%s",
+              metrics::MetricsRegistry::Global().RenderText().c_str());
   return 0;
 }

@@ -2,10 +2,46 @@
 
 #include <cstdio>
 
+#include "service/metrics.h"
 #include "sketch/serialize.h"
 
 namespace ipsketch {
 namespace {
+
+// Persistence metrics live behind function-local statics: these are free
+// functions with no object to hang registration on, and the registry hands
+// out stable references for the process lifetime.
+metrics::Histogram& SaveNsHistogram() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::Global().GetHistogram(
+      "ipsketch_persist_save_ns", "SaveSketchStore wall time: encode + write");
+  return h;
+}
+
+metrics::Histogram& LoadNsHistogram() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::Global().GetHistogram(
+      "ipsketch_persist_load_ns", "LoadSketchStore wall time: read + decode");
+  return h;
+}
+
+metrics::Counter& BytesWrittenCounter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::Global().GetCounter(
+      "ipsketch_persist_bytes_written_total",
+      "Encoded store bytes written to disk");
+  return c;
+}
+
+metrics::Counter& BytesReadCounter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::Global().GetCounter(
+      "ipsketch_persist_bytes_read_total", "Store bytes read from disk");
+  return c;
+}
+
+metrics::Counter& ChecksumFailuresCounter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::Global().GetCounter(
+      "ipsketch_persist_checksum_failures_total",
+      "Store loads rejected by the FNV-1a trailer check");
+  return c;
+}
 
 constexpr uint32_t kStoreMagic = 0x49505354;  // "IPST"
 constexpr uint8_t kStoreVersion = 2;
@@ -116,6 +152,7 @@ Result<SketchStore> DecodeSketchStore(std::string_view bytes) {
     uint64_t stored = 0;
     IPS_RETURN_IF_ERROR(trailer.ReadU64(&stored));
     if (stored != Checksum(payload)) {
+      ChecksumFailuresCounter().Add(1);
       return Status::InvalidArgument("sketch-store checksum mismatch");
     }
   }
@@ -193,6 +230,7 @@ Status CheckStoreMatches(const SketchStore& store,
 }
 
 Status SaveSketchStore(const SketchStore& store, const std::string& path) {
+  metrics::ScopedLatency latency(&SaveNsHistogram());
   const std::string bytes = EncodeSketchStore(store);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
@@ -200,6 +238,7 @@ Status SaveSketchStore(const SketchStore& store, const std::string& path) {
   }
   const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
   const bool close_ok = std::fclose(f) == 0;
+  BytesWrittenCounter().Add(static_cast<uint64_t>(written));
   if (written != bytes.size() || !close_ok) {
     return Status::Internal("short write to " + path);
   }
@@ -207,6 +246,7 @@ Status SaveSketchStore(const SketchStore& store, const std::string& path) {
 }
 
 Result<SketchStore> LoadSketchStore(const std::string& path) {
+  metrics::ScopedLatency latency(&LoadNsHistogram());
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open " + path);
@@ -222,6 +262,7 @@ Result<SketchStore> LoadSketchStore(const std::string& path) {
   if (read_error) {
     return Status::Internal("read error on " + path);
   }
+  BytesReadCounter().Add(static_cast<uint64_t>(bytes.size()));
   return DecodeSketchStore(bytes);
 }
 

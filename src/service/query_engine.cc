@@ -14,10 +14,28 @@ static_assert(sizeof(size_t) >= sizeof(uint64_t),
 QueryEngine::QueryEngine(const SketchStore* store, ThreadPool* pool)
     : store_(store), pool_(pool) {
   IPS_CHECK(store_ != nullptr);
+  auto& registry = metrics::MetricsRegistry::Global();
+  estimate_pair_ns_ = &registry.GetHistogram(
+      "ipsketch_query_estimate_pair_ns",
+      "EstimateInnerProduct latency: two lookups plus one estimate");
+  scan_ns_ = &registry.GetHistogram(
+      "ipsketch_query_scan_ns", "EstimateAgainstQuery end-to-end latency");
+  topk_ns_ = &registry.GetHistogram("ipsketch_query_topk_ns",
+                                    "TopK/TopKSketch end-to-end latency");
+  candidates_per_query_ = &registry.GetHistogram(
+      "ipsketch_query_candidates",
+      "Sketches scanned (= candidates estimated) per top-k query");
+  sketches_scanned_ = &registry.GetCounter(
+      "ipsketch_query_sketches_scanned_total",
+      "Stored sketches estimated against a query across all scans");
+  queries_ = &registry.GetCounter("ipsketch_query_total",
+                                  "Queries served (all query APIs)");
 }
 
 Result<double> QueryEngine::EstimateInnerProduct(uint64_t id_a,
                                                  uint64_t id_b) const {
+  metrics::ScopedLatency latency(estimate_pair_ns_);
+  queries_->Add(1);
   auto a = store_->Lookup(id_a);
   IPS_RETURN_IF_ERROR(a.status());
   auto b = store_->Lookup(id_b);
@@ -44,8 +62,13 @@ void QueryEngine::ForEachShard(const std::function<void(size_t)>& fn) const {
 }
 
 Result<std::vector<QueryHit>> QueryEngine::EstimateAgainstQuery(
-    const SparseVector& query) const {
-  auto sketched = SketchQuery(query);
+    const SparseVector& query, metrics::QueryTrace* trace) const {
+  metrics::ScopedLatency latency(scan_ns_);
+  queries_->Add(1);
+  Result<std::unique_ptr<AnySketch>> sketched = [&] {
+    metrics::ScopedSpan span(trace, "sketch-query");
+    return SketchQuery(query);
+  }();
   IPS_RETURN_IF_ERROR(sketched.status());
   const AnySketch& qs = *sketched.value();
   const SketchFamily& family = store_->family();
@@ -53,21 +76,24 @@ Result<std::vector<QueryHit>> QueryEngine::EstimateAgainstQuery(
   std::vector<std::vector<QueryHit>> per_shard(store_->num_shards());
   std::mutex error_mu;
   Status first_error;
-  ForEachShard([&](size_t s) {
-    // Estimation runs under the shard lock (ForEachInShard): copying whole
-    // shards out per query would cost far more than briefly blocking that
-    // shard's writers — the estimator is O(m) per entry and read-only.
-    store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
-      auto est = family.Estimate(qs, sketch);
-      if (!est.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = est.status();
-        return false;
-      }
-      per_shard[s].push_back({id, est.value()});
-      return true;
+  {
+    metrics::ScopedSpan span(trace, "shard-scan");
+    ForEachShard([&](size_t s) {
+      // Estimation runs under the shard lock (ForEachInShard): copying whole
+      // shards out per query would cost far more than briefly blocking that
+      // shard's writers — the estimator is O(m) per entry and read-only.
+      store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
+        auto est = family.Estimate(qs, sketch);
+        if (!est.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = est.status();
+          return false;
+        }
+        per_shard[s].push_back({id, est.value()});
+        return true;
+      });
     });
-  });
+  }
   IPS_RETURN_IF_ERROR(first_error);
 
   std::vector<QueryHit> all;
@@ -76,18 +102,24 @@ Result<std::vector<QueryHit>> QueryEngine::EstimateAgainstQuery(
   }
   std::sort(all.begin(), all.end(),
             [](const QueryHit& a, const QueryHit& b) { return a.id < b.id; });
+  sketches_scanned_->Add(all.size());
   return all;
 }
 
-Result<std::vector<QueryHit>> QueryEngine::TopK(const SparseVector& query,
-                                                size_t k) const {
-  auto sketched = SketchQuery(query);
+Result<std::vector<QueryHit>> QueryEngine::TopK(
+    const SparseVector& query, size_t k, metrics::QueryTrace* trace) const {
+  Result<std::unique_ptr<AnySketch>> sketched = [&] {
+    metrics::ScopedSpan span(trace, "sketch-query");
+    return SketchQuery(query);
+  }();
   IPS_RETURN_IF_ERROR(sketched.status());
-  return TopKSketch(*sketched.value(), k);
+  return TopKSketch(*sketched.value(), k, trace);
 }
 
-Result<std::vector<QueryHit>> QueryEngine::TopKSketch(const AnySketch& query,
-                                                      size_t k) const {
+Result<std::vector<QueryHit>> QueryEngine::TopKSketch(
+    const AnySketch& query, size_t k, metrics::QueryTrace* trace) const {
+  metrics::ScopedLatency latency(topk_ns_);
+  queries_->Add(1);
   const SketchFamily& family = store_->family();
   {
     Status compatible = family.CheckCompatible(query);
@@ -99,33 +131,44 @@ Result<std::vector<QueryHit>> QueryEngine::TopKSketch(const AnySketch& query,
   }
 
   // One private heap per shard; each shard is scanned by exactly one worker,
-  // so the heaps are written lock-free and merged once all scans finish.
+  // so the heaps (and scan tallies) are written lock-free and merged once
+  // all scans finish.
   const size_t n = store_->num_shards();
   std::vector<TopKHeap> heaps;
   heaps.reserve(n);
   for (size_t s = 0; s < n; ++s) heaps.emplace_back(k);
+  std::vector<size_t> scanned(n, 0);
   std::mutex error_mu;
   Status first_error;
-  ForEachShard([&](size_t s) {
-    store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
-      auto est = family.Estimate(query, sketch);
-      if (!est.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = est.status();
-        return false;
-      }
-      heaps[s].Offer(static_cast<size_t>(id), est.value());
-      return true;
+  {
+    metrics::ScopedSpan span(trace, "shard-scan");
+    ForEachShard([&](size_t s) {
+      store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
+        auto est = family.Estimate(query, sketch);
+        if (!est.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = est.status();
+          return false;
+        }
+        heaps[s].Offer(static_cast<size_t>(id), est.value());
+        ++scanned[s];
+        return true;
+      });
     });
-  });
+  }
   IPS_RETURN_IF_ERROR(first_error);
 
+  metrics::ScopedSpan merge_span(trace, "heap-merge");
   TopKHeap merged(k);
   for (const TopKHeap& heap : heaps) merged.Merge(heap);
   std::vector<QueryHit> hits;
   for (const SimilarityHit& hit : merged.TakeSorted()) {
     hits.push_back({static_cast<uint64_t>(hit.index), hit.estimate});
   }
+  size_t total_scanned = 0;
+  for (size_t s : scanned) total_scanned += s;
+  sketches_scanned_->Add(total_scanned);
+  candidates_per_query_->Record(total_scanned);
   return hits;
 }
 

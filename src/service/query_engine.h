@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "service/metrics.h"
 #include "service/sketch_store.h"
 #include "service/thread_pool.h"
 #include "sketch/family.h"
@@ -49,21 +50,26 @@ class QueryEngine {
 
   /// Sketches `query` once with the store's family, then scans every shard
   /// (in parallel when a pool is present) and returns an estimate for every
-  /// stored vector, sorted by id.
+  /// stored vector, sorted by id. A non-null `trace` receives stage spans
+  /// (sketch-query, shard-scan).
   Result<std::vector<QueryHit>> EstimateAgainstQuery(
-      const SparseVector& query) const;
+      const SparseVector& query, metrics::QueryTrace* trace = nullptr) const;
 
   /// The `k` stored vectors with the largest estimated inner product
   /// against `query` (sketched once), best first; ties break toward the
   /// smaller id. Returns fewer than `k` hits iff the store is smaller.
-  Result<std::vector<QueryHit>> TopK(const SparseVector& query,
-                                     size_t k) const;
+  /// A non-null `trace` receives stage spans (sketch-query, shard-scan,
+  /// heap-merge) showing where this query's time went.
+  Result<std::vector<QueryHit>> TopK(const SparseVector& query, size_t k,
+                                     metrics::QueryTrace* trace = nullptr)
+      const;
 
   /// TopK against a pre-built query sketch (must be compatible with the
   /// store's family options) — the path for queries that arrive already
   /// sketched, e.g. from a remote catalog shard.
-  Result<std::vector<QueryHit>> TopKSketch(const AnySketch& query,
-                                           size_t k) const;
+  Result<std::vector<QueryHit>> TopKSketch(const AnySketch& query, size_t k,
+                                           metrics::QueryTrace* trace =
+                                               nullptr) const;
 
  private:
   /// Sketches a raw query vector with the store's family.
@@ -75,6 +81,15 @@ class QueryEngine {
 
   const SketchStore* store_;
   ThreadPool* pool_;
+
+  // Process-wide query metrics (all QueryEngine instances aggregate).
+  // Registry-owned; valid forever.
+  metrics::Histogram* estimate_pair_ns_ = nullptr;
+  metrics::Histogram* scan_ns_ = nullptr;
+  metrics::Histogram* topk_ns_ = nullptr;
+  metrics::Histogram* candidates_per_query_ = nullptr;
+  metrics::Counter* sketches_scanned_ = nullptr;
+  metrics::Counter* queries_ = nullptr;
 };
 
 }  // namespace ipsketch

@@ -26,6 +26,53 @@ SketchStore::SketchStore(SketchStoreOptions options,
   for (size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  auto& registry = metrics::MetricsRegistry::Global();
+  inserts_ = &registry.GetCounter("ipsketch_store_inserts_total",
+                                  "Sketches inserted (including replaces)");
+  erases_ = &registry.GetCounter("ipsketch_store_erases_total",
+                                 "Sketches erased");
+  ingest_ns_ = &registry.GetHistogram(
+      "ipsketch_store_ingest_ns",
+      "Per-vector ingest latency: sketch build plus shard insert");
+  scan_lock_ns_ = &registry.GetHistogram(
+      "ipsketch_store_scan_lock_ns",
+      "Shard-lock acquire plus hold time of in-place shard scans");
+  size_gauge_ = &registry.GetGauge("ipsketch_store_size",
+                                   "Live sketches across all stores");
+  shard_occupancy_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shard_occupancy_.push_back(&registry.GetGauge(
+        "ipsketch_store_shard_occupancy{shard=\"" + std::to_string(i) + "\"}",
+        "Live sketches per shard index (skew = max/mean across shards)"));
+  }
+}
+
+void SketchStore::RetireOccupancy() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    const int64_t n = static_cast<int64_t>(shards_[s]->map.size());
+    if (n == 0) continue;
+    size_gauge_->Add(-n);
+    shard_occupancy_[s]->Add(-n);
+  }
+}
+
+SketchStore::~SketchStore() { RetireOccupancy(); }
+
+SketchStore& SketchStore::operator=(SketchStore&& other) noexcept {
+  if (this != &other) {
+    RetireOccupancy();
+    options_ = std::move(other.options_);
+    family_ = std::move(other.family_);
+    shards_ = std::move(other.shards_);
+    inserts_ = other.inserts_;
+    erases_ = other.erases_;
+    ingest_ns_ = other.ingest_ns_;
+    scan_lock_ns_ = other.scan_lock_ns_;
+    size_gauge_ = other.size_gauge_;
+    shard_occupancy_ = std::move(other.shard_occupancy_);
+  }
+  return *this;
 }
 
 Result<SketchStore> SketchStore::Make(const SketchStoreOptions& options) {
@@ -61,13 +108,23 @@ Status SketchStore::Insert(uint64_t id, std::unique_ptr<AnySketch> sketch) {
     return Status::InvalidArgument("cannot insert a null sketch");
   }
   IPS_RETURN_IF_ERROR(family_->CheckCompatible(*sketch));
-  Shard& shard = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.insert_or_assign(id, std::move(sketch));
+  const size_t shard_index = ShardOf(id);
+  Shard& shard = *shards_[shard_index];
+  bool is_new = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    is_new = shard.map.insert_or_assign(id, std::move(sketch)).second;
+  }
+  inserts_->Add(1);
+  if (is_new) {
+    size_gauge_->Add(1);
+    shard_occupancy_[shard_index]->Add(1);
+  }
   return Status::Ok();
 }
 
 Status SketchStore::BuildAndInsert(uint64_t id, const SparseVector& vec) {
+  metrics::ScopedLatency ingest_timer(ingest_ns_);
   auto made = family_->MakeSketcher();
   IPS_RETURN_IF_ERROR(made.status());
   std::unique_ptr<AnySketch> sketch = family_->NewSketch();
@@ -85,6 +142,7 @@ Status SketchStore::BuildAndInsertBatch(
     IPS_RETURN_IF_ERROR(made.status());
     std::unique_ptr<AnySketch> sketch = family_->NewSketch();
     for (const auto& [id, vec] : batch) {
+      metrics::ScopedLatency ingest_timer(ingest_ns_);
       IPS_RETURN_IF_ERROR(made.value()->Sketch(vec, sketch.get()));
       IPS_RETURN_IF_ERROR(Insert(id, std::move(sketch)));
       sketch = family_->NewSketch();
@@ -112,6 +170,7 @@ Status SketchStore::BuildAndInsertBatch(
     }
     for (size_t i = begin; i < end; ++i) {
       const auto& [id, vec] = batch[i];
+      metrics::ScopedLatency ingest_timer(ingest_ns_);
       std::unique_ptr<AnySketch> sketch = family_->NewSketch();
       Status st = made.value()->Sketch(vec, sketch.get());
       if (st.ok()) st = Insert(id, std::move(sketch));
@@ -142,11 +201,18 @@ Result<std::unique_ptr<AnySketch>> SketchStore::Lookup(uint64_t id) const {
 }
 
 Status SketchStore::Erase(uint64_t id) {
-  Shard& shard = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.map.erase(id) == 0) {
-    return Status::NotFound("no sketch stored under id " + std::to_string(id));
+  const size_t shard_index = ShardOf(id);
+  Shard& shard = *shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.erase(id) == 0) {
+      return Status::NotFound("no sketch stored under id " +
+                              std::to_string(id));
+    }
   }
+  erases_->Add(1);
+  size_gauge_->Add(-1);
+  shard_occupancy_[shard_index]->Add(-1);
   return Status::Ok();
 }
 
@@ -155,6 +221,10 @@ bool SketchStore::ForEachInShard(
     const std::function<bool(uint64_t, const AnySketch&)>& fn) const {
   IPS_CHECK(shard_index < shards_.size());
   const Shard& shard = *shards_[shard_index];
+  // The timer covers acquire + hold: lock *wait* inflates these numbers
+  // exactly when writers contend, which is the skew signal the metric is
+  // for.
+  metrics::ScopedLatency lock_timer(scan_lock_ns_);
   std::lock_guard<std::mutex> lock(shard.mu);
   for (const auto& [id, sketch] : shard.map) {
     if (!fn(id, *sketch)) return false;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "service/metrics.h"
 #include "service/thread_pool.h"
 #include "sketch/family.h"
 #include "vector/sparse_vector.h"
@@ -72,7 +73,13 @@ class SketchStore {
   static Result<SketchStore> Make(const SketchStoreOptions& options);
 
   SketchStore(SketchStore&&) = default;
-  SketchStore& operator=(SketchStore&&) = default;
+  /// Move assignment first retires the target's sketches from the
+  /// occupancy gauges (they are being destroyed), then adopts the source's.
+  SketchStore& operator=(SketchStore&& other) noexcept;
+
+  /// Subtracts this store's sketches from the process-wide size/occupancy
+  /// gauges (a moved-from store holds none and subtracts nothing).
+  ~SketchStore();
 
   /// The store's options with family defaults resolved.
   const SketchStoreOptions& options() const { return options_; }
@@ -175,10 +182,25 @@ class SketchStore {
   SketchStore(SketchStoreOptions options,
               std::shared_ptr<const SketchFamily> family);
 
+  /// Subtracts every shard's current occupancy from the gauges — the
+  /// shared cleanup of the destructor and move assignment.
+  void RetireOccupancy();
+
   SketchStoreOptions options_;
   std::shared_ptr<const SketchFamily> family_;
   // unique_ptrs because Shard (mutex) is immovable but the store is not.
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Process-wide store metrics (all SketchStore instances aggregate;
+  // gauges track live totals via paired +/- updates). Registry-owned.
+  metrics::Counter* inserts_ = nullptr;
+  metrics::Counter* erases_ = nullptr;
+  metrics::Histogram* ingest_ns_ = nullptr;
+  metrics::Histogram* scan_lock_ns_ = nullptr;
+  metrics::Gauge* size_gauge_ = nullptr;
+  // One gauge per shard index, named ...{shard="i"} — per-shard skew is
+  // visible directly in the exposition.
+  std::vector<metrics::Gauge*> shard_occupancy_;
 };
 
 /// Out-of-place variant of SketchStore::CompactifyInPlace: builds a new

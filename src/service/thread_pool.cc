@@ -17,6 +17,18 @@ thread_local const ThreadPool* tls_worker_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  queue_depth_ = &registry.GetGauge(
+      "ipsketch_pool_queue_depth", "Tasks accepted but not yet dequeued");
+  tasks_executed_ = &registry.GetCounter(
+      "ipsketch_pool_tasks_executed_total", "Tasks run to completion");
+  tasks_rejected_ = &registry.GetCounter(
+      "ipsketch_pool_tasks_rejected_total",
+      "Submissions refused because the pool was stopping");
+  task_wait_ns_ = &registry.GetHistogram(
+      "ipsketch_pool_task_wait_ns", "Queue wait: submit to dequeue");
+  task_run_ns_ = &registry.GetHistogram(
+      "ipsketch_pool_task_run_ns", "Task body execution time");
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -35,14 +47,19 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::Submit(std::function<void()> task) {
   IPS_CHECK(task != nullptr);
+  const uint64_t enqueue_ns = metrics::Enabled() ? metrics::NowNs() : 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     // Rejection, not IPS_CHECK: a task still draining during destruction
     // may legitimately try to schedule follow-up work; the caller decides
     // whether to drop it or run it inline.
-    if (stopping_) return false;
-    queue_.push_back(std::move(task));
+    if (stopping_) {
+      tasks_rejected_->Add(1);
+      return false;
+    }
+    queue_.push_back({std::move(task), enqueue_ns});
   }
+  if (enqueue_ns != 0) queue_depth_->Add(1);
   cv_.notify_one();
   return true;
 }
@@ -50,7 +67,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WorkerLoop() {
   tls_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -60,7 +77,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Gate on the submit-time stamp, not Enabled() now: the depth +1/-1
+    // and wait window always pair per task.
+    uint64_t start_ns = 0;
+    if (task.enqueue_ns != 0) {
+      queue_depth_->Add(-1);
+      start_ns = metrics::NowNs();
+      task_wait_ns_->Record(start_ns - task.enqueue_ns);
+    }
+    task.fn();
+    if (start_ns != 0) task_run_ns_->Record(metrics::NowNs() - start_ns);
+    tasks_executed_->Add(1);
   }
 }
 

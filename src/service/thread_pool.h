@@ -13,11 +13,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "service/metrics.h"
 
 namespace ipsketch {
 
@@ -59,13 +62,30 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
+  /// A queued task plus its enqueue timestamp (0 when metrics were off at
+  /// submit time — the dequeue side then skips the depth/wait updates, so
+  /// each task's gauge adjustments stay paired whatever happens in between).
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Process-wide pool metrics (all ThreadPool instances aggregate):
+  // queue depth, accepted/rejected/executed counts, and how long tasks
+  // waited in the queue vs ran. Registry-owned; valid forever.
+  metrics::Gauge* queue_depth_;
+  metrics::Counter* tasks_executed_;
+  metrics::Counter* tasks_rejected_;
+  metrics::Histogram* task_wait_ns_;
+  metrics::Histogram* task_run_ns_;
 };
 
 }  // namespace ipsketch

@@ -11,6 +11,7 @@
 #include "core/wmh_estimator.h"
 #include "core/wmh_sketch.h"
 #include "data/synthetic.h"
+#include "service/metrics.h"
 #include "service/query_engine.h"
 #include "service/sketch_store.h"
 #include "service/thread_pool.h"
@@ -626,6 +627,116 @@ TEST(SketchServiceStressTest, ConcurrentIngestAndQuery) {
     EXPECT_EQ(parallel_hits[i].id, all_ids[expected[i].index]);
     EXPECT_EQ(parallel_hits[i].estimate, expected[i].estimate);
   }
+}
+
+// --- service metrics integration -------------------------------------------
+// Metrics are process-wide and monotonic, so these tests assert *deltas*
+// around the operation under test, never absolute values.
+
+TEST(ServiceMetricsTest, PoolRejectionIncrementsCounter) {
+  if (!metrics::kCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  metrics::SetEnabledForTesting(true);
+  auto& rejected = metrics::MetricsRegistry::Global().GetCounter(
+      "ipsketch_pool_tasks_rejected_total");
+  auto& executed = metrics::MetricsRegistry::Global().GetCounter(
+      "ipsketch_pool_tasks_executed_total");
+  const uint64_t rejected_before = rejected.Value();
+  const uint64_t executed_before = executed.Value();
+  std::atomic<bool> saw_rejection{false};
+  {
+    ThreadPool pool(1);
+    ASSERT_TRUE(pool.Submit([&] {
+      // As in SubmitDuringShutdownIsRejectedNotFatal: resubmit until the
+      // destructor flips the pool to stopping and the submit is refused.
+      while (pool.Submit([] {})) std::this_thread::yield();
+      saw_rejection.store(true);
+    }));
+  }
+  EXPECT_TRUE(saw_rejection.load());
+  EXPECT_GE(rejected.Value(), rejected_before + 1);
+  EXPECT_GE(executed.Value(), executed_before + 1);
+}
+
+TEST(ServiceMetricsTest, StoreOccupancyGaugesTrackLiveSketches) {
+  if (!metrics::kCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  metrics::SetEnabledForTesting(true);
+  auto& registry = metrics::MetricsRegistry::Global();
+  auto& size_gauge = registry.GetGauge("ipsketch_store_size");
+  auto& inserts = registry.GetCounter("ipsketch_store_inserts_total");
+  const int64_t size_before = size_gauge.Value();
+  const uint64_t inserts_before = inserts.Value();
+  {
+    auto store = SketchStore::Make(SmallStoreOptions()).value();
+    for (uint64_t id = 0; id < 12; ++id) {
+      ASSERT_TRUE(store.BuildAndInsert(id, RandomVector(id)).ok());
+    }
+    // Replacing an id is an insert but not a new live sketch.
+    ASSERT_TRUE(store.BuildAndInsert(3, RandomVector(99)).ok());
+    EXPECT_EQ(size_gauge.Value(), size_before + 12);
+    EXPECT_EQ(inserts.Value(), inserts_before + 13);
+
+    // The per-shard occupancy gauges sum to the store's contribution.
+    int64_t shard_total = 0;
+    for (size_t s = 0; s < store.num_shards(); ++s) {
+      shard_total += registry
+                         .GetGauge("ipsketch_store_shard_occupancy{shard=\"" +
+                                   std::to_string(s) + "\"}")
+                         .Value();
+    }
+    EXPECT_GE(shard_total, 12);
+
+    ASSERT_TRUE(store.Erase(5).ok());
+    EXPECT_EQ(size_gauge.Value(), size_before + 11);
+  }
+  // Destruction retires the store's whole occupancy contribution.
+  EXPECT_EQ(size_gauge.Value(), size_before);
+}
+
+TEST(ServiceMetricsTest, QueryTraceCapturesTopKStages) {
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  for (uint64_t id = 0; id < 16; ++id) {
+    ASSERT_TRUE(store.BuildAndInsert(id, RandomVector(id)).ok());
+  }
+  QueryEngine engine(&store, nullptr);
+  metrics::QueryTrace trace;
+  const auto hits = engine.TopK(RandomVector(1000), 5, &trace);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_STREQ(trace.span(0).stage, "sketch-query");
+  EXPECT_STREQ(trace.span(1).stage, "shard-scan");
+  EXPECT_STREQ(trace.span(2).stage, "heap-merge");
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_GT(trace.total_ns(), 0u);
+
+  // Tracing does not change results, and a reused trace must be cleared.
+  metrics::QueryTrace reused = trace;
+  reused.Clear();
+  const auto untraced = engine.TopK(RandomVector(1000), 5).value();
+  const auto traced = engine.TopK(RandomVector(1000), 5, &reused).value();
+  ASSERT_EQ(traced.size(), untraced.size());
+  for (size_t i = 0; i < traced.size(); ++i) {
+    EXPECT_EQ(traced[i].id, untraced[i].id);
+    EXPECT_EQ(traced[i].estimate, untraced[i].estimate);
+  }
+  EXPECT_EQ(reused.size(), 3u);
+}
+
+TEST(ServiceMetricsTest, QueryCountersMoveOnTopK) {
+  if (!metrics::kCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  metrics::SetEnabledForTesting(true);
+  auto& registry = metrics::MetricsRegistry::Global();
+  auto& queries = registry.GetCounter("ipsketch_query_total");
+  auto& scanned = registry.GetCounter("ipsketch_query_sketches_scanned_total");
+  auto store = SketchStore::Make(SmallStoreOptions()).value();
+  for (uint64_t id = 0; id < 10; ++id) {
+    ASSERT_TRUE(store.BuildAndInsert(id, RandomVector(id)).ok());
+  }
+  QueryEngine engine(&store, nullptr);
+  const uint64_t queries_before = queries.Value();
+  const uint64_t scanned_before = scanned.Value();
+  ASSERT_TRUE(engine.TopK(RandomVector(77), 3).ok());
+  EXPECT_EQ(queries.Value(), queries_before + 1);
+  EXPECT_EQ(scanned.Value(), scanned_before + 10);
 }
 
 }  // namespace

@@ -35,8 +35,12 @@ win is small (don't gate). Three rules do that:
   under 4.3x). Microarchitectural spread (8.6x vs 6.2x) passes; a 4x
   kernel loss (8.6x → 2.1x) or a dead SIMD path (~1.0x) fails.
 
-Points present on only one side are reported and skipped. Exit status:
-0 ok, 1 regression, 2 usage/parse error.
+Points present on only one side are reported and skipped. Sections of the
+record this script does not know about (e.g. "saturation", "metrics" from
+bench_saturation) are ignored; a "saturation" section on both sides adds an
+informational — never gating — TopK p99 latency comparison. Malformed
+records produce a one-line error, not a traceback. Exit status: 0 ok,
+1 regression, 2 usage/parse error.
 """
 
 import argparse
@@ -54,12 +58,61 @@ def load(path):
 
 
 def estimate_points(record, path):
+    if not isinstance(record, dict):
+        print(f"error: {path} is not a JSON object", file=sys.stderr)
+        sys.exit(2)
     points = record.get("estimate_pairs_per_sec")
     if not isinstance(points, list):
         print(f"error: {path} has no estimate_pairs_per_sec array",
               file=sys.stderr)
         sys.exit(2)
-    return {(p["family"], p["m"]): p for p in points}
+    out = {}
+    for i, p in enumerate(points):
+        if not isinstance(p, dict):
+            print(f"error: {path}: estimate_pairs_per_sec[{i}] is not an "
+                  f"object", file=sys.stderr)
+            sys.exit(2)
+        missing = [k for k in ("family", "m", "per_sec", "speedup")
+                   if k not in p]
+        if missing:
+            print(f"error: {path}: estimate_pairs_per_sec[{i}] is missing "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            sys.exit(2)
+        out[(p["family"], p["m"])] = p
+    return out
+
+
+def report_saturation(base_record, curr_record):
+    """Informational TopK p99 comparison from the saturation sections.
+
+    Never gates: latency percentiles depend on the runner's core count and
+    load, so they are printed for trend-watching only. Absent or malformed
+    sections on either side are reported and skipped.
+    """
+    curr = curr_record.get("saturation")
+    if not isinstance(curr, dict) or not isinstance(curr.get("levels"), list):
+        return
+    base = base_record.get("saturation")
+    base_levels = {}
+    if isinstance(base, dict) and isinstance(base.get("levels"), list):
+        base_levels = {
+            lvl.get("offered_concurrency"): lvl
+            for lvl in base["levels"] if isinstance(lvl, dict)
+        }
+    print("\nsaturation TopK p99 (informational, not gated):")
+    print(f"{'offered_conc':>12} {'base p99 us':>12} {'curr p99 us':>12}")
+    for lvl in curr["levels"]:
+        if not isinstance(lvl, dict):
+            continue
+        conc = lvl.get("offered_concurrency", "?")
+        curr_p99 = lvl.get("topk_p99_us")
+        base_lvl = base_levels.get(conc)
+        base_p99 = base_lvl.get("topk_p99_us") if base_lvl else None
+        base_s = f"{base_p99:>12.0f}" if isinstance(base_p99, (int, float)) \
+            else f"{'—':>12}"
+        curr_s = f"{curr_p99:>12.0f}" if isinstance(curr_p99, (int, float)) \
+            else f"{'—':>12}"
+        print(f"{conc:>12} {base_s} {curr_s}")
 
 
 def main():
@@ -105,6 +158,7 @@ def main():
     if base_kernel != curr_kernel:
         print(f"\nSKIP: dispatched kernels differ ({base_kernel} vs "
               f"{curr_kernel}); speedups are not comparable across tiers")
+        report_saturation(base_record, curr_record)
         return 0
 
     print(f"{'family':<14} {'m':>6} {'current/s':>14} "
@@ -137,6 +191,8 @@ def main():
               f"{'ok' if ok else 'REGRESSION'}")
         if not ok:
             failed.append((family, m, ratio))
+
+    report_saturation(base_record, curr_record)
 
     if failed:
         drops = ", ".join(f"{f}@m={m} ({r:.2f}x)" for f, m, r in failed)
