@@ -3,6 +3,7 @@
 #ifndef IPSKETCH_BENCH_BENCH_COMMON_H_
 #define IPSKETCH_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -37,7 +38,7 @@ inline size_t ScaleFromArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       // Value-taking flags consume their operand too.
-      if (arg == "--out" || arg == "--metrics-out") ++i;
+      if (arg == "--out" || arg == "--metrics-out" || arg == "--seed") ++i;
       continue;
     }
     const long v = std::strtol(arg.c_str(), nullptr, 10);
@@ -45,6 +46,16 @@ inline size_t ScaleFromArgs(int argc, char** argv) {
     return 1;
   }
   return 1;
+}
+
+/// The base RNG seed: `--seed N` if present, else `fallback`. Every bench
+/// derives all of its synthetic data and sketch seeds from this one value,
+/// so two runs with the same seed (and scale) see identical workloads and
+/// `--seed` sweeps give cheap variance estimates.
+inline uint64_t SeedFromArgs(int argc, char** argv, uint64_t fallback = 7) {
+  const std::string v = FlagValue(argc, argv, "--seed");
+  if (v.empty()) return fallback;
+  return static_cast<uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
 }
 
 /// Prints the standard bench banner.

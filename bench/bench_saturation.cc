@@ -8,9 +8,10 @@
 // an op's *scheduled* arrival to its completion).
 //
 //   build/bench_saturation [scale] [--smoke] [--out PATH]
-//                          [--metrics-out PATH]
+//                          [--metrics-out PATH] [--seed N]
 //
 //   --smoke        tiny corpus and short windows (CI-sized, a few seconds)
+//   --seed         base seed for the sketch family (default 7)
 //   --out          BENCH json path; an existing service_throughput record
 //                  there gains/replaces a "saturation" section, anything
 //                  else is replaced by a standalone record
@@ -53,6 +54,9 @@ constexpr size_t kTopK = 10;
 constexpr size_t kIngestEvery = 8;
 constexpr size_t kIngestIdRange = 64;
 
+// Base seed (--seed) — governs the sketch-family randomness.
+uint64_t g_seed = 7;
+
 SparseVector CorpusVector(uint64_t seed) {
   Xoshiro256StarStar rng(seed);
   std::vector<Entry> entries;
@@ -67,7 +71,7 @@ SketchStoreOptions StoreOptions() {
   options.family = kFamily;
   options.sketch.dimension = kDimension;
   options.sketch.num_samples = kNumSamples;
-  options.sketch.seed = 7;
+  options.sketch.seed = g_seed;
   options.num_shards = 32;
   return options;
 }
@@ -282,6 +286,7 @@ bool WriteRecord(const std::string& path, const std::string& sections) {
 int main(int argc, char** argv) {
   const size_t scale = bench::ScaleFromArgs(argc, argv);
   const bool smoke = bench::HasFlag(argc, argv, "--smoke");
+  g_seed = bench::SeedFromArgs(argc, argv, g_seed);
   bench::Banner("saturation",
                 "Open-loop ingest+TopK load sweep: client-observed latency "
                 "percentiles vs offered concurrency, plus metrics overhead",

@@ -3,7 +3,7 @@
 // estimate throughput per family under the dispatched SIMD kernel vs the
 // scalar tier.
 //
-//   build/bench_service_throughput [scale] [--out PATH]
+//   build/bench_service_throughput [scale] [--out PATH] [--seed N]
 //
 // Ingest parallelizes over vectors (one family Sketcher per worker);
 // queries parallelize over shards. Speedups track the machine's core count
@@ -40,6 +40,9 @@ constexpr size_t kNnz = 300;
 constexpr size_t kNumSamples = 256;
 constexpr char kFamily[] = "wmh";
 
+// Base seed (--seed) — governs the sketch-family randomness.
+uint64_t g_seed = 7;
+
 SparseVector CorpusVector(uint64_t seed) {
   Xoshiro256StarStar rng(seed);
   std::vector<Entry> entries;
@@ -54,7 +57,7 @@ SketchStoreOptions StoreOptions(const char* engine = nullptr) {
   options.family = kFamily;
   options.sketch.dimension = kDimension;
   options.sketch.num_samples = kNumSamples;
-  options.sketch.seed = 7;
+  options.sketch.seed = g_seed;
   if (engine != nullptr) options.sketch.params["engine"] = engine;
   options.num_shards = 32;
   return options;
@@ -146,7 +149,7 @@ std::vector<EstimatePoint> MeasureEstimateThroughput() {
     FamilyOptions options;
     options.dimension = kDimension;
     options.num_samples = config.m;
-    options.seed = 7;
+    options.seed = g_seed;
     auto family = MakeFamily(config.family, options).value();
     auto sketcher = family->MakeSketcher().value();
     std::vector<std::unique_ptr<AnySketch>> catalog;
@@ -200,6 +203,7 @@ void AppendEstimateJson(std::string* out,
 
 int main(int argc, char** argv) {
   const size_t scale = bench::ScaleFromArgs(argc, argv);
+  g_seed = bench::SeedFromArgs(argc, argv, g_seed);
   bench::Banner("service_throughput",
                 "SketchStore batch ingest and QueryEngine::TopK throughput "
                 "at 1/2/4/8 threads",

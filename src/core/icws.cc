@@ -142,19 +142,28 @@ Result<double> EstimateIcwsInnerProduct(const IcwsSketch& a,
   if (a.L != b.L) {
     return Status::InvalidArgument("sketch discretization parameters differ");
   }
-  if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
+  return EstimateIcwsSpans(a.fingerprints.data(), a.values.data(), a.norm,
+                           b.fingerprints.data(), b.values.data(), b.norm,
+                           a.num_samples());
+}
 
-  const size_t m = a.num_samples();
+Result<double> EstimateIcwsSpans(const uint64_t* a_fingerprints,
+                                 const double* a_values, double a_norm,
+                                 const uint64_t* b_fingerprints,
+                                 const double* b_values, double b_norm,
+                                 size_t m) {
+  if (m == 0) return Status::InvalidArgument("sketches are empty");
+  if (a_norm == 0.0 || b_norm == 0.0) return 0.0;
+
   // The fingerprint-match hot loop, dispatched to the widest kernel tier
   // the CPU supports (scalar and vector tiers are bit-identical).
   const simd::MatchStats stats = simd::ActiveKernel().match_u64(
-      a.fingerprints.data(), b.fingerprints.data(), a.values.data(),
-      b.values.data(), m);
+      a_fingerprints, b_fingerprints, a_values, b_values, m);
   const double md = static_cast<double>(m);
   // Weighted union size via the unit-norm closed form M = 2/(1 + J̄).
   const double j_hat = static_cast<double>(stats.match_count) / md;
   const double m_hat = 2.0 / (1.0 + j_hat);
-  return a.norm * b.norm * (m_hat / md) * stats.weighted_match_sum;
+  return a_norm * b_norm * (m_hat / md) * stats.weighted_match_sum;
 }
 
 IcwsSketch TruncatedIcws(const IcwsSketch& sketch, size_t m) {

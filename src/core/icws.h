@@ -132,6 +132,18 @@ class IcwsSketcher {
 Result<double> EstimateIcwsInnerProduct(const IcwsSketch& a,
                                         const IcwsSketch& b);
 
+/// Span-level core of `EstimateIcwsInnerProduct`: the match-rate estimator
+/// over the raw fingerprint/value lanes of two sketches the caller has
+/// already verified to be mutually comparable (equal m, seed, engine, L,
+/// dimension). Both the pairwise estimator above and the slab catalog's
+/// 1-vs-many re-rank path (`SketchFamily::NewSlab`) run through this one
+/// function, which is what makes their estimates bit-identical. `m` must be
+/// positive.
+Result<double> EstimateIcwsSpans(
+    const uint64_t* a_fingerprints, const double* a_values, double a_norm,
+    const uint64_t* b_fingerprints, const double* b_values, double b_norm,
+    size_t m);
+
 /// Prefix truncation (first m samples), as with the other sampling sketches.
 IcwsSketch TruncatedIcws(const IcwsSketch& sketch, size_t m);
 

@@ -36,21 +36,32 @@ Status CheckCompatible(const WmhSketch& a, const WmhSketch& b) {
 Result<double> EstimateWmhInnerProduct(const WmhSketch& a, const WmhSketch& b,
                                        const WmhEstimateOptions& options) {
   IPS_RETURN_IF_ERROR(CheckCompatible(a, b));
-  if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
+  return EstimateWmhSpans(a.hashes.data(), a.values.data(), a.norm,
+                          b.hashes.data(), b.values.data(), b.norm,
+                          a.num_samples(), a.L, options);
+}
 
-  const size_t m = a.num_samples();
+Result<double> EstimateWmhSpans(const double* a_hashes,
+                                const double* a_values, double a_norm,
+                                const double* b_hashes,
+                                const double* b_values, double b_norm,
+                                size_t m, uint64_t L,
+                                const WmhEstimateOptions& options) {
+  if (m == 0) return Status::InvalidArgument("sketches are empty");
+  if (a_norm == 0.0 || b_norm == 0.0) return 0.0;
+
   const double md = static_cast<double>(m);
 
   // Line 3 summation and, simultaneously, the ingredients of both union
   // estimators — the fused hot loop, dispatched to the widest kernel tier
   // the CPU supports (scalar and vector tiers are bit-identical).
   const simd::WmhPairStats stats = simd::ActiveKernel().wmh_pair(
-      a.hashes.data(), b.hashes.data(), a.values.data(), b.values.data(), m);
+      a_hashes, b_hashes, a_values, b_values, m);
   const double min_hash_sum = stats.min_hash_sum;
   const double weighted_match_sum = stats.weighted_match_sum;
   const size_t match_count = stats.match_count;
 
-  const double Ld = static_cast<double>(a.L);
+  const double Ld = static_cast<double>(L);
   double m_tilde = 0.0;
   switch (options.union_estimator) {
     case UnionEstimator::kFlajoletMartin: {
@@ -72,7 +83,7 @@ Result<double> EstimateWmhInnerProduct(const WmhSketch& a, const WmhSketch& b,
   }
 
   const double inner_unit = (m_tilde / md) * weighted_match_sum;
-  return a.norm * b.norm * inner_unit;
+  return a_norm * b_norm * inner_unit;
 }
 
 Result<double> EstimateWeightedJaccard(const WmhSketch& a,

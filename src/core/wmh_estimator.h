@@ -17,6 +17,7 @@
 #define IPSKETCH_CORE_WMH_ESTIMATOR_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/status.h"
 #include "core/wmh_sketch.h"
@@ -48,6 +49,17 @@ struct WmhEstimateOptions {
 Result<double> EstimateWmhInnerProduct(
     const WmhSketch& a, const WmhSketch& b,
     const WmhEstimateOptions& options = WmhEstimateOptions());
+
+/// Span-level core of `EstimateWmhInnerProduct`: Algorithm 5 over the raw
+/// hash/value lanes of two sketches the caller has already verified to be
+/// mutually comparable (equal m, seed, L, engine, dimension). Both the
+/// pairwise estimator above and the slab catalog's 1-vs-many re-rank path
+/// (`SketchFamily::NewSlab`) run through this one function — that is what
+/// makes slab and pairwise estimates bit-identical. `m` must be positive.
+Result<double> EstimateWmhSpans(
+    const double* a_hashes, const double* a_values, double a_norm,
+    const double* b_hashes, const double* b_values, double b_norm, size_t m,
+    uint64_t L, const WmhEstimateOptions& options = WmhEstimateOptions());
 
 /// Estimates the *weighted Jaccard similarity* of the squared normalized
 /// vectors, J̄ = Σ min(ã², b̃²) / Σ max(ã², b̃²) (Fact 5): the fraction of

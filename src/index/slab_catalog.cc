@@ -1,0 +1,75 @@
+#include "index/slab_catalog.h"
+
+#include <string>
+#include <utility>
+
+namespace ipsketch {
+
+Result<SlabCatalog> SlabCatalog::Make(const SketchFamily* family,
+                                      size_t num_shards) {
+  IPS_CHECK(family != nullptr);
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (!family->supports_banding()) {
+    return Status::FailedPrecondition(
+        "family '" + family->name() +
+        "' does not support slab catalogs (supports_banding is false)");
+  }
+  std::vector<ShardState> shards(num_shards);
+  for (auto& shard : shards) {
+    auto slab = family->NewSlab();
+    IPS_RETURN_IF_ERROR(slab.status());
+    shard.slab = std::move(slab).value();
+  }
+  return SlabCatalog(std::move(shards));
+}
+
+Result<uint32_t> SlabCatalog::Append(size_t shard, uint64_t id,
+                                     const AnySketch& sketch) {
+  ShardState& state = shards_[shard];
+  if (state.slot_of.find(id) != state.slot_of.end()) {
+    return Status::InvalidArgument("id " + std::to_string(id) +
+                                   " is already resident in the shard");
+  }
+  IPS_RETURN_IF_ERROR(state.slab->Append(sketch));
+  const auto slot = static_cast<uint32_t>(state.ids.size());
+  state.ids.push_back(id);
+  state.slot_of.emplace(id, slot);
+  return slot;
+}
+
+Result<SlabCatalog::RemoveResult> SlabCatalog::Remove(size_t shard,
+                                                      uint64_t id) {
+  ShardState& state = shards_[shard];
+  auto it = state.slot_of.find(id);
+  if (it == state.slot_of.end()) {
+    return Status::NotFound("id " + std::to_string(id) +
+                            " is not resident in the shard");
+  }
+  RemoveResult result;
+  result.slot = it->second;
+  state.slot_of.erase(it);
+  const size_t last = state.ids.size() - 1;
+  state.slab->SwapRemove(result.slot);
+  if (result.slot != last) {
+    result.moved = true;
+    result.moved_id = state.ids[last];
+    state.ids[result.slot] = result.moved_id;
+    state.slot_of[result.moved_id] = result.slot;
+  }
+  state.ids.pop_back();
+  return result;
+}
+
+Result<uint32_t> SlabCatalog::SlotOf(size_t shard, uint64_t id) const {
+  const ShardState& state = shards_[shard];
+  auto it = state.slot_of.find(id);
+  if (it == state.slot_of.end()) {
+    return Status::NotFound("id " + std::to_string(id) +
+                            " is not resident in the shard");
+  }
+  return it->second;
+}
+
+}  // namespace ipsketch

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
+#include <unordered_set>
 
 #include "core/similarity_search.h"
+#include "index/banded_index.h"
 
 namespace ipsketch {
 
@@ -12,8 +14,13 @@ static_assert(sizeof(size_t) >= sizeof(uint64_t),
               "service ids require a 64-bit size_t");
 
 QueryEngine::QueryEngine(const SketchStore* store, ThreadPool* pool)
-    : store_(store), pool_(pool) {
+    : QueryEngine(store, pool, nullptr, IndexPolicy::kExactScan) {}
+
+QueryEngine::QueryEngine(const SketchStore* store, ThreadPool* pool,
+                         const BandedIndex* index, IndexPolicy policy)
+    : store_(store), pool_(pool), index_(index), policy_(policy) {
   IPS_CHECK(store_ != nullptr);
+  IPS_CHECK(index_ == nullptr || index_->store() == store_);
   auto& registry = metrics::MetricsRegistry::Global();
   estimate_pair_ns_ = &registry.GetHistogram(
       "ipsketch_query_estimate_pair_ns",
@@ -30,6 +37,20 @@ QueryEngine::QueryEngine(const SketchStore* store, ThreadPool* pool)
       "Stored sketches estimated against a query across all scans");
   queries_ = &registry.GetCounter("ipsketch_query_total",
                                   "Queries served (all query APIs)");
+  rerank_ns_ = &registry.GetHistogram(
+      "ipsketch_index_rerank_ns",
+      "Banded path latency: bucket probes plus candidate re-rank");
+  fallbacks_ = &registry.GetCounter(
+      "ipsketch_index_fallback_total",
+      "Top-k queries that wanted an index path but fell back to the exact "
+      "scan (no index attached)");
+  recall_probe_expected_ = &registry.GetCounter(
+      "ipsketch_index_recall_probe_expected_total",
+      "Exact-scan top-k hits across ProbeRecall calls (denominator)");
+  recall_probe_hits_ = &registry.GetCounter(
+      "ipsketch_index_recall_probe_hits_total",
+      "Banded top-k hits matching the exact scan across ProbeRecall calls "
+      "(numerator)");
 }
 
 Result<double> QueryEngine::EstimateInnerProduct(uint64_t id_a,
@@ -118,6 +139,12 @@ Result<std::vector<QueryHit>> QueryEngine::TopK(
 
 Result<std::vector<QueryHit>> QueryEngine::TopKSketch(
     const AnySketch& query, size_t k, metrics::QueryTrace* trace) const {
+  return TopKSketchWithPolicy(query, k, policy_, trace);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::TopKSketchWithPolicy(
+    const AnySketch& query, size_t k, IndexPolicy policy,
+    metrics::QueryTrace* trace) const {
   metrics::ScopedLatency latency(topk_ns_);
   queries_->Add(1);
   const SketchFamily& family = store_->family();
@@ -130,9 +157,15 @@ Result<std::vector<QueryHit>> QueryEngine::TopKSketch(
     }
   }
 
-  // One private heap per shard; each shard is scanned by exactly one worker,
-  // so the heaps (and scan tallies) are written lock-free and merged once
-  // all scans finish.
+  if (policy != IndexPolicy::kExactScan && index_ == nullptr) {
+    fallbacks_->Add(1);
+    policy = IndexPolicy::kExactScan;
+  }
+
+  // One private heap per shard; each shard is visited by exactly one worker,
+  // so the heaps (and per-shard tallies) are written lock-free and merged
+  // once all shards finish. BetterHit's deterministic tie-break makes the
+  // merged result independent of thread count and shard order.
   const size_t n = store_->num_shards();
   std::vector<TopKHeap> heaps;
   heaps.reserve(n);
@@ -140,21 +173,55 @@ Result<std::vector<QueryHit>> QueryEngine::TopKSketch(
   std::vector<size_t> scanned(n, 0);
   std::mutex error_mu;
   Status first_error;
-  {
-    metrics::ScopedSpan span(trace, "shard-scan");
-    ForEachShard([&](size_t s) {
-      store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
-        auto est = family.Estimate(query, sketch);
-        if (!est.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (first_error.ok()) first_error = est.status();
-          return false;
-        }
-        heaps[s].Offer(static_cast<size_t>(id), est.value());
-        ++scanned[s];
-        return true;
+  auto record_error = [&](const Status& st) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = st;
+  };
+
+  switch (policy) {
+    case IndexPolicy::kExactScan: {
+      metrics::ScopedSpan span(trace, "shard-scan");
+      ForEachShard([&](size_t s) {
+        store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
+          auto est = family.Estimate(query, sketch);
+          if (!est.ok()) {
+            record_error(est.status());
+            return false;
+          }
+          heaps[s].Offer(static_cast<size_t>(id), est.value());
+          ++scanned[s];
+          return true;
+        });
       });
-    });
+      break;
+    }
+    case IndexPolicy::kSlabScan: {
+      metrics::ScopedSpan span(trace, "shard-scan");
+      ForEachShard([&](size_t s) {
+        Status st = index_->ScanShard(query, s, &heaps[s], &scanned[s]);
+        if (!st.ok()) record_error(st);
+      });
+      break;
+    }
+    case IndexPolicy::kBandedRerank: {
+      std::vector<uint64_t> band_keys;
+      {
+        metrics::ScopedSpan span(trace, "band-query");
+        IPS_RETURN_IF_ERROR(index_->QueryBandKeys(query, &band_keys));
+      }
+      metrics::ScopedSpan span(trace, "index-probe");
+      metrics::ScopedLatency rerank_latency(rerank_ns_);
+      std::vector<IndexProbeStats> stats(n);
+      ForEachShard([&](size_t s) {
+        Status st =
+            index_->ProbeShard(query, band_keys, s, &heaps[s], &stats[s]);
+        if (!st.ok()) record_error(st);
+      });
+      for (size_t s = 0; s < n; ++s) {
+        scanned[s] = static_cast<size_t>(stats[s].candidates);
+      }
+      break;
+    }
   }
   IPS_RETURN_IF_ERROR(first_error);
 
@@ -165,11 +232,42 @@ Result<std::vector<QueryHit>> QueryEngine::TopKSketch(
   for (const SimilarityHit& hit : merged.TakeSorted()) {
     hits.push_back({static_cast<uint64_t>(hit.index), hit.estimate});
   }
+  // For the banded path "scanned" counts re-ranked candidates — the work
+  // actually done — so candidates_per_query_ exposes the banding win
+  // directly against the exact scan's corpus-sized numbers.
   size_t total_scanned = 0;
   for (size_t s : scanned) total_scanned += s;
   sketches_scanned_->Add(total_scanned);
   candidates_per_query_->Record(total_scanned);
   return hits;
+}
+
+Result<double> QueryEngine::ProbeRecall(const SparseVector& query,
+                                        size_t k) const {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition(
+        "recall probes require a banded index");
+  }
+  auto sketched = SketchQuery(query);
+  IPS_RETURN_IF_ERROR(sketched.status());
+  auto exact = TopKSketchWithPolicy(*sketched.value(), k,
+                                    IndexPolicy::kExactScan, nullptr);
+  IPS_RETURN_IF_ERROR(exact.status());
+  auto banded = TopKSketchWithPolicy(*sketched.value(), k,
+                                     IndexPolicy::kBandedRerank, nullptr);
+  IPS_RETURN_IF_ERROR(banded.status());
+  if (exact.value().empty()) return 1.0;
+  std::unordered_set<uint64_t> exact_ids;
+  exact_ids.reserve(exact.value().size());
+  for (const QueryHit& hit : exact.value()) exact_ids.insert(hit.id);
+  size_t overlap = 0;
+  for (const QueryHit& hit : banded.value()) {
+    overlap += exact_ids.count(hit.id);
+  }
+  recall_probe_expected_->Add(exact.value().size());
+  recall_probe_hits_->Add(overlap);
+  return static_cast<double>(overlap) /
+         static_cast<double>(exact.value().size());
 }
 
 }  // namespace ipsketch

@@ -28,10 +28,28 @@
 
 namespace ipsketch {
 
+class BandedIndex;  // index/banded_index.h
+
 /// One scored result of a store query.
 struct QueryHit {
   uint64_t id = 0;        ///< vector id in the store
   double estimate = 0.0;  ///< estimated ⟨query, stored vector⟩
+};
+
+/// How TopK/TopKSketch traverse the catalog.
+enum class IndexPolicy {
+  /// Scan every stored sketch in place through the store's shard maps —
+  /// exact, index-free, the pre-index behavior.
+  kExactScan,
+  /// Scan every resident sketch through the banded index's slab arenas —
+  /// same exact results as kExactScan (bit-identical estimates, same
+  /// tie-break), but 1-query-vs-many over contiguous lanes. Requires an
+  /// index; falls back to kExactScan without one.
+  kSlabScan,
+  /// LSH-banded candidate generation + slab re-rank — sublinear, recall
+  /// governed by the index's (b, r). Requires an index; falls back to
+  /// kExactScan without one.
+  kBandedRerank,
 };
 
 /// Read-side engine over one store. Holds no mutable state of its own, so a
@@ -41,8 +59,18 @@ struct QueryHit {
 class QueryEngine {
  public:
   /// Queries run against `store`, fanning across `pool` (nullptr = serial).
-  /// Both pointers must outlive the engine; the engine owns neither.
+  /// Both pointers must outlive the engine; the engine owns neither. This
+  /// form pins IndexPolicy::kExactScan (no index, no fallback accounting).
   explicit QueryEngine(const SketchStore* store, ThreadPool* pool = nullptr);
+
+  /// Index-aware engine: top-k queries follow `policy` against `index`
+  /// (which must be attached to the same `store`; all pointers must outlive
+  /// the engine). A null `index` with a non-exact policy is permitted —
+  /// every top-k query then falls back to the exact scan and counts on
+  /// ipsketch_index_fallback_total.
+  QueryEngine(const SketchStore* store, ThreadPool* pool,
+              const BandedIndex* index,
+              IndexPolicy policy = IndexPolicy::kBandedRerank);
 
   /// Estimates ⟨a, b⟩ between two stored vectors. NotFound if either id is
   /// absent.
@@ -71,6 +99,14 @@ class QueryEngine {
                                            metrics::QueryTrace* trace =
                                                nullptr) const;
 
+  /// Measures the banded index's recall on one query: sketches it once,
+  /// runs both the exact scan and the banded path, and returns
+  /// |banded ∩ exact| / |exact| over the top-k id sets (1.0 when the exact
+  /// set is empty). Updates the recall-probe counters, so sampling live
+  /// queries through this builds an online recall estimate.
+  /// FailedPrecondition without an index.
+  Result<double> ProbeRecall(const SparseVector& query, size_t k) const;
+
  private:
   /// Sketches a raw query vector with the store's family.
   Result<std::unique_ptr<AnySketch>> SketchQuery(
@@ -79,8 +115,16 @@ class QueryEngine {
   /// Runs fn(shard_index) over all shards, on the pool when available.
   void ForEachShard(const std::function<void(size_t)>& fn) const;
 
+  /// TopKSketch under an explicit policy — the shared body of TopKSketch
+  /// (which passes policy_) and ProbeRecall (which runs both paths).
+  Result<std::vector<QueryHit>> TopKSketchWithPolicy(
+      const AnySketch& query, size_t k, IndexPolicy policy,
+      metrics::QueryTrace* trace) const;
+
   const SketchStore* store_;
   ThreadPool* pool_;
+  const BandedIndex* index_ = nullptr;
+  IndexPolicy policy_ = IndexPolicy::kExactScan;
 
   // Process-wide query metrics (all QueryEngine instances aggregate).
   // Registry-owned; valid forever.
@@ -90,6 +134,10 @@ class QueryEngine {
   metrics::Histogram* candidates_per_query_ = nullptr;
   metrics::Counter* sketches_scanned_ = nullptr;
   metrics::Counter* queries_ = nullptr;
+  metrics::Histogram* rerank_ns_ = nullptr;
+  metrics::Counter* fallbacks_ = nullptr;
+  metrics::Counter* recall_probe_expected_ = nullptr;
+  metrics::Counter* recall_probe_hits_ = nullptr;
 };
 
 }  // namespace ipsketch

@@ -71,6 +71,12 @@ SketchStore& SketchStore::operator=(SketchStore&& other) noexcept {
     scan_lock_ns_ = other.scan_lock_ns_;
     size_gauge_ = other.size_gauge_;
     shard_occupancy_ = std::move(other.shard_occupancy_);
+    // The header contract forbids moving while a listener is attached (the
+    // listener points at the old store object); transfer anyway so the
+    // fields stay coherent.
+    listener_mu_ = std::move(other.listener_mu_);
+    listener_ = other.listener_;
+    other.listener_ = nullptr;
   }
   return *this;
 }
@@ -113,7 +119,9 @@ Status SketchStore::Insert(uint64_t id, std::unique_ptr<AnySketch> sketch) {
   bool is_new = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    is_new = shard.map.insert_or_assign(id, std::move(sketch)).second;
+    auto [it, inserted] = shard.map.insert_or_assign(id, std::move(sketch));
+    is_new = inserted;
+    if (shard.listener != nullptr) shard.listener->OnInsert(id, *it->second);
   }
   inserts_->Add(1);
   if (is_new) {
@@ -205,14 +213,53 @@ Status SketchStore::Erase(uint64_t id) {
   Shard& shard = *shards_[shard_index];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.map.erase(id) == 0) {
+    auto it = shard.map.find(id);
+    if (it == shard.map.end()) {
       return Status::NotFound("no sketch stored under id " +
                               std::to_string(id));
     }
+    if (shard.listener != nullptr) shard.listener->OnErase(id);
+    shard.map.erase(it);
   }
   erases_->Add(1);
   size_gauge_->Add(-1);
   shard_occupancy_[shard_index]->Add(-1);
+  return Status::Ok();
+}
+
+Status SketchStore::AttachListener(Listener* listener) {
+  if (listener == nullptr) {
+    return Status::InvalidArgument("cannot attach a null listener");
+  }
+  std::lock_guard<std::mutex> attach_lock(*listener_mu_);
+  if (listener_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a mutation listener is already attached");
+  }
+  listener_ = listener;
+  // Publish + replay shard by shard under one lock hold each: once a
+  // shard's mirror is set, every later mutation of that shard notifies, and
+  // everything already resident is replayed now — exactly-once per entry.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->listener = listener;
+    for (const auto& [id, sketch] : shard->map) {
+      listener->OnInsert(id, *sketch);
+    }
+  }
+  return Status::Ok();
+}
+
+Status SketchStore::DetachListener(Listener* listener) {
+  std::lock_guard<std::mutex> attach_lock(*listener_mu_);
+  if (listener == nullptr || listener_ != listener) {
+    return Status::InvalidArgument("listener is not the attached one");
+  }
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->listener = nullptr;
+  }
+  listener_ = nullptr;
   return Status::Ok();
 }
 
@@ -320,6 +367,16 @@ Status SketchStore::CompactifyInPlace(
         "CompactifyInPlace requires a full-precision 'wmh' store; this "
         "store holds '" +
         family_->name() + "'");
+  }
+  {
+    // A listener mirrors the current family's sketches; swapping the family
+    // identity under it would corrupt the mirror. Detach first.
+    std::lock_guard<std::mutex> attach_lock(*listener_mu_);
+    if (listener_ != nullptr) {
+      return Status::FailedPrecondition(
+          "CompactifyInPlace cannot run while a mutation listener is "
+          "attached; detach it first");
+    }
   }
   // The target inherits this store's fully resolved sketch options (seed,
   // L, engine, ...) so the quantized sketches land on the same identity.

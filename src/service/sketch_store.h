@@ -68,6 +68,20 @@ struct StoreEntry {
 /// The sharded concurrent map. All public methods are thread-safe.
 class SketchStore {
  public:
+  /// Receives synchronous mutation notifications (see AttachListener). Both
+  /// callbacks run *under the shard lock* of the mutated id's shard, so a
+  /// listener observing one shard's stream sees its mutations in order and
+  /// can mirror the shard consistently. Callbacks must be fast and must
+  /// never call back into the store (the lock is held — deadlock).
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    /// After `sketch` was stored (insert or replace) under `id`.
+    virtual void OnInsert(uint64_t id, const AnySketch& sketch) = 0;
+    /// Before `id` is removed.
+    virtual void OnErase(uint64_t id) = 0;
+  };
+
   /// Builds the family from the registry (resolving option defaults) and an
   /// empty store around it.
   static Result<SketchStore> Make(const SketchStoreOptions& options);
@@ -120,6 +134,19 @@ class SketchStore {
 
   /// Removes `id`. NotFound if absent.
   Status Erase(uint64_t id);
+
+  /// Attaches the single mutation listener and replays every resident entry
+  /// through OnInsert (shard by shard, under each shard's lock). Each entry
+  /// is delivered exactly once: the listener pointer is published under the
+  /// same shard-lock hold that replays the shard, so an entry is either
+  /// replayed then or notifies on a later mutation, never both.
+  /// FailedPrecondition if a listener is already attached. Detach before
+  /// destroying either side; the store must not be moved from or
+  /// compactified while a listener is attached.
+  Status AttachListener(Listener* listener);
+
+  /// Detaches `listener`. InvalidArgument if it is not the attached one.
+  Status DetachListener(Listener* listener);
 
   /// Copies out one shard's contents, sorted by id. Each shard snapshot is
   /// internally consistent (taken under the shard lock); a full-store
@@ -177,6 +204,9 @@ class SketchStore {
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, std::unique_ptr<AnySketch>> map;
+    /// Mirror of the store-level listener, guarded by `mu` so mutation
+    /// paths need no second lock to find it.
+    Listener* listener = nullptr;
   };
 
   SketchStore(SketchStoreOptions options,
@@ -190,6 +220,10 @@ class SketchStore {
   std::shared_ptr<const SketchFamily> family_;
   // unique_ptrs because Shard (mutex) is immovable but the store is not.
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Serializes attach/detach (and the compactify guard); unique_ptr because
+  // the store is movable. The per-shard mirrors are what mutations read.
+  std::unique_ptr<std::mutex> listener_mu_ = std::make_unique<std::mutex>();
+  Listener* listener_ = nullptr;
 
   // Process-wide store metrics (all SketchStore instances aggregate;
   // gauges track live totals via paired +/- updates). Registry-owned.

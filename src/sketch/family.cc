@@ -1,5 +1,7 @@
 #include "sketch/family.h"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "core/icws.h"
@@ -80,6 +82,19 @@ Result<double> SketchFamily::ResidentWords(const AnySketch& sketch) const {
   // families that store 64-bit doubles where the accounting charges 32 bits
   // override.
   return StorageWords(sketch);
+}
+
+Status SketchFamily::AppendLshCodes(const AnySketch& /*sketch*/,
+                                    std::vector<uint64_t>* /*out*/) const {
+  return Status::FailedPrecondition(
+      "family '" + name() +
+      "' does not expose positional LSH codes (supports_banding is false)");
+}
+
+Result<std::unique_ptr<SketchSlab>> SketchFamily::NewSlab() const {
+  return Status::FailedPrecondition(
+      "family '" + name() +
+      "' does not support slab catalogs (supports_banding is false)");
 }
 
 namespace {
@@ -167,6 +182,226 @@ Result<const T*> Cast(const std::string& family, const AnySketch& sketch) {
 template <typename T>
 std::unique_ptr<AnySketch> Wrap(T sketch) {
   return std::make_unique<TypedSketch<T>>(std::move(sketch));
+}
+
+// --- SoA slab + LSH codes for the banding families ---------------------------
+//
+// Each banding family binds the generic pieces below through a small traits
+// struct: the concrete sketch type, its lane types, span accessors, the
+// per-sample 64-bit collision code, and the family's span-level estimator
+// core. Routing both this slab path and the pairwise Estimate through that
+// one core is what makes their results bit-identical.
+
+/// Traits for "wmh": double hash/value lanes, FM union estimate needs L.
+struct WmhSlabTraits {
+  using SketchT = WmhSketch;
+  using HashT = double;
+  using ValueT = double;
+  uint64_t L = 0;
+
+  static const std::vector<double>& Hashes(const SketchT& s) {
+    return s.hashes;
+  }
+  static const std::vector<double>& Values(const SketchT& s) {
+    return s.values;
+  }
+  static double Norm(const SketchT& s) { return s.norm; }
+  /// Equal doubles have equal bit patterns (minimum hashes are never -0.0 or
+  /// NaN), so the raw pattern is a collision-exact code.
+  static uint64_t Code(double h) { return std::bit_cast<uint64_t>(h); }
+  Result<double> Estimate(const double* qh, const double* qv, double qn,
+                          const double* sh, const double* sv, double sn,
+                          size_t m) const {
+    return EstimateWmhSpans(qh, qv, qn, sh, sv, sn, m, L);
+  }
+};
+
+/// Traits for "icws": 64-bit fingerprints are already collision codes.
+struct IcwsSlabTraits {
+  using SketchT = IcwsSketch;
+  using HashT = uint64_t;
+  using ValueT = double;
+
+  static const std::vector<uint64_t>& Hashes(const SketchT& s) {
+    return s.fingerprints;
+  }
+  static const std::vector<double>& Values(const SketchT& s) {
+    return s.values;
+  }
+  static double Norm(const SketchT& s) { return s.norm; }
+  static uint64_t Code(uint64_t fingerprint) { return fingerprint; }
+  Result<double> Estimate(const uint64_t* qh, const double* qv, double qn,
+                          const uint64_t* sh, const double* sv, double sn,
+                          size_t m) const {
+    return EstimateIcwsSpans(qh, qv, qn, sh, sv, sn, m);
+  }
+};
+
+/// Traits for "mh": unweighted sketches carry no norm (the estimator never
+/// reads it; the slab stores a 0.0 placeholder per slot).
+struct MhSlabTraits {
+  using SketchT = MhSketch;
+  using HashT = double;
+  using ValueT = double;
+
+  static const std::vector<double>& Hashes(const SketchT& s) {
+    return s.hashes;
+  }
+  static const std::vector<double>& Values(const SketchT& s) {
+    return s.values;
+  }
+  static double Norm(const SketchT&) { return 0.0; }
+  static uint64_t Code(double h) { return std::bit_cast<uint64_t>(h); }
+  Result<double> Estimate(const double* qh, const double* qv, double /*qn*/,
+                          const double* sh, const double* sv, double /*sn*/,
+                          size_t m) const {
+    return EstimateMhSpans(qh, qv, sh, sv, m);
+  }
+};
+
+/// Traits for "wmh_compact": 32-bit fixed-point hashes, float32 values.
+struct CompactWmhSlabTraits {
+  using SketchT = CompactWmhSketch;
+  using HashT = uint32_t;
+  using ValueT = float;
+  uint64_t L = 0;
+
+  static const std::vector<uint32_t>& Hashes(const SketchT& s) {
+    return s.hashes;
+  }
+  static const std::vector<float>& Values(const SketchT& s) {
+    return s.values;
+  }
+  static double Norm(const SketchT& s) { return s.norm; }
+  static uint64_t Code(uint32_t h) { return h; }
+  Result<double> Estimate(const uint32_t* qh, const float* qv, double qn,
+                          const uint32_t* sh, const float* sv, double sn,
+                          size_t m) const {
+    return EstimateCompactWmhSpans(qh, qv, qn, sh, sv, sn, m, L);
+  }
+};
+
+/// Traits for "wmh_bbit": b-bit fingerprints in uint32_t slots. Fingerprint
+/// equality is exactly the estimator's match event (spurious rate 2⁻ᵇ — the
+/// re-rank estimator corrects the rate; banding just sees more candidates).
+struct BbitWmhSlabTraits {
+  using SketchT = BbitWmhSketch;
+  using HashT = uint32_t;
+  using ValueT = float;
+  uint32_t bits = 0;
+
+  static const std::vector<uint32_t>& Hashes(const SketchT& s) {
+    return s.fingerprints;
+  }
+  static const std::vector<float>& Values(const SketchT& s) {
+    return s.values;
+  }
+  static double Norm(const SketchT& s) { return s.norm; }
+  static uint64_t Code(uint32_t fingerprint) { return fingerprint; }
+  Result<double> Estimate(const uint32_t* qh, const float* qv, double qn,
+                          const uint32_t* sh, const float* sv, double sn,
+                          size_t m) const {
+    return EstimateBbitWmhSpans(qh, qv, qn, sh, sv, sn, m, bits);
+  }
+};
+
+/// The generic structure-of-arrays block: hash and value lanes of slot s at
+/// flat offset s·m, norms in a parallel array. Estimation walks the arena
+/// slot after slot through the family's span core (which runs the dispatched
+/// SIMD kernels), with no per-sketch pointer chasing.
+template <typename Traits>
+class SoaSlab final : public SketchSlab {
+ public:
+  SoaSlab(const SketchFamily* family, Traits traits)
+      : family_(family),
+        m_(family->options().num_samples),
+        traits_(traits) {}
+
+  size_t size() const override { return norms_.size(); }
+
+  Status Append(const AnySketch& sketch) override {
+    IPS_RETURN_IF_ERROR(family_->CheckCompatible(sketch));
+    const auto& s = *GetSketchAs<typename Traits::SketchT>(sketch);
+    const auto& hashes = Traits::Hashes(s);
+    const auto& values = Traits::Values(s);
+    hashes_.insert(hashes_.end(), hashes.begin(), hashes.end());
+    values_.insert(values_.end(), values.begin(), values.end());
+    norms_.push_back(Traits::Norm(s));
+    return Status::Ok();
+  }
+
+  void SwapRemove(size_t slot) override {
+    IPS_CHECK(slot < norms_.size());
+    const size_t last = norms_.size() - 1;
+    if (slot != last) {
+      std::copy_n(hashes_.begin() + static_cast<ptrdiff_t>(last * m_), m_,
+                  hashes_.begin() + static_cast<ptrdiff_t>(slot * m_));
+      std::copy_n(values_.begin() + static_cast<ptrdiff_t>(last * m_), m_,
+                  values_.begin() + static_cast<ptrdiff_t>(slot * m_));
+      norms_[slot] = norms_[last];
+    }
+    hashes_.resize(last * m_);
+    values_.resize(last * m_);
+    norms_.pop_back();
+  }
+
+  Result<double> EstimateAt(const AnySketch& query,
+                            size_t slot) const override {
+    IPS_RETURN_IF_ERROR(family_->CheckCompatible(query));
+    IPS_CHECK(slot < norms_.size());
+    return EstimateSlot(*GetSketchAs<typename Traits::SketchT>(query), slot);
+  }
+
+  Status EstimateMany(const AnySketch& query, const uint32_t* slots,
+                      size_t count, double* out) const override {
+    IPS_RETURN_IF_ERROR(family_->CheckCompatible(query));
+    const auto& q = *GetSketchAs<typename Traits::SketchT>(query);
+    for (size_t i = 0; i < count; ++i) {
+      IPS_CHECK(slots[i] < norms_.size());
+      auto est = EstimateSlot(q, slots[i]);
+      IPS_RETURN_IF_ERROR(est.status());
+      out[i] = est.value();
+    }
+    return Status::Ok();
+  }
+
+  Status EstimateAll(const AnySketch& query, double* out) const override {
+    IPS_RETURN_IF_ERROR(family_->CheckCompatible(query));
+    const auto& q = *GetSketchAs<typename Traits::SketchT>(query);
+    for (size_t slot = 0; slot < norms_.size(); ++slot) {
+      auto est = EstimateSlot(q, slot);
+      IPS_RETURN_IF_ERROR(est.status());
+      out[slot] = est.value();
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Result<double> EstimateSlot(const typename Traits::SketchT& q,
+                              size_t slot) const {
+    return traits_.Estimate(Traits::Hashes(q).data(), Traits::Values(q).data(),
+                            Traits::Norm(q), hashes_.data() + slot * m_,
+                            values_.data() + slot * m_, norms_[slot], m_);
+  }
+
+  const SketchFamily* family_;
+  size_t m_;
+  Traits traits_;
+  std::vector<typename Traits::HashT> hashes_;
+  std::vector<typename Traits::ValueT> values_;
+  std::vector<double> norms_;
+};
+
+/// Shared body of the per-family AppendLshCodes overrides.
+template <typename Traits>
+Status AppendCodesImpl(const SketchFamily& family, const AnySketch& sketch,
+                       std::vector<uint64_t>* out) {
+  IPS_RETURN_IF_ERROR(family.CheckCompatible(sketch));
+  const auto& hashes =
+      Traits::Hashes(*GetSketchAs<typename Traits::SketchT>(sketch));
+  out->reserve(out->size() + hashes.size());
+  for (const auto h : hashes) out->push_back(Traits::Code(h));
+  return Status::Ok();
 }
 
 // --- generic sketcher for the stateless families ----------------------------
@@ -298,6 +533,16 @@ class WmhFamily final : public SketchFamily {
     return 2.0 * static_cast<double>(typed.value()->num_samples()) + 1.0;
   }
 
+  Status AppendLshCodes(const AnySketch& sketch,
+                        std::vector<uint64_t>* out) const override {
+    return AppendCodesImpl<WmhSlabTraits>(*this, sketch, out);
+  }
+
+  Result<std::unique_ptr<SketchSlab>> NewSlab() const override {
+    return std::unique_ptr<SketchSlab>(
+        new SoaSlab<WmhSlabTraits>(this, WmhSlabTraits{concrete_.L}));
+  }
+
   Result<std::string> Serialize(const AnySketch& sketch) const override {
     auto typed = Cast<WmhSketch>(name(), sketch);
     IPS_RETURN_IF_ERROR(typed.status());
@@ -417,6 +662,16 @@ class IcwsFamily final : public SketchFamily {
     return 2.0 * static_cast<double>(typed.value()->num_samples()) + 1.0;
   }
 
+  Status AppendLshCodes(const AnySketch& sketch,
+                        std::vector<uint64_t>* out) const override {
+    return AppendCodesImpl<IcwsSlabTraits>(*this, sketch, out);
+  }
+
+  Result<std::unique_ptr<SketchSlab>> NewSlab() const override {
+    return std::unique_ptr<SketchSlab>(
+        new SoaSlab<IcwsSlabTraits>(this, IcwsSlabTraits{}));
+  }
+
   Result<std::string> Serialize(const AnySketch& sketch) const override {
     auto typed = Cast<IcwsSketch>(name(), sketch);
     IPS_RETURN_IF_ERROR(typed.status());
@@ -499,6 +754,16 @@ class MhFamily final : public SketchFamily {
     IPS_RETURN_IF_ERROR(typed.status());
     // Two resident doubles per sample (hash + value).
     return 2.0 * static_cast<double>(typed.value()->num_samples());
+  }
+
+  Status AppendLshCodes(const AnySketch& sketch,
+                        std::vector<uint64_t>* out) const override {
+    return AppendCodesImpl<MhSlabTraits>(*this, sketch, out);
+  }
+
+  Result<std::unique_ptr<SketchSlab>> NewSlab() const override {
+    return std::unique_ptr<SketchSlab>(
+        new SoaSlab<MhSlabTraits>(this, MhSlabTraits{}));
   }
 
   Result<std::string> Serialize(const AnySketch& sketch) const override {
@@ -902,6 +1167,16 @@ class CompactWmhFamily final : public SketchFamily,
     return typed.value()->StorageWords();
   }
 
+  Status AppendLshCodes(const AnySketch& sketch,
+                        std::vector<uint64_t>* out) const override {
+    return AppendCodesImpl<CompactWmhSlabTraits>(*this, sketch, out);
+  }
+
+  Result<std::unique_ptr<SketchSlab>> NewSlab() const override {
+    return std::unique_ptr<SketchSlab>(new SoaSlab<CompactWmhSlabTraits>(
+        this, CompactWmhSlabTraits{concrete_.L}));
+  }
+
   Result<std::string> Serialize(const AnySketch& sketch) const override {
     auto typed = Cast<CompactWmhSketch>(name(), sketch);
     IPS_RETURN_IF_ERROR(typed.status());
@@ -998,6 +1273,16 @@ class BbitWmhFamily final : public SketchFamily, public WmhQuantizingFamily {
     // footprint is one word per sample + the norm (the §5 accounting
     // charges only (b + 32)/64 per sample).
     return static_cast<double>(typed.value()->num_samples()) + 1.0;
+  }
+
+  Status AppendLshCodes(const AnySketch& sketch,
+                        std::vector<uint64_t>* out) const override {
+    return AppendCodesImpl<BbitWmhSlabTraits>(*this, sketch, out);
+  }
+
+  Result<std::unique_ptr<SketchSlab>> NewSlab() const override {
+    return std::unique_ptr<SketchSlab>(
+        new SoaSlab<BbitWmhSlabTraits>(this, BbitWmhSlabTraits{bits_}));
   }
 
   Result<std::string> Serialize(const AnySketch& sketch) const override {
@@ -1192,18 +1477,22 @@ Result<std::shared_ptr<const SketchFamily>> MakeJl(const FamilyInfo& info,
 
 const std::vector<FamilyInfo>& RegisteredFamilies() {
   static const std::vector<FamilyInfo>* families = new std::vector<FamilyInfo>{
-      {"jl", "JL", StorageClass::kLinear, /*merge=*/true, /*trunc=*/true},
-      {"cs", "CS", StorageClass::kLinear, /*merge=*/true, /*trunc=*/false},
-      {"mh", "MH", StorageClass::kSampling, /*merge=*/false, /*trunc=*/true},
-      {"kmv", "KMV", StorageClass::kSampling, /*merge=*/true, /*trunc=*/true},
+      {"jl", "JL", StorageClass::kLinear, /*merge=*/true, /*trunc=*/true,
+       /*banding=*/false},
+      {"cs", "CS", StorageClass::kLinear, /*merge=*/true, /*trunc=*/false,
+       /*banding=*/false},
+      {"mh", "MH", StorageClass::kSampling, /*merge=*/false, /*trunc=*/true,
+       /*banding=*/true},
+      {"kmv", "KMV", StorageClass::kSampling, /*merge=*/true, /*trunc=*/true,
+       /*banding=*/false},
       {"wmh", "WMH", StorageClass::kSamplingWithNorm, /*merge=*/false,
-       /*trunc=*/true},
+       /*trunc=*/true, /*banding=*/true},
       {"icws", "ICWS", StorageClass::kSamplingWithNorm, /*merge=*/false,
-       /*trunc=*/true},
+       /*trunc=*/true, /*banding=*/true},
       {"wmh_compact", "WMH32", StorageClass::kCompactSamplingWithNorm,
-       /*merge=*/false, /*trunc=*/true},
+       /*merge=*/false, /*trunc=*/true, /*banding=*/true},
       {"wmh_bbit", "WMHb", StorageClass::kBbitSamplingWithNorm,
-       /*merge=*/false, /*trunc=*/true},
+       /*merge=*/false, /*trunc=*/true, /*banding=*/true},
   };
   return *families;
 }

@@ -134,6 +134,57 @@ struct FamilyInfo {
   /// makes storage sweeps one sketching pass (everything except CS, whose
   /// bucket layout changes with the width).
   bool supports_truncation = false;
+  /// True iff sample i of two comparable sketches collides exactly when the
+  /// vectors agree on hash function i — the positional-coordination property
+  /// MinHash-LSH banding needs (`AppendLshCodes`/`NewSlab` are implemented).
+  /// Holds for the minwise samplers (wmh, icws, mh, wmh_compact, wmh_bbit);
+  /// not for the linear sketches (cs, jl — coordinates are projections, not
+  /// samples) nor kmv (bottom-k samples are order statistics of one hash,
+  /// not positionally aligned).
+  bool supports_banding = false;
+};
+
+/// A structure-of-arrays catalog block: the hash/value lanes of many
+/// sketches of one family stored contiguously (lane i of sketch s at flat
+/// offset s·m + i), so a query estimates against slot after slot through
+/// the dispatched SIMD kernels with no per-sketch pointer chasing. Created
+/// by `SketchFamily::NewSlab` for families with `supports_banding()`; the
+/// service-layer index (index/slab_catalog.h) builds on it.
+///
+/// Estimates are **bit-identical** to `SketchFamily::Estimate` on the same
+/// pair — both run the family's span-level estimator core.
+///
+/// NOT thread-safe: callers synchronize externally (the banded index holds
+/// one block per shard under the shard's lock).
+class SketchSlab {
+ public:
+  virtual ~SketchSlab() = default;
+
+  /// Number of sketches resident in the block.
+  virtual size_t size() const = 0;
+
+  /// Appends `sketch`'s lanes as slot `size()`. InvalidArgument unless the
+  /// sketch passes the family's CheckCompatible.
+  virtual Status Append(const AnySketch& sketch) = 0;
+
+  /// Removes slot `slot` by moving the last slot into it (the caller tracks
+  /// the slot renumbering). Dies if `slot >= size()`.
+  virtual void SwapRemove(size_t slot) = 0;
+
+  /// Estimated inner product of `query` against resident slot `slot`.
+  /// InvalidArgument unless `query` is family-compatible; dies if `slot` is
+  /// out of range.
+  virtual Result<double> EstimateAt(const AnySketch& query,
+                                    size_t slot) const = 0;
+
+  /// Estimates `query` against `slots[0..count)` into `out[0..count)` — the
+  /// candidate re-rank path. Every slot must be in range.
+  virtual Status EstimateMany(const AnySketch& query, const uint32_t* slots,
+                              size_t count, double* out) const = 0;
+
+  /// Estimates `query` against every resident slot into `out[0..size())` —
+  /// the exact-scan path.
+  virtual Status EstimateAll(const AnySketch& query, double* out) const = 0;
 };
 
 /// A reusable per-thread sketching context (scratch buffers, validated
@@ -170,6 +221,9 @@ class SketchFamily {
   bool supports_merge() const { return info_.supports_merge; }
   /// True iff `Truncate` is implemented.
   bool supports_truncation() const { return info_.supports_truncation; }
+  /// True iff `AppendLshCodes` and `NewSlab` are implemented (see
+  /// FamilyInfo::supports_banding).
+  bool supports_banding() const { return info_.supports_banding; }
   /// The resolved options this family was constructed with.
   const FamilyOptions& options() const { return options_; }
 
@@ -214,6 +268,23 @@ class SketchFamily {
   /// the accounting (WMH, ICWS, MH, KMV) override. This is the number the
   /// compact catalog families halve.
   virtual Result<double> ResidentWords(const AnySketch& sketch) const;
+
+  /// Appends `sketch`'s per-sample LSH codes — one 64-bit code per sample,
+  /// equal across two sketches exactly when the sample collides (matching
+  /// minimum hash / fingerprint) — to `*out`. The banded index groups runs
+  /// of r codes into band keys. For families with `supports_banding()`;
+  /// FailedPrecondition otherwise. InvalidArgument unless `sketch` passes
+  /// CheckCompatible.
+  ///
+  /// Empty-slot sentinels (a sample no entry hashed into) share one code,
+  /// so near-empty sketches collide spuriously; the re-rank estimator
+  /// scores such candidates correctly, they just cost a candidate slot.
+  virtual Status AppendLshCodes(const AnySketch& sketch,
+                                std::vector<uint64_t>* out) const;
+
+  /// An empty structure-of-arrays block for this family's lanes, for
+  /// families with `supports_banding()`; FailedPrecondition otherwise.
+  virtual Result<std::unique_ptr<SketchSlab>> NewSlab() const;
 
   /// Type-tagged wire encoding (sketch/serialize.h); stable across runs.
   virtual Result<std::string> Serialize(const AnySketch& sketch) const = 0;

@@ -59,12 +59,19 @@ Result<double> EstimateMhInnerProduct(const MhSketch& a, const MhSketch& b) {
     return Status::InvalidArgument("sketch dimensions differ");
   }
 
-  const size_t m = a.num_samples();
+  return EstimateMhSpans(a.hashes.data(), a.values.data(), b.hashes.data(),
+                         b.values.data(), a.num_samples());
+}
+
+Result<double> EstimateMhSpans(const double* a_hashes, const double* a_values,
+                               const double* b_hashes, const double* b_values,
+                               size_t m) {
+  if (m == 0) return Status::InvalidArgument("sketches are empty");
   // Fused min/match hot loop, dispatched to the widest kernel tier the CPU
   // supports (scalar and vector tiers are bit-identical). The 1.0 sentinel
   // (empty sketch) never counts as a match.
   const simd::MhPairStats stats = simd::ActiveKernel().mh_pair(
-      a.hashes.data(), b.hashes.data(), a.values.data(), b.values.data(), m);
+      a_hashes, b_hashes, a_values, b_values, m);
   if (stats.min_hash_sum <= 0.0) {
     return Status::Internal("degenerate minimum-hash sum");
   }

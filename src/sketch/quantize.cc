@@ -91,23 +91,33 @@ Result<double> EstimateCompactWmhInnerProduct(const CompactWmhSketch& a,
   IPS_RETURN_IF_ERROR(CheckCompatible(a.seed, b.seed, a.L, b.L, a.dimension,
                                       b.dimension, a.engine, b.engine,
                                       a.num_samples(), b.num_samples()));
-  if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
+  return EstimateCompactWmhSpans(a.hashes.data(), a.values.data(), a.norm,
+                                 b.hashes.data(), b.values.data(), b.norm,
+                                 a.num_samples(), a.L);
+}
 
-  const size_t m = a.num_samples();
+Result<double> EstimateCompactWmhSpans(const uint32_t* a_hashes,
+                                       const float* a_values, double a_norm,
+                                       const uint32_t* b_hashes,
+                                       const float* b_values, double b_norm,
+                                       size_t m, uint64_t L) {
+  if (m == 0) return Status::InvalidArgument("sketches are empty");
+  if (a_norm == 0.0 || b_norm == 0.0) return 0.0;
+
   const double md = static_cast<double>(m);
   // Integer-domain min + dequantize + match accumulation in one dispatched
   // pass (scalar and vector tiers are bit-identical).
   const simd::CompactPairStats stats = simd::ActiveKernel().compact_pair(
-      a.hashes.data(), b.hashes.data(), a.values.data(), b.values.data(), m);
+      a_hashes, b_hashes, a_values, b_values, m);
   if (stats.min_hash_sum <= 0.0) {
     return Status::Internal("degenerate minimum-hash sum");
   }
   // Clamp at 0: with every slot at the empty sentinel, min_hash_sum = m and
   // the FM expression lands on exactly 0; float rounding must not push a
   // near-empty catalog's union size negative.
-  const double m_tilde = std::max(
-      0.0, (md / stats.min_hash_sum - 1.0) / static_cast<double>(a.L));
-  return a.norm * b.norm * (m_tilde / md) * stats.weighted_match_sum;
+  const double m_tilde =
+      std::max(0.0, (md / stats.min_hash_sum - 1.0) / static_cast<double>(L));
+  return a_norm * b_norm * (m_tilde / md) * stats.weighted_match_sum;
 }
 
 Result<BbitWmhSketch> BbitFromWmh(const WmhSketch& sketch, uint32_t bits) {
@@ -171,20 +181,29 @@ Result<double> EstimateBbitWmhInnerProduct(const BbitWmhSketch& a,
   if (a.bits != b.bits) {
     return Status::InvalidArgument("fingerprint widths differ");
   }
-  if (a.norm == 0.0 || b.norm == 0.0) return 0.0;
+  return EstimateBbitWmhSpans(a.fingerprints.data(), a.values.data(), a.norm,
+                              b.fingerprints.data(), b.values.data(), b.norm,
+                              a.num_samples(), a.bits);
+}
 
-  const size_t m = a.num_samples();
+Result<double> EstimateBbitWmhSpans(const uint32_t* a_fingerprints,
+                                    const float* a_values, double a_norm,
+                                    const uint32_t* b_fingerprints,
+                                    const float* b_values, double b_norm,
+                                    size_t m, uint32_t bits) {
+  if (m == 0) return Status::InvalidArgument("sketches are empty");
+  if (a_norm == 0.0 || b_norm == 0.0) return 0.0;
+
   const double md = static_cast<double>(m);
   // The b-bit fingerprint-match hot loop, dispatched to the widest kernel
   // tier the CPU supports (scalar and vector tiers are bit-identical).
   const simd::MatchStats stats = simd::ActiveKernel().match_u32(
-      a.fingerprints.data(), b.fingerprints.data(), a.values.data(),
-      b.values.data(), m);
+      a_fingerprints, b_fingerprints, a_values, b_values, m);
   double weighted_match_sum = stats.weighted_match_sum;
 
   // Observed match rate = J̄ + (1 − J̄)·2⁻ᵇ; invert for J̄, then scale the
   // weighted sum by the fraction of matches expected to be genuine.
-  const double fp = std::pow(0.5, static_cast<double>(a.bits));
+  const double fp = std::pow(0.5, static_cast<double>(bits));
   const double observed = static_cast<double>(stats.match_count) / md;
   const double j_hat =
       std::clamp((observed - fp) / (1.0 - fp), 0.0, 1.0);
@@ -196,7 +215,7 @@ Result<double> EstimateBbitWmhInnerProduct(const BbitWmhSketch& a,
   // Weighted union size via the unit-norm closed form (b bits cannot feed
   // the Flajolet–Martin estimator).
   const double m_hat = 2.0 / (1.0 + j_hat);
-  return a.norm * b.norm * (m_hat / md) * weighted_match_sum;
+  return a_norm * b_norm * (m_hat / md) * weighted_match_sum;
 }
 
 }  // namespace ipsketch

@@ -82,6 +82,17 @@ CompactWmhSketch TruncatedCompactWmh(const CompactWmhSketch& sketch, size_t m);
 Result<double> EstimateCompactWmhInnerProduct(const CompactWmhSketch& a,
                                               const CompactWmhSketch& b);
 
+/// Span-level core of `EstimateCompactWmhInnerProduct`: the compact
+/// estimator over raw hash/value lanes of two sketches the caller has
+/// already verified to be mutually comparable. Both the pairwise estimator
+/// above and the slab catalog's 1-vs-many re-rank path
+/// (`SketchFamily::NewSlab`) run through this one function, which is what
+/// makes their estimates bit-identical. `m` must be positive.
+Result<double> EstimateCompactWmhSpans(
+    const uint32_t* a_hashes, const float* a_values, double a_norm,
+    const uint32_t* b_hashes, const float* b_values, double b_norm, size_t m,
+    uint64_t L);
+
 /// WMH sketch keeping only b-bit match fingerprints (b ≤ 32).
 struct BbitWmhSketch {
   std::vector<uint32_t> fingerprints;  ///< low b bits of a mixed hash of h
@@ -129,6 +140,15 @@ Status CheckBbitFingerprintWidths(const BbitWmhSketch& sketch);
 /// from false matches scales with 2⁻ᵇ (see bench_ext_quantization).
 Result<double> EstimateBbitWmhInnerProduct(const BbitWmhSketch& a,
                                            const BbitWmhSketch& b);
+
+/// Span-level core of `EstimateBbitWmhInnerProduct` (same contract as
+/// `EstimateCompactWmhSpans`: callers have verified comparability, `m`
+/// positive, shared by the pairwise and slab re-rank paths for bit-identical
+/// estimates). `bits` is the fingerprint width b in [1, 32].
+Result<double> EstimateBbitWmhSpans(
+    const uint32_t* a_fingerprints, const float* a_values, double a_norm,
+    const uint32_t* b_fingerprints, const float* b_values, double b_norm,
+    size_t m, uint32_t bits);
 
 }  // namespace ipsketch
 

@@ -36,11 +36,18 @@ win is small (don't gate). Three rules do that:
   kernel loss (8.6x → 2.1x) or a dead SIMD path (~1.0x) fails.
 
 Points present on only one side are reported and skipped. Sections of the
-record this script does not know about (e.g. "saturation", "metrics" from
+record this script does not know about (e.g. "metrics" from
 bench_saturation) are ignored; a "saturation" section on both sides adds an
-informational — never gating — TopK p99 latency comparison. Malformed
-records produce a one-line error, not a traceback. Exit status: 0 ok,
-1 regression, 2 usage/parse error.
+informational — never gating — TopK p99 latency comparison. An "index"
+section (bench_index) is gated like the estimate points: each
+(bands, rows, corpus) point's banded-vs-exact *speedup* is a same-run,
+same-machine ratio, so it transfers across runners; it fails only when the
+speedup both dropped below 1 - THRESHOLD of the baseline's AND sits below
+the max(2.0, baseline/2) backstop. recall@10 is reported informationally —
+recall depends only on (b, r) and the corpus, not the machine, but its
+acceptance evidence lives in the committed baseline, not in per-run CI
+noise. Malformed records produce a one-line error, not a traceback. Exit
+status: 0 ok, 1 regression, 2 usage/parse error.
 """
 
 import argparse
@@ -113,6 +120,70 @@ def report_saturation(base_record, curr_record):
         curr_s = f"{curr_p99:>12.0f}" if isinstance(curr_p99, (int, float)) \
             else f"{'—':>12}"
         print(f"{conc:>12} {base_s} {curr_s}")
+
+
+def index_points(record):
+    """The index section's points keyed by (bands, rows, corpus), or {}."""
+    section = record.get("index")
+    if not isinstance(section, dict) or \
+            not isinstance(section.get("points"), list):
+        return {}
+    out = {}
+    for p in section["points"]:
+        if not isinstance(p, dict):
+            continue
+        if any(k not in p for k in ("bands", "rows", "corpus", "speedup")):
+            continue
+        out[(p["bands"], p["rows"], p["corpus"])] = p
+    return out
+
+
+def report_index(base_record, curr_record, threshold):
+    """Gates the banded-index speedup points; returns failure descriptions.
+
+    Same dual rule as the estimate gate: a matched point fails only when its
+    speedup ratio vs baseline dropped below 1 - threshold AND its current
+    speedup is under max(2.0, baseline/2). Recall@10 is printed but never
+    gated (see module docstring). Points on one side only are reported and
+    skipped — CI's smoke run matches only the baseline's smoke-sized corpus
+    points.
+    """
+    base = index_points(base_record)
+    curr = index_points(curr_record)
+    if not curr:
+        return []
+    print("\nbanded index (gated on speedup; recall informational):")
+    print(f"{'bands':>5} {'rows':>5} {'corpus':>8} {'base spdup':>11} "
+          f"{'curr spdup':>11} {'ratio':>7} {'base rec':>9} {'curr rec':>9}"
+          f"  verdict")
+    failed = []
+    for key in sorted(set(base) | set(curr)):
+        bands, rows, corpus = key
+        b_pt, c_pt = base.get(key), curr.get(key)
+        b_rec = f"{b_pt['recall_at_10']:>9.4f}" if b_pt and \
+            isinstance(b_pt.get("recall_at_10"), (int, float)) else f"{'—':>9}"
+        c_rec = f"{c_pt['recall_at_10']:>9.4f}" if c_pt and \
+            isinstance(c_pt.get("recall_at_10"), (int, float)) else f"{'—':>9}"
+        if c_pt is None:
+            print(f"{bands:>5} {rows:>5} {corpus:>8} "
+                  f"{b_pt['speedup']:>10.2f}x {'—':>11} {'—':>7} "
+                  f"{b_rec} {c_rec}  missing from current (skipped)")
+            continue
+        if b_pt is None:
+            print(f"{bands:>5} {rows:>5} {corpus:>8} {'—':>11} "
+                  f"{c_pt['speedup']:>10.2f}x {'—':>7} "
+                  f"{b_rec} {c_rec}  new (no baseline)")
+            continue
+        b, c = b_pt["speedup"], c_pt["speedup"]
+        ratio = c / b if b > 0 else float("inf")
+        ok = ratio >= 1.0 - threshold or c >= max(2.0, b / 2.0)
+        print(f"{bands:>5} {rows:>5} {corpus:>8} {b:>10.2f}x {c:>10.2f}x "
+              f"{ratio:>6.2f}x {b_rec} {c_rec}  "
+              f"{'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failed.append(f"index b={bands},r={rows},n={corpus} "
+                          f"({ratio:.2f}x)")
+    return failed
 
 
 def main():
@@ -190,17 +261,16 @@ def main():
               f"{b:>12.2f}x {c:>12.2f}x {ratio:>6.2f}x  "
               f"{'ok' if ok else 'REGRESSION'}")
         if not ok:
-            failed.append((family, m, ratio))
+            failed.append(f"{family}@m={m} ({ratio:.2f}x)")
 
+    failed += report_index(base_record, curr_record, args.threshold)
     report_saturation(base_record, curr_record)
 
     if failed:
-        drops = ", ".join(f"{f}@m={m} ({r:.2f}x)" for f, m, r in failed)
-        print(f"\nFAIL: estimate speedup dropped >"
-              f"{args.threshold:.0%} vs baseline: {drops}", file=sys.stderr)
+        print(f"\nFAIL: speedup dropped >{args.threshold:.0%} vs baseline: "
+              f"{', '.join(failed)}", file=sys.stderr)
         return 1
-    print(f"\nOK: no estimate-throughput regression beyond "
-          f"{args.threshold:.0%}")
+    print(f"\nOK: no throughput regression beyond {args.threshold:.0%}")
     return 0
 
 
