@@ -1,0 +1,87 @@
+// Clang thread-safety analysis annotations (-Wthread-safety), in the shape
+// popularized by abseil's thread_annotations.h. Under clang every macro
+// expands to the corresponding analysis attribute, so the compiler proves —
+// on every build with IPSKETCH_THREAD_SAFETY=ON — that each IPS_GUARDED_BY
+// field is only touched with its mutex held and each IPS_REQUIRES function
+// is only called with the named capability held. Under GCC (which has no
+// thread-safety analysis) every macro compiles away to nothing, so the
+// annotations cost nothing on the default toolchain.
+//
+// The annotations express the *static* half of the locking discipline; the
+// dynamic half (lock-ordering across distinct mutexes, which the analysis
+// cannot see) is enforced by the debug LockRank checker in
+// common/mutex.h. The CI `static-analysis` job builds with clang and
+// -Wthread-safety -Werror, so an unannotated access or an unlocked call to
+// a *Locked() helper is a compile error, not a TSAN roll of the dice.
+
+#ifndef IPSKETCH_COMMON_ANNOTATIONS_H_
+#define IPSKETCH_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define IPS_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define IPS_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op on GCC and others
+#endif
+
+/// Marks a class as a capability (a lockable object). The string names the
+/// capability kind in diagnostics: IPS_CAPABILITY("mutex").
+#define IPS_CAPABILITY(x) IPS_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (MutexLock).
+#define IPS_SCOPED_CAPABILITY IPS_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding the given
+/// capability.
+#define IPS_GUARDED_BY(x) IPS_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Declares that the data *pointed to* by a pointer member may only be
+/// accessed while holding the given capability (the pointer itself is free).
+#define IPS_PT_GUARDED_BY(x) IPS_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Documents a required acquisition order between capabilities declared in
+/// the same scope: this one must be acquired before / after the arguments.
+#define IPS_ACQUIRED_BEFORE(...) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define IPS_ACQUIRED_AFTER(...) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the named capabilities
+/// (and does not release them) — the contract of every *Locked() helper.
+#define IPS_REQUIRES(...) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define IPS_REQUIRES_SHARED(...) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the named capabilities (no argument:
+/// `this`).
+#define IPS_ACQUIRE(...) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define IPS_RELEASE(...) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and returns the first
+/// argument (true/false) on success.
+#define IPS_TRY_ACQUIRE(...) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the named capabilities
+/// (it acquires them itself — calling with them held would deadlock).
+#define IPS_EXCLUDES(...) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held, informing the analysis.
+#define IPS_ASSERT_CAPABILITY(x) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define IPS_RETURN_CAPABILITY(x) \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: the function's body is excluded from the analysis. Every
+/// use must carry an inline comment saying why the analysis cannot see the
+/// invariant (e.g. move-assignment with documented external exclusivity).
+#define IPS_NO_THREAD_SAFETY_ANALYSIS \
+  IPS_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // IPSKETCH_COMMON_ANNOTATIONS_H_

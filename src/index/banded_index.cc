@@ -120,7 +120,7 @@ BandedIndex::~BandedIndex() {
 size_t BandedIndex::size() const {
   size_t total = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    MutexLock lock(&shards_[s]->mu);
     total += catalog_.size(s);
   }
   return total;
@@ -128,25 +128,27 @@ size_t BandedIndex::size() const {
 
 void BandedIndex::OnInsert(uint64_t id, const AnySketch& sketch) {
   const size_t shard_index = store_->ShardOf(id);
-  std::lock_guard<std::mutex> lock(shards_[shard_index]->mu);
+  Shard& shard = *shards_[shard_index];
+  MutexLock lock(&shard.mu);
   // insert_or_assign replaces silently; mirror that by removing any stale
   // entry first.
-  const bool replaced = RemoveLocked(shard_index, id);
-  InsertLocked(shard_index, id, sketch);
+  const bool replaced = RemoveLocked(shard, shard_index, id);
+  InsertLocked(shard, shard_index, id, sketch);
   inserts_->Add(1);
   if (!replaced) size_gauge_->Add(1);
 }
 
 void BandedIndex::OnErase(uint64_t id) {
   const size_t shard_index = store_->ShardOf(id);
-  std::lock_guard<std::mutex> lock(shards_[shard_index]->mu);
-  if (RemoveLocked(shard_index, id)) {
+  Shard& shard = *shards_[shard_index];
+  MutexLock lock(&shard.mu);
+  if (RemoveLocked(shard, shard_index, id)) {
     erases_->Add(1);
     size_gauge_->Add(-1);
   }
 }
 
-void BandedIndex::InsertLocked(size_t shard_index, uint64_t id,
+void BandedIndex::InsertLocked(Shard& shard, size_t shard_index, uint64_t id,
                                const AnySketch& sketch) {
   // Every sketch reaching a listener already passed the store's
   // CheckCompatible, and the family supports banding (MakeAttached), so
@@ -155,7 +157,6 @@ void BandedIndex::InsertLocked(size_t shard_index, uint64_t id,
   IPS_CHECK(store_->family().AppendLshCodes(sketch, &codes).ok());
   auto slot = catalog_.Append(shard_index, id, sketch);
   IPS_CHECK(slot.ok());
-  Shard& shard = *shards_[shard_index];
   for (size_t j = 0; j < params_.bands; ++j) {
     const uint64_t key =
         BandKey(codes.data() + j * params_.rows, params_.rows, j, key_seed_);
@@ -164,11 +165,11 @@ void BandedIndex::InsertLocked(size_t shard_index, uint64_t id,
   }
 }
 
-bool BandedIndex::RemoveLocked(size_t shard_index, uint64_t id) {
+bool BandedIndex::RemoveLocked(Shard& shard, size_t shard_index,
+                               uint64_t id) {
   auto found = catalog_.SlotOf(shard_index, id);
   if (!found.ok()) return false;
   const uint32_t slot = found.value();
-  Shard& shard = *shards_[shard_index];
   const size_t bands = params_.bands;
   for (size_t j = 0; j < bands; ++j) {
     EraseBucketEntry(&shard.buckets, shard.keys[slot * bands + j], slot);
@@ -209,7 +210,7 @@ Status BandedIndex::ProbeShard(const AnySketch& query,
                                IndexProbeStats* stats) const {
   IPS_CHECK(shard_index < shards_.size());
   const Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   std::vector<uint32_t> candidates;
   uint64_t buckets_hit = 0;
   for (uint64_t key : keys) {
@@ -244,7 +245,7 @@ Status BandedIndex::ScanShard(const AnySketch& query, size_t shard_index,
                               TopKHeap* heap, size_t* scanned) const {
   IPS_CHECK(shard_index < shards_.size());
   const Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   const size_t resident = catalog_.size(shard_index);
   if (resident == 0) return Status::Ok();
   std::vector<double> estimates(resident);

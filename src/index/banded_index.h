@@ -32,10 +32,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/similarity_search.h"
 #include "index/slab_catalog.h"
@@ -116,29 +116,39 @@ class BandedIndex final : public SketchStore::Listener {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    /// kIndexShard: acquired inside listener callbacks while the store's
+    /// shard lock (kStoreShard) is held — the mirror protocol's only order.
+    mutable Mutex mu{LockRank::kIndexShard};
     /// Band keys of resident slots, slot-major: slot s's key for band j at
     /// s·bands + j. Swap-removed in step with the slab catalog's slots.
-    std::vector<uint64_t> keys;
+    std::vector<uint64_t> keys IPS_GUARDED_BY(mu);
     /// Band key → slots filed under it (across all bands; keys are salted
     /// per band, so cross-band collisions are as unlikely as any other).
-    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets
+        IPS_GUARDED_BY(mu);
   };
 
   BandedIndex(SketchStore* store, const BandedLshParams& params,
               SlabCatalog catalog);
 
-  /// Appends `sketch` under `id` to shard `shard_index`. Caller holds the
-  /// shard's lock.
-  void InsertLocked(size_t shard_index, uint64_t id, const AnySketch& sketch);
+  /// Appends `sketch` under `id` to `shard` (which is
+  /// shards_[shard_index]; the index is still needed for the catalog side).
+  void InsertLocked(Shard& shard, size_t shard_index, uint64_t id,
+                    const AnySketch& sketch) IPS_REQUIRES(shard.mu);
 
-  /// Removes `id` from shard `shard_index` if resident (swap-remove: bucket
-  /// references to the moved last slot are rewired). Caller holds the
-  /// shard's lock. Returns false if the id was not resident.
-  bool RemoveLocked(size_t shard_index, uint64_t id);
+  /// Removes `id` from `shard` if resident (swap-remove: bucket references
+  /// to the moved last slot are rewired). Returns false if the id was not
+  /// resident.
+  bool RemoveLocked(Shard& shard, size_t shard_index, uint64_t id)
+      IPS_REQUIRES(shard.mu);
 
   SketchStore* store_;
   BandedLshParams params_;
+  /// Partitioned exactly like shards_: slab s is only ever touched with
+  /// shards_[s]->mu held. The analysis cannot express "guarded by the
+  /// same-indexed mutex", so the discipline here rests on the REQUIRES
+  /// contracts of the *Locked helpers plus the per-shard lock in every
+  /// public read path.
   SlabCatalog catalog_;
   std::vector<std::unique_ptr<Shard>> shards_;
   uint64_t key_seed_ = 0;

@@ -6,8 +6,12 @@
 // with estimates bit-identical to SketchFamily::Estimate.
 //
 // NOT thread-safe: every method takes a shard index and must run under the
-// owner's lock for that shard (index/banded_index.h holds one mutex per
-// shard; the shard partition mirrors SketchStore::ShardOf).
+// owner's lock for that shard (index/banded_index.h holds one
+// ipsketch::Mutex at LockRank::kIndexShard per shard; the shard partition
+// mirrors SketchStore::ShardOf). Clang's thread-safety analysis cannot
+// express "guarded by the owner's same-indexed mutex", so the contract is
+// carried by the owner's IPS_REQUIRES(shard.mu) helpers rather than
+// IPS_GUARDED_BY annotations here.
 
 #ifndef IPSKETCH_INDEX_SLAB_CATALOG_H_
 #define IPSKETCH_INDEX_SLAB_CATALOG_H_

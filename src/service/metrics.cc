@@ -15,7 +15,9 @@ namespace internal {
 std::atomic<int> g_enabled{-1};
 
 bool ResolveEnabledFromEnv() {
-  const char* env = std::getenv("IPSKETCH_METRICS");
+  // getenv is read-once at first metric touch; nothing in the process
+  // calls setenv, so the mt-unsafe warning is a false positive here.
+  const char* env = std::getenv("IPSKETCH_METRICS");  // NOLINT(concurrency-mt-unsafe)
   bool on = true;
   if (env != nullptr) {
     std::string v(env);
@@ -100,7 +102,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -111,7 +113,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -122,7 +124,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name,
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>();
@@ -182,7 +184,7 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 std::string MetricsRegistry::RenderText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   std::string base, labels, last_base;
   char buf[160];
@@ -241,7 +243,7 @@ std::string MetricsRegistry::RenderText() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\n  \"counters\": {";
   char buf[256];
   bool first = true;

@@ -40,8 +40,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
 
 namespace ipsketch {
 namespace metrics {
@@ -241,11 +242,16 @@ class MetricsRegistry {
   std::string RenderJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::string> help_;
+  // kLeaf: registration happens in component constructors and rendering in
+  // exposition endpoints, both of which hold no other lock — and nothing is
+  // ever acquired while holding the registry.
+  mutable Mutex mu_{LockRank::kLeaf};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      IPS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ IPS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      IPS_GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ IPS_GUARDED_BY(mu_);
 };
 
 /// RAII histogram timer: records NowNs() - construction time into `hist`

@@ -21,6 +21,12 @@
 // file is also a valid container of individually-parseable sketches. Load
 // verifies the checksum and then every frame, so neither structural damage
 // nor a flipped payload byte ever yields a silently wrong store.
+//
+// Locking contract (see common/mutex.h): persistence holds no locks of its
+// own. Save reads through SketchStore::ShardSnapshot — each shard copied
+// under its kStoreShard Mutex, nothing held across shards or during file
+// I/O — and Load builds a private store no other thread can see yet, so
+// these functions never appear in any lock-order chain.
 
 #ifndef IPSKETCH_SERVICE_PERSISTENCE_H_
 #define IPSKETCH_SERVICE_PERSISTENCE_H_

@@ -1,8 +1,9 @@
 #include "service/query_engine.h"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_set>
+
+#include "common/mutex.h"
 
 #include "core/similarity_search.h"
 #include "index/banded_index.h"
@@ -95,7 +96,9 @@ Result<std::vector<QueryHit>> QueryEngine::EstimateAgainstQuery(
   const SketchFamily& family = store_->family();
 
   std::vector<std::vector<QueryHit>> per_shard(store_->num_shards());
-  std::mutex error_mu;
+  // kLeaf: acquired while a store shard lock (kStoreShard) is held inside
+  // the scan callback; nothing nests under it.
+  Mutex error_mu;
   Status first_error;
   {
     metrics::ScopedSpan span(trace, "shard-scan");
@@ -106,7 +109,7 @@ Result<std::vector<QueryHit>> QueryEngine::EstimateAgainstQuery(
       store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
         auto est = family.Estimate(qs, sketch);
         if (!est.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
+          MutexLock lock(&error_mu);
           if (first_error.ok()) first_error = est.status();
           return false;
         }
@@ -171,10 +174,12 @@ Result<std::vector<QueryHit>> QueryEngine::TopKSketchWithPolicy(
   heaps.reserve(n);
   for (size_t s = 0; s < n; ++s) heaps.emplace_back(k);
   std::vector<size_t> scanned(n, 0);
-  std::mutex error_mu;
+  // kLeaf: record_error runs inside shard-scan callbacks with a store or
+  // index shard lock held; nothing nests under it.
+  Mutex error_mu;
   Status first_error;
   auto record_error = [&](const Status& st) {
-    std::lock_guard<std::mutex> lock(error_mu);
+    MutexLock lock(&error_mu);
     if (first_error.ok()) first_error = st;
   };
 

@@ -9,6 +9,13 @@
 // per-thread heaps are merged at the end; BetterHit's deterministic
 // tie-break makes the merged result identical to a serial scan regardless
 // of thread count or shard order.
+//
+// Locking contract (see common/mutex.h): the engine itself is stateless —
+// it owns no mutex. Scan workers acquire exactly one store or index shard
+// Mutex (kStoreShard / kIndexShard) at a time inside the scan callback,
+// plus a short-lived kLeaf error-slot Mutex local to each query; both
+// orders are strictly rank-increasing, so engine queries can never take
+// part in a lock-order cycle with ingest or index maintenance.
 
 #ifndef IPSKETCH_SERVICE_QUERY_ENGINE_H_
 #define IPSKETCH_SERVICE_QUERY_ENGINE_H_

@@ -49,7 +49,7 @@ SketchStore::SketchStore(SketchStoreOptions options,
 
 void SketchStore::RetireOccupancy() {
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    MutexLock lock(&shards_[s]->mu);
     const int64_t n = static_cast<int64_t>(shards_[s]->map.size());
     if (n == 0) continue;
     size_gauge_->Add(-n);
@@ -103,7 +103,7 @@ size_t SketchStore::ShardOf(uint64_t id) const {
 size_t SketchStore::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->map.size();
   }
   return total;
@@ -118,7 +118,7 @@ Status SketchStore::Insert(uint64_t id, std::unique_ptr<AnySketch> sketch) {
   Shard& shard = *shards_[shard_index];
   bool is_new = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto [it, inserted] = shard.map.insert_or_assign(id, std::move(sketch));
     is_new = inserted;
     if (shard.listener != nullptr) shard.listener->OnInsert(id, *it->second);
@@ -165,14 +165,15 @@ Status SketchStore::BuildAndInsertBatch(
   // the first-error slot.
   const size_t chunks = std::min(batch.size(), pool->num_threads());
   const size_t per_chunk = (batch.size() + chunks - 1) / chunks;
-  std::mutex error_mu;
+  // kLeaf: taken only from chunk bodies, which hold nothing at that point.
+  Mutex error_mu;
   Status first_error;
   pool->ParallelFor(chunks, [&](size_t c) {
     const size_t begin = c * per_chunk;
     const size_t end = std::min(begin + per_chunk, batch.size());
     auto made = family_->MakeSketcher();
     if (!made.ok()) {
-      std::lock_guard<std::mutex> lock(error_mu);
+      MutexLock lock(&error_mu);
       if (first_error.ok()) first_error = made.status();
       return;
     }
@@ -183,24 +184,25 @@ Status SketchStore::BuildAndInsertBatch(
       Status st = made.value()->Sketch(vec, sketch.get());
       if (st.ok()) st = Insert(id, std::move(sketch));
       if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(&error_mu);
         if (first_error.ok()) first_error = st;
         return;
       }
     }
   });
+  MutexLock lock(&error_mu);
   return first_error;
 }
 
 bool SketchStore::Contains(uint64_t id) const {
   const Shard& shard = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.map.find(id) != shard.map.end();
 }
 
 Result<std::unique_ptr<AnySketch>> SketchStore::Lookup(uint64_t id) const {
   const Shard& shard = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(id);
   if (it == shard.map.end()) {
     return Status::NotFound("no sketch stored under id " + std::to_string(id));
@@ -212,7 +214,7 @@ Status SketchStore::Erase(uint64_t id) {
   const size_t shard_index = ShardOf(id);
   Shard& shard = *shards_[shard_index];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.map.find(id);
     if (it == shard.map.end()) {
       return Status::NotFound("no sketch stored under id " +
@@ -231,7 +233,7 @@ Status SketchStore::AttachListener(Listener* listener) {
   if (listener == nullptr) {
     return Status::InvalidArgument("cannot attach a null listener");
   }
-  std::lock_guard<std::mutex> attach_lock(*listener_mu_);
+  MutexLock attach_lock(&*listener_mu_);
   if (listener_ != nullptr) {
     return Status::FailedPrecondition(
         "a mutation listener is already attached");
@@ -241,7 +243,7 @@ Status SketchStore::AttachListener(Listener* listener) {
   // shard's mirror is set, every later mutation of that shard notifies, and
   // everything already resident is replayed now — exactly-once per entry.
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->listener = listener;
     for (const auto& [id, sketch] : shard->map) {
       listener->OnInsert(id, *sketch);
@@ -251,12 +253,12 @@ Status SketchStore::AttachListener(Listener* listener) {
 }
 
 Status SketchStore::DetachListener(Listener* listener) {
-  std::lock_guard<std::mutex> attach_lock(*listener_mu_);
+  MutexLock attach_lock(&*listener_mu_);
   if (listener == nullptr || listener_ != listener) {
     return Status::InvalidArgument("listener is not the attached one");
   }
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->listener = nullptr;
   }
   listener_ = nullptr;
@@ -272,7 +274,7 @@ bool SketchStore::ForEachInShard(
   // exactly when writers contend, which is the skew signal the metric is
   // for.
   metrics::ScopedLatency lock_timer(scan_lock_ns_);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   for (const auto& [id, sketch] : shard.map) {
     if (!fn(id, *sketch)) return false;
   }
@@ -284,7 +286,7 @@ std::vector<StoreEntry> SketchStore::ShardSnapshot(size_t shard_index) const {
   const Shard& shard = *shards_[shard_index];
   std::vector<StoreEntry> out;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     out.reserve(shard.map.size());
     for (const auto& [id, sketch] : shard.map) {
       out.push_back({id, sketch->Clone()});
@@ -310,7 +312,7 @@ std::vector<StoreEntry> SketchStore::Snapshot() const {
 std::vector<uint64_t> SketchStore::Ids() const {
   std::vector<uint64_t> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (const auto& [id, sketch] : shard->map) out.push_back(id);
   }
   std::sort(out.begin(), out.end());
@@ -320,7 +322,7 @@ std::vector<uint64_t> SketchStore::Ids() const {
 double SketchStore::TotalStorageWords() const {
   double total = 0.0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (const auto& [id, sketch] : shard->map) {
       // Every stored sketch passed CheckCompatible on insert, so the
       // family-side cast cannot fail.
@@ -333,7 +335,7 @@ double SketchStore::TotalStorageWords() const {
 double SketchStore::TotalResidentWords() const {
   double total = 0.0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (const auto& [id, sketch] : shard->map) {
       total += family_->ResidentWords(*sketch).value();
     }
@@ -371,7 +373,7 @@ Status SketchStore::CompactifyInPlace(
   {
     // A listener mirrors the current family's sketches; swapping the family
     // identity under it would corrupt the mirror. Detach first.
-    std::lock_guard<std::mutex> attach_lock(*listener_mu_);
+    MutexLock attach_lock(&*listener_mu_);
     if (listener_ != nullptr) {
       return Status::FailedPrecondition(
           "CompactifyInPlace cannot run while a mutation listener is "
@@ -395,7 +397,7 @@ Status SketchStore::CompactifyInPlace(
       staged(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     staged[s].reserve(shard.map.size());
     for (const auto& [id, sketch] : shard.map) {
       auto quantized = QuantizeWmhSketch(*made.value(), *sketch);
@@ -405,7 +407,7 @@ Status SketchStore::CompactifyInPlace(
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.map.clear();
     for (auto& [id, sketch] : staged[s]) {
       shard.map.emplace(id, std::move(sketch));
@@ -435,25 +437,32 @@ Result<SketchStore> QuantizeStore(
   IPS_RETURN_IF_ERROR(made.status());
   SketchStore out = std::move(made).value();
   IPS_RETURN_IF_ERROR(CheckQuantizedTarget(out.family()));
-  // Quantize in place over the allocation-free shard scan: each source
-  // sketch is read once under its shard lock and only the compact form is
-  // materialized, so peak memory is source + compact copy, never a second
-  // full-precision clone. Inserting into `out` (a distinct, local store)
-  // from inside the scan is safe — only the source shard's lock is held.
+  // Quantize over the allocation-free shard scan: each source sketch is
+  // read once under its shard lock and only the compact form is
+  // materialized, so peak memory stays source + compact copy, never a
+  // second full-precision clone. The compact forms are staged per shard and
+  // inserted only after the scan returns: `out` is a distinct store, but
+  // its shard locks share the kStoreShard rank with the source's, and
+  // same-rank nesting is exactly the cross-store ABBA shape the lock-rank
+  // discipline forbids (two concurrent QuantizeStore calls in opposite
+  // directions would deadlock).
   Status first_error;
+  std::vector<std::pair<uint64_t, std::unique_ptr<AnySketch>>> staged;
   for (size_t s = 0; s < source.num_shards(); ++s) {
+    staged.clear();
     source.ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
       auto quantized = QuantizeWmhSketch(out.family(), sketch);
-      Status st = quantized.ok()
-                      ? out.Insert(id, std::move(quantized).value())
-                      : quantized.status();
-      if (!st.ok()) {
-        first_error = st;
+      if (!quantized.ok()) {
+        first_error = quantized.status();
         return false;  // stop this shard's scan
       }
+      staged.emplace_back(id, std::move(quantized).value());
       return true;
     });
     IPS_RETURN_IF_ERROR(first_error);
+    for (auto& [id, sketch] : staged) {
+      IPS_RETURN_IF_ERROR(out.Insert(id, std::move(sketch)));
+    }
   }
   return out;
 }

@@ -28,12 +28,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "service/metrics.h"
 #include "service/thread_pool.h"
@@ -89,7 +89,12 @@ class SketchStore {
   SketchStore(SketchStore&&) = default;
   /// Move assignment first retires the target's sketches from the
   /// occupancy gauges (they are being destroyed), then adopts the source's.
-  SketchStore& operator=(SketchStore&& other) noexcept;
+  /// Analysis escape: a move requires external exclusivity over both stores
+  /// (the header forbids moving with a listener attached or any concurrent
+  /// user), so the listener fields are transferred without their mutex —
+  /// which is itself being transferred.
+  SketchStore& operator=(SketchStore&& other) noexcept
+      IPS_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Subtracts this store's sketches from the process-wide size/occupancy
   /// gauges (a moved-from store holds none and subtracts nothing).
@@ -202,11 +207,12 @@ class SketchStore {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, std::unique_ptr<AnySketch>> map;
+    mutable Mutex mu{LockRank::kStoreShard};
+    std::unordered_map<uint64_t, std::unique_ptr<AnySketch>> map
+        IPS_GUARDED_BY(mu);
     /// Mirror of the store-level listener, guarded by `mu` so mutation
     /// paths need no second lock to find it.
-    Listener* listener = nullptr;
+    Listener* listener IPS_GUARDED_BY(mu) = nullptr;
   };
 
   SketchStore(SketchStoreOptions options,
@@ -221,9 +227,12 @@ class SketchStore {
   // unique_ptrs because Shard (mutex) is immovable but the store is not.
   std::vector<std::unique_ptr<Shard>> shards_;
   // Serializes attach/detach (and the compactify guard); unique_ptr because
-  // the store is movable. The per-shard mirrors are what mutations read.
-  std::unique_ptr<std::mutex> listener_mu_ = std::make_unique<std::mutex>();
-  Listener* listener_ = nullptr;
+  // the store is movable (Mutex is not). The per-shard mirrors are what
+  // mutations read. kListenerRegistry: AttachListener holds it *across* the
+  // per-shard replay, so it must rank below every shard lock.
+  std::unique_ptr<Mutex> listener_mu_ =
+      std::make_unique<Mutex>(LockRank::kListenerRegistry);
+  Listener* listener_ IPS_GUARDED_BY(*listener_mu_) = nullptr;
 
   // Process-wide store metrics (all SketchStore instances aggregate;
   // gauges track live totals via paired +/- updates). Registry-owned.

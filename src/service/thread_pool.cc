@@ -38,10 +38,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -49,7 +49,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
   IPS_CHECK(task != nullptr);
   const uint64_t enqueue_ns = metrics::Enabled() ? metrics::NowNs() : 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Rejection, not IPS_CHECK: a task still draining during destruction
     // may legitimately try to schedule follow-up work; the caller decides
     // whether to drop it or run it inline.
@@ -60,7 +60,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back({std::move(task), enqueue_ns});
   }
   if (enqueue_ns != 0) queue_depth_->Add(1);
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
@@ -69,8 +69,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // Explicit loop, not a predicate lambda: the thread-safety analysis
+      // checks the guarded reads here under the held lock (lambdas are
+      // analyzed without the caller's lock set).
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       // Drain the queue even when stopping: Submit is rejected after stop,
       // so this terminates, and destruction never drops accepted work.
       if (queue_.empty()) return;
@@ -107,8 +110,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   struct Sync {
     std::atomic<size_t> next{0};
     std::atomic<size_t> live;
-    std::mutex mu;
-    std::condition_variable done;
+    // kLeaf: task bodies hold nothing when they signal completion, and the
+    // caller acquires it holding nothing; nothing nests under it.
+    Mutex mu{LockRank::kLeaf};
+    CondVar done;
     explicit Sync(size_t tasks) : live(tasks) {}
   };
   const size_t tasks = std::min(n, num_threads());
@@ -120,8 +125,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       fn(i);
     }
     if (sync->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::unique_lock<std::mutex> lock(sync->mu);
-      sync->done.notify_all();
+      MutexLock lock(&sync->mu);
+      sync->done.NotifyAll();
     }
   };
   for (size_t t = 0; t < tasks; ++t) {
@@ -130,8 +135,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     // drains the whole counter, later ones exit immediately).
     if (!Submit(body)) body();
   }
-  std::unique_lock<std::mutex> lock(sync->mu);
-  sync->done.wait(lock, [&] { return sync->live.load() == 0; });
+  MutexLock lock(&sync->mu);
+  while (sync->live.load(std::memory_order_acquire) != 0) {
+    sync->done.Wait(sync->mu);
+  }
 }
 
 }  // namespace ipsketch

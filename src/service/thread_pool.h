@@ -11,15 +11,14 @@
 #ifndef IPSKETCH_SERVICE_THREAD_POOL_H_
 #define IPSKETCH_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "service/metrics.h"
 
 namespace ipsketch {
@@ -73,10 +72,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<QueuedTask> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  // kPoolQueue: task bodies run with no lock held, so nothing is ever
+  // acquired under the queue lock; it may itself be taken while holding
+  // store/index shard locks (Submit from a shard scan).
+  Mutex mu_{LockRank::kPoolQueue};
+  std::deque<QueuedTask> queue_ IPS_GUARDED_BY(mu_);
+  bool stopping_ IPS_GUARDED_BY(mu_) = false;
+  CondVar cv_;
 
   // Process-wide pool metrics (all ThreadPool instances aggregate):
   // queue depth, accepted/rejected/executed counts, and how long tasks

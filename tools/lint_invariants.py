@@ -1,0 +1,331 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint — rules no off-the-shelf tool knows.
+
+Four rules, each guarding an invariant the test suite can only probe
+point-wise but a static scan can prove tree-wide:
+
+  wire-tags      SketchTypeTag values are unique, every tag has a wire
+                 producer (PutHeader) in serialize.cc, and every producer's
+                 serializer is locked by tests/golden_bytes_test.cc — a tag
+                 without a golden payload can drift silently and corrupt
+                 stored catalogs.
+  families       Every family in RegisteredFamilies() is exercised by the
+                 parameterized family-registry test and has a kernel-backed
+                 estimator TU (ActiveKernel() — the EstimateKernel dispatch
+                 table), so no family ships outside the scalar/SIMD
+                 equivalence net.
+  metrics        Every Counter/Gauge/Histogram registration uses an
+                 ipsketch_-prefixed snake_case name and appears in README's
+                 metric inventory table — the exposition surface is
+                 documented or it does not ship.
+  raw-mutex      No std::mutex / std::condition_variable / std::lock_guard /
+                 std::unique_lock outside src/common/mutex.{h,cc}: every
+                 lock goes through the annotated, rank-checked
+                 ipsketch::Mutex wrapper.
+
+Exit status 0 iff the tree is clean; findings go to stdout, one per line,
+as `rule: file: message`.
+
+`--self-test` copies the tree to a temp dir, seeds one violation per rule,
+and verifies each is caught (and that the pristine copy stays clean) —
+the lint's own regression test, run in CI next to the real scan.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import re
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+SERIALIZE_H = "src/sketch/serialize.h"
+SERIALIZE_CC = "src/sketch/serialize.cc"
+GOLDEN_TEST = "tests/golden_bytes_test.cc"
+FAMILY_CC = "src/sketch/family.cc"
+FAMILY_TEST = "tests/family_registry_test.cc"
+README = "README.md"
+MUTEX_ALLOWED = {"src/common/mutex.h", "src/common/mutex.cc"}
+
+# family name -> the translation unit holding its kernel-backed estimator.
+# A newly registered family must be added here *and* route its estimator
+# through ActiveKernel() (the EstimateKernel dispatch table) — the rule
+# fails loudly on an unknown name rather than guessing.
+FAMILY_ESTIMATOR_TU = {
+    "jl": "src/sketch/jl_sketch.cc",
+    "cs": "src/sketch/count_sketch.cc",
+    "mh": "src/sketch/minhash.cc",
+    "kmv": "src/sketch/kmv.cc",
+    "wmh": "src/core/wmh_estimator.cc",
+    "icws": "src/core/icws.cc",
+    "wmh_compact": "src/sketch/quantize.cc",
+    "wmh_bbit": "src/sketch/quantize.cc",
+}
+
+
+def read(root: Path, rel: str) -> str:
+    return (root / rel).read_text(encoding="utf-8")
+
+
+def check_wire_tags(root: Path):
+    findings = []
+    header = read(root, SERIALIZE_H)
+    enum_match = re.search(
+        r"enum\s+class\s+SketchTypeTag[^{]*\{(.*?)\}", header, re.DOTALL)
+    if enum_match is None:
+        return [f"wire-tags: {SERIALIZE_H}: SketchTypeTag enum not found"]
+    tags = re.findall(r"(k\w+)\s*=\s*(\d+)", enum_match.group(1))
+    if not tags:
+        return [f"wire-tags: {SERIALIZE_H}: no SketchTypeTag enumerators"]
+
+    seen = {}
+    for name, value in tags:
+        if value in seen:
+            findings.append(
+                f"wire-tags: {SERIALIZE_H}: tag {name} reuses wire value "
+                f"{value} (already {seen[value]}) — stored payloads become "
+                "ambiguous")
+        seen.setdefault(value, name)
+
+    # Map each tag to the serializer that emits it: PutHeader(...kTag)
+    # inside `std::string SerializeX(...)`.
+    impl = read(root, SERIALIZE_CC)
+    producers = {}  # tag name -> serializer function name
+    for fn_match in re.finditer(r"std::string\s+(Serialize\w+)\(", impl):
+        body_start = fn_match.end()
+        header_use = re.search(
+            r"PutHeader\(\s*&\w+,\s*SketchTypeTag::(k\w+)\s*\)",
+            impl[body_start:body_start + 2000])
+        if header_use:
+            producers.setdefault(header_use.group(1), fn_match.group(1))
+
+    golden = read(root, GOLDEN_TEST)
+    for name, _value in tags:
+        serializer = producers.get(name)
+        if serializer is None:
+            findings.append(
+                f"wire-tags: {SERIALIZE_CC}: tag {name} has no "
+                "PutHeader producer — dead wire value or unregistered "
+                "serializer")
+        elif serializer not in golden:
+            findings.append(
+                f"wire-tags: {GOLDEN_TEST}: tag {name} ({serializer}) has "
+                "no golden-bytes lock — add a pinned-payload test so the "
+                "format cannot drift")
+    return findings
+
+
+def registered_families(root: Path):
+    src = read(root, FAMILY_CC)
+    fn = re.search(
+        r"RegisteredFamilies\(\)\s*\{(.*?)\n\}", src, re.DOTALL)
+    if fn is None:
+        return None
+    return re.findall(r'\{\s*"(\w+)"\s*,\s*"', fn.group(1))
+
+
+def check_families(root: Path):
+    findings = []
+    families = registered_families(root)
+    if not families:
+        return [f"families: {FAMILY_CC}: RegisteredFamilies() not found"]
+
+    test = read(root, FAMILY_TEST)
+    # ValuesIn(RegisteredFamilies()) covers every family by construction;
+    # an explicit list must name each one.
+    if "ValuesIn(RegisteredFamilies())" not in test:
+        for family in families:
+            if f'"{family}"' not in test:
+                findings.append(
+                    f"families: {FAMILY_TEST}: family '{family}' missing "
+                    "from the parameterized family-registry test list")
+
+    for family in families:
+        tu = FAMILY_ESTIMATOR_TU.get(family)
+        if tu is None:
+            findings.append(
+                f"families: {FAMILY_CC}: family '{family}' has no estimator "
+                "TU mapping in tools/lint_invariants.py — add it and route "
+                "the estimator through ActiveKernel()")
+        elif "ActiveKernel()" not in read(root, tu):
+            findings.append(
+                f"families: {tu}: family '{family}' estimator does not use "
+                "ActiveKernel() — it bypasses the EstimateKernel dispatch "
+                "table and the scalar/SIMD equivalence net")
+    return findings
+
+
+METRIC_CALL = re.compile(
+    r"Get(?:Counter|Gauge|Histogram)\(\s*\"((?:[^\"\\]|\\.)*)\"")
+METRIC_NAME = re.compile(r"^ipsketch_[a-z0-9]+(?:_[a-z0-9]+)*$")
+
+
+def check_metrics(root: Path):
+    findings = []
+    inventory = read(root, README)
+    for path in sorted((root / "src").rglob("*.cc")):
+        rel = path.relative_to(root).as_posix()
+        for match in METRIC_CALL.finditer(path.read_text(encoding="utf-8")):
+            literal = match.group(1)
+            # Label blocks are appended at runtime ("...occupancy{shard=...");
+            # the convention applies to the base name.
+            base = literal.split("{")[0]
+            if not METRIC_NAME.match(base):
+                findings.append(
+                    f"metrics: {rel}: metric '{base}' violates the "
+                    "ipsketch_<snake_case> naming convention")
+                continue
+            unprefixed = base[len("ipsketch_"):]
+            if f"`{unprefixed}" not in inventory:
+                findings.append(
+                    f"metrics: {rel}: metric '{base}' is not documented in "
+                    f"{README}'s metric inventory table")
+    return findings
+
+
+RAW_MUTEX = re.compile(
+    r"std::(?:mutex|condition_variable|lock_guard|unique_lock|scoped_lock)\b"
+    r"|#include\s*<(?:mutex|condition_variable)>")
+
+
+def check_raw_mutex(root: Path):
+    findings = []
+    for top in ("src", "tests", "bench"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel in MUTEX_ALLOWED:
+                continue
+            for i, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if RAW_MUTEX.search(line):
+                    findings.append(
+                        f"raw-mutex: {rel}:{i}: raw standard-library lock "
+                        "primitive — use ipsketch::Mutex/MutexLock/CondVar "
+                        "(common/mutex.h) so the thread-safety annotations "
+                        "and the lock-rank checker see it")
+    return findings
+
+
+RULES = {
+    "wire-tags": check_wire_tags,
+    "families": check_families,
+    "metrics": check_metrics,
+    "raw-mutex": check_raw_mutex,
+}
+
+
+def run_all(root: Path):
+    findings = []
+    for check in RULES.values():
+        findings.extend(check(root))
+    return findings
+
+
+# --- self-test ---------------------------------------------------------------
+
+def seed_wire_tags(root: Path):
+    path = root / SERIALIZE_H
+    # Duplicate wire value: give the last enumerator the first one's value.
+    text = path.read_text(encoding="utf-8")
+    path.write_text(
+        re.sub(r"(kBbitWmh\s*=\s*)\d+", r"\g<1>1", text), encoding="utf-8")
+
+
+def seed_families(root: Path):
+    path = root / FAMILY_CC
+    text = path.read_text(encoding="utf-8")
+    seeded = text.replace(
+        'return *families;',
+        'const_cast<std::vector<FamilyInfo>*>(families)->push_back(\n'
+        '      {"phantom", "PH", StorageClass::kLinear, true, true, false});\n'
+        '  return *families;', 1)
+    assert seeded != text, "family seed did not apply"
+    path.write_text(seeded, encoding="utf-8")
+
+
+def seed_metrics(root: Path):
+    path = root / "src/service/metrics.cc"
+    text = path.read_text(encoding="utf-8")
+    seeded = text.replace(
+        "namespace metrics {",
+        "namespace metrics {\n"
+        "inline void UndocumentedMetricForLintSelfTest() {\n"
+        '  MetricsRegistry::Global().GetCounter("BadName_total", "seeded");\n'
+        "}", 1)
+    assert seeded != text, "metrics seed did not apply"
+    path.write_text(seeded, encoding="utf-8")
+
+
+def seed_raw_mutex(root: Path):
+    path = root / "src/service/query_engine.cc"
+    with path.open("a", encoding="utf-8") as f:
+        f.write("\n// seeded by lint self-test\nstatic std::mutex lint_mu;\n")
+
+
+SEEDS = {
+    "wire-tags": seed_wire_tags,
+    "families": seed_families,
+    "metrics": seed_metrics,
+    "raw-mutex": seed_raw_mutex,
+}
+
+
+def copy_tree(root: Path, dest: Path):
+    for top in ("src", "tests", "bench", "tools"):
+        if (root / top).is_dir():
+            shutil.copytree(root / top, dest / top)
+    shutil.copy(root / README, dest / README)
+
+
+def self_test(root: Path) -> int:
+    baseline = run_all(root)
+    if baseline:
+        print("self-test: tree must be clean before seeding; found:")
+        print("\n".join(f"  {f}" for f in baseline))
+        return 1
+    failures = 0
+    for rule, seed in SEEDS.items():
+        with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
+            seeded_root = Path(tmp)
+            copy_tree(root, seeded_root)
+            seed(seeded_root)
+            caught = [f for f in run_all(seeded_root) if f.startswith(rule)]
+            if caught:
+                print(f"self-test: {rule}: caught seeded violation — OK")
+            else:
+                print(f"self-test: {rule}: seeded violation NOT caught")
+                failures += 1
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: the lint's parent repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="seed one violation per rule in a tree copy "
+                             "and verify each is caught")
+    args = parser.parse_args()
+    root = args.root or Path(__file__).resolve().parent.parent
+
+    if args.self_test:
+        return self_test(root)
+
+    findings = run_all(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
