@@ -1,0 +1,14 @@
+// Fuzz target: FamilyOptions parsing — the wire-format options block used
+// inside store headers, and the string-keyed params surface MakeFamily
+// validates and resolves (family name on the first line, key=value per
+// following line).
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/decode_contract.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  ipsketch::fuzz::CheckFamilyOptions(bytes);
+  return 0;
+}

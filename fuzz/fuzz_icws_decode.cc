@@ -1,0 +1,12 @@
+// Fuzz target: ICWS sketch wire decode (tag 6).
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/decode_contract.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  (void)ipsketch::PeekSketchType(bytes);
+  ipsketch::fuzz::CheckIcws(bytes);
+  return 0;
+}

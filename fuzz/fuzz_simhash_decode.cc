@@ -1,0 +1,13 @@
+// Fuzz target: SimHash sketch wire decode (tag 7), covering the
+// num_bits → word-count arithmetic.
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/decode_contract.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  (void)ipsketch::PeekSketchType(bytes);
+  ipsketch::fuzz::CheckSimHash(bytes);
+  return 0;
+}

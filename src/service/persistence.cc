@@ -67,7 +67,7 @@ uint64_t Checksum(std::string_view bytes) {
 }
 
 // Reads the v1 header into family-generic store options.
-Status ReadV1Header(wire::Reader* r, SketchStoreOptions* opts) {
+Status ReadV1Header(wire::BoundedReader* r, SketchStoreOptions* opts) {
   uint64_t num_shards = 0, num_samples = 0, L = 0;
   uint8_t engine = 0;
   IPS_RETURN_IF_ERROR(r->ReadU64(&opts->sketch.dimension));
@@ -88,7 +88,7 @@ Status ReadV1Header(wire::Reader* r, SketchStoreOptions* opts) {
   return Status::Ok();
 }
 
-Status ReadV2Header(wire::Reader* r, SketchStoreOptions* opts) {
+Status ReadV2Header(wire::BoundedReader* r, SketchStoreOptions* opts) {
   std::string_view family;
   IPS_RETURN_IF_ERROR(r->ReadBytes(&family));
   opts->family = std::string(family);
@@ -156,7 +156,7 @@ Result<SketchStore> DecodeSketchStore(std::string_view bytes) {
       return Status::InvalidArgument("sketch-store checksum mismatch");
     }
   }
-  wire::Reader r(payload);
+  wire::BoundedReader r(payload);
   uint32_t magic = 0;
   IPS_RETURN_IF_ERROR(r.ReadU32(&magic));
   if (magic != kStoreMagic) {
@@ -182,13 +182,10 @@ Result<SketchStore> DecodeSketchStore(std::string_view bytes) {
   IPS_RETURN_IF_ERROR(made.status());
   SketchStore store = std::move(made).value();
 
+  // Every entry costs at least 16 bytes (id + length prefix), so the
+  // bounded count read rejects absurd values before the loop.
   uint64_t count = 0;
-  IPS_RETURN_IF_ERROR(r.ReadU64(&count));
-  // Every entry costs at least 16 bytes (id + length prefix), so this bound
-  // rejects absurd counts before the loop.
-  if (count > r.Remaining() / 16) {
-    return Status::InvalidArgument("sketch-store entry count out of range");
-  }
+  IPS_RETURN_IF_ERROR(r.ReadCount(16, &count));
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t id = 0;
     IPS_RETURN_IF_ERROR(r.ReadU64(&id));

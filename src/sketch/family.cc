@@ -31,23 +31,28 @@ void AppendFamilyOptions(std::string* out, const FamilyOptions& options) {
   }
 }
 
-Status ReadFamilyOptions(wire::Reader* r, FamilyOptions* options) {
+Status ReadFamilyOptions(wire::BoundedReader* r, FamilyOptions* options) {
   uint64_t num_samples = 0;
   IPS_RETURN_IF_ERROR(r->ReadU64(&options->dimension));
   IPS_RETURN_IF_ERROR(r->ReadU64(&num_samples));
   IPS_RETURN_IF_ERROR(r->ReadU64(&options->seed));
   options->num_samples = static_cast<size_t>(num_samples);
-  uint64_t num_params = 0;
-  IPS_RETURN_IF_ERROR(r->ReadU64(&num_params));
   // Two length prefixes per param is ≥ 16 bytes; bound before the loop.
-  if (num_params > r->Remaining() / 16) {
-    return Status::InvalidArgument("family option param count out of range");
-  }
+  uint64_t num_params = 0;
+  IPS_RETURN_IF_ERROR(r->ReadCount(16, &num_params));
   options->params.clear();
+  std::string_view prev_key;
   for (uint64_t i = 0; i < num_params; ++i) {
     std::string_view key, value;
     IPS_RETURN_IF_ERROR(r->ReadBytes(&key));
     IPS_RETURN_IF_ERROR(r->ReadBytes(&value));
+    // The writer walks a sorted map, so keys arrive strictly increasing;
+    // anything else (duplicates included) is corruption, not data.
+    if (i > 0 && !(prev_key < key)) {
+      return Status::InvalidArgument(
+          "family option params not in canonical (strictly sorted) order");
+    }
+    prev_key = key;
     options->params.emplace(std::string(key), std::string(value));
   }
   return Status::Ok();

@@ -38,7 +38,7 @@
 namespace ipsketch {
 
 namespace wire {
-class Reader;  // serialize.h
+class BoundedReader;  // serialize.h
 }  // namespace wire
 
 /// A type-erased sketch. Concrete sketches (WmhSketch, CountSketch, ...)
@@ -113,8 +113,12 @@ struct FamilyOptions {
 /// inside the store header).
 void AppendFamilyOptions(std::string* out, const FamilyOptions& options);
 
-/// Reads options previously written by `AppendFamilyOptions`.
-Status ReadFamilyOptions(wire::Reader* r, FamilyOptions* options);
+/// Reads options previously written by `AppendFamilyOptions`. Only the
+/// canonical encoding is accepted: param keys must be strictly increasing
+/// (exactly what the sorted-map writer emits), so a hostile payload cannot
+/// smuggle duplicate keys past the map insert (which would silently drop
+/// all but the first and re-encode to different bytes).
+Status ReadFamilyOptions(wire::BoundedReader* r, FamilyOptions* options);
 
 /// Renders options as "dimension=512 num_samples=64 seed=42 L=4096 ..." for
 /// error messages.

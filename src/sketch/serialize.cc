@@ -84,6 +84,64 @@ Status Reader::ExpectEnd() const {
   return Status::Ok();
 }
 
+Status BoundedReader::ReadCount(size_t elem_size, uint64_t* n) {
+  IPS_RETURN_IF_ERROR(ReadU64(n));
+  // Division form: `*n * elem_size` could wrap a u64 for hostile counts.
+  if (*n > Remaining() / elem_size) {
+    return Status::InvalidArgument("element count exceeds remaining bytes");
+  }
+  return Status::Ok();
+}
+
+Status BoundedReader::CheckShape(uint64_t rows, uint64_t cols,
+                                 size_t elem_size) {
+  const uint64_t max_elems = Remaining() / elem_size;
+  // rows · cols ≤ max_elems without ever forming the product: either factor
+  // alone must fit, and so must the pair. Zero-element shapes are trivially
+  // in bounds (decoders that allocate per *row* must bound rows separately).
+  if (rows > max_elems || cols > max_elems ||
+      (cols != 0 && rows > max_elems / cols)) {
+    return Status::InvalidArgument("decoded shape exceeds remaining bytes");
+  }
+  return Status::Ok();
+}
+
+Status BoundedReader::ReadDoubles(std::vector<double>* xs) {
+  uint64_t n = 0;
+  IPS_RETURN_IF_ERROR(ReadCount(8, &n));
+  xs->resize(n);
+  for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadDouble(&x));
+  return Status::Ok();
+}
+
+Status BoundedReader::ReadU64s(std::vector<uint64_t>* xs) {
+  uint64_t n = 0;
+  IPS_RETURN_IF_ERROR(ReadCount(8, &n));
+  xs->resize(n);
+  for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadU64(&x));
+  return Status::Ok();
+}
+
+Status BoundedReader::ReadU32s(std::vector<uint32_t>* xs) {
+  uint64_t n = 0;
+  IPS_RETURN_IF_ERROR(ReadCount(4, &n));
+  xs->resize(n);
+  for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadU32(&x));
+  return Status::Ok();
+}
+
+Status BoundedReader::ReadF32s(std::vector<float>* xs) {
+  uint64_t n = 0;
+  IPS_RETURN_IF_ERROR(ReadCount(4, &n));
+  xs->resize(n);
+  for (auto& x : *xs) {
+    uint32_t bits = 0;
+    IPS_RETURN_IF_ERROR(ReadU32(&bits));
+    std::memcpy(&x, &bits, sizeof(x));
+  }
+  return Status::Ok();
+}
+
 }  // namespace wire
 
 namespace {
@@ -141,51 +199,12 @@ void PutHeader(std::string* out, SketchTypeTag tag) {
 
 // --- decoding ---------------------------------------------------------------
 
-// Extends the shared wire decoder with the vector and header framing that is
-// specific to sketch payloads.
-class Reader : public wire::Reader {
+// Extends the shared bounded wire decoder with the header framing that is
+// specific to sketch payloads (vector reads live on wire::BoundedReader,
+// the one place length fields become allocations).
+class Reader : public wire::BoundedReader {
  public:
-  using wire::Reader::Reader;
-
-  Status ReadDoubles(std::vector<double>* xs) {
-    uint64_t n = 0;
-    IPS_RETURN_IF_ERROR(ReadU64(&n));
-    if (n > Remaining() / 8) return Truncated();  // cheap bound before alloc
-    xs->resize(n);
-    for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadDouble(&x));
-    return Status::Ok();
-  }
-
-  Status ReadU64s(std::vector<uint64_t>* xs) {
-    uint64_t n = 0;
-    IPS_RETURN_IF_ERROR(ReadU64(&n));
-    if (n > Remaining() / 8) return Truncated();
-    xs->resize(n);
-    for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadU64(&x));
-    return Status::Ok();
-  }
-
-  Status ReadU32s(std::vector<uint32_t>* xs) {
-    uint64_t n = 0;
-    IPS_RETURN_IF_ERROR(ReadU64(&n));
-    if (n > Remaining() / 4) return Truncated();
-    xs->resize(n);
-    for (auto& x : *xs) IPS_RETURN_IF_ERROR(ReadU32(&x));
-    return Status::Ok();
-  }
-
-  Status ReadF32s(std::vector<float>* xs) {
-    uint64_t n = 0;
-    IPS_RETURN_IF_ERROR(ReadU64(&n));
-    if (n > Remaining() / 4) return Truncated();
-    xs->resize(n);
-    for (auto& x : *xs) {
-      uint32_t bits = 0;
-      IPS_RETURN_IF_ERROR(ReadU32(&bits));
-      std::memcpy(&x, &bits, sizeof(x));
-    }
-    return Status::Ok();
-  }
+  using wire::BoundedReader::BoundedReader;
 
   /// Header check for payloads that are identical across accepted format
   /// versions (everything except WMH and ICWS).
@@ -211,11 +230,6 @@ class Reader : public wire::Reader {
       return Status::InvalidArgument("sketch type mismatch");
     }
     return Status::Ok();
-  }
-
- private:
-  static Status Truncated() {
-    return Status::InvalidArgument("truncated sketch bytes");
   }
 };
 
@@ -340,8 +354,8 @@ Result<KmvSketch> DeserializeKmv(std::string_view bytes) {
   }
   s.hash_kind = static_cast<HashKind>(kind);
   uint64_t n = 0;
-  IPS_RETURN_IF_ERROR(r.ReadU64(&n));
-  if (n > s.k || n > r.Remaining() / 16) {
+  IPS_RETURN_IF_ERROR(r.ReadCount(16, &n));
+  if (n > s.k) {
     return Status::InvalidArgument("KMV sample count out of range");
   }
   s.samples.resize(n);
@@ -349,7 +363,10 @@ Result<KmvSketch> DeserializeKmv(std::string_view bytes) {
   for (auto& sample : s.samples) {
     IPS_RETURN_IF_ERROR(r.ReadDouble(&sample.hash));
     IPS_RETURN_IF_ERROR(r.ReadDouble(&sample.value));
-    if (sample.hash <= prev) {
+    // Negated comparison so a NaN hash (which compares false both ways, and
+    // would otherwise slip through a `<=` check into the estimator's match
+    // loop) is rejected along with out-of-order samples.
+    if (!(sample.hash > prev)) {
       return Status::InvalidArgument("KMV samples not strictly sorted");
     }
     prev = sample.hash;
@@ -404,7 +421,13 @@ Result<CountSketch> DeserializeCountSketch(std::string_view bytes) {
   uint64_t reps = 0, width = 0;
   IPS_RETURN_IF_ERROR(r.ReadU64(&reps));
   IPS_RETURN_IF_ERROR(r.ReadU64(&width));
-  if (reps * width > r.Remaining() / 8) {
+  // CheckShape bounds reps · width without forming the product (the old
+  // `reps * width` pre-check wrapped at 2⁶⁴ — e.g. reps = width = 2³² passed
+  // as 0 and then tried to allocate 2³² tables). A zero width with nonzero
+  // reps is rejected separately: each empty row consumes no payload bytes,
+  // so `reps` rows would otherwise allocate unboundedly many vectors.
+  IPS_RETURN_IF_ERROR(r.CheckShape(reps, width, 8));
+  if (reps != 0 && width == 0) {
     return Status::InvalidArgument("CountSketch shape out of range");
   }
   s.tables.assign(reps, std::vector<double>(width));
@@ -483,7 +506,10 @@ Result<SimHashSketch> DeserializeSimHash(std::string_view bytes) {
   s.num_bits = static_cast<size_t>(num_bits);
   IPS_RETURN_IF_ERROR(r.ReadDouble(&s.norm));
   IPS_RETURN_IF_ERROR(r.ReadU64s(&s.bits));
-  if (s.bits.size() != (s.num_bits + 63) / 64) {
+  // Overflow-free word-count check: `(num_bits + 63) / 64` wraps to 0 for
+  // num_bits near 2⁶⁴, which let a hostile header pair an absurd num_bits
+  // with an empty bits vector and mis-decode silently.
+  if (s.bits.size() != num_bits / 64 + (num_bits % 64 != 0 ? 1 : 0)) {
     return Status::InvalidArgument("SimHash bit-word count mismatch");
   }
   IPS_RETURN_IF_ERROR(r.ExpectEnd());

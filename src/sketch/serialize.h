@@ -18,8 +18,10 @@
 #ifndef IPSKETCH_SKETCH_SERIALIZE_H_
 #define IPSKETCH_SKETCH_SERIALIZE_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "core/icws.h"
@@ -66,6 +68,37 @@ class Reader {
  private:
   std::string_view bytes_;
   size_t pos_ = 0;
+};
+
+/// The one place decode-time length fields turn into allocations. Every
+/// count is validated against the bytes actually present *before* anything
+/// is resized — `count · elem_size ≤ Remaining()`, checked in division form
+/// so the product can never wrap a u64 — which caps every allocation at the
+/// input size itself: a decoder fed N bytes can never be tricked into
+/// allocating more than O(N), no matter what its length fields claim.
+///
+/// All untrusted-input decoders (sketch payloads, FamilyOptions blocks,
+/// store files) route through this class; ad-hoc `Remaining() / k`
+/// arithmetic in individual decoders is a bug.
+class BoundedReader : public Reader {
+ public:
+  explicit BoundedReader(std::string_view bytes) : Reader(bytes) {}
+
+  /// Reads a u64 element count and rejects it unless `*n · elem_size` bytes
+  /// remain. `elem_size` is the wire size of one element (> 0).
+  Status ReadCount(size_t elem_size, uint64_t* n);
+
+  /// Validates a 2-D shape read from the wire: `rows · cols` elements of
+  /// `elem_size` bytes each must fit in the remaining input, with no
+  /// intermediate product ever overflowing (division form throughout).
+  Status CheckShape(uint64_t rows, uint64_t cols, size_t elem_size);
+
+  /// Length-prefixed vector reads: u64 count (validated via ReadCount), then
+  /// the elements. Doubles/floats travel as IEEE-754 bit patterns.
+  Status ReadDoubles(std::vector<double>* xs);
+  Status ReadU64s(std::vector<uint64_t>* xs);
+  Status ReadU32s(std::vector<uint32_t>* xs);
+  Status ReadF32s(std::vector<float>* xs);
 };
 
 }  // namespace wire

@@ -465,7 +465,7 @@ TEST(FamilyOptionsWireTest, EncodeDecodeRoundTrips) {
   // Decode through the public reader path used by persistence.
   FamilyOptions decoded;
   {
-    wire::Reader r(bytes);
+    wire::BoundedReader r(bytes);
     ASSERT_TRUE(ReadFamilyOptions(&r, &decoded).ok());
     ASSERT_TRUE(r.ExpectEnd().ok());
   }
@@ -473,7 +473,8 @@ TEST(FamilyOptionsWireTest, EncodeDecodeRoundTrips) {
 
   // Truncated options bytes are rejected.
   {
-    wire::Reader r(std::string_view(bytes).substr(0, bytes.size() - 2));
+    wire::BoundedReader r(
+        std::string_view(bytes).substr(0, bytes.size() - 2));
     FamilyOptions scratch;
     EXPECT_FALSE(ReadFamilyOptions(&r, &scratch).ok());
   }

@@ -1,5 +1,6 @@
 #include "service/persistence.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -405,8 +406,13 @@ TEST(StorePersistenceTest, LoadAsRejectsMismatchedFamilyOrOptions) {
   std::remove(path.c_str());
 }
 
-TEST(StorePersistenceTest, RejectsCorruptedBytes) {
-  const auto store = MakePopulatedStore(10);
+// Corruption rejection is a per-family property — each family frames its
+// own payloads inside the store's entry stream — so the sweep runs once
+// per registered family, not just for WMH.
+class CorruptedStoreTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorruptedStoreTest, RejectsCorruptedBytes) {
+  const auto store = MakePopulatedStore(10, GetParam());
   std::string bytes = EncodeSketchStore(store);
 
   EXPECT_FALSE(DecodeSketchStore("").ok());
@@ -432,6 +438,21 @@ TEST(StorePersistenceTest, RejectsCorruptedBytes) {
     EXPECT_FALSE(DecodeSketchStore(flipped).ok()) << "flip at " << pos;
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, CorruptedStoreTest,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const FamilyInfo& info : RegisteredFamilies()) {
+        names.push_back(info.name);
+      }
+      return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      name.erase(std::remove(name.begin(), name.end(), '_'), name.end());
+      return name;
+    });
 
 TEST(StorePersistenceTest, RejectsAbsurdShardCounts) {
   const auto store = MakePopulatedStore(3);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific invariant lint — rules no off-the-shelf tool knows.
 
-Four rules, each guarding an invariant the test suite can only probe
+Five rules, each guarding an invariant the test suite can only probe
 point-wise but a static scan can prove tree-wide:
 
   wire-tags      SketchTypeTag values are unique, every tag has a wire
@@ -22,6 +22,10 @@ point-wise but a static scan can prove tree-wide:
                  std::unique_lock outside src/common/mutex.{h,cc}: every
                  lock goes through the annotated, rank-checked
                  ipsketch::Mutex wrapper.
+  fuzz-coverage  Every SketchTypeTag enumerator maps to a fuzz/ harness with
+                 a non-empty checked-in seed corpus (plus the store-file and
+                 FamilyOptions harnesses) — a wire decoder that is not
+                 fuzzed is an untrusted-input surface nobody is probing.
 
 Exit status 0 iff the tree is clean; findings go to stdout, one per line,
 as `rule: file: message`.
@@ -61,6 +65,28 @@ FAMILY_ESTIMATOR_TU = {
     "icws": "src/core/icws.cc",
     "wmh_compact": "src/sketch/quantize.cc",
     "wmh_bbit": "src/sketch/quantize.cc",
+}
+
+
+# SketchTypeTag enumerator -> the fuzz target exercising its decoder. A new
+# wire tag must be added here *and* get a harness under fuzz/ plus seeds from
+# tools/make_corpus.py — the rule fails loudly on an unknown enumerator
+# rather than guessing.
+TAG_FUZZ_TARGET = {
+    "kWmh": "fuzz_wmh_decode",
+    "kMh": "fuzz_mh_decode",
+    "kKmv": "fuzz_kmv_decode",
+    "kJl": "fuzz_jl_decode",
+    "kCountSketch": "fuzz_cs_decode",
+    "kIcws": "fuzz_icws_decode",
+    "kSimHash": "fuzz_simhash_decode",
+    "kCompactWmh": "fuzz_wmh_compact_decode",
+    "kBbitWmh": "fuzz_wmh_bbit_decode",
+}
+# Untrusted-input surfaces beyond the per-tag sketch decoders.
+EXTRA_FUZZ_TARGETS = {
+    "fuzz_store_decode": "the store-file loader",
+    "fuzz_family_options": "FamilyOptions parsing",
 }
 
 
@@ -212,11 +238,47 @@ def check_raw_mutex(root: Path):
     return findings
 
 
+def check_fuzz_coverage(root: Path):
+    findings = []
+    header = read(root, SERIALIZE_H)
+    enum_match = re.search(
+        r"enum\s+class\s+SketchTypeTag[^{]*\{(.*?)\}", header, re.DOTALL)
+    if enum_match is None:
+        return [f"fuzz-coverage: {SERIALIZE_H}: SketchTypeTag enum not found"]
+
+    surfaces = []  # (what the target guards, target name)
+    for name, _value in re.findall(r"(k\w+)\s*=\s*(\d+)", enum_match.group(1)):
+        target = TAG_FUZZ_TARGET.get(name)
+        if target is None:
+            findings.append(
+                f"fuzz-coverage: {SERIALIZE_H}: tag {name} has no fuzz-target "
+                "mapping in tools/lint_invariants.py — add one, a fuzz/ "
+                "harness, and seeds in tools/make_corpus.py")
+            continue
+        surfaces.append((f"tag {name}", target))
+    surfaces += [(what, target) for target, what in EXTRA_FUZZ_TARGETS.items()]
+
+    for what, target in surfaces:
+        harness = root / "fuzz" / f"{target}.cc"
+        if not harness.is_file():
+            findings.append(
+                f"fuzz-coverage: fuzz/{target}.cc: missing fuzz harness for "
+                f"{what}")
+        corpus = root / "fuzz" / "corpus" / target
+        if not any(p.is_file() for p in corpus.glob("*")):
+            findings.append(
+                f"fuzz-coverage: fuzz/corpus/{target}: no checked-in seed "
+                f"for {what} — run tools/make_corpus.py and commit the "
+                "seeds")
+    return findings
+
+
 RULES = {
     "wire-tags": check_wire_tags,
     "families": check_families,
     "metrics": check_metrics,
     "raw-mutex": check_raw_mutex,
+    "fuzz-coverage": check_fuzz_coverage,
 }
 
 
@@ -268,16 +330,24 @@ def seed_raw_mutex(root: Path):
         f.write("\n// seeded by lint self-test\nstatic std::mutex lint_mu;\n")
 
 
+def seed_fuzz_coverage(root: Path):
+    # Empty one per-tag corpus: the tag still has a harness, but no seed.
+    corpus = root / "fuzz" / "corpus" / "fuzz_kmv_decode"
+    for path in corpus.glob("*"):
+        path.unlink()
+
+
 SEEDS = {
     "wire-tags": seed_wire_tags,
     "families": seed_families,
     "metrics": seed_metrics,
     "raw-mutex": seed_raw_mutex,
+    "fuzz-coverage": seed_fuzz_coverage,
 }
 
 
 def copy_tree(root: Path, dest: Path):
-    for top in ("src", "tests", "bench", "tools"):
+    for top in ("src", "tests", "bench", "tools", "fuzz"):
         if (root / top).is_dir():
             shutil.copytree(root / top, dest / top)
     shutil.copy(root / README, dest / README)
