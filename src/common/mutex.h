@@ -57,6 +57,13 @@ enum class LockRank : int {
   /// None exist today; reserved so a future listener-owned lock has a
   /// rank above the index shards it is taken under.
   kListener = 40,
+  /// FrontDoor's admission-queue lock (service/front_door.h). Held only
+  /// for queue pushes/pops and the batch-slot bookkeeping; batch execution
+  /// and completion callbacks run strictly after it is released. Ranked
+  /// below kPoolQueue so dispatch may hand work to the pool while holding
+  /// it, and above the shard ranks because Submit can be called from scan
+  /// callbacks that hold a store or index shard lock.
+  kFrontDoorQueue = 45,
   /// ThreadPool's task-queue lock. Nothing is ever acquired under it.
   kPoolQueue = 50,
   /// Terminal rank: first-error slots, ParallelFor completion sync, the

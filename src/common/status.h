@@ -24,6 +24,8 @@ enum class StatusCode {
   kOutOfRange = 3,
   kNotFound = 4,
   kInternal = 5,
+  kUnavailable = 6,
+  kDeadlineExceeded = 7,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -62,6 +64,15 @@ class Status {
   /// An internal invariant failed in a recoverable context.
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The service cannot take the request right now (load shedding,
+  /// shutdown); retrying later may succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The request's deadline passed before it could be served.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -58,11 +58,40 @@ Result<double> QueryEngine::EstimateInnerProduct(uint64_t id_a,
                                                  uint64_t id_b) const {
   metrics::ScopedLatency latency(estimate_pair_ns_);
   queries_->Add(1);
+  if (read_mode_ == ReadMode::kSnapshot) {
+    // Pinned views instead of Lookup: no shard mutex, no sketch clones.
+    const ShardViewPtr va = store_->PinShard(store_->ShardOf(id_a));
+    const AnySketch* a = va->Find(id_a);
+    if (a == nullptr) {
+      return Status::NotFound("no sketch stored under id " +
+                              std::to_string(id_a));
+    }
+    const ShardViewPtr vb = store_->PinShard(store_->ShardOf(id_b));
+    const AnySketch* b = vb->Find(id_b);
+    if (b == nullptr) {
+      return Status::NotFound("no sketch stored under id " +
+                              std::to_string(id_b));
+    }
+    return va->family->Estimate(*a, *b);
+  }
   auto a = store_->Lookup(id_a);
   IPS_RETURN_IF_ERROR(a.status());
   auto b = store_->Lookup(id_b);
   IPS_RETURN_IF_ERROR(b.status());
   return store_->family().Estimate(*a.value(), *b.value());
+}
+
+bool QueryEngine::ScanStoreShard(
+    size_t shard,
+    const std::function<bool(uint64_t, const AnySketch&)>& fn) const {
+  if (read_mode_ == ReadMode::kSnapshot) {
+    const ShardViewPtr view = store_->PinShard(shard);
+    for (size_t i = 0; i < view->ids.size(); ++i) {
+      if (!fn(view->ids[i], *view->sketches[i])) return false;
+    }
+    return true;
+  }
+  return store_->ForEachInShard(shard, fn);
 }
 
 Result<std::unique_ptr<AnySketch>> QueryEngine::SketchQuery(
@@ -103,10 +132,11 @@ Result<std::vector<QueryHit>> QueryEngine::EstimateAgainstQuery(
   {
     metrics::ScopedSpan span(trace, "shard-scan");
     ForEachShard([&](size_t s) {
-      // Estimation runs under the shard lock (ForEachInShard): copying whole
-      // shards out per query would cost far more than briefly blocking that
-      // shard's writers — the estimator is O(m) per entry and read-only.
-      store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
+      // In kLockedScan mode estimation runs under the shard lock: copying
+      // whole shards out per query would cost far more than briefly
+      // blocking that shard's writers — the estimator is O(m) per entry
+      // and read-only. kSnapshot trades that contention for a pinned view.
+      ScanStoreShard(s, [&](uint64_t id, const AnySketch& sketch) {
         auto est = family.Estimate(qs, sketch);
         if (!est.ok()) {
           MutexLock lock(&error_mu);
@@ -187,7 +217,7 @@ Result<std::vector<QueryHit>> QueryEngine::TopKSketchWithPolicy(
     case IndexPolicy::kExactScan: {
       metrics::ScopedSpan span(trace, "shard-scan");
       ForEachShard([&](size_t s) {
-        store_->ForEachInShard(s, [&](uint64_t id, const AnySketch& sketch) {
+        ScanStoreShard(s, [&](uint64_t id, const AnySketch& sketch) {
           auto est = family.Estimate(query, sketch);
           if (!est.ok()) {
             record_error(est.status());
@@ -245,6 +275,160 @@ Result<std::vector<QueryHit>> QueryEngine::TopKSketchWithPolicy(
   sketches_scanned_->Add(total_scanned);
   candidates_per_query_->Record(total_scanned);
   return hits;
+}
+
+std::vector<Result<std::vector<QueryHit>>> QueryEngine::TopKSketchBatch(
+    const std::vector<const AnySketch*>& queries,
+    const std::vector<size_t>& ks) const {
+  IPS_CHECK(queries.size() == ks.size());
+  metrics::ScopedLatency latency(topk_ns_);
+  const size_t q_count = queries.size();
+  queries_->Add(q_count);
+  const SketchFamily& family = store_->family();
+  std::vector<Result<std::vector<QueryHit>>> results(
+      q_count, Result<std::vector<QueryHit>>(
+                   Status::Internal("batch slot not filled")));
+  // live[q] marks queries still participating in the traversal; a query
+  // leaves the batch at validation (here) or band-key time, never
+  // mid-scan — scan workers only *record* errors, resolved at the merge.
+  std::vector<bool> live(q_count, false);
+  size_t live_count = 0;
+  for (size_t q = 0; q < q_count; ++q) {
+    IPS_CHECK(queries[q] != nullptr);
+    Status compatible = family.CheckCompatible(*queries[q]);
+    if (!compatible.ok()) {
+      results[q] = Status::InvalidArgument(
+          "query sketch does not match the store's family: " +
+          compatible.message());
+      continue;
+    }
+    live[q] = true;
+    ++live_count;
+  }
+
+  IndexPolicy policy = policy_;
+  if (policy != IndexPolicy::kExactScan && index_ == nullptr) {
+    fallbacks_->Add(live_count);
+    policy = IndexPolicy::kExactScan;
+  }
+
+  const size_t n = store_->num_shards();
+  std::vector<std::vector<TopKHeap>> heaps(q_count);
+  for (size_t q = 0; q < q_count; ++q) {
+    if (!live[q]) continue;
+    heaps[q].reserve(n);
+    for (size_t s = 0; s < n; ++s) heaps[q].emplace_back(ks[q]);
+  }
+  // Shared by exact/slab (every live query scans the same entries);
+  // per-query candidate counts for the banded path come from probe stats.
+  std::vector<size_t> entries_per_shard(n, 0);
+  std::vector<std::vector<IndexProbeStats>> probe_stats;
+  // kLeaf: record_error runs inside scan callbacks with a store or index
+  // shard lock held; nothing nests under it.
+  Mutex error_mu;
+  std::vector<Status> errors(q_count);
+  auto record_error = [&](size_t q, const Status& st) {
+    MutexLock lock(&error_mu);
+    if (errors[q].ok()) errors[q] = st;
+  };
+
+  switch (policy) {
+    case IndexPolicy::kExactScan: {
+      ForEachShard([&](size_t s) {
+        ScanStoreShard(s, [&](uint64_t id, const AnySketch& sketch) {
+          ++entries_per_shard[s];
+          for (size_t q = 0; q < q_count; ++q) {
+            if (!live[q]) continue;
+            auto est = family.Estimate(*queries[q], sketch);
+            if (!est.ok()) {
+              record_error(q, est.status());
+              continue;
+            }
+            heaps[q][s].Offer(static_cast<size_t>(id), est.value());
+          }
+          return true;
+        });
+      });
+      break;
+    }
+    case IndexPolicy::kSlabScan: {
+      ForEachShard([&](size_t s) {
+        std::vector<const AnySketch*> shard_queries;
+        std::vector<TopKHeap*> shard_heaps;
+        shard_queries.reserve(live_count);
+        shard_heaps.reserve(live_count);
+        for (size_t q = 0; q < q_count; ++q) {
+          if (!live[q]) continue;
+          shard_queries.push_back(queries[q]);
+          shard_heaps.push_back(&heaps[q][s]);
+        }
+        Status st = index_->ScanShardBatch(shard_queries, s, shard_heaps,
+                                           &entries_per_shard[s]);
+        if (!st.ok()) {
+          for (size_t q = 0; q < q_count; ++q) {
+            if (live[q]) record_error(q, st);
+          }
+        }
+      });
+      break;
+    }
+    case IndexPolicy::kBandedRerank: {
+      // Band keys once per query, shared across every shard probe.
+      std::vector<std::vector<uint64_t>> keys(q_count);
+      for (size_t q = 0; q < q_count; ++q) {
+        if (!live[q]) continue;
+        Status st = index_->QueryBandKeys(*queries[q], &keys[q]);
+        if (!st.ok()) {
+          results[q] = st;
+          live[q] = false;
+          --live_count;
+        }
+      }
+      probe_stats.assign(q_count, std::vector<IndexProbeStats>(n));
+      metrics::ScopedLatency rerank_latency(rerank_ns_);
+      ForEachShard([&](size_t s) {
+        for (size_t q = 0; q < q_count; ++q) {
+          if (!live[q]) continue;
+          Status st = index_->ProbeShard(*queries[q], keys[q], s,
+                                         &heaps[q][s], &probe_stats[q][s]);
+          if (!st.ok()) record_error(q, st);
+        }
+      });
+      break;
+    }
+  }
+
+  size_t total_entries = 0;
+  for (size_t c : entries_per_shard) total_entries += c;
+  size_t total_estimated = 0;
+  for (size_t q = 0; q < q_count; ++q) {
+    if (!live[q]) continue;
+    {
+      MutexLock lock(&error_mu);
+      if (!errors[q].ok()) {
+        results[q] = errors[q];
+        continue;
+      }
+    }
+    TopKHeap merged(ks[q]);
+    for (const TopKHeap& heap : heaps[q]) merged.Merge(heap);
+    std::vector<QueryHit> hits;
+    for (const SimilarityHit& hit : merged.TakeSorted()) {
+      hits.push_back({static_cast<uint64_t>(hit.index), hit.estimate});
+    }
+    size_t candidates = total_entries;
+    if (policy == IndexPolicy::kBandedRerank) {
+      candidates = 0;
+      for (const IndexProbeStats& st : probe_stats[q]) {
+        candidates += static_cast<size_t>(st.candidates);
+      }
+    }
+    candidates_per_query_->Record(candidates);
+    total_estimated += candidates;
+    results[q] = std::move(hits);
+  }
+  sketches_scanned_->Add(total_estimated);
+  return results;
 }
 
 Result<double> QueryEngine::ProbeRecall(const SparseVector& query,

@@ -43,6 +43,20 @@ struct QueryHit {
   double estimate = 0.0;  ///< estimated ⟨query, stored vector⟩
 };
 
+/// How scans read the store's shards.
+enum class ReadMode {
+  /// Scan shard maps in place under each shard's mutex (ForEachInShard) —
+  /// the historical behavior. Readers briefly block writers to the shard
+  /// they are scanning.
+  kLockedScan,
+  /// Pin each shard's published epoch view (SketchStore::PinShard) — one
+  /// atomic load per shard, zero shard-mutex acquisitions, so heavy read
+  /// traffic never contends with ingest. A query sees, per shard, the
+  /// newest epoch published before its scan reached that shard. This is
+  /// what the FrontDoor uses.
+  kSnapshot,
+};
+
 /// How TopK/TopKSketch traverse the catalog.
 enum class IndexPolicy {
   /// Scan every stored sketch in place through the store's shard maps —
@@ -79,6 +93,14 @@ class QueryEngine {
               const BandedIndex* index,
               IndexPolicy policy = IndexPolicy::kBandedRerank);
 
+  /// Selects how store scans read shards (default kLockedScan). kSnapshot
+  /// affects the exact-scan and pairwise paths; the index paths already
+  /// take only index-shard locks (the mirror is kept snapshot-coherent
+  /// synchronously under the mutated shard's store lock). Set before
+  /// sharing the engine across threads.
+  void set_read_mode(ReadMode mode) { read_mode_ = mode; }
+  ReadMode read_mode() const { return read_mode_; }
+
   /// Estimates ⟨a, b⟩ between two stored vectors. NotFound if either id is
   /// absent.
   Result<double> EstimateInnerProduct(uint64_t id_a, uint64_t id_b) const;
@@ -106,6 +128,20 @@ class QueryEngine {
                                            metrics::QueryTrace* trace =
                                                nullptr) const;
 
+  /// Runs `queries.size()` top-k queries in ONE traversal of the catalog —
+  /// the batch entry point the FrontDoor's admission queue feeds. Shards
+  /// are visited once per *batch* instead of once per query: the exact
+  /// path pins each shard view (or takes each shard lock) once for all
+  /// queries, the slab path holds each index-shard lock once and runs the
+  /// SlabCatalog 1-vs-many kernels per query over contiguous lanes
+  /// (BandedIndex::ScanShardBatch), and the banded path computes each
+  /// query's band keys once up front. `ks[i]` is query i's k. Results are
+  /// per query, in input order; a query whose sketch is incompatible (or
+  /// whose estimates fail) gets an error slot without failing the batch.
+  std::vector<Result<std::vector<QueryHit>>> TopKSketchBatch(
+      const std::vector<const AnySketch*>& queries,
+      const std::vector<size_t>& ks) const;
+
   /// Measures the banded index's recall on one query: sketches it once,
   /// runs both the exact scan and the banded path, and returns
   /// |banded ∩ exact| / |exact| over the top-k id sets (1.0 when the exact
@@ -118,6 +154,13 @@ class QueryEngine {
   /// Sketches a raw query vector with the store's family.
   Result<std::unique_ptr<AnySketch>> SketchQuery(
       const SparseVector& query) const;
+
+  /// Scans one store shard per read_mode_: in place under the shard lock
+  /// (kLockedScan) or over the pinned epoch view (kSnapshot — no lock).
+  /// Same early-stop contract as SketchStore::ForEachInShard.
+  bool ScanStoreShard(
+      size_t shard,
+      const std::function<bool(uint64_t, const AnySketch&)>& fn) const;
 
   /// Runs fn(shard_index) over all shards, on the pool when available.
   void ForEachShard(const std::function<void(size_t)>& fn) const;
@@ -132,6 +175,7 @@ class QueryEngine {
   ThreadPool* pool_;
   const BandedIndex* index_ = nullptr;
   IndexPolicy policy_ = IndexPolicy::kExactScan;
+  ReadMode read_mode_ = ReadMode::kLockedScan;
 
   // Process-wide query metrics (all QueryEngine instances aggregate).
   // Registry-owned; valid forever.

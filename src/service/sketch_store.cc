@@ -6,6 +6,12 @@
 
 namespace ipsketch {
 
+const AnySketch* ShardView::Find(uint64_t id) const {
+  auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) return nullptr;
+  return sketches[static_cast<size_t>(it - ids.begin())].get();
+}
+
 Status SketchStoreOptions::Validate() const {
   if (family.empty()) {
     return Status::InvalidArgument("store family name must be non-empty");
@@ -25,6 +31,10 @@ SketchStore::SketchStore(SketchStoreOptions options,
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    // Publish the empty epoch-0 view so PinShard never observes null.
+    auto empty = std::make_shared<ShardView>();
+    empty->family = family_;
+    shards_.back()->view.store(std::move(empty));
   }
   auto& registry = metrics::MetricsRegistry::Global();
   inserts_ = &registry.GetCounter("ipsketch_store_inserts_total",
@@ -94,6 +104,73 @@ Result<SketchStore> SketchStore::Make(const SketchStoreOptions& options) {
   return SketchStore(std::move(resolved), std::move(family).value());
 }
 
+void SketchStore::PublishInsertLocked(
+    Shard& shard, uint64_t id,
+    const std::shared_ptr<const AnySketch>& sketch) {
+  const ShardViewPtr prev = shard.view.load(std::memory_order_relaxed);
+  auto next = std::make_shared<ShardView>();
+  next->epoch = ++shard.version;
+  next->family = family_;
+  const auto pos = std::lower_bound(prev->ids.begin(), prev->ids.end(), id);
+  const size_t i = static_cast<size_t>(pos - prev->ids.begin());
+  const bool replace = pos != prev->ids.end() && *pos == id;
+  const size_t new_size = prev->ids.size() + (replace ? 0 : 1);
+  next->ids.reserve(new_size);
+  next->sketches.reserve(new_size);
+  next->ids.assign(prev->ids.begin(), pos);
+  next->sketches.assign(prev->sketches.begin(), prev->sketches.begin() + i);
+  next->ids.push_back(id);
+  next->sketches.push_back(sketch);
+  next->ids.insert(next->ids.end(), pos + (replace ? 1 : 0), prev->ids.end());
+  next->sketches.insert(next->sketches.end(),
+                        prev->sketches.begin() + i + (replace ? 1 : 0),
+                        prev->sketches.end());
+  shard.view.store(std::move(next));
+}
+
+void SketchStore::PublishEraseLocked(Shard& shard, uint64_t id) {
+  const ShardViewPtr prev = shard.view.load(std::memory_order_relaxed);
+  auto next = std::make_shared<ShardView>();
+  next->epoch = ++shard.version;
+  next->family = family_;
+  const auto pos = std::lower_bound(prev->ids.begin(), prev->ids.end(), id);
+  IPS_CHECK(pos != prev->ids.end() && *pos == id);
+  const size_t i = static_cast<size_t>(pos - prev->ids.begin());
+  next->ids.reserve(prev->ids.size() - 1);
+  next->sketches.reserve(prev->ids.size() - 1);
+  next->ids.assign(prev->ids.begin(), pos);
+  next->ids.insert(next->ids.end(), pos + 1, prev->ids.end());
+  next->sketches.assign(prev->sketches.begin(), prev->sketches.begin() + i);
+  next->sketches.insert(next->sketches.end(), prev->sketches.begin() + i + 1,
+                        prev->sketches.end());
+  shard.view.store(std::move(next));
+}
+
+void SketchStore::PublishRebuildLocked(
+    Shard& shard, std::shared_ptr<const SketchFamily> family) {
+  auto next = std::make_shared<ShardView>();
+  next->epoch = ++shard.version;
+  next->family = std::move(family);
+  next->ids.reserve(shard.map.size());
+  for (const auto& [id, sketch] : shard.map) next->ids.push_back(id);
+  std::sort(next->ids.begin(), next->ids.end());
+  next->sketches.reserve(next->ids.size());
+  for (uint64_t id : next->ids) next->sketches.push_back(shard.map.at(id));
+  shard.view.store(std::move(next));
+}
+
+ShardViewPtr SketchStore::PinShard(size_t shard) const {
+  IPS_CHECK(shard < shards_.size());
+  return shards_[shard]->view.load(std::memory_order_acquire);
+}
+
+std::vector<ShardViewPtr> SketchStore::PinStore() const {
+  std::vector<ShardViewPtr> views;
+  views.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) views.push_back(PinShard(s));
+  return views;
+}
+
 size_t SketchStore::ShardOf(uint64_t id) const {
   // Mix first: sequential ids would otherwise all land in shard id % N for
   // small N and defeat the sharding.
@@ -119,8 +196,10 @@ Status SketchStore::Insert(uint64_t id, std::unique_ptr<AnySketch> sketch) {
   bool is_new = false;
   {
     MutexLock lock(&shard.mu);
-    auto [it, inserted] = shard.map.insert_or_assign(id, std::move(sketch));
+    std::shared_ptr<const AnySketch> shared = std::move(sketch);
+    auto [it, inserted] = shard.map.insert_or_assign(id, shared);
     is_new = inserted;
+    PublishInsertLocked(shard, id, shared);
     if (shard.listener != nullptr) shard.listener->OnInsert(id, *it->second);
   }
   inserts_->Add(1);
@@ -222,6 +301,7 @@ Status SketchStore::Erase(uint64_t id) {
     }
     if (shard.listener != nullptr) shard.listener->OnErase(id);
     shard.map.erase(it);
+    PublishEraseLocked(shard, id);
   }
   erases_->Add(1);
   size_gauge_->Add(-1);
@@ -412,6 +492,10 @@ Status SketchStore::CompactifyInPlace(
     for (auto& [id, sketch] : staged[s]) {
       shard.map.emplace(id, std::move(sketch));
     }
+    // Republish under the *target* family: a view pinned before this line
+    // keeps serving the old family + old sketches coherently, a view pinned
+    // after serves the compact pair — never a mix.
+    PublishRebuildLocked(shard, made.value());
   }
   family_ = std::move(made).value();
   options_.family = family_->name();

@@ -11,10 +11,13 @@
 //
 // Concurrency model: N shards (hash-on-id), one mutex per shard. Writers to
 // different shards never contend; readers either copy sketches out under
-// the shard lock (Lookup, Snapshot) or scan in place while holding it
-// (ForEachInShard). Batch ingest sketches *outside* any lock (sketching is
-// the expensive part) with one family Sketcher per worker thread, then
-// takes each shard lock only for the map insert.
+// the shard lock (Lookup, Snapshot), scan in place while holding it
+// (ForEachInShard), or — the heavy-read path — pin an immutable epoch view
+// published by writers and never take the shard mutex at all (PinShard;
+// see ShardView and docs/ARCHITECTURE.md's snapshot-epoch protocol). Batch
+// ingest sketches *outside* any lock (sketching is the expensive part)
+// with one family Sketcher per worker thread, then takes each shard lock
+// only for the map insert and the copy-on-write view publication.
 //
 // Every sketch in a store shares the family's resolved options — the
 // estimator's compatibility requirement — enforced at construction and on
@@ -23,6 +26,7 @@
 #ifndef IPSKETCH_SERVICE_SKETCH_STORE_H_
 #define IPSKETCH_SERVICE_SKETCH_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -64,6 +68,31 @@ struct StoreEntry {
   uint64_t id = 0;
   std::unique_ptr<AnySketch> sketch;
 };
+
+/// An immutable point-in-time view of one shard — the epoch-snapshot read
+/// path. Writers copy-on-write: every mutation builds the successor view
+/// under the shard lock and publishes it with one atomic shared_ptr swap,
+/// so readers pin an epoch with a single atomic load and never touch the
+/// shard mutex (RCU-style; a pinned view keeps its sketches alive however
+/// many epochs the shard advances past it).
+///
+/// `family` is the store's family at publication time, so a pinned view
+/// stays internally consistent — sketches and the estimator that understands
+/// them travel together — even across CompactifyInPlace.
+struct ShardView {
+  /// Per-shard publication sequence number; the empty pre-insert view is
+  /// epoch 0 and every mutation increments it.
+  uint64_t epoch = 0;
+  std::shared_ptr<const SketchFamily> family;
+  /// Sorted ascending; parallel to `sketches`.
+  std::vector<uint64_t> ids;
+  std::vector<std::shared_ptr<const AnySketch>> sketches;
+
+  /// The sketch stored under `id`, or nullptr (binary search over `ids`).
+  const AnySketch* Find(uint64_t id) const;
+};
+
+using ShardViewPtr = std::shared_ptr<const ShardView>;
 
 /// The sharded concurrent map. All public methods are thread-safe.
 class SketchStore {
@@ -169,6 +198,18 @@ class SketchStore {
       size_t shard,
       const std::function<bool(uint64_t, const AnySketch&)>& fn) const;
 
+  /// Pins the currently published view of one shard: one atomic load, no
+  /// shard-mutex acquisition, never null. The view is immutable and sorted
+  /// by id; holding the pointer keeps its epoch's sketches alive while
+  /// writers publish newer epochs. This is the read path heavy query
+  /// traffic should use — it cannot contend with ingest.
+  ShardViewPtr PinShard(size_t shard) const;
+
+  /// Pins every shard's current view. Each view is internally consistent;
+  /// the cross-shard caveat of Snapshot() applies (views may be pinned at
+  /// different epochs relative to concurrent writers).
+  std::vector<ShardViewPtr> PinStore() const;
+
   /// All (id, sketch) pairs, sorted by id: the per-shard snapshots merged.
   std::vector<StoreEntry> Snapshot() const;
 
@@ -208,15 +249,41 @@ class SketchStore {
  private:
   struct Shard {
     mutable Mutex mu{LockRank::kStoreShard};
-    std::unordered_map<uint64_t, std::unique_ptr<AnySketch>> map
+    /// Values are shared so the published views can reference them without
+    /// cloning; the map itself stays the single mutable source of truth.
+    std::unordered_map<uint64_t, std::shared_ptr<const AnySketch>> map
         IPS_GUARDED_BY(mu);
     /// Mirror of the store-level listener, guarded by `mu` so mutation
     /// paths need no second lock to find it.
     Listener* listener IPS_GUARDED_BY(mu) = nullptr;
+    /// Publication count — the epoch stamped into the next view.
+    uint64_t version IPS_GUARDED_BY(mu) = 0;
+    /// The published immutable view. Written by mutators under `mu`
+    /// (copy-on-write from the previous view), read lock-free by PinShard.
+    /// Initialized to the empty epoch-0 view at construction, so readers
+    /// never observe null.
+    std::atomic<ShardViewPtr> view;
   };
 
   SketchStore(SketchStoreOptions options,
               std::shared_ptr<const SketchFamily> family);
+
+  /// Publishes the successor view of `shard` with `id` inserted or
+  /// replaced: O(shard size) pointer copies from the previous view, one
+  /// sorted-position splice, one atomic swap.
+  void PublishInsertLocked(Shard& shard, uint64_t id,
+                           const std::shared_ptr<const AnySketch>& sketch)
+      IPS_REQUIRES(shard.mu);
+
+  /// Publishes the successor view of `shard` with `id` removed.
+  void PublishEraseLocked(Shard& shard, uint64_t id) IPS_REQUIRES(shard.mu);
+
+  /// Rebuilds and publishes `shard`'s view from its map under `family` —
+  /// the bulk path CompactifyInPlace uses after swapping a shard's
+  /// contents wholesale.
+  void PublishRebuildLocked(Shard& shard,
+                            std::shared_ptr<const SketchFamily> family)
+      IPS_REQUIRES(shard.mu);
 
   /// Subtracts every shard's current occupancy from the gauges — the
   /// shared cleanup of the destructor and move assignment.

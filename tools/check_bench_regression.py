@@ -38,7 +38,9 @@ win is small (don't gate). Three rules do that:
 Points present on only one side are reported and skipped. Sections of the
 record this script does not know about (e.g. "metrics" from
 bench_saturation) are ignored; a "saturation" section on both sides adds an
-informational — never gating — TopK p99 latency comparison. An "index"
+informational — never gating — TopK p99 latency comparison, and a
+"saturation_async" section (bench_saturation --frontdoor) adds the same
+plus the per-level shed/expired counts. An "index"
 section (bench_index) is gated like the estimate points: each
 (bands, rows, corpus) point's banded-vs-exact *speedup* is a same-run,
 same-machine ratio, so it transfers across runners; it fails only when the
@@ -89,25 +91,32 @@ def estimate_points(record, path):
     return out
 
 
-def report_saturation(base_record, curr_record):
-    """Informational TopK p99 comparison from the saturation sections.
+def report_saturation(base_record, curr_record, key="saturation"):
+    """Informational TopK p99 comparison from a saturation section.
 
     Never gates: latency percentiles depend on the runner's core count and
-    load, so they are printed for trend-watching only. Absent or malformed
+    load, so they are printed for trend-watching only. For the async
+    section ("saturation_async", bench_saturation --frontdoor) the
+    per-level shed/expired counts are printed too — under overload those
+    are where the pressure goes instead of into p99. Absent or malformed
     sections on either side are reported and skipped.
     """
-    curr = curr_record.get("saturation")
+    shed_cols = key == "saturation_async"
+    curr = curr_record.get(key)
     if not isinstance(curr, dict) or not isinstance(curr.get("levels"), list):
         return
-    base = base_record.get("saturation")
+    base = base_record.get(key)
     base_levels = {}
     if isinstance(base, dict) and isinstance(base.get("levels"), list):
         base_levels = {
             lvl.get("offered_concurrency"): lvl
             for lvl in base["levels"] if isinstance(lvl, dict)
         }
-    print("\nsaturation TopK p99 (informational, not gated):")
-    print(f"{'offered_conc':>12} {'base p99 us':>12} {'curr p99 us':>12}")
+    print(f"\n{key} TopK p99 (informational, not gated):")
+    header = f"{'offered_conc':>12} {'base p99 us':>12} {'curr p99 us':>12}"
+    if shed_cols:
+        header += f" {'curr shed':>10} {'curr expired':>13}"
+    print(header)
     for lvl in curr["levels"]:
         if not isinstance(lvl, dict):
             continue
@@ -119,7 +128,10 @@ def report_saturation(base_record, curr_record):
             else f"{'—':>12}"
         curr_s = f"{curr_p99:>12.0f}" if isinstance(curr_p99, (int, float)) \
             else f"{'—':>12}"
-        print(f"{conc:>12} {base_s} {curr_s}")
+        row = f"{conc:>12} {base_s} {curr_s}"
+        if shed_cols:
+            row += f" {lvl.get('shed', 0):>10} {lvl.get('expired', 0):>13}"
+        print(row)
 
 
 def index_points(record):
@@ -230,6 +242,7 @@ def main():
         print(f"\nSKIP: dispatched kernels differ ({base_kernel} vs "
               f"{curr_kernel}); speedups are not comparable across tiers")
         report_saturation(base_record, curr_record)
+        report_saturation(base_record, curr_record, key="saturation_async")
         return 0
 
     print(f"{'family':<14} {'m':>6} {'current/s':>14} "
@@ -265,6 +278,7 @@ def main():
 
     failed += report_index(base_record, curr_record, args.threshold)
     report_saturation(base_record, curr_record)
+    report_saturation(base_record, curr_record, key="saturation_async")
 
     if failed:
         print(f"\nFAIL: speedup dropped >{args.threshold:.0%} vs baseline: "

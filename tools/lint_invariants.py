@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific invariant lint — rules no off-the-shelf tool knows.
 
-Five rules, each guarding an invariant the test suite can only probe
+Six rules, each guarding an invariant the test suite can only probe
 point-wise but a static scan can prove tree-wide:
 
   wire-tags      SketchTypeTag values are unique, every tag has a wire
@@ -26,6 +26,11 @@ point-wise but a static scan can prove tree-wide:
                  a non-empty checked-in seed corpus (plus the store-file and
                  FamilyOptions harnesses) — a wire decoder that is not
                  fuzzed is an untrusted-input surface nobody is probing.
+  docs-freshness Every ipsketch_* metric registered in src/ appears in
+                 docs/OPERATIONS.md (the operator runbook) and every
+                 SketchTypeTag enumerator appears in docs/WIRE_FORMAT.md
+                 (the normative wire spec) — the docs/ tree cannot silently
+                 rot behind the code.
 
 Exit status 0 iff the tree is clean; findings go to stdout, one per line,
 as `rule: file: message`.
@@ -50,6 +55,8 @@ GOLDEN_TEST = "tests/golden_bytes_test.cc"
 FAMILY_CC = "src/sketch/family.cc"
 FAMILY_TEST = "tests/family_registry_test.cc"
 README = "README.md"
+OPERATIONS_MD = "docs/OPERATIONS.md"
+WIRE_FORMAT_MD = "docs/WIRE_FORMAT.md"
 MUTEX_ALLOWED = {"src/common/mutex.h", "src/common/mutex.cc"}
 
 # family name -> the translation unit holding its kernel-backed estimator.
@@ -273,12 +280,61 @@ def check_fuzz_coverage(root: Path):
     return findings
 
 
+def check_docs_freshness(root: Path):
+    findings = []
+    for rel in (OPERATIONS_MD, WIRE_FORMAT_MD):
+        if not (root / rel).is_file():
+            findings.append(
+                f"docs-freshness: {rel}: missing — the docs/ tree ships "
+                "with the code")
+    if findings:
+        return findings
+
+    # Every registered metric has a row in the operator runbook. Names are
+    # documented fully prefixed (unlike README's inventory, which strips
+    # the ipsketch_ prefix).
+    ops = read(root, OPERATIONS_MD)
+    reported = set()
+    for path in sorted((root / "src").rglob("*.cc")):
+        rel = path.relative_to(root).as_posix()
+        for match in METRIC_CALL.finditer(path.read_text(encoding="utf-8")):
+            base = match.group(1).split("{")[0]
+            # Malformed names are the metrics rule's finding, not ours.
+            if not METRIC_NAME.match(base) or base in reported:
+                continue
+            if f"`{base}`" not in ops:
+                reported.add(base)
+                findings.append(
+                    f"docs-freshness: {rel}: metric '{base}' is not "
+                    f"documented in {OPERATIONS_MD} — operators cannot "
+                    "alert on a metric they cannot look up")
+
+    # Every wire tag enumerator is specified in the wire-format doc.
+    header = read(root, SERIALIZE_H)
+    enum_match = re.search(
+        r"enum\s+class\s+SketchTypeTag[^{]*\{(.*?)\}", header, re.DOTALL)
+    if enum_match is None:
+        findings.append(
+            f"docs-freshness: {SERIALIZE_H}: SketchTypeTag enum not found")
+        return findings
+    wire = read(root, WIRE_FORMAT_MD)
+    for name, _value in re.findall(r"(k\w+)\s*=\s*(\d+)",
+                                   enum_match.group(1)):
+        if f"`{name}`" not in wire:
+            findings.append(
+                f"docs-freshness: {SERIALIZE_H}: wire tag {name} is not "
+                f"documented in {WIRE_FORMAT_MD} — the spec no longer "
+                "describes the format it claims to be normative for")
+    return findings
+
+
 RULES = {
     "wire-tags": check_wire_tags,
     "families": check_families,
     "metrics": check_metrics,
     "raw-mutex": check_raw_mutex,
     "fuzz-coverage": check_fuzz_coverage,
+    "docs-freshness": check_docs_freshness,
 }
 
 
@@ -337,17 +393,48 @@ def seed_fuzz_coverage(root: Path):
         path.unlink()
 
 
+def seed_docs_metric(root: Path):
+    # A well-formed metric registration nowhere in docs/OPERATIONS.md.
+    path = root / "src/service/metrics.cc"
+    text = path.read_text(encoding="utf-8")
+    seeded = text.replace(
+        "namespace metrics {",
+        "namespace metrics {\n"
+        "inline void UndocumentedDocsMetricForLintSelfTest() {\n"
+        '  MetricsRegistry::Global().GetCounter("ipsketch_phantom_total",\n'
+        '                                       "seeded");\n'
+        "}", 1)
+    assert seeded != text, "docs metric seed did not apply"
+    path.write_text(seeded, encoding="utf-8")
+
+
+def seed_docs_wire_tag(root: Path):
+    # A new wire tag the wire-format doc has never heard of.
+    path = root / SERIALIZE_H
+    text = path.read_text(encoding="utf-8")
+    seeded = text.replace("  kBbitWmh = 9,",
+                          "  kBbitWmh = 9,\n  kPhantom = 10,", 1)
+    assert seeded != text, "docs wire-tag seed did not apply"
+    path.write_text(seeded, encoding="utf-8")
+
+
+# rule -> (seed label, seed fn) pairs; each seed is planted in its own tree
+# copy and must be caught by its rule independently.
 SEEDS = {
-    "wire-tags": seed_wire_tags,
-    "families": seed_families,
-    "metrics": seed_metrics,
-    "raw-mutex": seed_raw_mutex,
-    "fuzz-coverage": seed_fuzz_coverage,
+    "wire-tags": [("duplicate wire value", seed_wire_tags)],
+    "families": [("unmapped family", seed_families)],
+    "metrics": [("unprefixed metric", seed_metrics)],
+    "raw-mutex": [("raw std::mutex", seed_raw_mutex)],
+    "fuzz-coverage": [("emptied seed corpus", seed_fuzz_coverage)],
+    "docs-freshness": [
+        ("undocumented metric", seed_docs_metric),
+        ("undocumented wire tag", seed_docs_wire_tag),
+    ],
 }
 
 
 def copy_tree(root: Path, dest: Path):
-    for top in ("src", "tests", "bench", "tools", "fuzz"):
+    for top in ("src", "tests", "bench", "tools", "fuzz", "docs"):
         if (root / top).is_dir():
             shutil.copytree(root / top, dest / top)
     shutil.copy(root / README, dest / README)
@@ -360,17 +447,19 @@ def self_test(root: Path) -> int:
         print("\n".join(f"  {f}" for f in baseline))
         return 1
     failures = 0
-    for rule, seed in SEEDS.items():
-        with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
-            seeded_root = Path(tmp)
-            copy_tree(root, seeded_root)
-            seed(seeded_root)
-            caught = [f for f in run_all(seeded_root) if f.startswith(rule)]
-            if caught:
-                print(f"self-test: {rule}: caught seeded violation — OK")
-            else:
-                print(f"self-test: {rule}: seeded violation NOT caught")
-                failures += 1
+    for rule, seeds in SEEDS.items():
+        for label, seed in seeds:
+            with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
+                seeded_root = Path(tmp)
+                copy_tree(root, seeded_root)
+                seed(seeded_root)
+                caught = [f for f in run_all(seeded_root)
+                          if f.startswith(rule)]
+                if caught:
+                    print(f"self-test: {rule}: caught {label} — OK")
+                else:
+                    print(f"self-test: {rule}: {label} NOT caught")
+                    failures += 1
     return 1 if failures else 0
 
 
